@@ -1,0 +1,69 @@
+"""Engine throughput: how fast the two execution engines and the injector
+machinery run (the practical cost of the methodology)."""
+
+from conftest import once
+
+from repro.vm.asmsim import AsmSimulator
+from repro.vm.irinterp import IRInterpreter
+
+
+def test_ir_interpreter_throughput(benchmark, workloads):
+    built = workloads["libquantumm"]
+
+    def run():
+        return IRInterpreter(built.module).run()
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_asm_simulator_throughput(benchmark, workloads):
+    built = workloads["libquantumm"]
+
+    def run():
+        return AsmSimulator(built.program).run()
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_llfi_injection_run(benchmark, injectors):
+    import random
+
+    llfi = injectors["libquantumm"]["LLFI"]
+    n = llfi.count_dynamic_candidates("all")
+
+    def run():
+        return llfi.run_with_fault("all", n // 2, random.Random(1))
+
+    result, record, activated = benchmark(run)
+    assert record is not None
+
+
+def test_pinfi_injection_run(benchmark, injectors):
+    import random
+
+    pinfi = injectors["libquantumm"]["PINFI"]
+    n = pinfi.count_dynamic_candidates("all")
+
+    def run():
+        return pinfi.run_with_fault("all", n // 2, random.Random(1))
+
+    result, record, activated = benchmark(run)
+    assert record is not None
+
+
+def test_build_pipeline(benchmark):
+    """Compile + backend for one workload, timed for real."""
+    from repro.backend import compile_module
+    from repro.minic import compile_source
+    from repro.workloads import get
+
+    source = get("mcfm").source
+
+    def build():
+        module = compile_source(source)
+        return compile_module(module)
+
+    program = once(benchmark, build)
+    assert "main" in program.functions

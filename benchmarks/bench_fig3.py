@@ -1,0 +1,55 @@
+"""Paper Figure 3: aggregate crash/SDC/benign breakdown (category 'all').
+
+Shape assertions (paper §VI-A): average crash rate in the tens of percent,
+average SDC rate well below crash, hangs negligible, and a non-trivial
+benign fraction — for both tools.
+"""
+
+from conftest import TRIALS, once
+
+from repro.experiments.report import format_table, stacked_bar
+from repro.workloads import workload_names
+
+
+def test_fig3_report(benchmark, campaigns):
+    names = workload_names()
+
+    def run_grid():
+        return {name: {tool: campaigns.get(name, tool, "all")
+                       for tool in ("LLFI", "PINFI")}
+                for name in names}
+
+    data = once(benchmark, run_grid)
+
+    rows = []
+    avg = {tool: [0.0, 0.0, 0.0] for tool in ("LLFI", "PINFI")}
+    for name in names:
+        for tool in ("LLFI", "PINFI"):
+            r = data[name][tool]
+            crash, sdc, benign = r.crash.value, r.sdc.value, r.benign.value
+            avg[tool][0] += crash / len(names)
+            avg[tool][1] += sdc / len(names)
+            avg[tool][2] += benign / len(names)
+            rows.append([name if tool == "LLFI" else "", tool,
+                         f"{100 * crash:.0f}%", f"{100 * sdc:.0f}%",
+                         f"{100 * benign:.0f}%",
+                         stacked_bar([crash, sdc, benign], "#+.", 36)])
+    for tool in ("LLFI", "PINFI"):
+        rows.append(["average" if tool == "LLFI" else "", tool,
+                     f"{100 * avg[tool][0]:.0f}%",
+                     f"{100 * avg[tool][1]:.0f}%",
+                     f"{100 * avg[tool][2]:.0f}%",
+                     stacked_bar(avg[tool], "#+.", 36)])
+    print()
+    print(format_table(
+        ["Program", "Tool", "Crash", "SDC", "Benign", "# crash + sdc . benign"],
+        rows, title=f"Figure 3 (trials={TRIALS}/cell)"))
+
+    for tool in ("LLFI", "PINFI"):
+        crash, sdc, benign = avg[tool]
+        assert 0.10 < crash < 0.75, (tool, crash)
+        assert sdc < crash, (tool, sdc, crash)
+        assert benign > 0.15, (tool, benign)
+        # hangs negligible (paper: "hang results are negligible")
+        hangs = sum(data[n][tool].hang.value for n in names) / len(names)
+        assert hangs < 0.10, (tool, hangs)

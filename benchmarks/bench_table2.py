@@ -1,0 +1,26 @@
+"""Paper Table II: benchmark characteristics (and compile-time cost)."""
+
+from conftest import once
+
+from repro.experiments import table2
+from repro.workloads import get, workload_names
+from repro.minic import compile_source
+
+
+def test_table2_report(benchmark):
+    text = once(benchmark, table2.generate)
+    print()
+    print(text)
+    for name in workload_names():
+        assert name in text
+
+
+def test_compile_all_benchmarks(benchmark):
+    """Time the full front-end + optimizer over the whole suite."""
+
+    def compile_all():
+        return [compile_source(get(name).source, optimize=True)
+                for name in workload_names()]
+
+    modules = once(benchmark, compile_all)
+    assert len(modules) == 6

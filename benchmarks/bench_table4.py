@@ -1,0 +1,43 @@
+"""Paper Table IV: runtime instruction counts per category, LLFI vs PINFI.
+
+Shape assertions (paper §VI-B):
+* 'cast' counts are negligible for both tools;
+* 'cmp' counts are similar between tools;
+* LLFI's arithmetic *share* is below PINFI's (address computation is GEP
+  at the IR level, add/mul/lea at the assembly level);
+* on the data-movement-bound benchmarks the paper calls out (libquantum),
+  LLFI counts more loads and more instructions overall.
+"""
+
+from conftest import once
+
+from repro.experiments import table4
+from repro.workloads import workload_names
+
+
+def test_table4_report(benchmark, workloads):
+    names = workload_names()
+    data = once(benchmark, table4.collect, names)
+    print()
+    print(table4.generate(names))
+
+    for name in names:
+        llfi, pinfi = data[name]["LLFI"], data[name]["PINFI"]
+        # cast counts negligible (<2% of all) for both tools
+        assert llfi["cast"] <= 0.02 * llfi["all"], name
+        assert pinfi["cast"] <= 0.02 * pinfi["all"], name
+        # cmp counts similar between tools (within 15%)
+        assert abs(llfi["cmp"] - pinfi["cmp"]) <= 0.15 * max(llfi["cmp"], 1), \
+            name
+
+    # LLFI arithmetic share < PINFI arithmetic share for most benchmarks
+    below = sum(
+        data[n]["LLFI"]["arithmetic"] / data[n]["LLFI"]["all"]
+        < data[n]["PINFI"]["arithmetic"] / data[n]["PINFI"]["all"]
+        for n in names)
+    assert below >= 4, f"arithmetic share shape held for only {below}/6"
+
+    # libquantum's signature (paper §VI-C): far more IR-level loads
+    lq = data["libquantumm"]
+    assert lq["LLFI"]["load"] > 1.5 * lq["PINFI"]["load"]
+    assert lq["LLFI"]["all"] > lq["PINFI"]["all"]

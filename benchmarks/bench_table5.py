@@ -1,0 +1,56 @@
+"""Paper Table V: crash percentage per instruction category.
+
+Shape assertions (paper §VI-D): crash rates are similar for 'cmp' (both
+near zero — flag flips rarely crash), but show considerable differences in
+other categories, with a maximum gap of tens of percentage points — the
+paper's finding that high-level injection is NOT accurate for crashes.
+"""
+
+from conftest import TRIALS, once
+
+from repro.experiments.report import format_table
+from repro.fi.categories import CATEGORIES
+from repro.workloads import workload_names
+
+
+def test_table5_report(benchmark, campaigns):
+    names = workload_names()
+
+    def run_grid():
+        return {name: {cat: {tool: campaigns.get(name, tool, cat)
+                             for tool in ("LLFI", "PINFI")}
+                       for cat in CATEGORIES}
+                for name in names}
+
+    data = once(benchmark, run_grid)
+
+    headers = ["Program"]
+    for cat in CATEGORIES:
+        headers += [f"{cat[:5]} L", f"{cat[:5]} P"]
+    rows = []
+    max_gap = {cat: 0.0 for cat in CATEGORIES}
+    for name in names:
+        row = [name]
+        for cat in CATEGORIES:
+            lv = data[name][cat]["LLFI"].crash.value
+            pv = data[name][cat]["PINFI"].crash.value
+            row += [f"{100 * lv:.0f}%", f"{100 * pv:.0f}%"]
+            max_gap[cat] = max(max_gap[cat], abs(lv - pv))
+        rows.append(row)
+    print()
+    print(format_table(headers, rows,
+                       title=f"Table V: crash%% (trials={TRIALS}/cell)"))
+    print("max |LLFI-PINFI| gap per category:",
+          {c: f"{100 * g:.0f}pt" for c, g in max_gap.items()})
+
+    # cmp crash rates are similar between tools on every benchmark (the
+    # paper's §VI-D finding; absolute levels depend on the workload)
+    for name in names:
+        llfi_cmp = data[name]["cmp"]["LLFI"].crash
+        pinfi_cmp = data[name]["cmp"]["PINFI"].crash
+        assert llfi_cmp.overlaps(pinfi_cmp), \
+            (name, llfi_cmp.percent(), pinfi_cmp.percent())
+
+    # and at least one non-cmp category shows a substantial gap somewhere
+    assert max(max_gap[c] for c in ("arithmetic", "cast", "load", "all")) \
+        > 0.10

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The paper's experiment in miniature, on one benchmark.
+
+Runs LLFI and PINFI campaigns over every instruction category on a chosen
+workload and prints the per-category SDC and crash comparison — one row of
+the paper's Figure 4 and Table V.
+
+Run:  python examples/compare_injectors.py [workload] [trials]
+      python examples/compare_injectors.py libquantumm 150
+"""
+
+import sys
+
+from repro.fi import (
+    CampaignConfig, LLFIInjector, PINFIInjector, run_campaign,
+)
+from repro.fi.categories import CATEGORIES
+from repro.workloads import build, workload_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "libquantumm"
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 80
+    if name not in workload_names():
+        raise SystemExit(f"unknown workload {name!r}; have {workload_names()}")
+
+    built = build(name)
+    llfi = LLFIInjector(built.module)
+    pinfi = PINFIInjector(built.program)
+    config = CampaignConfig(trials=trials)
+
+    print(f"workload={name}  trials={trials}/cell "
+          f"(paper used 1000)\n")
+    print(f"{'category':<11} {'LLFI sdc':>14} {'PINFI sdc':>14} "
+          f"{'LLFI crash':>11} {'PINFI crash':>12}  agree?")
+    for category in CATEGORIES:
+        try:
+            a = run_campaign(llfi, category, config)
+            b = run_campaign(pinfi, category, config)
+        except Exception as exc:  # e.g. no candidates in this category
+            print(f"{category:<11} skipped ({exc})")
+            continue
+        agree = "yes" if a.sdc.overlaps(b.sdc) else "NO"
+        print(f"{category:<11} {a.sdc.percent():>14} {b.sdc.percent():>14} "
+              f"{100 * a.crash.value:>10.0f}% {100 * b.crash.value:>11.0f}%  "
+              f"{agree}")
+    print("\n'agree?' = the two SDC 95% confidence intervals overlap")
+    print("(the paper's criterion for LLFI being accurate for SDCs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Tracing how one injected fault propagates to the output.
+
+LLFI's selling point (paper §III, "Customizability and Analysis") is that
+IR-level injection makes results easy to map back to source. This example
+injects the *same* bit flip at every dynamic instance of one source-level
+expression and reports, per source line, how often the fault stays local
+vs corrupts the output vs crashes — a propagation profile.
+
+Run:  python examples/error_propagation.py
+"""
+
+import random
+from collections import defaultdict
+
+from repro.backend import compile_module
+from repro.fi import LLFIInjector, Outcome, classify
+from repro.minic import compile_source
+
+SOURCE = r"""
+int histogram[10];
+
+int classify_value(int v) {          // line 4
+    int bucket = v / 10;             // line 5
+    if (bucket > 9) bucket = 9;      // line 6
+    if (bucket < 0) bucket = 0;      // line 7
+    return bucket;                   // line 8
+}
+
+int main() {
+    long seed = 31337;               // line 12
+    int i;
+    for (i = 0; i < 60; i++) {
+        seed = seed * 6364136223846793005 + 1442695040888963407;
+        int value = (int)((seed >> 40) % 100);
+        if (value < 0) value = -value;
+        histogram[classify_value(value)]++;
+    }
+    int total = 0;
+    for (i = 0; i < 10; i++) {
+        print_int(histogram[i]); print_char(' ');
+        total += histogram[i];
+    }
+    print_char('\n');
+    print_str("total="); print_int(total); print_char('\n');
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+    compile_module(module)
+    llfi = LLFIInjector(module)
+    golden = llfi.golden()
+    print("golden:", golden.output.strip().splitlines()[-1])
+
+    n = llfi.count_dynamic_candidates("all")
+    print(f"{n} dynamic injection candidates\n")
+
+    # Inject at many dynamic instances; bucket outcomes by the source line
+    # of the corrupted instruction (the record's target holds the opcode;
+    # the line comes from the instruction the injector picked).
+    rng = random.Random(1)
+    by_line = defaultdict(lambda: defaultdict(int))
+    trials = 250
+    for _ in range(trials):
+        k = rng.randint(1, n)
+        result, record, activated = llfi.run_with_fault(
+            "all", k, rng, max_instructions=golden.instructions * 20)
+        outcome = classify(result, golden.output, activated)
+        if outcome is Outcome.NOT_ACTIVATED:
+            continue
+        # map the record back to a source line via the candidate set
+        line = _line_of(llfi, record.target)
+        by_line[line][outcome] += 1
+
+    print(f"{'line':>5} {'inj':>4}  {'crash':>6} {'sdc':>6} {'benign':>7}")
+    for line in sorted(by_line):
+        counts = by_line[line]
+        total = sum(counts.values())
+        print(f"{line:>5} {total:>4}  "
+              f"{100 * counts[Outcome.CRASH] / total:>5.0f}% "
+              f"{100 * counts[Outcome.SDC] / total:>5.0f}% "
+              f"{100 * counts[Outcome.BENIGN] / total:>6.0f}%")
+    print("\nLines whose faults mostly end benign need no protection;")
+    print("lines with high SDC rates are where selective duplication pays.")
+
+    # Finally, a full forward-propagation trace of a single fault — the
+    # dynamic slice LLFI's analysis mode produces (paper §III).
+    from repro.fi import trace_propagation
+
+    print("\nOne traced injection:")
+    trace = trace_propagation(llfi, "arithmetic", 10, random.Random(2))
+    print(" ", trace.summary())
+    for event in trace.events[:8]:
+        print(f"   step {event.step}: {event.kind:<12} {event.opcode} "
+              f"%{event.name} (line {event.source_line})")
+    if len(trace.events) > 8:
+        print(f"   ... {len(trace.events) - 8} more events")
+
+
+def _line_of(llfi: LLFIInjector, target: str) -> int:
+    """Recover the source line of the injected instruction from its
+    printed name (the FaultRecord keeps 'opcode %name')."""
+    name = target.split("%")[-1]
+    for func in llfi.module.defined_functions():
+        for inst in func.instructions():
+            if inst.name == name:
+                return inst.source_line
+    return 0
+
+
+if __name__ == "__main__":
+    main()

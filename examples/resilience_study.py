@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Comparing the error resilience of two algorithms (a KULFI-style study).
+
+The paper motivates high-level injection with exactly this use case:
+understanding *application-specific* resilience so protection can be
+selective. Here we compare two implementations of the same computation —
+finding the maximum pairwise distance among points:
+
+* ``naive``  — compares squared distances held in ordinary ints;
+* ``guarded`` — additionally re-verifies the winning pair at the end
+  (a cheap application-level detector, like the paper's related work on
+  selective protection).
+
+The guarded version converts many would-be SDCs into detected/benign
+outcomes; LLFI quantifies by how much.
+
+Run:  python examples/resilience_study.py
+"""
+
+from repro.fi import CampaignConfig, LLFIInjector, Outcome, run_campaign
+from repro.minic import compile_source
+from repro.backend import compile_module
+
+COMMON = r"""
+int xs[20];
+int ys[20];
+
+long rng_state = 4242;
+int next_rand(int modulus) {
+    rng_state = rng_state * 6364136223846793005 + 1442695040888963407;
+    long x = rng_state >> 35;
+    int v = (int)(x % modulus);
+    if (v < 0) v = -v;
+    return v;
+}
+
+void make_points(void) {
+    int i;
+    for (i = 0; i < 20; i++) {
+        xs[i] = next_rand(1000);
+        ys[i] = next_rand(1000);
+    }
+}
+
+int dist2(int i, int j) {
+    int dx = xs[i] - xs[j];
+    int dy = ys[i] - ys[j];
+    return dx * dx + dy * dy;
+}
+"""
+
+NAIVE = COMMON + r"""
+int main() {
+    make_points();
+    int best = -1;
+    int bi = 0; int bj = 0;
+    int i; int j;
+    for (i = 0; i < 20; i++)
+        for (j = i + 1; j < 20; j++) {
+            int d = dist2(i, j);
+            if (d > best) { best = d; bi = i; bj = j; }
+        }
+    print_str("best="); print_int(best);
+    print_str(" pair="); print_int(bi); print_char(','); print_int(bj);
+    print_char('\n');
+    return 0;
+}
+"""
+
+GUARDED = COMMON + r"""
+int main() {
+    make_points();
+    int best = -1;
+    int bi = 0; int bj = 0;
+    int i; int j;
+    for (i = 0; i < 20; i++)
+        for (j = i + 1; j < 20; j++) {
+            int d = dist2(i, j);
+            if (d > best) { best = d; bi = i; bj = j; }
+        }
+    // application-level detector: recompute the winner and re-scan
+    int check = dist2(bi, bj);
+    int consistent = 1;
+    if (check != best) consistent = 0;
+    for (i = 0; i < 20; i++)
+        for (j = i + 1; j < 20; j++)
+            if (dist2(i, j) > check) consistent = 0;
+    if (!consistent) { print_str("DETECTED\n"); return 1; }
+    print_str("best="); print_int(check);
+    print_str(" pair="); print_int(bi); print_char(','); print_int(bj);
+    print_char('\n');
+    return 0;
+}
+"""
+
+
+def study(label: str, source: str, trials: int, seed: int):
+    """A manual campaign so we can classify 'DETECTED' outputs separately
+    from true SDCs (a detected error is, by definition, not silent)."""
+    import random
+
+    module = compile_source(source)
+    compile_module(module)  # finalize the module like the real pipeline
+    llfi = LLFIInjector(module)
+    golden = llfi.golden()
+    n = llfi.count_dynamic_candidates("all")
+    rng = random.Random(seed)
+    tallies = {"crash": 0, "sdc": 0, "detected": 0, "benign": 0, "hang": 0}
+    done = 0
+    while done < trials:
+        k = rng.randint(1, n)
+        result, _, activated = llfi.run_with_fault(
+            "all", k, rng, max_instructions=golden.instructions * 20)
+        if result.crashed:
+            tallies["crash"] += 1
+        elif result.hung:
+            tallies["hang"] += 1
+        elif "DETECTED" in result.output:
+            tallies["detected"] += 1
+        elif result.output != golden.output:
+            tallies["sdc"] += 1
+        elif not activated:
+            continue  # non-activated: redraw, like the paper
+        else:
+            tallies["benign"] += 1
+        done += 1
+    print(f"{label:8s} " + "  ".join(
+        f"{k}={100 * v / trials:.1f}%" for k, v in tallies.items()))
+    return tallies
+
+
+def main() -> None:
+    trials = 120
+    print("Injecting into 'all' instructions (LLFI), comparing outcomes:\n")
+    naive = study("naive", NAIVE, trials, seed=7)
+    guarded = study("guarded", GUARDED, trials, seed=7)
+    print()
+    drop = (naive["sdc"] - guarded["sdc"]) / trials
+    print(f"The application-level detector converted "
+          f"{100 * drop:.1f} percentage points of silent corruptions into "
+          f"detected errors.")
+    if guarded["sdc"] < naive["sdc"]:
+        print("=> the guarded variant is measurably more resilient, and a "
+              "high-level injector was enough to show it.")
+
+
+if __name__ == "__main__":
+    main()

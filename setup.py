@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package (offline editable
+installs fall back to `setup.py develop`). Configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro: reproduction of "Quantifying the Accuracy of High-Level Fault
+Injection Techniques for Hardware Faults" (DSN 2014).
+
+The stack, bottom-up:
+
+* :mod:`repro.minic` — C-subset front end the benchmarks are written in
+* :mod:`repro.ir` — typed SSA IR modeled on LLVM IR (LLFI's level)
+* :mod:`repro.backend` — SimX86 code generator (PINFI's level)
+* :mod:`repro.vm` — shared memory model + IR interpreter + SimX86 simulator
+* :mod:`repro.fi` — the two fault injectors, campaigns, statistics
+* :mod:`repro.workloads` — the six benchmark programs (paper Table II)
+* :mod:`repro.experiments` — regenerates every paper table and figure
+
+Quickstart::
+
+    from repro.minic import compile_source
+    from repro.backend import compile_module
+    from repro.fi import LLFIInjector, PINFIInjector, run_campaign
+
+    module = compile_source(open("prog.c").read())
+    program = compile_module(module)
+    print(run_campaign(LLFIInjector(module), "all").summary())
+    print(run_campaign(PINFIInjector(program), "all").summary())
+"""
+
+__version__ = "1.0.0"

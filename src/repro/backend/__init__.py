@@ -1,0 +1,7 @@
+"""SimX86 backend: instruction selection, register allocation, frame
+lowering. Public entry point: :func:`repro.backend.compile_module`."""
+
+from repro.backend.compiler import compile_module
+from repro.backend.asmprinter import format_program
+
+__all__ = ["compile_module", "format_program"]

@@ -1,0 +1,22 @@
+"""Textual assembly printer for SimX86 programs (debugging / golden tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.backend.machine import MBlock, MFunction, MProgram
+
+
+def format_function(mfunc: MFunction) -> str:
+    lines: List[str] = [f"{mfunc.name}:  # frame={mfunc.frame_size} "
+                        f"saved={','.join(mfunc.used_callee_saved) or '-'}"]
+    for block in mfunc.blocks:
+        lines.append(f".{block.name}:")
+        for inst in block.insts:
+            origin = f"  # {inst.ir_origin}" if inst.ir_origin else ""
+            lines.append(f"    {inst!r}{origin}")
+    return "\n".join(lines)
+
+
+def format_program(program: MProgram) -> str:
+    return "\n\n".join(format_function(f) for f in program.functions.values()) + "\n"

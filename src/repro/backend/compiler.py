@@ -1,0 +1,47 @@
+"""Backend driver: IR module -> linked SimX86 program."""
+
+from __future__ import annotations
+
+from repro.backend.isel import DoubleConstantPool, select_function
+from repro.backend.lowering import prepare_for_backend
+from repro.backend.machine import MProgram
+from repro.backend.regalloc import allocate_function
+from repro.backend.frame import lower_frame
+from repro.ir.module import Module
+
+
+def compile_module(module: Module, prepare: bool = True,
+                   verify: bool = True) -> MProgram:
+    """Compile an IR module to a SimX86 program.
+
+    ``prepare`` runs the phi-lowering preparation passes *on the IR module
+    in place* (split critical edges, drop single-predecessor phis) and the
+    double-constant pool adds read-only globals to it. Run this *before*
+    handing the module to the IR interpreter / LLFI so both levels see the
+    identical module — the workload registry does this automatically.
+    """
+    if prepare:
+        prepare_for_backend(module, verify=verify)
+    pool = DoubleConstantPool(module)
+    program = MProgram(ir_module=module)
+    for func in module.defined_functions():
+        mfunc = select_function(func, pool)
+        allocate_function(mfunc)
+        lower_frame(mfunc)
+        _remove_fallthrough_jumps(mfunc)
+        program.add_function(mfunc)
+    return program
+
+
+def _remove_fallthrough_jumps(mfunc) -> None:
+    """Drop ``jmp`` instructions that target the next block in layout order;
+    the simulator falls through, like straight-line machine code."""
+    from repro.backend.machine import Label
+
+    for i, block in enumerate(mfunc.blocks[:-1]):
+        if not block.insts:
+            continue
+        last = block.insts[-1]
+        if last.opcode == "jmp" and isinstance(last.operands[0], Label) \
+                and last.operands[0].block is mfunc.blocks[i + 1]:
+            block.insts.pop()

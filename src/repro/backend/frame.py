@@ -1,0 +1,93 @@
+"""Frame lowering: prologue/epilogue, callee-saved saves, slot resolution.
+
+Frame layout (offsets relative to rbp after the prologue):
+
+    [rbp]                     saved rbp
+    [rbp -  8 .. -8k]         pushed callee-saved GPRs (k of them)
+    [rbp - 8k - slots...]     frame slots (allocas + spills + XMM saves)
+
+Prologue:  push rbp; mov rbp, rsp; push <callee GPRs>; sub rsp, size;
+           movsd [slot], <callee XMMs>
+Epilogue:  movsd <callee XMMs>, [slot]; lea rsp, [rbp - 8k];
+           pop <callee GPRs reversed>; pop rbp; ret
+
+These push/pop/rsp-arithmetic instructions exist only at the assembly
+level — the paper's Table I row 3 ("None, since these instructions do not
+exist in the LLVM IR code") — and are injection targets for PINFI's 'all'
+category but invisible to LLFI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.backend.machine import (
+    CALLEE_SAVED_GPRS, CALLEE_SAVED_XMMS, Imm, MFunction, MInst, Mem, Reg,
+)
+
+
+def lower_frame(mfunc: MFunction) -> None:
+    saved_gprs = [r for r in CALLEE_SAVED_GPRS if r in mfunc.used_callee_saved]
+    saved_xmms = [r for r in CALLEE_SAVED_XMMS if r in mfunc.used_callee_saved]
+
+    # Extra slots for XMM saves.
+    xmm_slots: Dict[str, int] = {r: mfunc.new_frame_slot(8) for r in saved_xmms}
+
+    # Assign slot offsets below the push area.
+    push_bytes = 8 * len(saved_gprs)
+    offsets: List[int] = []
+    running = push_bytes
+    for size in mfunc.frame_slots:
+        aligned = (size + 7) // 8 * 8
+        running += aligned
+        offsets.append(-running)
+    frame_size = running - push_bytes
+    frame_size = (frame_size + 15) // 16 * 16
+    mfunc.frame_size = frame_size
+
+    # Resolve frame-slot memory operands.
+    for inst in mfunc.instructions():
+        for op in inst.operands:
+            if isinstance(op, Mem) and op.frame_slot is not None:
+                assert op.base is None, "frame slot Mem cannot have a base"
+                op.base = Reg("rbp")
+                op.disp += offsets[op.frame_slot]
+                op.frame_slot = None
+
+    # Prologue.
+    prologue: List[MInst] = [
+        MInst("push", [Reg("rbp")], ir_origin="prologue"),
+        MInst("mov", [Reg("rbp"), Reg("rsp")], width=64, ir_origin="prologue"),
+    ]
+    for r in saved_gprs:
+        prologue.append(MInst("push", [Reg(r)], ir_origin="prologue"))
+    if frame_size:
+        prologue.append(MInst("sub", [Reg("rsp"), Imm(frame_size)],
+                              width=64, ir_origin="prologue"))
+    for r in saved_xmms:
+        mem = Mem(base=Reg("rbp"), disp=offsets[xmm_slots[r]], size=8)
+        prologue.append(MInst("movsd", [mem, Reg(r)], ir_origin="prologue"))
+    entry = mfunc.blocks[0]
+    entry.insts[0:0] = prologue
+
+    # Epilogues: expand in place before every ret.
+    for block in mfunc.blocks:
+        new_insts: List[MInst] = []
+        for inst in block.insts:
+            if inst.opcode != "ret":
+                new_insts.append(inst)
+                continue
+            for r in saved_xmms:
+                mem = Mem(base=Reg("rbp"), disp=offsets[xmm_slots[r]], size=8)
+                new_insts.append(MInst("movsd", [Reg(r), mem],
+                                       ir_origin="epilogue"))
+            if frame_size or saved_gprs:
+                new_insts.append(MInst(
+                    "lea", [Reg("rsp"),
+                            Mem(base=Reg("rbp"), disp=-8 * len(saved_gprs))],
+                    width=64, ir_origin="epilogue"))
+            for r in reversed(saved_gprs):
+                new_insts.append(MInst("pop", [Reg(r)], ir_origin="epilogue"))
+            new_insts.append(MInst("pop", [Reg("rbp")], ir_origin="epilogue"))
+            new_insts.append(inst)
+        block.insts = new_insts

@@ -1,0 +1,929 @@
+"""Instruction selection: repro IR -> SimX86 machine IR with virtual regs.
+
+The lowering decisions here *are* the paper's Table I, made concrete:
+
+* **GEP folding** — a single-use GEP feeding a load/store becomes the
+  ``[base + index*scale + disp]`` part of that instruction ("some GEP
+  instructions cannot be mapped to an assembly instruction if they are
+  translated to offset memory access"); multi-use or unfoldable GEPs lower
+  to ``lea``/``add``/``imul`` chains (address arithmetic that PINFI counts
+  as arithmetic and LLFI does not).
+* **icmp/fcmp + br fusion** — single-use compares feeding a branch become
+  ``cmp``+``jcc`` with no destination register; only the EFLAGS bits the
+  ``jcc`` reads carry the comparison.
+* **cast erasure** — ``trunc``/``bitcast``/``ptrtoint``/``inttoptr`` and
+  ``zext`` from i1 produce no code (vreg aliasing); ``sext`` becomes
+  ``movsx``; only int<->fp conversions survive as ``cvtsi2sd``/
+  ``cvttsd2si``.
+* **phi elimination** — parallel copies at the end of predecessors; under
+  register pressure these become the spill traffic of Table I row 2.
+
+Register-storage convention (documented deviation from x86): every
+register def fully overwrites the 64-bit register with the result
+zero-extended from the operation width; ``setcc`` therefore needs no
+following ``movzx``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import BackendError
+from repro.ir import types as irty
+from repro.ir.instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, FCmp, GetElementPtr, ICmp,
+    Instruction, Load, Phi, Ret, Select, Store, Unreachable,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import (
+    Argument, ConstantDouble, ConstantInt, ConstantNull, ConstantUndef,
+    GlobalVariable, Value,
+)
+from repro.backend.machine import (
+    FP_ARG_REGS, FuncRef, GlobalAddr, Imm, INT_ARG_REGS, Label, MBlock,
+    MFunction, MInst, Mem, Reg, RegLike, VReg,
+)
+
+IMM32_MIN = -(1 << 31)
+IMM32_MAX = (1 << 31) - 1
+
+_ICMP_COND = {"eq": "e", "ne": "ne", "slt": "l", "sle": "le", "sgt": "g",
+              "sge": "ge", "ult": "b", "ule": "be", "ugt": "a", "uge": "ae"}
+
+#: fcmp predicate -> (swap operands?, condition code)
+_FCMP_COND = {"oeq": (False, "eq_o"), "one": (False, "ne_uo"),
+              "ogt": (False, "a"), "oge": (False, "ae"),
+              "olt": (True, "a"), "ole": (True, "ae")}
+
+_INT_BINOP = {"add": "add", "sub": "sub", "mul": "imul",
+              "and": "and", "or": "or", "xor": "xor"}
+_SHIFT_BINOP = {"shl": "shl", "ashr": "sar", "lshr": "shr"}
+_FP_BINOP = {"fadd": "addsd", "fsub": "subsd", "fmul": "mulsd",
+             "fdiv": "divsd"}
+
+
+from dataclasses import dataclass as _dataclass
+
+
+@_dataclass
+class _GepRecipe:
+    """A matched GEP addressing mode: the Mem pattern (operands are IR
+    values) plus an optional (index value, stride) needing an imul3."""
+
+    mem: Mem
+    mul_index: Optional[Tuple[Value, int]] = None
+
+
+class DoubleConstantPool:
+    """Read-only global storage for double literals (x86 loads FP constants
+    from memory). Pool entries are appended to the IR module's globals so
+    both engines lay out the identical image."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._entries: Dict[int, str] = {}
+
+    def symbol_for(self, value: float) -> str:
+        from repro.ir.values import double_to_bits
+
+        key = double_to_bits(value)
+        name = self._entries.get(key)
+        if name is None:
+            name = f"__dpool_{len(self._entries)}"
+            var = GlobalVariable(name, irty.DOUBLE, ConstantDouble(value),
+                                 constant=True)
+            self.module.add_global(var)
+            self._entries[key] = name
+        return name
+
+
+def _int_width(t: irty.Type) -> int:
+    if t.is_pointer():
+        return 64
+    bits = t.bits  # type: ignore[attr-defined]
+    if bits == 1:
+        return 8
+    if bits == 16:
+        return 32  # promoted; MiniC never produces bare i16 arithmetic
+    return bits
+
+
+class FunctionSelector:
+    def __init__(self, func: Function, pool: DoubleConstantPool) -> None:
+        self.func = func
+        self.pool = pool
+        self.mfunc = MFunction(func.name)
+        self.vmap: Dict[int, RegLike] = {}
+        self.alias: Dict[int, Value] = {}
+        self.block_map: Dict[int, MBlock] = {}
+        self.alloca_slot: Dict[int, int] = {}
+        self.alloca_addr_reg: Dict[int, VReg] = {}
+        #: GEPs folded into a memory operand (selected lazily, never emitted).
+        self.deferred_geps: Dict[int, GetElementPtr] = {}
+        #: Loads folded into the memory operand of their single ALU user.
+        self.deferred_loads: Dict[int, Load] = {}
+        self.current: MBlock = None  # type: ignore[assignment]
+        self._line = 0
+        self._origin = ""
+        #: IR instruction -> index within its block (for last-use analysis).
+        self._position: Dict[int, int] = {}
+        for block in func.blocks:
+            for i, ir_inst in enumerate(block.instructions):
+                self._position[id(ir_inst)] = i
+        #: block id -> ids of IR values live out of the block.
+        self._live_out = _compute_liveness(func)
+
+    # -- plumbing ----------------------------------------------------------
+    def emit(self, opcode: str, operands: Sequence = (), width: int = 64,
+             cond: str = "", src_width: int = 0) -> MInst:
+        inst = MInst(opcode, operands, width=width, cond=cond,
+                     src_width=src_width, source_line=self._line,
+                     ir_origin=self._origin)
+        self.current.append(inst)
+        return inst
+
+    def resolve(self, value: Value) -> Value:
+        while id(value) in self.alias:
+            value = self.alias[id(value)]
+        return value
+
+    def vreg_for(self, inst: Value, cls: str) -> VReg:
+        existing = self.vmap.get(id(inst))
+        if existing is None:
+            existing = VReg(cls, getattr(inst, "name", ""))
+            self.vmap[id(inst)] = existing
+        assert isinstance(existing, VReg)
+        return existing
+
+    def _cls_of(self, t: irty.Type) -> str:
+        return "xmm" if t.is_double() else "gpr"
+
+    def reg_of(self, value: Value) -> RegLike:
+        """Force a value into a register, materializing constants."""
+        value = self.resolve(value)
+        if isinstance(value, Alloca) and id(value) in self.alloca_slot:
+            # Address of a stack slot used as a plain value (&local).
+            v = VReg("gpr")
+            self.emit("lea", [v, Mem(frame_slot=self.alloca_slot[id(value)])],
+                      width=64)
+            return v
+        if isinstance(value, (Instruction, Argument)):
+            reg = self.vmap.get(id(value))
+            if reg is None:
+                raise BackendError(
+                    f"use of unselected value %{value.name} in {self.func.name}")
+            return reg
+        if isinstance(value, ConstantInt):
+            v = VReg("gpr")
+            self.emit("mov", [v, Imm(_imm_value(value))],
+                      width=_int_width(value.type))
+            return v
+        if isinstance(value, ConstantDouble):
+            v = VReg("xmm")
+            self.emit("movsd", [v, self._pool_mem(value.value)])
+            return v
+        if isinstance(value, ConstantNull):
+            v = VReg("gpr")
+            self.emit("mov", [v, Imm(0)], width=64)
+            return v
+        if isinstance(value, ConstantUndef):
+            if value.type.is_double():
+                v = VReg("xmm")
+                self.emit("pxor", [v, v])
+                return v
+            v = VReg("gpr")
+            self.emit("mov", [v, Imm(0)], width=64)
+            return v
+        if isinstance(value, GlobalVariable):
+            v = VReg("gpr")
+            self.emit("mov", [v, GlobalAddr(value.name)], width=64)
+            return v
+        raise BackendError(f"cannot materialize {type(value).__name__}")
+
+    def operand_of(self, value: Value, width: int):
+        """Register or immediate operand (imm must fit 32-bit signed)."""
+        value = self.resolve(value)
+        if isinstance(value, ConstantInt) and IMM32_MIN <= value.value <= IMM32_MAX:
+            return Imm(_imm_value(value))
+        if isinstance(value, ConstantNull):
+            return Imm(0)
+        if isinstance(value, ConstantDouble):
+            return self._pool_mem(value.value)
+        return self.reg_of(value)
+
+    def _pool_mem(self, value: float) -> Mem:
+        return Mem(sym=self.pool.symbol_for(value), size=8)
+
+    # -- address folding ----------------------------------------------------
+    def match_gep(self, gep: GetElementPtr) -> Optional["_GepRecipe"]:
+        """Try to express a GEP as one addressing mode, possibly preceded by
+        a single 3-operand ``imul`` for a non-power-of-two stride (the
+        GCC-style 2-D array access). Register operands in the returned
+        recipe refer to *IR values*; :meth:`_instantiate_mem`
+        materializes them."""
+        base = self.resolve(gep.pointer)
+        mem = Mem()
+        base_used = False
+        if isinstance(base, GlobalVariable):
+            mem.sym = base.name
+        elif isinstance(base, Alloca):
+            slot = self.alloca_slot.get(id(base))
+            if slot is None:
+                return None
+            mem.frame_slot = slot
+        elif isinstance(base, (Instruction, Argument)):
+            mem.base = base  # type: ignore[assignment]  # IR value placeholder
+            base_used = True
+        else:
+            return None
+        current = gep.pointer.type.pointee  # type: ignore[attr-defined]
+        indices = gep.indices
+        steps: List[Tuple[Value, int]] = [(indices[0], current.size)]
+        for idx_val in indices[1:]:
+            if current.is_array():
+                current = current.element  # type: ignore[attr-defined]
+                steps.append((idx_val, current.size))
+            else:  # struct; verified const
+                assert isinstance(idx_val, ConstantInt)
+                mem.disp += current.field_offset(idx_val.value)  # type: ignore[attr-defined]
+                current = current.field_type(idx_val.value)  # type: ignore[attr-defined]
+        mul_index: Optional[Tuple[Value, int]] = None
+        for idx_val, size in steps:
+            idx = self.resolve(idx_val)
+            if isinstance(idx, ConstantInt):
+                mem.disp += idx.value * size
+            elif isinstance(idx, (Instruction, Argument)):
+                if size in (1, 2, 4, 8) and mem.index is None:
+                    mem.index = idx  # type: ignore[assignment]
+                    mem.scale = size
+                elif mul_index is None:
+                    # Pre-scale with imul3; the result takes the base slot
+                    # (when free) or the index slot at scale 1.
+                    mul_index = (idx, size)
+                else:
+                    return None
+            else:
+                return None
+        if mul_index is not None:
+            base_slot_free = (not base_used) and mem.frame_slot is None
+            index_slot_free = mem.index is None
+            if not (base_slot_free or index_slot_free):
+                return None
+        if not (IMM32_MIN <= mem.disp <= IMM32_MAX):
+            return None
+        return _GepRecipe(mem, mul_index)
+
+    def _instantiate_mem(self, recipe: "_GepRecipe", size: int) -> Mem:
+        """Replace IR-value placeholders in a matched recipe with vregs,
+        emitting the pre-scaling imul3 when needed."""
+        mem = recipe.mem
+        base = mem.base
+        index = mem.index
+        base_reg = self.reg_of(base) if isinstance(base, Value) else base
+        index_reg = self.reg_of(index) if isinstance(index, Value) else index
+        scale = mem.scale
+        if recipe.mul_index is not None:
+            idx_val, stride = recipe.mul_index
+            tmp = VReg("gpr")
+            self.emit("imul3", [tmp, self.reg_of(idx_val), Imm(stride)],
+                      width=64)
+            if base_reg is None and mem.frame_slot is None:
+                base_reg = tmp
+            else:
+                assert index_reg is None
+                index_reg = tmp
+                scale = 1
+        return Mem(
+            base=base_reg,  # type: ignore[arg-type]
+            index=index_reg,  # type: ignore[arg-type]
+            scale=scale, disp=mem.disp, size=size,
+            frame_slot=mem.frame_slot, sym=mem.sym)
+
+    def fold_address(self, pointer: Value, size: int) -> Mem:
+        """Memory operand for a load/store through ``pointer``."""
+        pointer = self.resolve(pointer)
+        if id(pointer) in self.deferred_geps:
+            gep = self.deferred_geps[id(pointer)]
+            recipe = self.match_gep(gep)
+            assert recipe is not None  # checked when deferring
+            return self._instantiate_mem(recipe, size)
+        if isinstance(pointer, Alloca) and id(pointer) in self.alloca_slot:
+            return Mem(frame_slot=self.alloca_slot[id(pointer)], size=size)
+        if isinstance(pointer, GlobalVariable):
+            return Mem(sym=pointer.name, size=size)
+        return Mem(base=self.reg_of(pointer), size=size)
+
+    # -- top level -------------------------------------------------------------
+    def run(self) -> MFunction:
+        func = self.func
+        for block in func.blocks:
+            self.block_map[id(block)] = self.mfunc.add_block(block.name)
+        # Pre-create phi destinations (used before their block is reached).
+        for block in func.blocks:
+            for phi in block.phis():
+                self.vreg_for(phi, self._cls_of(phi.type))
+        # Frame slots for all static allocas.
+        for inst in func.entry.instructions:
+            if isinstance(inst, Alloca):
+                slot = self.mfunc.new_frame_slot(inst.allocated_type.size)
+                self.alloca_slot[id(inst)] = slot
+        self.current = self.block_map[id(func.entry)]
+        self._emit_argument_moves()
+        for block in func.blocks:
+            self.current = self.block_map[id(block)]
+            self._select_block(block)
+        return self.mfunc
+
+    def _emit_argument_moves(self) -> None:
+        int_idx = fp_idx = 0
+        for arg in self.func.args:
+            if arg.type.is_double():
+                if fp_idx >= len(FP_ARG_REGS):
+                    raise BackendError("too many FP arguments")
+                v = self.vreg_for(arg, "xmm")
+                self.emit("movsd", [v, Reg(FP_ARG_REGS[fp_idx])])
+                fp_idx += 1
+            else:
+                if int_idx >= len(INT_ARG_REGS):
+                    raise BackendError("too many integer arguments")
+                v = self.vreg_for(arg, "gpr")
+                self.emit("mov", [v, Reg(INT_ARG_REGS[int_idx])], width=64)
+                int_idx += 1
+
+    def _select_block(self, block: BasicBlock) -> None:
+        insts = block.instructions
+        assert insts and insts[-1].is_terminator()
+        for inst in insts[:-1]:
+            self._line = inst.source_line
+            self._origin = inst.opcode
+            self._select(inst)
+        # Phi copies for the successor, then the terminator.
+        term = insts[-1]
+        self._line = term.source_line
+        self._origin = term.opcode
+        succs = block.successors()
+        phi_succs = [s for s in succs if s.phis()]
+        if phi_succs:
+            if len(succs) != 1:
+                raise BackendError(
+                    f"block {block.name} has phi successor but multiple "
+                    f"successors; run prepare_for_backend first")
+            self._emit_phi_copies(block, phi_succs[0])
+        self._select_terminator(term)
+
+    # -- instruction cases --------------------------------------------------------
+    def _select(self, inst: Instruction) -> None:
+        if isinstance(inst, Phi):
+            return  # handled by predecessors
+        if isinstance(inst, Alloca):
+            return  # frame slot; address materialized on demand
+        if isinstance(inst, BinaryOp):
+            self._select_binop(inst)
+        elif isinstance(inst, ICmp):
+            if not self._fused_with_branch(inst):
+                self._select_icmp_value(inst)
+        elif isinstance(inst, FCmp):
+            if not self._fused_with_branch(inst):
+                self._select_fcmp_value(inst)
+        elif isinstance(inst, Load):
+            self._select_load(inst)
+        elif isinstance(inst, Store):
+            self._select_store(inst)
+        elif isinstance(inst, GetElementPtr):
+            self._select_gep(inst)
+        elif isinstance(inst, Cast):
+            self._select_cast(inst)
+        elif isinstance(inst, Select):
+            self._select_select(inst)
+        elif isinstance(inst, Call):
+            self._select_call(inst)
+        else:
+            raise BackendError(f"cannot select {inst.opcode}")
+
+    # Aliasing casts produce no code; their users effectively read the
+    # underlying vreg.
+    _ALIASING_CASTS = ("bitcast", "ptrtoint", "inttoptr", "trunc")
+
+    def _effective_position(self, user: Instruction) -> int:
+        """Block index at which a user actually *reads* registers, taking
+        folding into account (deferred GEPs/loads read at their consumer;
+        fused compares read at the terminator)."""
+        if isinstance(user, GetElementPtr) and self._gep_is_foldable(user):
+            return self._effective_position(user.uses[0].user)
+        if isinstance(user, Load) and self._load_is_foldable(user):
+            return self._effective_position(user.uses[0].user)
+        if isinstance(user, (ICmp, FCmp)) and self._fused_with_branch(user):
+            return self._position[id(user.parent.terminator)]  # type: ignore[union-attr]
+        return self._position[id(user)]
+
+    def _dies_at(self, value: Value, consumer: Instruction) -> bool:
+        """True when ``value``'s register holds nothing needed after
+        ``consumer`` executes — so a two-address op may clobber it in place
+        (the copy coalescing a real backend performs).
+
+        The register is shared by the whole alias web (value plus the
+        no-code casts derived from it); all members must be dead: none
+        live-out of the consumer's block, and no use within the block after
+        the consumer (at folding-adjusted positions)."""
+        if not isinstance(value, (Instruction, Argument)):
+            return False
+        block = consumer.parent
+        assert block is not None
+        limit = self._position[id(consumer)]
+        live_out = self._live_out.get(id(block), frozenset())
+        stack: List[Value] = [value]
+        while stack:
+            v = stack.pop()
+            if id(v) in live_out:
+                return False
+            for use in v.uses:
+                user = use.user
+                if user is consumer:
+                    continue
+                if isinstance(user, Cast) and _is_aliasing_cast(user):
+                    stack.append(user)  # alias: inspect its users instead
+                    continue
+                if user.parent is not block:
+                    continue  # covered by the live-out check
+                if isinstance(user, Phi):
+                    return False  # phi reads happen on edges; be safe
+                if self._effective_position(user) > limit:
+                    return False
+        return True
+
+    def _binop_dest(self, inst: Instruction, cls: str, width: int,
+                    copy_op: str) -> VReg:
+        """Destination vreg for a two-address op: reuse the lhs register
+        when lhs dies here, else copy lhs into a fresh vreg."""
+        lhs = self.resolve(inst.operand(0))
+        if self._dies_at(lhs, inst):
+            reg = self.vmap.get(id(lhs))
+            if isinstance(reg, VReg) and reg.cls == cls:
+                self.vmap[id(inst)] = reg
+                return reg
+        d = self.vreg_for(inst, cls)
+        src = self.operand_of(inst.operand(0), width)
+        self.emit(copy_op, [d, src], width=width)
+        return d
+
+    def _select_binop(self, inst: BinaryOp) -> None:
+        op = inst.opcode
+        if op in _FP_BINOP:
+            d = self._binop_dest(inst, "xmm", 64, "movsd")
+            rhs = self._folded_load_mem(inst.rhs) \
+                or self.operand_of(inst.rhs, 64)
+            self.emit(_FP_BINOP[op], [d, rhs])
+            return
+        width = _int_width(inst.type)
+        if op in _INT_BINOP:
+            d = self._binop_dest(inst, "gpr", width, "mov")
+            rhs = self._folded_load_mem(inst.rhs) \
+                or self.operand_of(inst.rhs, width)
+            self.emit(_INT_BINOP[op], [d, rhs], width=width)
+            return
+        if op in _SHIFT_BINOP:
+            d = self._binop_dest(inst, "gpr", width, "mov")
+            rhs = self.resolve(inst.rhs)
+            if isinstance(rhs, ConstantInt):
+                self.emit(_SHIFT_BINOP[op], [d, Imm(rhs.value)], width=width)
+            else:
+                self.emit("mov", [Reg("rcx"), self.reg_of(inst.rhs)], width=64)
+                self.emit(_SHIFT_BINOP[op], [d, Reg("rcx")], width=width)
+            return
+        if op in ("sdiv", "srem", "udiv", "urem"):
+            if op.startswith("u"):
+                raise BackendError("unsigned division is not lowered (unused)")
+            d = self.vreg_for(inst, "gpr")
+            self.emit("mov", [Reg("rax"), self.reg_of(inst.lhs)], width=width)
+            self.emit("cdq" if width == 32 else "cqo", [], width=width)
+            self.emit("idiv", [self.reg_of(inst.rhs)], width=width)
+            result = Reg("rax") if op == "sdiv" else Reg("rdx")
+            self.emit("mov", [d, result], width=width)
+            return
+        if op == "frem":
+            raise BackendError("frem is not lowered (unused)")
+        raise BackendError(f"unknown binop {op}")
+
+    def _fused_with_branch(self, cmp_inst: Instruction) -> bool:
+        """A compare is fused when its only use is the conditional branch
+        terminating the same block."""
+        uses = cmp_inst.uses
+        if len(uses) != 1:
+            return False
+        user = uses[0].user
+        return (isinstance(user, Branch) and user.is_conditional
+                and user.parent is cmp_inst.parent
+                and user.condition is cmp_inst)
+
+    def _emit_icmp_flags(self, inst: ICmp) -> str:
+        width = _int_width(inst.lhs.type)
+        rhs = self._folded_load_mem(inst.rhs) \
+            or self.operand_of(inst.rhs, width)
+        self.emit("cmp", [self.reg_of(inst.lhs), rhs], width=width)
+        return _ICMP_COND[inst.predicate]
+
+    def _emit_fcmp_flags(self, inst: FCmp) -> str:
+        swap, cond = _FCMP_COND[inst.predicate]
+        a, b = (inst.rhs, inst.lhs) if swap else (inst.lhs, inst.rhs)
+        b_op = (self._folded_load_mem(b) if not swap else None) \
+            or self.operand_of(b, 64)
+        self.emit("ucomisd", [self.reg_of(a), b_op])
+        return cond
+
+    def _select_icmp_value(self, inst: ICmp) -> None:
+        cond = self._emit_icmp_flags(inst)
+        d = self.vreg_for(inst, "gpr")
+        self.emit("setcc", [d], width=8, cond=cond)
+
+    def _select_fcmp_value(self, inst: FCmp) -> None:
+        cond = self._emit_fcmp_flags(inst)
+        d = self.vreg_for(inst, "gpr")
+        self.emit("setcc", [d], width=8, cond=cond)
+
+    # Opcodes whose right operand may be a memory operand (x86 reg,mem form).
+    _MEM_FOLDABLE_USERS = ("add", "sub", "mul", "and", "or", "xor",
+                           "fadd", "fsub", "fmul", "fdiv")
+
+    def _load_is_foldable(self, inst: Load) -> bool:
+        """A load folds into its user when it has a single use as the rhs of
+        an int/fp binop or the rhs of a compare in the same block, with no
+        intervening store or call (which could alias the loaded address)."""
+        t = inst.type
+        if not (t.is_integer(32) or t.is_integer(64) or t.is_double()):
+            return False
+        if inst.num_uses != 1:
+            return False
+        user = inst.uses[0].user
+        if not isinstance(user, Instruction) or user.parent is not inst.parent:
+            return False
+        if isinstance(user, BinaryOp):
+            if user.opcode not in self._MEM_FOLDABLE_USERS:
+                return False
+            if user.rhs is not inst or user.lhs is inst:
+                return False
+        elif isinstance(user, (ICmp, FCmp)):
+            if user.rhs is not inst or user.lhs is inst:
+                return False
+            # Swapped-operand fcmp puts the rhs first, which must be a reg.
+            if isinstance(user, FCmp) and _FCMP_COND[user.predicate][0]:
+                return False
+        else:
+            return False
+        # Scan the block between load and user for hazards.
+        block = inst.parent
+        assert block is not None
+        seen_load = False
+        for other in block.instructions:
+            if other is inst:
+                seen_load = True
+                continue
+            if other is user:
+                return seen_load
+            if seen_load and isinstance(other, (Store, Call)):
+                return False
+        return False
+
+    def _folded_load_mem(self, value: Value) -> Optional[Mem]:
+        """Memory operand for a value that is a deferred (folded) load."""
+        value = self.resolve(value)
+        if id(value) not in self.deferred_loads:
+            return None
+        load = self.deferred_loads[id(value)]
+        return self.fold_address(load.pointer, load.type.size)
+
+    def _select_load(self, inst: Load) -> None:
+        if self._load_is_foldable(inst):
+            self.deferred_loads[id(inst)] = inst
+            return
+        t = inst.type
+        mem = self.fold_address(inst.pointer, t.size)
+        if t.is_double():
+            d = self.vreg_for(inst, "xmm")
+            self.emit("movsd", [d, mem])
+            return
+        d = self.vreg_for(inst, "gpr")
+        if t.is_integer(1):
+            self.emit("movzx", [d, mem], width=32, src_width=8)
+        elif t.is_integer(8):
+            self.emit("movsx", [d, mem], width=32, src_width=8)
+        elif t.is_integer(16):
+            self.emit("movsx", [d, mem], width=32, src_width=16)
+        elif t.is_integer(32):
+            self.emit("mov", [d, mem], width=32)
+        else:
+            self.emit("mov", [d, mem], width=64)
+
+    def _select_store(self, inst: Store) -> None:
+        t = inst.value.type
+        mem = self.fold_address(inst.pointer, t.size)
+        if t.is_double():
+            self.emit("movsd", [mem, self.reg_of(inst.value)])
+            return
+        width = 8 if t.is_integer(1) else _int_width(t)
+        if t.is_integer(8):
+            width = 8
+        if t.is_integer(16):
+            width = 32  # unused by MiniC
+        src = self.operand_of(inst.value, width)
+        if isinstance(src, Mem):
+            src = self.reg_of(inst.value)
+        self.emit("mov", [mem, src], width=width)
+
+    def _gep_is_foldable(self, gep: GetElementPtr) -> bool:
+        """Defer (fold) a GEP when it matches an addressing mode and its
+        only use is as the pointer of a single load/store."""
+        if gep.num_uses != 1:
+            return False
+        user = gep.uses[0].user
+        if user.parent is not gep.parent:
+            # Cross-block folding would move the address computation past
+            # the lifetime analysis; keep the GEP explicit.
+            return False
+        if isinstance(user, Load) and user.pointer is gep:
+            pass
+        elif isinstance(user, Store) and user.pointer is gep:
+            pass
+        else:
+            return False
+        return self.match_gep(gep) is not None
+
+    def _select_gep(self, inst: GetElementPtr) -> None:
+        if self._gep_is_foldable(inst):
+            self.deferred_geps[id(inst)] = inst
+            return
+        recipe = self.match_gep(inst)
+        d = self.vreg_for(inst, "gpr")
+        if recipe is not None:
+            self.emit("lea", [d, self._instantiate_mem(recipe, 8)], width=64)
+            return
+        # General lowering: base + sum(index * size).
+        base = self.resolve(inst.pointer)
+        if isinstance(base, GlobalVariable):
+            self.emit("mov", [d, GlobalAddr(base.name)], width=64)
+        elif isinstance(base, Alloca) and id(base) in self.alloca_slot:
+            self.emit("lea", [d, Mem(frame_slot=self.alloca_slot[id(base)])],
+                      width=64)
+        else:
+            self.emit("mov", [d, self.reg_of(inst.pointer)], width=64)
+        current = inst.pointer.type.pointee  # type: ignore[attr-defined]
+        steps: List[Tuple[Value, int]] = [(inst.indices[0], current.size)]
+        const_disp = 0
+        for idx_val in inst.indices[1:]:
+            if current.is_array():
+                current = current.element  # type: ignore[attr-defined]
+                steps.append((idx_val, current.size))
+            else:
+                assert isinstance(idx_val, ConstantInt)
+                const_disp += current.field_offset(idx_val.value)  # type: ignore[attr-defined]
+                current = current.field_type(idx_val.value)  # type: ignore[attr-defined]
+        for idx_val, size in steps:
+            idx = self.resolve(idx_val)
+            if isinstance(idx, ConstantInt):
+                const_disp += idx.value * size
+                continue
+            tmp = VReg("gpr")
+            self.emit("mov", [tmp, self.reg_of(idx_val)], width=64)
+            if size != 1:
+                self.emit("imul", [tmp, Imm(size)], width=64)
+            self.emit("add", [d, tmp], width=64)
+        if const_disp:
+            self.emit("add", [d, Imm(const_disp)], width=64)
+
+    def _select_cast(self, inst: Cast) -> None:
+        op = inst.opcode
+        src = inst.value
+        if op in ("bitcast", "ptrtoint", "inttoptr", "trunc"):
+            self.alias[id(inst)] = src
+            return
+        if op == "zext":
+            if src.type.is_integer(1):
+                self.alias[id(inst)] = src  # 0/1 already zero-extended
+                return
+            d = self.vreg_for(inst, "gpr")
+            self.emit("movzx", [d, self.reg_of(src)],
+                      width=_int_width(inst.type),
+                      src_width=src.type.bits)  # type: ignore[attr-defined]
+            return
+        if op == "sext":
+            d = self.vreg_for(inst, "gpr")
+            self.emit("movsx", [d, self.reg_of(src)],
+                      width=_int_width(inst.type),
+                      src_width=_int_width(src.type))
+            return
+        if op in ("sitofp", "uitofp"):
+            d = self.vreg_for(inst, "xmm")
+            src_w = _int_width(src.type)
+            # uitofp i32 is exact at width 64 (value is zero-extended).
+            width = 64 if op == "uitofp" else src_w
+            self.emit("cvtsi2sd", [d, self.reg_of(src)], width=width)
+            return
+        if op in ("fptosi", "fptoui"):
+            d = self.vreg_for(inst, "gpr")
+            self.emit("cvttsd2si", [d, self.reg_of(src)],
+                      width=max(_int_width(inst.type), 32))
+            return
+        raise BackendError(f"unknown cast {op}")
+
+    def _select_select(self, inst: Select) -> None:
+        cls = self._cls_of(inst.type)
+        if cls == "xmm":
+            raise BackendError("select of double is not lowered (unused)")
+        d = self.vreg_for(inst, "gpr")
+        self.emit("mov", [d, self.reg_of(inst.false_value)], width=64)
+        c = self.reg_of(inst.condition)
+        self.emit("test", [c, c], width=8)
+        self.emit("cmovcc", [d, self.reg_of(inst.true_value)], width=64,
+                  cond="ne")
+
+    def _select_call(self, inst: Call) -> None:
+        int_idx = fp_idx = 0
+        moves: List[Tuple[str, list, int]] = []
+        for arg in inst.args:
+            if arg.type.is_double():
+                if fp_idx >= len(FP_ARG_REGS):
+                    raise BackendError("too many FP call arguments")
+                moves.append(("movsd", [Reg(FP_ARG_REGS[fp_idx]),
+                                        self.operand_of(arg, 64)], 64))
+                fp_idx += 1
+            else:
+                if int_idx >= len(INT_ARG_REGS):
+                    raise BackendError("too many integer call arguments")
+                moves.append(("mov", [Reg(INT_ARG_REGS[int_idx]),
+                                      self.operand_of(arg, 64)], 64))
+                int_idx += 1
+        for opcode, ops, width in moves:
+            self.emit(opcode, ops, width=width)
+        self.emit("call", [FuncRef(inst.callee.name)])
+        if inst.has_result():
+            if inst.type.is_double():
+                d = self.vreg_for(inst, "xmm")
+                self.emit("movsd", [d, Reg("xmm0")])
+            else:
+                d = self.vreg_for(inst, "gpr")
+                self.emit("mov", [d, Reg("rax")], width=64)
+
+    # -- terminators ----------------------------------------------------------
+    def _select_terminator(self, term: Instruction) -> None:
+        if isinstance(term, Branch):
+            if not term.is_conditional:
+                self.emit("jmp", [Label(self.block_map[id(term.targets[0])])])
+                return
+            cond_value = self.resolve(term.condition)
+            true_label = Label(self.block_map[id(term.targets[0])])
+            false_label = Label(self.block_map[id(term.targets[1])])
+            if isinstance(cond_value, ICmp) and self._fused_with_branch(cond_value):
+                cond = self._emit_icmp_flags(cond_value)
+            elif isinstance(cond_value, FCmp) and self._fused_with_branch(cond_value):
+                cond = self._emit_fcmp_flags(cond_value)
+            elif isinstance(cond_value, ConstantInt):
+                self.emit("jmp", [true_label if cond_value.value else false_label])
+                return
+            else:
+                c = self.reg_of(term.condition)
+                self.emit("test", [c, c], width=8)
+                cond = "ne"
+            self.emit("jcc", [true_label], cond=cond)
+            self.emit("jmp", [false_label])
+            return
+        if isinstance(term, Ret):
+            if term.value is not None:
+                value = self.resolve(term.value)
+                if term.value.type.is_double():
+                    self.emit("movsd", [Reg("xmm0"),
+                                        self.operand_of(term.value, 64)])
+                else:
+                    self.emit("mov", [Reg("rax"),
+                                      self.operand_of(term.value, 64)],
+                              width=64)
+            self.emit("ret", [])
+            return
+        if isinstance(term, Unreachable):
+            self.emit("ud2", [])
+            return
+        raise BackendError(f"cannot select terminator {term.opcode}")
+
+    # -- phi elimination -----------------------------------------------------------
+    def _emit_phi_copies(self, pred: BasicBlock, succ: BasicBlock) -> None:
+        pending: List[Tuple[VReg, Value]] = []
+        for phi in succ.phis():
+            dst = self.vmap[id(phi)]
+            assert isinstance(dst, VReg)
+            src = self.resolve(phi.incoming_for_block(pred))
+            if isinstance(src, (Instruction, Argument)) \
+                    and self.vmap.get(id(src)) is dst:
+                continue  # self copy
+            pending.append((dst, src))
+
+        def src_reg(src: Value) -> Optional[VReg]:
+            if isinstance(src, (Instruction, Argument)):
+                reg = self.vmap.get(id(src))
+                if isinstance(reg, VReg):
+                    return reg
+            if isinstance(src, VReg):  # cycle-breaking temp
+                return src
+            return None
+
+        while pending:
+            emitted = False
+            for i, (dst, src) in enumerate(pending):
+                blocked = any(src_reg(s2) is dst
+                              for j, (d2, s2) in enumerate(pending) if j != i)
+                if blocked:
+                    continue
+                self._emit_copy(dst, src)
+                pending.pop(i)
+                emitted = True
+                break
+            if not emitted:
+                # All remaining copies form register cycles; break one.
+                dst, src = pending[0]
+                reg = src_reg(src)
+                assert reg is not None
+                tmp = VReg(reg.cls)
+                if reg.cls == "xmm":
+                    self.emit("movsd", [tmp, reg])
+                else:
+                    self.emit("mov", [tmp, reg], width=64)
+                pending[0] = (dst, tmp)
+
+    def _emit_copy(self, dst: VReg, src: Union[Value, VReg]) -> None:
+        if isinstance(src, VReg):
+            if dst.cls == "xmm":
+                self.emit("movsd", [dst, src])
+            else:
+                self.emit("mov", [dst, src], width=64)
+            return
+        if dst.cls == "xmm":
+            self.emit("movsd", [dst, self.operand_of(src, 64)])
+            return
+        src_op = self.operand_of(src, 64)
+        if isinstance(src_op, Mem):
+            src_op = self.reg_of(src)
+        self.emit("mov", [dst, src_op], width=64)
+
+
+def _imm_value(constant: ConstantInt) -> int:
+    """Immediate encoding for an integer constant. i1 holds 0/1 in an 8-bit
+    operation space, so it must be encoded unsigned (the signed value of
+    i1 `true` is -1, which would read back as 0xFF at width 8)."""
+    if constant.type.is_integer(1):
+        return constant.unsigned
+    return constant.value
+
+
+def _is_aliasing_cast(inst: Cast) -> bool:
+    """Casts that produce no machine code: their result shares the
+    operand's register."""
+    return inst.opcode in ("bitcast", "ptrtoint", "inttoptr", "trunc") \
+        or (inst.opcode == "zext" and inst.value.type.is_integer(1))
+
+
+def _compute_liveness(func: Function) -> Dict[int, frozenset]:
+    """Backward liveness of IR values (Instructions and Arguments) at
+    block exits. Phi operands count as uses at the end of the incoming
+    predecessor, which is where phi-elimination copies read them."""
+    gen: Dict[int, set] = {}
+    kill: Dict[int, set] = {}
+    phi_edge_uses: Dict[int, set] = {}  # pred block id -> value ids
+    for block in func.blocks:
+        upward: set = set()
+        defined: set = set()
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                defined.add(id(inst))
+                continue
+            for op in inst.operands:
+                if isinstance(op, (Instruction, Argument)) \
+                        and id(op) not in defined:
+                    upward.add(id(op))
+            if inst.has_result():
+                defined.add(id(inst))
+        gen[id(block)] = upward
+        kill[id(block)] = defined
+    for block in func.blocks:
+        for phi in block.phis():
+            for value, pred in phi.incoming:
+                if isinstance(value, (Instruction, Argument)):
+                    phi_edge_uses.setdefault(id(pred), set()).add(id(value))
+
+    live_in: Dict[int, set] = {id(b): set() for b in func.blocks}
+    live_out: Dict[int, set] = {id(b): set() for b in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            bid = id(block)
+            out: set = set(phi_edge_uses.get(bid, ()))
+            for succ in block.successors():
+                sid = id(succ)
+                out |= live_in[sid]
+            new_in = gen[bid] | (out - kill[bid])
+            if out != live_out[bid] or new_in != live_in[bid]:
+                live_out[bid] = out
+                live_in[bid] = new_in
+                changed = True
+    return {bid: frozenset(values) for bid, values in live_out.items()}
+
+
+def select_function(func: Function, pool: DoubleConstantPool) -> MFunction:
+    return FunctionSelector(func, pool).run()

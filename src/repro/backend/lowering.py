@@ -1,0 +1,73 @@
+"""IR-level preparation passes run just before instruction selection.
+
+Phi elimination inserts copies at the end of predecessor blocks, which is
+only sound when (a) no critical edge carries a phi value and (b) phi copies
+never share a block with copies for a different successor. Two passes
+establish that:
+
+* ``split_critical_edges`` — insert a forwarding block on every edge whose
+  source has multiple successors and whose target has multiple predecessors;
+* ``remove_single_pred_phis`` — a phi in a single-predecessor block is just
+  a rename; replace it with its unique incoming value.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Branch
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_module
+
+
+def split_critical_edges(module: Module) -> int:
+    count = 0
+    for func in module.defined_functions():
+        count += _split_function(func)
+    return count
+
+
+def _split_function(func: Function) -> int:
+    count = 0
+    # Snapshot: we add blocks while iterating.
+    for block in list(func.blocks):
+        if not block.is_terminated():
+            continue
+        term = block.terminator
+        if not isinstance(term, Branch) or not term.is_conditional:
+            continue
+        for succ in list(term.successors()):
+            if len(succ.predecessors()) < 2 or not succ.phis():
+                continue
+            mid = func.add_block(f"{block.name}.{succ.name}.split")
+            mid.append(Branch(succ))
+            term.replace_target(succ, mid)
+            for phi in succ.phis():
+                # Retarget the incoming edge. A conditional branch may have
+                # had both targets equal; replace only one matching edge.
+                for i, pred in enumerate(phi._blocks):
+                    if pred is block:
+                        phi._blocks[i] = mid
+                        break
+            count += 1
+    return count
+
+
+def remove_single_pred_phis(module: Module) -> int:
+    count = 0
+    for func in module.defined_functions():
+        for block in func.blocks:
+            preds = block.predecessors()
+            if len(preds) != 1:
+                continue
+            for phi in list(block.phis()):
+                phi.replace_all_uses_with(phi.incoming_for_block(preds[0]))
+                phi.erase_from_parent()
+                count += 1
+    return count
+
+
+def prepare_for_backend(module: Module, verify: bool = True) -> None:
+    """Run both preparation passes (idempotent)."""
+    remove_single_pred_phis(module)
+    split_critical_edges(module)
+    if verify:
+        verify_module(module)

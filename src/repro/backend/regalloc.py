@@ -1,0 +1,411 @@
+"""Linear-scan register allocation with spilling.
+
+Intervals are conservative (one [start, end] range per vreg, holes
+ignored). Intervals that are live across a ``call`` may only take
+callee-saved registers — caller-saved state does not survive calls in the
+SimX86 ABI — otherwise they spill to a frame slot. Spill traffic (the
+``mov [rbp-N], r`` / ``mov r, [rbp-N]`` pairs this pass inserts) is the
+"register spilling ... register to stack and stack to memory data movement"
+of the paper's Table I row 2.
+
+Reserved, never allocated: rax/rdx/rcx and xmm14/xmm15 (spill scratch and
+isel-pinned sequences), rsp/rbp (stack/frame), xmm0 (FP return). Argument
+registers (rdi/rsi/r8/r9, xmm1-7) ARE allocatable, but only to intervals
+that never overlap a call-setup window or the entry prologue (see
+:func:`call_windows`); rdx/rcx stay reserved for the idiv/shift sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import BackendError
+from repro.backend.machine import (
+    ALLOC_GPRS_CALLEE, ALLOC_GPRS_CALLER, ALLOC_XMMS_CALLEE,
+    ALLOC_XMMS_CALLER, CALLEE_SAVED_GPRS, CALLEE_SAVED_XMMS,
+    FP_ARG_REGS, INT_ARG_REGS, Label, MBlock,
+    MFunction, MInst, Mem, Reg, SCRATCH_GPRS, SCRATCH_XMMS, VReg,
+)
+
+#: Argument registers usable for intervals that never overlap a call-setup
+#: window (see :func:`call_windows`). xmm0 is excluded: it is also the FP
+#: return register and is written at every ret site.
+ARG_POOL_GPRS = ("rdi", "rsi", "r8", "r9")
+ARG_POOL_XMMS = ("xmm1", "xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7")
+_ARG_POOL = set(ARG_POOL_GPRS) | set(ARG_POOL_XMMS)
+_ARG_REG_NAMES = set(INT_ARG_REGS) | set(FP_ARG_REGS)
+
+
+@dataclass
+class Interval:
+    vreg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+    reg: Optional[Reg] = None
+    slot: Optional[int] = None
+
+    @property
+    def spilled(self) -> bool:
+        return self.slot is not None
+
+
+def _block_successors(mfunc: MFunction) -> Dict[int, List[MBlock]]:
+    by_id = {}
+    for block in mfunc.blocks:
+        succs: List[MBlock] = []
+        for inst in block.insts:
+            for op in inst.operands:
+                if isinstance(op, Label):
+                    succs.append(op.block)
+        by_id[id(block)] = succs
+    return by_id
+
+
+def _vreg_uses_defs(inst: MInst) -> Tuple[List[VReg], List[VReg]]:
+    uses = [r for r in inst.reg_uses() if isinstance(r, VReg)]
+    defs = [r for r in inst.reg_defs() if isinstance(r, VReg)]
+    return uses, defs
+
+
+def compute_intervals(mfunc: MFunction) -> Tuple[List[Interval], List[int]]:
+    """Liveness analysis + conservative interval construction.
+    Returns (intervals sorted by start, call positions)."""
+    succs = _block_successors(mfunc)
+
+    # Per-block positions and use/def summaries.
+    positions: Dict[int, Tuple[int, int]] = {}  # block id -> (start, end)
+    gen: Dict[int, Set[VReg]] = {}
+    kill: Dict[int, Set[VReg]] = {}
+    pos = 0
+    call_positions: List[int] = []
+    for block in mfunc.blocks:
+        start = pos
+        upward: Set[VReg] = set()
+        defined: Set[VReg] = set()
+        for inst in block.insts:
+            if inst.opcode == "call":
+                call_positions.append(pos)
+            uses, defs = _vreg_uses_defs(inst)
+            for u in uses:
+                if u not in defined:
+                    upward.add(u)
+            defined.update(defs)
+            pos += 1
+        positions[id(block)] = (start, pos - 1)
+        gen[id(block)] = upward
+        kill[id(block)] = defined
+
+    live_in: Dict[int, Set[VReg]] = {id(b): set() for b in mfunc.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mfunc.blocks):
+            bid = id(block)
+            live_out: Set[VReg] = set()
+            for s in succs[bid]:
+                live_out |= live_in[id(s)]
+            new_in = gen[bid] | (live_out - kill[bid])
+            if new_in != live_in[bid]:
+                live_in[bid] = new_in
+                changed = True
+
+    # Intervals.
+    ivals: Dict[VReg, Interval] = {}
+
+    def touch(v: VReg, p: int) -> None:
+        iv = ivals.get(v)
+        if iv is None:
+            ivals[v] = Interval(v, p, p)
+        else:
+            iv.start = min(iv.start, p)
+            iv.end = max(iv.end, p)
+
+    pos = 0
+    for block in mfunc.blocks:
+        bid = id(block)
+        bstart, bend = positions[bid]
+        live_out: Set[VReg] = set()
+        for s in succs[bid]:
+            live_out |= live_in[id(s)]
+        for v in live_in[bid]:
+            touch(v, bstart)
+        for v in live_out:
+            touch(v, bend)
+        for inst in block.insts:
+            uses, defs = _vreg_uses_defs(inst)
+            for v in uses:
+                touch(v, pos)
+            for v in defs:
+                touch(v, pos)
+            pos += 1
+
+    for iv in ivals.values():
+        iv.crosses_call = any(iv.start < c < iv.end for c in call_positions)
+    out = sorted(ivals.values(), key=lambda iv: (iv.start, iv.end))
+    return out, call_positions
+
+
+def call_windows(mfunc: MFunction) -> List[Tuple[int, int]]:
+    """Position ranges during which argument registers carry live values:
+    the run of arg-setup moves before each call (inclusive of the call),
+    plus the incoming-argument reads at function entry."""
+    windows: List[Tuple[int, int]] = []
+    pos = 0
+    flat: List[MInst] = []
+    for block in mfunc.blocks:
+        flat.extend(block.insts)
+    # entry window: leading moves that read incoming argument registers
+    end = -1
+    for i, inst in enumerate(flat):
+        if inst.opcode in ("mov", "movsd") and len(inst.operands) == 2 \
+                and isinstance(inst.operands[1], Reg) \
+                and inst.operands[1].name in _ARG_REG_NAMES:
+            end = i
+        else:
+            break
+    if end >= 0:
+        windows.append((0, end))
+    for i, inst in enumerate(flat):
+        if inst.opcode != "call":
+            continue
+        start = i
+        j = i - 1
+        while j >= 0:
+            prev = flat[j]
+            if prev.opcode in ("mov", "movsd") and len(prev.operands) == 2 \
+                    and isinstance(prev.operands[0], Reg) \
+                    and prev.operands[0].name in _ARG_REG_NAMES:
+                start = j
+                j -= 1
+            else:
+                break
+        windows.append((start, i))
+    return windows
+
+
+_POOLS = {
+    "gpr": {"caller": list(ALLOC_GPRS_CALLER) + list(ARG_POOL_GPRS),
+            "callee": list(ALLOC_GPRS_CALLEE)},
+    "xmm": {"caller": list(ALLOC_XMMS_CALLER) + list(ARG_POOL_XMMS),
+            "callee": list(ALLOC_XMMS_CALLEE)},
+}
+_CALLEE_SET = set(CALLEE_SAVED_GPRS) | set(CALLEE_SAVED_XMMS)
+
+
+def copy_hints(mfunc: MFunction) -> Dict[int, List[VReg]]:
+    """vreg id -> vregs it is copied to/from (coalescing hints). When a
+    hinted interval lands in the same register, the copy becomes ``mov r, r``
+    and is deleted during rewrite."""
+    hints: Dict[int, List[VReg]] = {}
+    for inst in mfunc.instructions():
+        if inst.opcode not in ("mov", "movsd") or len(inst.operands) != 2:
+            continue
+        dst, src = inst.operands
+        if isinstance(dst, VReg) and isinstance(src, VReg):
+            hints.setdefault(dst.id, []).append(src)
+            hints.setdefault(src.id, []).append(dst)
+    return hints
+
+
+def linear_scan(mfunc: MFunction, intervals: List[Interval],
+                hints: Optional[Dict[int, List[VReg]]] = None,
+                windows: Optional[List[Tuple[int, int]]] = None) -> None:
+    """Assign registers/slots to intervals (mutates them)."""
+    hints = hints or {}
+    windows = windows if windows is not None else []
+    free: Dict[str, Set[str]] = {
+        "gpr": set(_POOLS["gpr"]["caller"]) | set(_POOLS["gpr"]["callee"]),
+        "xmm": set(_POOLS["xmm"]["caller"]) | set(_POOLS["xmm"]["callee"]),
+    }
+    active: List[Interval] = []
+    assigned: Dict[int, str] = {}  # vreg id -> register name (may be stale)
+
+    def usable(interval: Interval, reg_name: str) -> bool:
+        if reg_name in _CALLEE_SET:
+            return True
+        if interval.crosses_call:
+            return False
+        if reg_name in _ARG_POOL:
+            # Argument registers carry live values inside call-setup
+            # windows and the entry prologue; stay clear of them.
+            return not any(interval.start <= wend and interval.end >= wstart
+                           for wstart, wend in windows)
+        return True
+
+    def pick_free(interval: Interval) -> Tuple[Optional[str], Optional[Interval]]:
+        """Returns (register name, partner interval to retire early).
+
+        Coalescing case: the copy partner's interval ends exactly at this
+        interval's start (the copy instruction itself), so both can share a
+        register and the copy becomes an identity move.
+        """
+        cls = interval.vreg.cls
+        for partner in hints.get(interval.vreg.id, ()):
+            name = assigned.get(partner.id)
+            if name is None or not usable(interval, name):
+                continue
+            if name in free[cls]:
+                return name, None
+            holder = next((iv for iv in active
+                           if iv.reg is not None and iv.reg.name == name), None)
+            if holder is not None and holder.vreg.id == partner.id \
+                    and holder.end == interval.start:
+                return name, holder
+        order = (_POOLS[cls]["caller"] + _POOLS[cls]["callee"]
+                 if not interval.crosses_call else _POOLS[cls]["callee"])
+        for name in order:
+            if name in free[cls]:
+                return name, None
+        return None, None
+
+    for interval in intervals:
+        cls = interval.vreg.cls
+        # Expire old intervals.
+        for old in list(active):
+            if old.end < interval.start:
+                active.remove(old)
+                if old.reg is not None:
+                    free[old.vreg.cls].add(old.reg.name)
+        name, retired_partner = pick_free(interval)
+        if name is not None:
+            if retired_partner is not None:
+                active.remove(retired_partner)
+            free[cls].discard(name)
+            interval.reg = Reg(name)
+            assigned[interval.vreg.id] = name
+            active.append(interval)
+            continue
+        # Spill: the compatible candidate with the furthest end.
+        candidates = [iv for iv in active
+                      if iv.vreg.cls == cls and iv.reg is not None
+                      and usable(interval, iv.reg.name)]
+        victim = max(candidates, key=lambda iv: iv.end, default=None)
+        if victim is not None and victim.end > interval.end:
+            interval.reg = victim.reg
+            assigned[interval.vreg.id] = interval.reg.name  # type: ignore[union-attr]
+            assigned.pop(victim.vreg.id, None)
+            victim.reg = None
+            victim.slot = mfunc.new_frame_slot(8)
+            active.remove(victim)
+            active.append(interval)
+        else:
+            interval.slot = mfunc.new_frame_slot(8)
+
+
+def rewrite(mfunc: MFunction, intervals: List[Interval]) -> None:
+    """Replace vregs with physical registers, inserting spill code."""
+    assignment: Dict[int, Interval] = {iv.vreg.id: iv for iv in intervals}
+
+    for block in mfunc.blocks:
+        new_insts: List[MInst] = []
+        for inst in block.insts:
+            uses, defs = _vreg_uses_defs(inst)
+            spilled = {v.id: assignment[v.id]
+                       for v in uses + defs if assignment[v.id].spilled}
+            if not spilled:
+                _substitute(inst, assignment, {})
+                if _is_identity_move(inst):
+                    continue  # coalesced copy
+                new_insts.append(inst)
+                continue
+            scratch_map = _assign_scratch(inst, spilled)
+            # Reloads for spilled uses (a def-only vreg needs no reload).
+            use_ids = {v.id for v in uses}
+            for vid, interval in spilled.items():
+                if vid not in use_ids:
+                    continue
+                scratch = scratch_map[vid]
+                slot_mem = Mem(frame_slot=interval.slot, size=8)
+                if scratch.cls == "xmm":
+                    new_insts.append(MInst("movsd", [scratch, slot_mem],
+                                           source_line=inst.source_line,
+                                           ir_origin="spill"))
+                else:
+                    new_insts.append(MInst("mov", [scratch, slot_mem],
+                                           width=64,
+                                           source_line=inst.source_line,
+                                           ir_origin="spill"))
+            _substitute(inst, assignment, scratch_map)
+            new_insts.append(inst)
+            # Stores for spilled defs.
+            def_ids = {v.id for v in defs}
+            for vid, interval in spilled.items():
+                if vid not in def_ids:
+                    continue
+                scratch = scratch_map[vid]
+                slot_mem = Mem(frame_slot=interval.slot, size=8)
+                if scratch.cls == "xmm":
+                    new_insts.append(MInst("movsd", [slot_mem, scratch],
+                                           source_line=inst.source_line,
+                                           ir_origin="spill"))
+                else:
+                    new_insts.append(MInst("mov", [slot_mem, scratch],
+                                           width=64,
+                                           source_line=inst.source_line,
+                                           ir_origin="spill"))
+        block.insts = new_insts
+
+    # Record used callee-saved registers for frame lowering.
+    used = {iv.reg.name for iv in intervals if iv.reg is not None}
+    mfunc.used_callee_saved = sorted(used & _CALLEE_SET)
+
+
+def _assign_scratch(inst: MInst, spilled: Dict[int, Interval]) -> Dict[int, Reg]:
+    """Pick scratch registers for each spilled vreg of one instruction."""
+    forbidden: Set[str] = set()
+    spec = inst.spec()
+    forbidden.update(spec.get("idefs", ()))
+    forbidden.update(spec.get("iuses", ()))
+    for op in inst.operands:
+        if isinstance(op, Reg):
+            forbidden.add(op.name)
+        elif isinstance(op, Mem):
+            for r in op.regs():
+                if isinstance(r, Reg):
+                    forbidden.add(r.name)
+    gpr_pool = [r for r in (*SCRATCH_GPRS, "rcx") if r not in forbidden]
+    xmm_pool = [r for r in SCRATCH_XMMS if r not in forbidden]
+    result: Dict[int, Reg] = {}
+    for vid, interval in spilled.items():
+        pool = xmm_pool if interval.vreg.cls == "xmm" else gpr_pool
+        if not pool:
+            raise BackendError(
+                f"out of scratch registers for {inst!r}")
+        result[vid] = Reg(pool.pop(0))
+    return result
+
+
+def _substitute(inst: MInst, assignment: Dict[int, Interval],
+                scratch: Dict[int, Reg]) -> None:
+    def repl(reg):
+        if isinstance(reg, VReg):
+            if reg.id in scratch:
+                return scratch[reg.id]
+            interval = assignment[reg.id]
+            assert interval.reg is not None
+            return interval.reg
+        return reg
+
+    for i, op in enumerate(inst.operands):
+        if isinstance(op, VReg):
+            inst.operands[i] = repl(op)
+        elif isinstance(op, Mem):
+            op.base = repl(op.base) if op.base is not None else None
+            op.index = repl(op.index) if op.index is not None else None
+
+
+def _is_identity_move(inst: MInst) -> bool:
+    if inst.opcode not in ("mov", "movsd") or len(inst.operands) != 2:
+        return False
+    dst, src = inst.operands
+    return isinstance(dst, Reg) and isinstance(src, Reg) \
+        and dst.name == src.name
+
+
+def allocate_function(mfunc: MFunction) -> None:
+    """Run the full allocation pipeline on one machine function."""
+    intervals, _ = compute_intervals(mfunc)
+    linear_scan(mfunc, intervals, copy_hints(mfunc), call_windows(mfunc))
+    rewrite(mfunc, intervals)

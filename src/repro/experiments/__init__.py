@@ -1,0 +1,11 @@
+"""Experiment reproduction: one module per paper table/figure.
+
+* ``table1`` — measured IR<->assembly construct mapping (paper Table I)
+* ``table2`` — benchmark characteristics (paper Table II)
+* ``table4`` — dynamic instruction counts per category (paper Table IV)
+* ``fig3``   — aggregate crash/SDC/benign outcomes (paper Figure 3)
+* ``fig4``   — SDC% per category with 95% CIs (paper Figure 4)
+* ``table5`` — crash% per category (paper Table V)
+* ``ablation`` — §IV heuristic and §VII fix ablations
+* ``runner`` — everything, with caching (``python -m repro.experiments.runner``)
+"""

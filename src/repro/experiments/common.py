@@ -1,0 +1,126 @@
+"""Shared experiment infrastructure: injector construction, campaign
+caching, CLI plumbing.
+
+Campaigns are expensive (each trial re-executes a whole benchmark), so
+results are cached under ``results/`` keyed by (workload, tool, category,
+trials, seed, options). Delete the directory to force re-runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.fi import (
+    CampaignConfig, CampaignResult, LLFIInjector, LLFIOptions, Outcome,
+    PINFIInjector, PINFIOptions, run_campaign,
+)
+from repro.workloads import build, workload_names
+
+DEFAULT_RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+@dataclass
+class Injectors:
+    llfi: LLFIInjector
+    pinfi: PINFIInjector
+
+
+_INJECTOR_CACHE: Dict[Tuple[str, str], Injectors] = {}
+
+
+def injectors_for(name: str, llfi_options: Optional[LLFIOptions] = None,
+                  pinfi_options: Optional[PINFIOptions] = None) -> Injectors:
+    """LLFI + PINFI injectors over one workload (cached for defaults)."""
+    key = (name, repr(llfi_options) + repr(pinfi_options))
+    cached = _INJECTOR_CACHE.get(key)
+    if cached is not None:
+        return cached
+    built = build(name)
+    inj = Injectors(LLFIInjector(built.module, llfi_options),
+                    PINFIInjector(built.program, pinfi_options))
+    _INJECTOR_CACHE[key] = inj
+    return inj
+
+
+# -- result cache -------------------------------------------------------------
+
+def _cache_path(results_dir: str, key: str) -> str:
+    return os.path.join(results_dir, f"{key}.json")
+
+
+def _result_to_dict(result: CampaignResult) -> dict:
+    return {
+        "tool": result.tool,
+        "category": result.category,
+        "trials": result.trials,
+        "dynamic_candidates": result.dynamic_candidates,
+        "golden_instructions": result.golden_instructions,
+        "counts": {o.value: n for o, n in result.counts.items()},
+        "not_activated": result.not_activated,
+    }
+
+
+def _result_from_dict(data: dict) -> CampaignResult:
+    result = CampaignResult(
+        tool=data["tool"], category=data["category"], trials=data["trials"],
+        dynamic_candidates=data["dynamic_candidates"],
+        golden_instructions=data["golden_instructions"],
+        not_activated=data["not_activated"])
+    result.counts = {Outcome(k): v for k, v in data["counts"].items()}
+    return result
+
+
+def cached_campaign(workload: str, tool: str, category: str,
+                    config: CampaignConfig,
+                    results_dir: str = DEFAULT_RESULTS_DIR,
+                    variant: str = "",
+                    llfi_options: Optional[LLFIOptions] = None,
+                    pinfi_options: Optional[PINFIOptions] = None,
+                    ) -> CampaignResult:
+    """Run (or load from cache) one campaign cell."""
+    key = f"{workload}-{tool}-{category}-t{config.trials}-s{config.seed}"
+    if variant:
+        key += f"-{variant}"
+    path = _cache_path(results_dir, key)
+    if os.path.exists(path):
+        with open(path) as f:
+            return _result_from_dict(json.load(f))
+    inj = injectors_for(workload, llfi_options, pinfi_options)
+    injector = inj.llfi if tool == "LLFI" else inj.pinfi
+    result = run_campaign(injector, category, config)
+    os.makedirs(results_dir, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(_result_to_dict(result), f, indent=1)
+    return result
+
+
+# -- CLI ------------------------------------------------------------------------
+
+def experiment_argparser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--trials", type=int, default=150,
+                        help="injections per (benchmark, category, tool) "
+                             "cell (paper: 1000)")
+    parser.add_argument("--seed", type=int, default=20140623)
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="subset of workloads (default: all six)")
+    parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    return parser
+
+
+def selected_benchmarks(args) -> list:
+    names = workload_names()
+    if args.benchmarks:
+        for b in args.benchmarks:
+            if b not in names:
+                raise SystemExit(f"unknown benchmark {b!r}; have {names}")
+        return args.benchmarks
+    return names
+
+
+def config_from_args(args) -> CampaignConfig:
+    return CampaignConfig(trials=args.trials, seed=args.seed)

@@ -1,0 +1,45 @@
+"""Plain-text table/chart rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table with right-padded columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_bar(value: float, scale: float = 50.0, maximum: float = 1.0) -> str:
+    """A one-line horizontal bar for a proportion in [0, maximum]."""
+    filled = int(round(value / maximum * scale)) if maximum else 0
+    return "#" * max(0, min(int(scale), filled))
+
+
+def stacked_bar(parts: Sequence[float], chars: str = "#+.",
+                scale: int = 50) -> str:
+    """A stacked horizontal bar: each part is a proportion of the whole."""
+    out = []
+    for fraction, ch in zip(parts, chars):
+        out.append(ch * int(round(fraction * scale)))
+    return "".join(out)[:scale]

@@ -1,0 +1,57 @@
+"""Fault injection: LLFI (IR level), PINFI (assembly level), campaigns.
+
+Typical use::
+
+    from repro.minic import compile_source
+    from repro.backend import compile_module
+    from repro.fi import LLFIInjector, PINFIInjector, run_campaign
+
+    module = compile_source(source)
+    program = compile_module(module)   # must run before building injectors
+    llfi = LLFIInjector(module)
+    pinfi = PINFIInjector(program)
+    print(run_campaign(llfi, "all").summary())
+    print(run_campaign(pinfi, "all").summary())
+"""
+
+from repro.fi.campaign import (
+    CampaignConfig, CampaignResult, Trial, run_campaign, run_grid,
+)
+from repro.fi.categories import CATEGORIES, llfi_candidates, pinfi_candidates
+from repro.fi.fault import (
+    FaultModel, FaultRecord, MultiBitFlip, SingleBitFlip, StuckAtOne,
+    StuckAtZero,
+)
+from repro.fi.llfi import LLFIInjector, LLFIOptions
+from repro.fi.outcome import Outcome, classify
+from repro.fi.pinfi import PINFIInjector, PINFIOptions
+from repro.fi.stats import Proportion, two_proportion_z, wilson_interval
+from repro.fi.trace import PropagationTrace, trace_propagation
+
+__all__ = [
+    "CATEGORIES",
+    "CampaignConfig",
+    "CampaignResult",
+    "Trial",
+    "run_campaign",
+    "run_grid",
+    "llfi_candidates",
+    "pinfi_candidates",
+    "FaultModel",
+    "FaultRecord",
+    "SingleBitFlip",
+    "MultiBitFlip",
+    "StuckAtZero",
+    "StuckAtOne",
+    "LLFIInjector",
+    "LLFIOptions",
+    "Outcome",
+    "classify",
+    "PINFIInjector",
+    "PINFIOptions",
+    "Proportion",
+    "two_proportion_z",
+    "wilson_interval",
+    "PropagationTrace",
+    "trace_propagation",
+]

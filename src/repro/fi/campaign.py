@@ -1,0 +1,153 @@
+"""Campaign runner: N injections -> outcome distribution.
+
+Implements the paper's experimental procedure (§V):
+
+1. golden run (reference output + dynamic instruction count);
+2. profiling run (N = dynamic candidate instances for the category);
+3. ``trials`` injection runs, each picking a uniformly random dynamic
+   instance k in [1, N] and flipping one random bit in its destination;
+4. outcomes classified among *activated* faults; non-activated injections
+   are re-drawn (up to ``max_attempts_factor`` × trials total runs).
+
+Hangs are detected by an instruction budget of ``hang_factor`` × the golden
+instruction count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import FaultInjectionError
+from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
+from repro.fi.llfi import LLFIInjector
+from repro.fi.outcome import Outcome, classify
+from repro.fi.pinfi import PINFIInjector
+from repro.fi.stats import Proportion
+
+Injector = Union[LLFIInjector, PINFIInjector]
+
+
+@dataclass
+class Trial:
+    """One activated injection."""
+
+    k: int
+    record: FaultRecord
+    outcome: Outcome
+
+
+@dataclass
+class CampaignResult:
+    tool: str
+    category: str
+    trials: int
+    dynamic_candidates: int
+    golden_instructions: int
+    counts: Dict[Outcome, int] = field(default_factory=dict)
+    not_activated: int = 0
+    records: List[Trial] = field(default_factory=list)
+
+    @property
+    def activated(self) -> int:
+        return sum(self.counts.values())
+
+    def proportion(self, outcome: Outcome) -> Proportion:
+        return Proportion(self.counts.get(outcome, 0), self.activated)
+
+    @property
+    def crash(self) -> Proportion:
+        return self.proportion(Outcome.CRASH)
+
+    @property
+    def sdc(self) -> Proportion:
+        return self.proportion(Outcome.SDC)
+
+    @property
+    def hang(self) -> Proportion:
+        return self.proportion(Outcome.HANG)
+
+    @property
+    def benign(self) -> Proportion:
+        return self.proportion(Outcome.BENIGN)
+
+    @property
+    def activation_rate(self) -> Proportion:
+        total = self.activated + self.not_activated
+        return Proportion(self.activated, total)
+
+    def summary(self) -> str:
+        return (f"{self.tool}/{self.category}: n={self.activated} "
+                f"crash={self.crash.percent()} sdc={self.sdc.percent()} "
+                f"hang={self.hang.percent()} benign={self.benign.percent()} "
+                f"(activation {self.activation_rate.percent()})")
+
+
+@dataclass
+class CampaignConfig:
+    trials: int = 1000
+    seed: int = 20140623  # DSN'14
+    hang_factor: int = 20
+    model: Optional[FaultModel] = None
+    #: Give up after this many total runs per campaign (guards against
+    #: categories whose faults almost never activate).
+    max_attempts_factor: int = 10
+
+
+def run_campaign(injector: Injector, category: str,
+                 config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run one (tool, category) fault-injection campaign."""
+    config = config or CampaignConfig()
+    model = config.model or SingleBitFlip()
+
+    golden = injector.golden()
+    if not golden.completed:
+        raise FaultInjectionError(
+            f"golden run failed: {golden.status} "
+            f"({golden.trap if golden.trap else ''})")
+    budget = golden.instructions * config.hang_factor + 10_000
+
+    n = injector.count_dynamic_candidates(category)
+    if n == 0:
+        raise FaultInjectionError(
+            f"no dynamic {category!r} candidates for {injector.name}")
+
+    rng = random.Random(config.seed ^ hash((injector.name, category)))
+    result = CampaignResult(tool=injector.name, category=category,
+                            trials=config.trials, dynamic_candidates=n,
+                            golden_instructions=golden.instructions)
+    counts: Dict[Outcome, int] = {o: 0 for o in Outcome
+                                  if o is not Outcome.NOT_ACTIVATED}
+    attempts = 0
+    max_attempts = config.trials * config.max_attempts_factor
+    while result.activated < config.trials and attempts < max_attempts:
+        attempts += 1
+        k = rng.randint(1, n)
+        run, record, activated = injector.run_with_fault(
+            category, k, rng, model=model, max_instructions=budget)
+        assert record is not None
+        outcome = classify(run, golden.output, activated)
+        if outcome is Outcome.NOT_ACTIVATED:
+            result.not_activated += 1
+            continue
+        counts[outcome] += 1
+        result.counts = counts
+        result.records.append(Trial(k, record, outcome))
+    result.counts = counts
+    return result
+
+
+def run_grid(llfi: LLFIInjector, pinfi: PINFIInjector,
+             categories: List[str],
+             config: Optional[CampaignConfig] = None
+             ) -> Dict[str, Dict[str, CampaignResult]]:
+    """Run campaigns for both tools over a list of categories.
+    Returns {category: {'LLFI': ..., 'PINFI': ...}}."""
+    grid: Dict[str, Dict[str, CampaignResult]] = {}
+    for category in categories:
+        grid[category] = {
+            "LLFI": run_campaign(llfi, category, config),
+            "PINFI": run_campaign(pinfi, category, config),
+        }
+    return grid

@@ -1,0 +1,159 @@
+"""Instruction-category classifiers — the executable form of the paper's
+Table III.
+
+==========  ==============================  ===================================
+category    LLFI selection (IR)             PINFI selection (SimX86)
+==========  ==============================  ===================================
+arithmetic  arithmetic/logic binops          ALU opcodes incl. ``lea`` and the
+                                             SSE scalar double ops (address
+                                             arithmetic is arithmetic at the
+                                             assembly level)
+cast        'cast' opcodes; only int<->fp    XED-style CONVERT category:
+            conversions are injected         ``cvtsi2sd``/``cvttsd2si``/
+            (paper's mitigation)             ``cdq``/``cqo``
+cmp         ``icmp``/``fcmp``                instructions whose next
+                                             instruction is a conditional
+                                             branch (``cmp``/``test``/
+                                             ``ucomisd`` + ``jcc``)
+load        ``load``                         ``mov``-family with memory source
+                                             and register destination
+all         every instruction with a used    every instruction with a register
+            result (destination register)    destination (explicit or
+                                             implicit) or a dependent-flag
+                                             injection point
+==========  ==============================  ===================================
+
+Stores are excluded everywhere: no destination register (paper §V).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from repro.errors import FaultInjectionError
+from repro.ir.instructions import (
+    Alloca, BinaryOp, Call, Cast, FCmp, GetElementPtr, ICmp, Instruction,
+    Load, Phi, Select,
+)
+from repro.backend.machine import MInst, Reg, VReg
+
+CATEGORIES = ("arithmetic", "cast", "cmp", "load", "all")
+
+
+# -- LLFI (IR level) -----------------------------------------------------------
+
+def llfi_is_candidate(inst: Instruction, category: str,
+                      gep_as_arithmetic: bool = False,
+                      include_pointer_casts: bool = False) -> bool:
+    """Is this IR instruction an injection candidate for ``category``?
+
+    ``gep_as_arithmetic`` implements the paper's §VII fix #1: treat
+    ``getelementptr`` as an arithmetic instruction (address computation).
+    ``include_pointer_casts`` disables the paper's cast mitigation and
+    injects into *all* cast opcodes.
+    """
+    if category not in CATEGORIES:
+        raise FaultInjectionError(f"unknown category {category!r}")
+    if not inst.has_result():
+        return False  # stores, branches: no destination register
+    if not inst.is_used():
+        return False  # LLFI skips values never read (def-use pruning)
+
+    if category == "arithmetic":
+        if isinstance(inst, BinaryOp):
+            return True
+        return gep_as_arithmetic and isinstance(inst, GetElementPtr)
+    if category == "cast":
+        if not isinstance(inst, Cast):
+            return False
+        return include_pointer_casts or inst.is_int_fp_conversion()
+    if category == "cmp":
+        return isinstance(inst, (ICmp, FCmp))
+    if category == "load":
+        return isinstance(inst, Load)
+    # 'all': anything with a used destination register. The cast mitigation
+    # applies only to the 'cast' category (the paper's Table III gives the
+    # 'all' selector as literally "'all' in the configuration").
+    return isinstance(inst, (BinaryOp, ICmp, FCmp, Load, GetElementPtr,
+                             Cast, Phi, Select, Call, Alloca))
+
+
+def llfi_candidates(module, category: str, **options) -> List[Instruction]:
+    """All static candidates in a module, in deterministic order."""
+    result = []
+    for func in module.defined_functions():
+        for inst in func.instructions():
+            if llfi_is_candidate(inst, category, **options):
+                result.append(inst)
+    return result
+
+
+# -- PINFI (assembly level) ------------------------------------------------------
+
+_PINFI_ARITH = frozenset({
+    "add", "sub", "imul", "imul3", "idiv", "and", "or", "xor", "neg", "not",
+    "shl", "sar", "shr", "lea",
+    "addsd", "subsd", "mulsd", "divsd", "pxor",
+})
+_PINFI_CONVERT = frozenset({"cvtsi2sd", "cvttsd2si", "cdq", "cqo"})
+_PINFI_FLAG_SETTERS = frozenset({"cmp", "test", "ucomisd"})
+_PINFI_MOV_FAMILY = frozenset({"mov", "movsx", "movzx", "movsd"})
+
+
+def _has_register_dest(inst: MInst) -> bool:
+    if inst.dest_register() is not None:
+        return True
+    return inst.implicit_dest_register() is not None
+
+
+def pinfi_is_candidate(inst: MInst, next_inst: Optional[MInst],
+                       category: str) -> bool:
+    """Is this machine instruction an injection candidate for ``category``?
+
+    ``next_inst`` is the statically following instruction (needed for the
+    paper's "next instruction is a conditional branch" cmp rule and for
+    flag-bit injection into flag-setting instructions in 'all').
+    """
+    if category not in CATEGORIES:
+        raise FaultInjectionError(f"unknown category {category!r}")
+    op = inst.opcode
+
+    followed_by_jcc = (op in _PINFI_FLAG_SETTERS and next_inst is not None
+                       and next_inst.opcode == "jcc")
+
+    if category == "arithmetic":
+        if op not in _PINFI_ARITH:
+            return False
+        return _has_register_dest(inst)
+    if category == "cast":
+        return op in _PINFI_CONVERT and _has_register_dest(inst)
+    if category == "cmp":
+        return followed_by_jcc
+    if category == "load":
+        if op not in _PINFI_MOV_FAMILY:
+            return False
+        from repro.backend.machine import Mem
+
+        dest = inst.dest_register()
+        if dest is None:
+            return False
+        return any(isinstance(o, Mem) for o in inst.operands[1:])
+    # 'all'
+    if followed_by_jcc:
+        return True
+    if op in ("jmp", "jcc", "ret", "ud2"):
+        return False
+    return _has_register_dest(inst)
+
+
+def pinfi_candidates(program, category: str) -> List[MInst]:
+    """All static candidates in a compiled program."""
+    result = []
+    for mfunc in program.functions.values():
+        for block in mfunc.blocks:
+            insts = block.insts
+            for i, inst in enumerate(insts):
+                nxt = insts[i + 1] if i + 1 < len(insts) else None
+                if pinfi_is_candidate(inst, nxt, category):
+                    result.append(inst)
+    return result

@@ -1,0 +1,120 @@
+"""Fault models.
+
+The paper's model is a single bit flip in the destination register of one
+dynamically chosen instruction (a transient fault in the processor's
+computation units showing up in the instruction's result). Multi-bit and
+stuck-at variants are provided as extensions for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir.values import bits_to_double, double_to_bits, wrap_signed
+
+
+class FaultModel:
+    """Mutates a bit pattern of ``width`` bits."""
+
+    name = "abstract"
+
+    def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        """Which bit positions this fault touches (for the record)."""
+        raise NotImplementedError
+
+    def apply(self, bits: int, positions: List[int], width: int) -> int:
+        """Apply the fault at the chosen positions."""
+        raise NotImplementedError
+
+
+class SingleBitFlip(FaultModel):
+    """The paper's fault model: flip exactly one uniformly random bit."""
+
+    name = "bitflip"
+
+    def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        return [rng.randrange(width)]
+
+    def apply(self, bits: int, positions: List[int], width: int) -> int:
+        for p in positions:
+            bits ^= (1 << p)
+        return bits & ((1 << width) - 1)
+
+
+class MultiBitFlip(FaultModel):
+    """Flip k distinct bits (burst faults; extension)."""
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"bitflip{k}"
+
+    def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        return rng.sample(range(width), min(self.k, width))
+
+    def apply(self, bits: int, positions: List[int], width: int) -> int:
+        for p in positions:
+            bits ^= (1 << p)
+        return bits & ((1 << width) - 1)
+
+
+class StuckAtZero(FaultModel):
+    """Clear one random bit (stuck-at-0; extension). May be a no-op if the
+    bit was already 0, in which case the fault cannot be activated."""
+
+    name = "stuck0"
+
+    def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        return [rng.randrange(width)]
+
+    def apply(self, bits: int, positions: List[int], width: int) -> int:
+        for p in positions:
+            bits &= ~(1 << p)
+        return bits & ((1 << width) - 1)
+
+
+class StuckAtOne(FaultModel):
+    """Set one random bit (stuck-at-1; extension)."""
+
+    name = "stuck1"
+
+    def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        return [rng.randrange(width)]
+
+    def apply(self, bits: int, positions: List[int], width: int) -> int:
+        for p in positions:
+            bits |= (1 << p)
+        return bits & ((1 << width) - 1)
+
+
+@dataclass
+class FaultRecord:
+    """What one injection did (for reproducibility and analysis)."""
+
+    dynamic_index: int          # which dynamic candidate instance (1-based)
+    bit_positions: List[int]    # flipped bit(s)
+    target: str                 # human-readable injection point
+    width: int                  # bit space size
+
+
+# -- typed value corruption helpers (IR level) -----------------------------------
+
+def corrupt_int(value: int, width: int, model: FaultModel,
+                positions: List[int]) -> int:
+    """Corrupt a signed integer of ``width`` bits, returning signed."""
+    bits = value & ((1 << width) - 1)
+    return wrap_signed(model.apply(bits, positions, width), width)
+
+
+def corrupt_pointer(value: int, model: FaultModel, positions: List[int]) -> int:
+    """Corrupt a 64-bit pointer, returning unsigned."""
+    return model.apply(value & ((1 << 64) - 1), positions, 64)
+
+
+def corrupt_double(value: float, model: FaultModel,
+                   positions: List[int]) -> float:
+    """Corrupt an IEEE-754 double through its bit representation."""
+    return bits_to_double(model.apply(double_to_bits(value), positions, 64))

@@ -1,0 +1,185 @@
+"""LLFI: the high-level (IR) fault injector.
+
+Workflow, mirroring the paper's Figure 1:
+
+1. *Select* — a static pass over the module picks the injection candidates
+   for the requested instruction category (Table III), restricted to
+   instructions whose results are used (def-use pruning).
+2. *Profile* — one instrumented run counts N, the number of dynamic
+   candidate instances.
+3. *Inject* — a run is re-executed with a uniformly random k in [1, N];
+   after the k-th dynamic candidate executes, one bit of its result
+   (destination register) is flipped. The SSA value is poisoned so the
+   run reports whether the fault was *activated* (read).
+
+Options expose the paper's §VII accuracy fixes as ablations:
+``gep_as_arithmetic`` and ``include_pointer_casts``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.fi.categories import CATEGORIES, llfi_is_candidate
+from repro.fi.fault import (
+    FaultModel, FaultRecord, SingleBitFlip, corrupt_double, corrupt_int,
+    corrupt_pointer,
+)
+from repro.vm.irinterp import InterpHook, IRInterpreter
+from repro.vm.result import ExecutionResult
+
+
+@dataclass
+class LLFIOptions:
+    """Configuration of the LLFI selector (paper §VII ablations)."""
+
+    gep_as_arithmetic: bool = False
+    include_pointer_casts: bool = False
+    max_call_depth: int = 400
+
+    def selector_kwargs(self) -> dict:
+        return {"gep_as_arithmetic": self.gep_as_arithmetic,
+                "include_pointer_casts": self.include_pointer_casts}
+
+
+class _CountingHook(InterpHook):
+    """Profiling instrumentation: counts dynamic candidate instances."""
+
+    def __init__(self, candidate_ids: Set[int]) -> None:
+        self.candidate_ids = candidate_ids
+        self.count = 0
+
+    def on_result(self, inst, value, interp):
+        if id(inst) in self.candidate_ids:
+            self.count += 1
+        return value
+
+
+class _InjectionHook(InterpHook):
+    """Runtime fault injection at the k-th dynamic candidate instance."""
+
+    def __init__(self, candidate_ids: Set[int], k: int, model: FaultModel,
+                 rng: random.Random) -> None:
+        self.candidate_ids = candidate_ids
+        self.k = k
+        self.model = model
+        self.rng = rng
+        self.count = 0
+        self.record: Optional[FaultRecord] = None
+
+    def on_result(self, inst, value, interp):
+        if id(inst) not in self.candidate_ids:
+            return value
+        self.count += 1
+        if self.count != self.k:
+            return value
+        corrupted, positions, width = self._corrupt(inst, value)
+        frame = interp.current_frame
+        assert frame is not None
+        frame.poison_inst = inst
+        self.record = FaultRecord(
+            dynamic_index=self.k, bit_positions=positions,
+            target=f"{inst.opcode} %{inst.name}", width=width)
+        return corrupted
+
+    def _corrupt(self, inst: Instruction, value):
+        t = inst.type
+        if t.is_double():
+            positions = self.model.pick_bits(64, self.rng)
+            return corrupt_double(value, self.model, positions), positions, 64
+        if t.is_pointer():
+            positions = self.model.pick_bits(64, self.rng)
+            return corrupt_pointer(value, self.model, positions), positions, 64
+        bits = t.bits  # type: ignore[attr-defined]
+        if bits == 1:
+            # i1 holds 0/1; any flip inverts it.
+            return (0 if value else 1), [0], 1
+        positions = self.model.pick_bits(bits, self.rng)
+        return corrupt_int(value, bits, self.model, positions), positions, bits
+
+
+class LLFIInjector:
+    """High-level injector over a compiled IR module."""
+
+    name = "LLFI"
+
+    def __init__(self, module: Module,
+                 options: Optional[LLFIOptions] = None) -> None:
+        self.module = module
+        self.options = options or LLFIOptions()
+        self._candidate_ids: Dict[str, Set[int]] = {}
+        self._static_counts: Dict[str, int] = {}
+        for category in CATEGORIES:
+            ids = set()
+            for func in module.defined_functions():
+                for inst in func.instructions():
+                    if llfi_is_candidate(inst, category,
+                                         **self.options.selector_kwargs()):
+                        ids.add(id(inst))
+            self._candidate_ids[category] = ids
+            self._static_counts[category] = len(ids)
+
+    def static_candidate_count(self, category: str) -> int:
+        return self._static_counts[category]
+
+    def _interp(self, hook, max_instructions: int,
+                hook_filter=None) -> IRInterpreter:
+        return IRInterpreter(self.module, max_instructions=max_instructions,
+                             max_call_depth=self.options.max_call_depth,
+                             hook=hook, hook_filter=hook_filter)
+
+    def golden(self, max_instructions: int = 50_000_000) -> ExecutionResult:
+        """Fault-free reference run."""
+        return self._interp(None, max_instructions).run()
+
+    def count_dynamic_candidates(self, category: str,
+                                 max_instructions: int = 50_000_000) -> int:
+        """Profiling run: N, the dynamic candidate-instance count."""
+        ids = frozenset(self._candidate_ids[category])
+        hook = _CountingHook(ids)
+        result = self._interp(hook, max_instructions, hook_filter=ids).run()
+        if not result.completed:
+            raise FaultInjectionError(
+                f"profiling run did not complete: {result.status}")
+        return hook.count
+
+    def count_all_categories(self, max_instructions: int = 50_000_000
+                             ) -> Dict[str, int]:
+        """Dynamic candidate counts for every category in one run
+        (the LLFI side of the paper's Table IV)."""
+        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
+
+        class _Multi(InterpHook):
+            def on_result(self, inst, value, interp):
+                for h in hooks.values():
+                    h.on_result(inst, value, interp)
+                return value
+
+        union = frozenset().union(*self._candidate_ids.values())
+        result = self._interp(_Multi(), max_instructions,
+                              hook_filter=union).run()
+        if not result.completed:
+            raise FaultInjectionError(
+                f"profiling run did not complete: {result.status}")
+        return {c: h.count for c, h in hooks.items()}
+
+    def run_with_fault(self, category: str, k: int, rng: random.Random,
+                       model: Optional[FaultModel] = None,
+                       max_instructions: int = 50_000_000,
+                       ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
+        """One injection run: flip a bit in the result of the k-th dynamic
+        candidate. Returns (result, fault record, activated?)."""
+        ids = frozenset(self._candidate_ids[category])
+        hook = _InjectionHook(ids, k, model or SingleBitFlip(), rng)
+        interp = self._interp(hook, max_instructions, hook_filter=ids)
+        result = interp.run()
+        if hook.record is None:
+            raise FaultInjectionError(
+                f"dynamic instance {k} was never reached "
+                f"(program behaviour diverged before injection?)")
+        return result, hook.record, interp.fault_activated

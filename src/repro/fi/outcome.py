@@ -1,0 +1,39 @@
+"""Failure categorization (paper §V, "Failure categorization")."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.vm.result import ExecutionResult
+
+
+class Outcome(enum.Enum):
+    #: Program terminated by a (simulated) hardware exception.
+    CRASH = "crash"
+    #: Program completed but produced wrong output — Silent Data Corruption.
+    SDC = "sdc"
+    #: Program exceeded the timeout (instruction budget).
+    HANG = "hang"
+    #: Program completed with correct output.
+    BENIGN = "benign"
+    #: Injected value was never read; excluded from the statistics.
+    NOT_ACTIVATED = "not_activated"
+
+
+def classify(result: ExecutionResult, golden_output: str,
+             activated: bool) -> Outcome:
+    """Classify one injection run against the golden output.
+
+    Activation takes precedence only for completed-and-correct runs: a run
+    that crashed or produced wrong output was visibly affected, whatever
+    the read-tracking said (the fault reached memory or control flow).
+    """
+    if result.crashed:
+        return Outcome.CRASH
+    if result.hung:
+        return Outcome.HANG
+    if result.output != golden_output:
+        return Outcome.SDC
+    if not activated:
+        return Outcome.NOT_ACTIVATED
+    return Outcome.BENIGN

@@ -1,0 +1,234 @@
+"""PINFI: the low-level (assembly) fault injector.
+
+Same three-step workflow as LLFI but over the SimX86 program, plus the two
+activation heuristics from the paper's §IV:
+
+* **flag pruning** — before a conditional jump, inject only into the
+  EFLAGS bit(s) that the jump actually reads (e.g. only ZF before ``jne``);
+* **XMM pruning** — for double-precision operations, inject only into the
+  low 64 bits of the 128-bit XMM destination.
+
+Both heuristics can be disabled (``PINFIOptions``) to measure how much
+activation they buy — the §IV ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.backend.machine import (
+    CONDITION_FLAGS, FLAG_BITS, FLAG_NAMES, MInst, MProgram, Reg,
+)
+from repro.fi.categories import CATEGORIES, pinfi_is_candidate
+from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
+from repro.vm.asmsim import AsmHook, AsmSimulator
+from repro.vm.result import ExecutionResult
+
+#: Opcodes whose XMM destination holds a double in the low 64 bits.
+_DOUBLE_DEST_OPS = frozenset({
+    "movsd", "addsd", "subsd", "mulsd", "divsd", "cvtsi2sd", "pxor", "movq",
+})
+
+#: Modeled EFLAGS bit positions (name by position).
+_FLAG_BY_POS = {pos: name for name, pos in FLAG_BITS.items()}
+#: Size of the architectural flag register considered by the no-heuristic
+#: ablation (low 16 bits of RFLAGS, like the paper's Figure 2a discussion).
+_FLAGS_REGISTER_BITS = 16
+
+
+@dataclass
+class PINFIOptions:
+    """PINFI configuration; the two paper heuristics default to on."""
+
+    flag_dependent_bits: bool = True
+    xmm_low64: bool = True
+    max_call_depth: int = 400
+
+
+# A precomputed injection target for one candidate instruction.
+#   ('gpr', reg name, width)
+#   ('xmm', reg name, is_double)
+#   ('flags', dependent flag names tuple)
+_Target = Tuple
+
+
+def _injection_target(inst: MInst, next_inst: Optional[MInst]) -> Optional[_Target]:
+    dest = inst.dest_register()
+    if isinstance(dest, Reg):
+        if dest.cls == "xmm":
+            return ("xmm", dest.name, inst.opcode in _DOUBLE_DEST_OPS)
+        return ("gpr", dest.name, inst.width)
+    if inst.opcode in ("cmp", "test", "ucomisd") and next_inst is not None \
+            and next_inst.opcode == "jcc":
+        return ("flags", CONDITION_FLAGS[next_inst.cond])
+    implicit = inst.implicit_dest_register()
+    if implicit is not None:
+        return ("gpr", implicit.name, 64)
+    return None
+
+
+class _CountingHook(AsmHook):
+    def __init__(self, candidate_ids: Set[int]) -> None:
+        self.candidate_ids = candidate_ids
+        self.count = 0
+
+    def on_executed(self, inst, sim):
+        if id(inst) in self.candidate_ids:
+            self.count += 1
+
+
+class _InjectionHook(AsmHook):
+    def __init__(self, candidate_ids: Set[int], targets: Dict[int, _Target],
+                 k: int, model: FaultModel, rng: random.Random,
+                 options: PINFIOptions) -> None:
+        self.candidate_ids = candidate_ids
+        self.targets = targets
+        self.k = k
+        self.model = model
+        self.rng = rng
+        self.options = options
+        self.count = 0
+        self.record: Optional[FaultRecord] = None
+
+    def on_executed(self, inst, sim: AsmSimulator):
+        if id(inst) not in self.candidate_ids:
+            return
+        self.count += 1
+        if self.count != self.k:
+            return
+        target = self.targets[id(inst)]
+        kind = target[0]
+        if kind == "gpr":
+            _, name, width = target
+            positions = self.model.pick_bits(width, self.rng)
+            value = self.model.apply(sim.get_gpr(name), positions, 64)
+            # flips above the operation width never occur: pick_bits was
+            # bounded by width, apply masks to 64 which keeps upper bits.
+            sim.set_gpr(name, value)
+            sim.poison_target(("gpr", name))
+            desc = f"{inst.opcode} -> {name}"
+        elif kind == "xmm":
+            _, name, is_double = target
+            width = 64 if (is_double and self.options.xmm_low64) else 128
+            positions = self.model.pick_bits(width, self.rng)
+            sim.set_xmm(name, self.model.apply(sim.get_xmm(name), positions,
+                                               128))
+            if is_double and all(p >= 64 for p in positions):
+                # Double-precision ops only ever read the low 64 bits; a
+                # flip confined to the high half can never be activated.
+                # (This is exactly what the paper's XMM heuristic prunes.)
+                sim.poison_target(("xmm", f"{name}#hi"))
+            else:
+                sim.poison_target(("xmm", name))
+            desc = f"{inst.opcode} -> {name}"
+        else:  # flags
+            _, dependent = target
+            if self.options.flag_dependent_bits:
+                flag = self.rng.choice(dependent)
+                sim.flags[flag] ^= 1
+                sim.poison_target(("flag", flag))
+                positions = [FLAG_BITS[flag]]
+                desc = f"{inst.opcode} -> {flag}"
+            else:
+                # Ablation: any bit of the low 16 bits of RFLAGS. Bits we
+                # do not model are never read, so such faults are never
+                # activated — which is the point of the heuristic.
+                pos = self.rng.randrange(_FLAGS_REGISTER_BITS)
+                positions = [pos]
+                flag = _FLAG_BY_POS.get(pos)
+                if flag is not None:
+                    sim.flags[flag] ^= 1
+                    sim.poison_target(("flag", flag))
+                    desc = f"{inst.opcode} -> {flag}"
+                else:
+                    sim.poison_target(("flag", f"RAW{pos}"))
+                    desc = f"{inst.opcode} -> FLAGS[{pos}]"
+            width = _FLAGS_REGISTER_BITS
+        self.record = FaultRecord(dynamic_index=self.k,
+                                  bit_positions=positions,
+                                  target=desc, width=width)
+
+
+class PINFIInjector:
+    """Low-level injector over a compiled SimX86 program."""
+
+    name = "PINFI"
+
+    def __init__(self, program: MProgram,
+                 options: Optional[PINFIOptions] = None) -> None:
+        self.program = program
+        self.options = options or PINFIOptions()
+        self._candidate_ids: Dict[str, Set[int]] = {c: set() for c in CATEGORIES}
+        self._targets: Dict[int, _Target] = {}
+        for mfunc in program.functions.values():
+            for block in mfunc.blocks:
+                insts = block.insts
+                for i, inst in enumerate(insts):
+                    nxt = insts[i + 1] if i + 1 < len(insts) else None
+                    target = _injection_target(inst, nxt)
+                    matched = False
+                    for category in CATEGORIES:
+                        if pinfi_is_candidate(inst, nxt, category):
+                            self._candidate_ids[category].add(id(inst))
+                            matched = True
+                    if matched:
+                        if target is None:
+                            raise FaultInjectionError(
+                                f"candidate without target: {inst!r}")
+                        self._targets[id(inst)] = target
+
+    def static_candidate_count(self, category: str) -> int:
+        return len(self._candidate_ids[category])
+
+    def _sim(self, hook, max_instructions: int,
+             hook_filter=None) -> AsmSimulator:
+        return AsmSimulator(self.program, max_instructions=max_instructions,
+                            max_call_depth=self.options.max_call_depth,
+                            hook=hook, hook_filter=hook_filter)
+
+    def golden(self, max_instructions: int = 100_000_000) -> ExecutionResult:
+        return self._sim(None, max_instructions).run()
+
+    def count_dynamic_candidates(self, category: str,
+                                 max_instructions: int = 100_000_000) -> int:
+        ids = frozenset(self._candidate_ids[category])
+        hook = _CountingHook(ids)
+        result = self._sim(hook, max_instructions, hook_filter=ids).run()
+        if not result.completed:
+            raise FaultInjectionError(
+                f"profiling run did not complete: {result.status}")
+        return hook.count
+
+    def count_all_categories(self, max_instructions: int = 100_000_000
+                             ) -> Dict[str, int]:
+        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
+
+        class _Multi(AsmHook):
+            def on_executed(self, inst, sim):
+                for h in hooks.values():
+                    h.on_executed(inst, sim)
+
+        union = frozenset().union(*self._candidate_ids.values())
+        result = self._sim(_Multi(), max_instructions,
+                           hook_filter=union).run()
+        if not result.completed:
+            raise FaultInjectionError(
+                f"profiling run did not complete: {result.status}")
+        return {c: h.count for c, h in hooks.items()}
+
+    def run_with_fault(self, category: str, k: int, rng: random.Random,
+                       model: Optional[FaultModel] = None,
+                       max_instructions: int = 100_000_000,
+                       ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
+        ids = frozenset(self._candidate_ids[category])
+        hook = _InjectionHook(ids, self._targets,
+                              k, model or SingleBitFlip(), rng, self.options)
+        sim = self._sim(hook, max_instructions, hook_filter=ids)
+        result = sim.run()
+        if hook.record is None:
+            raise FaultInjectionError(
+                f"dynamic instance {k} was never reached")
+        return result, hook.record, sim.fault_activated

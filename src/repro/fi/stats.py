@@ -1,0 +1,83 @@
+"""Statistics for fault-injection campaigns.
+
+The paper reports outcome percentages among activated faults with 95%
+confidence error bars for 1000 injections. We use the Wilson score
+interval, which behaves well at the small proportions (SDC ~10%) and
+moderate sample sizes involved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: z for a 95% two-sided interval.
+Z95 = 1.959963984540054
+
+
+def wilson_interval(successes: int, n: int, z: float = Z95
+                    ) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if n <= 0:
+        return (0.0, 0.0)
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes={successes} out of range for n={n}")
+    phat = successes / n
+    denom = 1 + z * z / n
+    center = (phat + z * z / (2 * n)) / denom
+    margin = (z / denom) * math.sqrt(phat * (1 - phat) / n
+                                     + z * z / (4 * n * n))
+    low = max(0.0, center - margin)
+    high = min(1.0, center + margin)
+    # Analytically exact at the boundaries; avoid float-rounding residue.
+    if successes == 0:
+        low = 0.0
+    if successes == n:
+        high = 1.0
+    return (low, high)
+
+
+@dataclass
+class Proportion:
+    """A measured proportion with its 95% CI."""
+
+    successes: int
+    n: int
+
+    @property
+    def value(self) -> float:
+        return self.successes / self.n if self.n else 0.0
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return wilson_interval(self.successes, self.n)
+
+    @property
+    def margin(self) -> float:
+        low, high = self.interval
+        return (high - low) / 2
+
+    def overlaps(self, other: "Proportion") -> bool:
+        """Do the two confidence intervals overlap? (The paper's criterion
+        for 'within the measurement error threshold'.)"""
+        a_low, a_high = self.interval
+        b_low, b_high = other.interval
+        return a_low <= b_high and b_low <= a_high
+
+    def percent(self) -> str:
+        return f"{100 * self.value:.1f}% ±{100 * self.margin:.1f}"
+
+
+def two_proportion_z(a_successes: int, a_n: int,
+                     b_successes: int, b_n: int) -> float:
+    """Two-proportion z statistic (pooled); used to test whether LLFI and
+    PINFI rates differ significantly."""
+    if a_n == 0 or b_n == 0:
+        return 0.0
+    p1, p2 = a_successes / a_n, b_successes / b_n
+    pooled = (a_successes + b_successes) / (a_n + b_n)
+    se = math.sqrt(pooled * (1 - pooled) * (1 / a_n + 1 / b_n))
+    if se == 0:
+        return 0.0
+    return (p1 - p2) / se

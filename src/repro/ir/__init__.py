@@ -1,0 +1,25 @@
+"""Typed SSA intermediate representation modeled on LLVM IR.
+
+This is the level at which LLFI operates. The public surface:
+
+* :mod:`repro.ir.types` — the type system (``ty.I32``, ``ty.DOUBLE``, ...)
+* :class:`repro.ir.module.Module` / ``Function`` / ``BasicBlock``
+* :class:`repro.ir.builder.IRBuilder` — instruction emission
+* :func:`repro.ir.verifier.verify_module`
+* :mod:`repro.ir.passes` — mem2reg and friends
+"""
+
+from repro.ir import types
+from repro.ir.builder import IRBuilder
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "types",
+    "IRBuilder",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "verify_function",
+    "verify_module",
+]

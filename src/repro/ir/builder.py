@@ -1,0 +1,267 @@
+"""IRBuilder: convenience API for emitting instructions, LLVM-style.
+
+The builder holds an insertion point (a basic block) and appends
+instructions to it, returning the instruction as the SSA value it defines.
+It also constant-folds trivially foldable operations the way Clang's
+IRBuilder does, so the emitted IR is not littered with ``add 1, 2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir import types as ty
+from repro.ir.instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, FCmp, GetElementPtr, ICmp, Load,
+    Phi, Ret, Select, Store, Unreachable,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import (
+    ConstantDouble, ConstantInt, ConstantNull, Value, wrap_signed,
+)
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        self.block = block
+        #: Line number stamped onto every emitted instruction (source map).
+        self.current_line = 0
+
+    # -- positioning ---------------------------------------------------------
+    def set_insert_point(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise IRError("builder has no insertion point")
+        return self.block.parent
+
+    def _emit(self, inst):
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        inst.source_line = self.current_line
+        if inst.has_result() and not inst.name:
+            inst.name = self.function.unique_name()
+        self.block.append(inst)
+        return inst
+
+    # -- constants -----------------------------------------------------------
+    def const_int(self, value: int, type_: ty.IntType = ty.I32) -> ConstantInt:
+        return ConstantInt(type_, value)
+
+    def const_double(self, value: float) -> ConstantDouble:
+        return ConstantDouble(value)
+
+    def const_null(self, type_: ty.PointerType) -> ConstantNull:
+        return ConstantNull(type_)
+
+    # -- arithmetic ----------------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        folded = _fold_binop(opcode, lhs, rhs)
+        if folded is not None:
+            return folded
+        return self._emit(BinaryOp(opcode, lhs, rhs, name))
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("shl", lhs, rhs, name)
+
+    def ashr(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("ashr", lhs, rhs, name)
+
+    def lshr(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("lshr", lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fdiv", lhs, rhs, name)
+
+    def neg(self, value: Value, name: str = "") -> Value:
+        zero = ConstantInt(value.type, 0)  # type: ignore[arg-type]
+        return self.binop("sub", zero, value, name)
+
+    def fneg(self, value: Value, name: str = "") -> Value:
+        return self.binop("fsub", ConstantDouble(0.0), value, name)
+
+    def not_(self, value: Value, name: str = "") -> Value:
+        all_ones = ConstantInt(value.type, -1)  # type: ignore[arg-type]
+        return self.binop("xor", value, all_ones, name)
+
+    # -- comparisons -----------------------------------------------------------
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(ICmp(predicate, lhs, rhs, name))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(FCmp(predicate, lhs, rhs, name))
+
+    # -- memory ----------------------------------------------------------------
+    def alloca(self, type_: ty.Type, name: str = "") -> Alloca:
+        return self._emit(Alloca(type_, name))
+
+    def load(self, pointer: Value, name: str = "") -> Load:
+        return self._emit(Load(pointer, name))
+
+    def store(self, value: Value, pointer: Value) -> Store:
+        return self._emit(Store(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> Value:
+        return self._emit(GetElementPtr(pointer, indices, name))
+
+    # -- casts -------------------------------------------------------------------
+    def cast(self, opcode: str, value: Value, dest: ty.Type, name: str = "") -> Value:
+        if value.type is dest and opcode in ("bitcast",):
+            return value
+        if isinstance(value, ConstantInt) and opcode in ("trunc", "zext", "sext"):
+            return _fold_int_cast(opcode, value, dest)  # type: ignore[arg-type]
+        if isinstance(value, ConstantInt) and opcode in ("sitofp", "uitofp"):
+            v = value.value if opcode == "sitofp" else value.unsigned
+            return ConstantDouble(float(v))
+        return self._emit(Cast(opcode, value, dest, name))
+
+    def trunc(self, value: Value, dest: ty.Type, name: str = "") -> Value:
+        return self.cast("trunc", value, dest, name)
+
+    def zext(self, value: Value, dest: ty.Type, name: str = "") -> Value:
+        return self.cast("zext", value, dest, name)
+
+    def sext(self, value: Value, dest: ty.Type, name: str = "") -> Value:
+        return self.cast("sext", value, dest, name)
+
+    def sitofp(self, value: Value, name: str = "") -> Value:
+        return self.cast("sitofp", value, ty.DOUBLE, name)
+
+    def fptosi(self, value: Value, dest: ty.Type = ty.I32, name: str = "") -> Value:
+        return self.cast("fptosi", value, dest, name)
+
+    def bitcast(self, value: Value, dest: ty.Type, name: str = "") -> Value:
+        return self.cast("bitcast", value, dest, name)
+
+    # -- SSA / control flow --------------------------------------------------
+    def phi(self, type_: ty.Type, name: str = "") -> Phi:
+        """Phi nodes must precede non-phi instructions in their block."""
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        inst = Phi(type_, name or self.function.unique_name())
+        inst.source_line = self.current_line
+        self.block.insert(self.block.first_non_phi_index(), inst)
+        return inst
+
+    def select(self, cond: Value, true_value: Value, false_value: Value,
+               name: str = "") -> Value:
+        return self._emit(Select(cond, true_value, false_value, name))
+
+    def br(self, target: BasicBlock) -> Branch:
+        return self._emit(Branch(target))
+
+    def cond_br(self, condition: Value, if_true: BasicBlock,
+                if_false: BasicBlock) -> Branch:
+        return self._emit(Branch(condition=condition, if_true=if_true,
+                                 if_false=if_false))
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._emit(Ret(value))
+
+    def unreachable(self) -> Unreachable:
+        return self._emit(Unreachable())
+
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Call:
+        return self._emit(Call(callee, args, name))
+
+
+def _fold_binop(opcode: str, lhs: Value, rhs: Value) -> Optional[Value]:
+    """Fold binary operations on two constants. Division by zero is left
+    unfolded so it traps at runtime like the real thing."""
+    if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+        bits = lhs.type.bits  # type: ignore[attr-defined]
+        a, b = lhs.value, rhs.value
+        ua, ub = lhs.unsigned, rhs.unsigned
+        if opcode == "add":
+            return ConstantInt(lhs.type, a + b)  # type: ignore[arg-type]
+        if opcode == "sub":
+            return ConstantInt(lhs.type, a - b)  # type: ignore[arg-type]
+        if opcode == "mul":
+            return ConstantInt(lhs.type, a * b)  # type: ignore[arg-type]
+        if opcode == "sdiv" and b != 0:
+            return ConstantInt(lhs.type, _sdiv(a, b))  # type: ignore[arg-type]
+        if opcode == "srem" and b != 0:
+            return ConstantInt(lhs.type, _srem(a, b))  # type: ignore[arg-type]
+        if opcode == "udiv" and b != 0:
+            return ConstantInt(lhs.type, ua // ub)  # type: ignore[arg-type]
+        if opcode == "urem" and b != 0:
+            return ConstantInt(lhs.type, ua % ub)  # type: ignore[arg-type]
+        if opcode == "and":
+            return ConstantInt(lhs.type, a & b)  # type: ignore[arg-type]
+        if opcode == "or":
+            return ConstantInt(lhs.type, a | b)  # type: ignore[arg-type]
+        if opcode == "xor":
+            return ConstantInt(lhs.type, a ^ b)  # type: ignore[arg-type]
+        if opcode == "shl" and 0 <= ub < bits:
+            return ConstantInt(lhs.type, a << ub)  # type: ignore[arg-type]
+        if opcode == "lshr" and 0 <= ub < bits:
+            return ConstantInt(lhs.type, ua >> ub)  # type: ignore[arg-type]
+        if opcode == "ashr" and 0 <= ub < bits:
+            return ConstantInt(lhs.type, a >> ub)  # type: ignore[arg-type]
+    if isinstance(lhs, ConstantDouble) and isinstance(rhs, ConstantDouble):
+        a, b = lhs.value, rhs.value
+        if opcode == "fadd":
+            return ConstantDouble(a + b)
+        if opcode == "fsub":
+            return ConstantDouble(a - b)
+        if opcode == "fmul":
+            return ConstantDouble(a * b)
+        if opcode == "fdiv" and b != 0.0:
+            return ConstantDouble(a / b)
+    return None
+
+
+def _fold_int_cast(opcode: str, value: ConstantInt, dest: ty.Type) -> ConstantInt:
+    dbits = dest.bits  # type: ignore[attr-defined]
+    if opcode == "trunc":
+        return ConstantInt(dest, wrap_signed(value.unsigned, dbits))  # type: ignore[arg-type]
+    if opcode == "zext":
+        return ConstantInt(dest, value.unsigned)  # type: ignore[arg-type]
+    return ConstantInt(dest, value.value)  # type: ignore[arg-type]
+
+
+def _sdiv(a: int, b: int) -> int:
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _srem(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    return a - _sdiv(a, b) * b

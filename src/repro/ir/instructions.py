@@ -1,0 +1,464 @@
+"""Instruction set of the repro IR.
+
+The opcodes mirror the subset of LLVM IR that matters for the paper:
+
+* binary arithmetic/logic (``add`` ... ``frem``)
+* comparisons (``icmp``, ``fcmp``)
+* memory (``alloca``, ``load``, ``store``, ``getelementptr``)
+* control flow (``br``, ``ret``, ``call``, ``unreachable``)
+* SSA plumbing (``phi``, ``select``)
+* casts (``trunc``, ``zext``, ``sext``, ``fptosi``, ``fptoui``, ``sitofp``,
+  ``uitofp``, ``bitcast``, ``ptrtoint``, ``inttoptr``)
+
+The *category* of each opcode (arithmetic / cast / cmp / load / other) is the
+paper's Table III and lives in :mod:`repro.fi.categories`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+from repro.errors import IRError
+from repro.ir import types as ty
+from repro.ir.values import User, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.module import BasicBlock, Function
+
+
+# Opcode groups ---------------------------------------------------------------
+
+INT_BINARY_OPS = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+)
+FLOAT_BINARY_OPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
+BINARY_OPS = INT_BINARY_OPS + FLOAT_BINARY_OPS
+
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge")
+
+CAST_OPS = (
+    "trunc", "zext", "sext", "fptosi", "fptoui", "sitofp", "uitofp",
+    "bitcast", "ptrtoint", "inttoptr",
+)
+
+#: Casts that convert between integer and floating point domains. Per the
+#: paper (Table I row 5), only these correspond to real assembly
+#: instructions; the others are erased by the backend.
+INT_FP_CONVERSION_CASTS = ("fptosi", "fptoui", "sitofp", "uitofp")
+
+
+class Instruction(User):
+    """Base class. An instruction lives in exactly one basic block."""
+
+    opcode: str = "<abstract>"
+
+    def __init__(self, type_: ty.Type, operands: List[Value], name: str = "") -> None:
+        super().__init__(type_, operands, name)
+        self.parent: Optional["BasicBlock"] = None
+        #: Source line in the MiniC program, when known (for mapping results
+        #: back to source code, the motivation for high-level injection).
+        self.source_line: int = 0
+
+    @property
+    def function(self) -> Optional["Function"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def is_terminator(self) -> bool:
+        return False
+
+    def has_result(self) -> bool:
+        """True when the instruction produces a value (a "destination
+        register" in the paper's terminology — the injection target)."""
+        return not self.type.is_void()
+
+    def erase_from_parent(self) -> None:
+        if self.parent is None:
+            raise IRError("instruction is not in a block")
+        self.parent.remove(self)
+
+    def __str__(self) -> str:
+        from repro.ir.printer import format_instruction
+        return format_instruction(self)
+
+
+class BinaryOp(Instruction):
+    """Two-operand arithmetic/logic. Shift amounts share the operand type."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if opcode not in BINARY_OPS:
+            raise IRError(f"unknown binary opcode {opcode!r}")
+        if lhs.type is not rhs.type:
+            raise IRError(f"{opcode}: operand type mismatch ({lhs.type} vs {rhs.type})")
+        if opcode in FLOAT_BINARY_OPS:
+            if not lhs.type.is_double():
+                raise IRError(f"{opcode} requires double operands, got {lhs.type}")
+        else:
+            if not lhs.type.is_integer():
+                raise IRError(f"{opcode} requires integer operands, got {lhs.type}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+class ICmp(Instruction):
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if predicate not in ICMP_PREDICATES:
+            raise IRError(f"unknown icmp predicate {predicate!r}")
+        if lhs.type is not rhs.type:
+            raise IRError(f"icmp: operand type mismatch ({lhs.type} vs {rhs.type})")
+        if not (lhs.type.is_integer() or lhs.type.is_pointer()):
+            raise IRError(f"icmp requires integer or pointer operands, got {lhs.type}")
+        super().__init__(ty.I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+class FCmp(Instruction):
+    opcode = "fcmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if predicate not in FCMP_PREDICATES:
+            raise IRError(f"unknown fcmp predicate {predicate!r}")
+        if not (lhs.type.is_double() and rhs.type.is_double()):
+            raise IRError("fcmp requires double operands")
+        super().__init__(ty.I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+class Alloca(Instruction):
+    """Stack allocation; result is a pointer into the function's frame."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: ty.Type, name: str = "") -> None:
+        if allocated_type.is_void() or allocated_type.is_function():
+            raise IRError(f"cannot alloca {allocated_type}")
+        super().__init__(ty.PointerType(allocated_type), [], name)
+        self.allocated_type = allocated_type
+
+
+class Load(Instruction):
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = "") -> None:
+        if not pointer.type.is_pointer():
+            raise IRError(f"load requires a pointer operand, got {pointer.type}")
+        pointee = pointer.type.pointee  # type: ignore[attr-defined]
+        if not pointee.is_first_class():
+            raise IRError(f"cannot load a value of type {pointee}")
+        super().__init__(pointee, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(0)
+
+
+class Store(Instruction):
+    """No result (the paper excludes stores from injection for exactly this
+    reason: no destination register)."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value) -> None:
+        if not pointer.type.is_pointer():
+            raise IRError(f"store requires a pointer, got {pointer.type}")
+        if pointer.type.pointee is not value.type:  # type: ignore[attr-defined]
+            raise IRError(
+                f"store type mismatch: storing {value.type} through {pointer.type}")
+        super().__init__(ty.VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(1)
+
+
+class GetElementPtr(Instruction):
+    """Pointer address computation (LLVM ``getelementptr``).
+
+    Operand 0 is the base pointer; the remaining operands are indices.
+    The first index scales the base by whole pointee sizes; subsequent
+    indices step *into* arrays and structs. Struct indices must be
+    ``ConstantInt``.
+    """
+
+    opcode = "getelementptr"
+
+    def __init__(self, pointer: Value, indices: Sequence[Value], name: str = "") -> None:
+        if not pointer.type.is_pointer():
+            raise IRError(f"GEP requires a pointer base, got {pointer.type}")
+        if not indices:
+            raise IRError("GEP requires at least one index")
+        result = _gep_result_type(pointer.type, indices)
+        super().__init__(ty.PointerType(result), [pointer, *indices], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+
+def _gep_result_type(ptr_type: ty.Type, indices: Sequence[Value]) -> ty.Type:
+    from repro.ir.values import ConstantInt
+
+    current: ty.Type = ptr_type.pointee  # type: ignore[attr-defined]
+    for idx in indices[1:]:
+        if current.is_array():
+            current = current.element  # type: ignore[attr-defined]
+        elif current.is_struct():
+            if not isinstance(idx, ConstantInt):
+                raise IRError("struct GEP index must be a constant int")
+            current = current.field_type(idx.value)  # type: ignore[attr-defined]
+        else:
+            raise IRError(f"cannot index into type {current}")
+    for idx in indices:
+        if not idx.type.is_integer():
+            raise IRError(f"GEP index must be an integer, got {idx.type}")
+    return current
+
+
+class Cast(Instruction):
+    def __init__(self, opcode: str, value: Value, dest_type: ty.Type, name: str = "") -> None:
+        if opcode not in CAST_OPS:
+            raise IRError(f"unknown cast opcode {opcode!r}")
+        _check_cast(opcode, value.type, dest_type)
+        super().__init__(dest_type, [value], name)
+        self.opcode = opcode
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    def is_int_fp_conversion(self) -> bool:
+        return self.opcode in INT_FP_CONVERSION_CASTS
+
+
+def _check_cast(opcode: str, src: ty.Type, dst: ty.Type) -> None:
+    def err() -> IRError:
+        return IRError(f"invalid {opcode} from {src} to {dst}")
+
+    if opcode == "trunc":
+        if not (src.is_integer() and dst.is_integer()
+                and src.bits > dst.bits):  # type: ignore[attr-defined]
+            raise err()
+    elif opcode in ("zext", "sext"):
+        if not (src.is_integer() and dst.is_integer()
+                and src.bits < dst.bits):  # type: ignore[attr-defined]
+            raise err()
+    elif opcode in ("fptosi", "fptoui"):
+        if not (src.is_double() and dst.is_integer()):
+            raise err()
+    elif opcode in ("sitofp", "uitofp"):
+        if not (src.is_integer() and dst.is_double()):
+            raise err()
+    elif opcode == "bitcast":
+        if not (src.is_pointer() and dst.is_pointer()):
+            raise err()
+    elif opcode == "ptrtoint":
+        if not (src.is_pointer() and dst.is_integer(64)):
+            raise err()
+    elif opcode == "inttoptr":
+        if not (src.is_integer(64) and dst.is_pointer()):
+            raise err()
+
+
+class Phi(Instruction):
+    """SSA phi node. Incoming values are (value, block) pairs; values are
+    stored as operands so use-def chains stay consistent."""
+
+    opcode = "phi"
+
+    def __init__(self, type_: ty.Type, name: str = "") -> None:
+        if not type_.is_first_class():
+            raise IRError(f"phi of non-first-class type {type_}")
+        super().__init__(type_, [], name)
+        self._blocks: List["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type is not self.type:
+            raise IRError(
+                f"phi incoming type mismatch: {value.type} vs {self.type}")
+        self._append_operand(value)
+        self._blocks.append(block)
+
+    @property
+    def incoming(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self._blocks))
+
+    def incoming_for_block(self, block: "BasicBlock") -> Value:
+        for value, pred in self.incoming:
+            if pred is block:
+                return value
+        raise IRError(f"phi has no incoming value for block {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, pred in enumerate(self._blocks):
+            if pred is block:
+                use = self._operands.pop(i)
+                use.value._remove_use(use)
+                for j, u in enumerate(self._operands):
+                    u.index = j
+                self._blocks.pop(i)
+                return
+        raise IRError(f"phi has no incoming edge from {block.name}")
+
+
+class Select(Instruction):
+    """``select i1 %c, T %a, T %b`` — conditional move."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value,
+                 name: str = "") -> None:
+        if not cond.type.is_integer(1):
+            raise IRError("select condition must be i1")
+        if true_value.type is not false_value.type:
+            raise IRError("select arm type mismatch")
+        super().__init__(true_value.type, [cond, true_value, false_value], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def true_value(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def false_value(self) -> Value:
+        return self.operand(2)
+
+
+class Branch(Instruction):
+    """Unconditional (``br label %b``) or conditional
+    (``br i1 %c, label %t, label %f``) branch. Targets are block references,
+    not operands (they are not values), matching how the backend sees them."""
+
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock" = None,  # type: ignore[assignment]
+                 condition: Optional[Value] = None,
+                 if_true: Optional["BasicBlock"] = None,
+                 if_false: Optional["BasicBlock"] = None) -> None:
+        if condition is not None:
+            if not condition.type.is_integer(1):
+                raise IRError("branch condition must be i1")
+            if if_true is None or if_false is None:
+                raise IRError("conditional branch needs two targets")
+            super().__init__(ty.VOID, [condition])
+            self.targets: List["BasicBlock"] = [if_true, if_false]
+        else:
+            if target is None:
+                raise IRError("unconditional branch needs a target")
+            super().__init__(ty.VOID, [])
+            self.targets = [target]
+
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.num_operands == 1
+
+    @property
+    def condition(self) -> Value:
+        if not self.is_conditional:
+            raise IRError("unconditional branch has no condition")
+        return self.operand(0)
+
+    def successors(self) -> List["BasicBlock"]:
+        return list(self.targets)
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        self.targets = [new if t is old else t for t in self.targets]
+
+
+class Ret(Instruction):
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__(ty.VOID, [value] if value is not None else [])
+
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operand(0) if self.num_operands else None
+
+    def successors(self) -> List["BasicBlock"]:
+        return []
+
+
+class Unreachable(Instruction):
+    opcode = "unreachable"
+
+    def __init__(self) -> None:
+        super().__init__(ty.VOID, [])
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> List["BasicBlock"]:
+        return []
+
+
+class Call(Instruction):
+    """Direct call. Operand 0.. are the arguments; the callee is stored as a
+    reference (functions are not SSA operands in this IR)."""
+
+    opcode = "call"
+
+    def __init__(self, callee: "Function", args: Sequence[Value], name: str = "") -> None:
+        ftype = callee.function_type
+        expected = ftype.param_types
+        if ftype.vararg:
+            if len(args) < len(expected):
+                raise IRError(
+                    f"call to {callee.name}: expected at least {len(expected)} args, "
+                    f"got {len(args)}")
+        elif len(args) != len(expected):
+            raise IRError(
+                f"call to {callee.name}: expected {len(expected)} args, got {len(args)}")
+        for i, (arg, want) in enumerate(zip(args, expected)):
+            if arg.type is not want:
+                raise IRError(
+                    f"call to {callee.name}: arg {i} has type {arg.type}, wants {want}")
+        super().__init__(ftype.return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands

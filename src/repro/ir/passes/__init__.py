@@ -1,0 +1,24 @@
+"""Optimization passes over the repro IR.
+
+The default pipeline (:func:`run_default_pipeline`) mirrors what the paper
+implies by "compile the programs with the LLVM compiler, with the same
+standard optimizations enabled": promote memory to SSA registers, fold
+constants, prune dead code, and tidy the CFG. Both LLFI's input IR and the
+backend's input IR go through the same pipeline, which is the paper's
+fairness requirement.
+"""
+
+from repro.ir.passes.manager import PassManager, run_default_pipeline
+from repro.ir.passes.mem2reg import promote_memory_to_registers
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.simplifycfg import simplify_cfg
+
+__all__ = [
+    "PassManager",
+    "run_default_pipeline",
+    "promote_memory_to_registers",
+    "fold_constants",
+    "eliminate_dead_code",
+    "simplify_cfg",
+]

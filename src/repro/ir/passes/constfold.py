@@ -1,0 +1,147 @@
+"""Constant folding and trivial algebraic simplification.
+
+Runs to a fixed point within each function. Folds binary ops, compares,
+casts and selects whose operands are constants, plus a few identities
+(x+0, x*1, x*0, x-x) that commonly appear after mem2reg.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir import types as ty
+from repro.ir.builder import _fold_binop, _fold_int_cast, _sdiv, _srem
+from repro.ir.instructions import (
+    BinaryOp, Cast, FCmp, ICmp, Instruction, Select,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import ConstantDouble, ConstantInt, Value
+
+
+def fold_constants(module: Module) -> int:
+    """Fold constant expressions module-wide. Returns number of
+    instructions folded away."""
+    total = 0
+    for func in module.defined_functions():
+        total += _fold_function(func)
+    return total
+
+
+def _fold_function(func: Function) -> int:
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                replacement = _try_fold(inst)
+                if replacement is not None:
+                    inst.replace_all_uses_with(replacement)
+                    inst.erase_from_parent()
+                    folded += 1
+                    changed = True
+    return folded
+
+
+def _try_fold(inst: Instruction) -> Optional[Value]:
+    if isinstance(inst, BinaryOp):
+        folded = _fold_binop(inst.opcode, inst.lhs, inst.rhs)
+        if folded is not None:
+            return folded
+        return _fold_identity(inst)
+    if isinstance(inst, ICmp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            return ConstantInt(ty.I1, int(_icmp(inst.predicate, lhs, rhs)))
+    if isinstance(inst, FCmp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantDouble) and isinstance(rhs, ConstantDouble):
+            return ConstantInt(ty.I1, int(_fcmp(inst.predicate, lhs.value, rhs.value)))
+    if isinstance(inst, Cast):
+        v = inst.value
+        if isinstance(v, ConstantInt):
+            if inst.opcode in ("trunc", "zext", "sext"):
+                return _fold_int_cast(inst.opcode, v, inst.type)
+            if inst.opcode == "sitofp":
+                return ConstantDouble(float(v.value))
+            if inst.opcode == "uitofp":
+                return ConstantDouble(float(v.unsigned))
+        if isinstance(v, ConstantDouble) and inst.opcode in ("fptosi", "fptoui"):
+            bits = inst.type.bits  # type: ignore[attr-defined]
+            try:
+                as_int = int(v.value)
+            except (OverflowError, ValueError):
+                return None
+            if inst.opcode == "fptosi":
+                return ConstantInt(inst.type, as_int)  # type: ignore[arg-type]
+            return ConstantInt(inst.type, as_int & ((1 << bits) - 1))  # type: ignore[arg-type]
+    if isinstance(inst, Select):
+        cond = inst.condition
+        if isinstance(cond, ConstantInt):
+            return inst.true_value if cond.value else inst.false_value
+        if inst.true_value is inst.false_value:
+            return inst.true_value
+    return None
+
+
+def _fold_identity(inst: BinaryOp) -> Optional[Value]:
+    lhs, rhs = inst.lhs, inst.rhs
+    rconst = rhs if isinstance(rhs, ConstantInt) else None
+    lconst = lhs if isinstance(lhs, ConstantInt) else None
+    op = inst.opcode
+    if op == "add":
+        if rconst is not None and rconst.value == 0:
+            return lhs
+        if lconst is not None and lconst.value == 0:
+            return rhs
+    elif op == "sub":
+        if rconst is not None and rconst.value == 0:
+            return lhs
+        if lhs is rhs:
+            return ConstantInt(inst.type, 0)  # type: ignore[arg-type]
+    elif op == "mul":
+        for c, other in ((rconst, lhs), (lconst, rhs)):
+            if c is not None:
+                if c.value == 1:
+                    return other
+                if c.value == 0:
+                    return ConstantInt(inst.type, 0)  # type: ignore[arg-type]
+    elif op in ("and", "or"):
+        if lhs is rhs:
+            return lhs
+        if rconst is not None:
+            if op == "and" and rconst.value == 0:
+                return ConstantInt(inst.type, 0)  # type: ignore[arg-type]
+            if op == "or" and rconst.value == 0:
+                return lhs
+    elif op == "xor":
+        if lhs is rhs:
+            return ConstantInt(inst.type, 0)  # type: ignore[arg-type]
+        if rconst is not None and rconst.value == 0:
+            return lhs
+    elif op in ("shl", "lshr", "ashr"):
+        if rconst is not None and rconst.value == 0:
+            return lhs
+    elif op in ("sdiv", "udiv"):
+        if rconst is not None and rconst.value == 1:
+            return lhs
+    return None
+
+
+def _icmp(pred: str, lhs: ConstantInt, rhs: ConstantInt) -> bool:
+    a, b = lhs.value, rhs.value
+    ua, ub = lhs.unsigned, rhs.unsigned
+    return {
+        "eq": a == b, "ne": a != b,
+        "slt": a < b, "sle": a <= b, "sgt": a > b, "sge": a >= b,
+        "ult": ua < ub, "ule": ua <= ub, "ugt": ua > ub, "uge": ua >= ub,
+    }[pred]
+
+
+def _fcmp(pred: str, a: float, b: float) -> bool:
+    if a != a or b != b:  # NaN: ordered predicates are all false
+        return False
+    return {
+        "oeq": a == b, "one": a != b,
+        "olt": a < b, "ole": a <= b, "ogt": a > b, "oge": a >= b,
+    }[pred]

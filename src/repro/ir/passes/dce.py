@@ -1,0 +1,45 @@
+"""Dead code elimination.
+
+Removes instructions with no users and no side effects, iterating until no
+more can be removed (removing a user can make its operands dead in turn).
+Side-effecting instructions — stores, calls, terminators — are always kept;
+loads are treated as pure (our memory model has no volatile or I/O-mapped
+loads; all I/O goes through call intrinsics).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Call, Instruction, Store
+from repro.ir.module import Function, Module
+
+
+def _has_side_effects(inst: Instruction) -> bool:
+    if inst.is_terminator():
+        return True
+    if isinstance(inst, (Store, Call)):
+        return True
+    return False
+
+
+def eliminate_dead_code(module: Module) -> int:
+    """Remove trivially dead instructions module-wide. Returns count removed."""
+    total = 0
+    for func in module.defined_functions():
+        total += _dce_function(func)
+    return total
+
+
+def _dce_function(func: Function) -> int:
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in reversed(list(block.instructions)):
+                if _has_side_effects(inst):
+                    continue
+                if not inst.is_used():
+                    inst.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed

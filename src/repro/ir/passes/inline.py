@@ -1,0 +1,224 @@
+"""Function inlining.
+
+Small callees are cloned into their call sites, matching what Clang's -O2
+does to helpers like ``max2``/``max3``. Without this, call-frame traffic
+(argument moves, prologue/epilogue push/pop) dominates the assembly-level
+instruction counts of call-heavy benchmarks and distorts the IR-vs-assembly
+comparison the reproduction is about.
+
+Mechanics: the call's block is split at the call; the callee body is cloned
+with arguments substituted; ``ret`` instructions become branches to the
+continuation, with a phi merging return values when there are several.
+Cloned entry-block allocas are hoisted into the caller's entry block (the
+backend and mem2reg only look there).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, FCmp, GetElementPtr, ICmp,
+    Instruction, Load, Phi, Ret, Select, Store, Unreachable,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Value
+
+
+def inline_functions(module: Module, max_insts: int = 48,
+                     max_blocks: int = 8, rounds: int = 3) -> int:
+    """Inline eligible call sites module-wide. Returns sites inlined."""
+    total = 0
+    for _ in range(rounds):
+        changed = 0
+        for func in list(module.defined_functions()):
+            changed += _inline_in_function(func, max_insts, max_blocks)
+        total += changed
+        if not changed:
+            break
+    return total
+
+
+def _eligible(callee: Function, caller: Function, max_insts: int,
+              max_blocks: int) -> bool:
+    if callee.is_declaration or callee.is_intrinsic:
+        return False
+    if callee is caller:
+        return False
+    if len(callee.blocks) > max_blocks:
+        return False
+    count = 0
+    for inst in callee.instructions():
+        count += 1
+        if count > max_insts:
+            return False
+        # Direct recursion never shrinks; skip.
+        if isinstance(inst, Call) and inst.callee is callee:
+            return False
+    return True
+
+
+def _inline_in_function(func: Function, max_insts: int,
+                        max_blocks: int) -> int:
+    inlined = 0
+    # Snapshot call sites first; inlining mutates the block list.
+    sites: List[Call] = [
+        inst for inst in func.instructions()
+        if isinstance(inst, Call)
+        and _eligible(inst.callee, func, max_insts, max_blocks)
+    ]
+    for call in sites:
+        if call.parent is None:
+            continue  # removed by an earlier inline in this pass
+        _inline_site(func, call)
+        inlined += 1
+    return inlined
+
+
+def _inline_site(caller: Function, call: Call) -> None:
+    callee = call.callee
+    block = call.parent
+    assert block is not None
+    index = block.instructions.index(call)
+
+    # 1. Split: instructions after the call move to the continuation block.
+    cont = BasicBlock(caller.unique_name(f"{callee.name}.exit"), caller)
+    tail = block.instructions[index + 1:]
+    del block.instructions[index + 1:]
+    for inst in tail:
+        inst.parent = cont
+        cont.instructions.append(inst)
+    # Phi edges in successors now come from `cont`.
+    for succ in cont.successors():
+        for phi in succ.phis():
+            phi._blocks = [cont if b is block else b for b in phi._blocks]
+
+    # 2. Clone the callee. Blocks are visited in reverse postorder so that
+    #    every non-phi use sees its definition already cloned (phi incoming
+    #    values are filled afterwards, covering back edges).
+    from repro.ir.analysis import reachable_blocks
+
+    order = reachable_blocks(callee)
+    vmap: Dict[int, Value] = {}
+    bmap: Dict[int, BasicBlock] = {}
+    for arg, actual in zip(callee.args, call.args):
+        vmap[id(arg)] = actual
+    clones: List[BasicBlock] = []
+    for cblock in order:
+        nb = BasicBlock(caller.unique_name(f"{callee.name}.{cblock.name}"),
+                        caller)
+        bmap[id(cblock)] = nb
+        clones.append(nb)
+    rets: List[Tuple[Optional[Value], BasicBlock]] = []
+    phi_fixups: List[Tuple[Phi, Phi]] = []  # (original, clone)
+    for cblock in order:
+        nb = bmap[id(cblock)]
+        for inst in cblock.instructions:
+            if isinstance(inst, Ret):
+                value = inst.value
+                rets.append((value, nb))
+                continue  # terminator added in step 4
+            clone = _clone_inst(inst, vmap, bmap, caller)
+            vmap[id(inst)] = clone
+            nb.instructions.append(clone)
+            clone.parent = nb
+            if isinstance(inst, Phi):
+                phi_fixups.append((inst, clone))
+    # Phi operands may reference forward values; fill them now.
+    for original, clone in phi_fixups:
+        for value, pred in original.incoming:
+            if id(pred) in bmap:  # edges from unreachable blocks vanish
+                clone.add_incoming(_mapped(value, vmap), bmap[id(pred)])
+
+    # 3. Wire control flow: call block branches to the cloned entry;
+    #    each cloned ret branches to the continuation.
+    entry_clone = bmap[id(callee.entry)]
+    br = Branch(entry_clone)
+    br.parent = block
+    block.instructions.append(br)
+    for value, nb in rets:
+        rbr = Branch(cont)
+        rbr.parent = nb
+        nb.instructions.append(rbr)
+
+    # 4. Return value.
+    if call.has_result():
+        if not rets:
+            raise IRError(f"inlining {callee.name}: no return values")
+        mapped = [( _mapped(v, vmap) if v is not None else None, nb)
+                  for v, nb in rets]
+        if len(mapped) == 1:
+            result: Value = mapped[0][0]  # type: ignore[assignment]
+        else:
+            phi = Phi(call.type, caller.unique_name(f"{callee.name}.ret"))
+            cont.instructions.insert(0, phi)
+            phi.parent = cont
+            for v, nb in mapped:
+                phi.add_incoming(v, nb)  # type: ignore[arg-type]
+            result = phi
+        call.replace_all_uses_with(result)
+
+    # 5. Remove the call, splice blocks after the call block.
+    block.instructions.remove(call)
+    call.parent = None
+    call.drop_all_references()
+    at = caller.blocks.index(block) + 1
+    caller.blocks[at:at] = clones + [cont]
+
+    # 6. Hoist cloned entry allocas into the caller entry block.
+    if block is not caller.entry or entry_clone is not caller.entry:
+        for nb in clones:
+            for inst in [i for i in nb.instructions if isinstance(i, Alloca)]:
+                nb.instructions.remove(inst)
+                inst.parent = caller.entry
+                caller.entry.instructions.insert(0, inst)
+
+
+def _mapped(value: Value, vmap: Dict[int, Value]) -> Value:
+    return vmap.get(id(value), value)
+
+
+def _clone_inst(inst: Instruction, vmap: Dict[int, Value],
+                bmap: Dict[int, BasicBlock], caller: Function) -> Instruction:
+    m = lambda v: _mapped(v, vmap)  # noqa: E731
+    name = caller.unique_name(inst.name or "inl")
+    clone: Instruction
+    if isinstance(inst, BinaryOp):
+        clone = BinaryOp(inst.opcode, m(inst.lhs), m(inst.rhs), name)
+    elif isinstance(inst, ICmp):
+        clone = ICmp(inst.predicate, m(inst.lhs), m(inst.rhs), name)
+    elif isinstance(inst, FCmp):
+        clone = FCmp(inst.predicate, m(inst.lhs), m(inst.rhs), name)
+    elif isinstance(inst, Alloca):
+        clone = Alloca(inst.allocated_type, name)
+    elif isinstance(inst, Load):
+        clone = Load(m(inst.pointer), name)
+    elif isinstance(inst, Store):
+        clone = Store(m(inst.value), m(inst.pointer))
+    elif isinstance(inst, GetElementPtr):
+        clone = GetElementPtr(m(inst.pointer),
+                              [m(i) for i in inst.indices], name)
+    elif isinstance(inst, Cast):
+        clone = Cast(inst.opcode, m(inst.value), inst.type, name)
+    elif isinstance(inst, Select):
+        clone = Select(m(inst.condition), m(inst.true_value),
+                       m(inst.false_value), name)
+    elif isinstance(inst, Phi):
+        clone = Phi(inst.type, name)
+        # incoming edges are filled after all blocks are cloned
+    elif isinstance(inst, Branch):
+        if inst.is_conditional:
+            clone = Branch(condition=m(inst.condition),
+                           if_true=bmap[id(inst.targets[0])],
+                           if_false=bmap[id(inst.targets[1])])
+        else:
+            clone = Branch(bmap[id(inst.targets[0])])
+    elif isinstance(inst, Unreachable):
+        clone = Unreachable()
+    elif isinstance(inst, Call):
+        clone = Call(inst.callee, [m(a) for a in inst.args], name)
+    else:
+        raise IRError(f"cannot clone {inst.opcode}")
+    clone.source_line = inst.source_line
+    return clone

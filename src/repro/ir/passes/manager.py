@@ -1,0 +1,57 @@
+"""Pass manager: runs passes in order, optionally verifying after each."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+Pass = Callable[[Module], int]
+
+
+class PassManager:
+    """Ordered pipeline of module passes.
+
+    With ``verify_each=True`` (the default) the IR verifier runs after each
+    pass, so a miscompiling pass is caught at the pass boundary rather than
+    as a bizarre runtime difference between the two injectors.
+    """
+
+    def __init__(self, verify_each: bool = True) -> None:
+        self._passes: List[Tuple[str, Pass]] = []
+        self.verify_each = verify_each
+
+    def add(self, name: str, pass_fn: Pass) -> "PassManager":
+        self._passes.append((name, pass_fn))
+        return self
+
+    def run(self, module: Module) -> dict:
+        """Run the pipeline; returns {pass name: change count}."""
+        if self.verify_each:
+            verify_module(module)
+        report = {}
+        for name, pass_fn in self._passes:
+            report[name] = pass_fn(module)
+            if self.verify_each:
+                verify_module(module)
+        return report
+
+
+def run_default_pipeline(module: Module, verify_each: bool = True) -> dict:
+    """The standard -O1-ish pipeline both LLFI and the backend consume."""
+    from repro.ir.passes.constfold import fold_constants
+    from repro.ir.passes.dce import eliminate_dead_code
+    from repro.ir.passes.inline import inline_functions
+    from repro.ir.passes.mem2reg import promote_memory_to_registers
+    from repro.ir.passes.simplifycfg import simplify_cfg
+
+    pm = PassManager(verify_each=verify_each)
+    pm.add("simplifycfg", simplify_cfg)
+    pm.add("inline", inline_functions)
+    pm.add("mem2reg", promote_memory_to_registers)
+    pm.add("constfold", fold_constants)
+    pm.add("dce", eliminate_dead_code)
+    pm.add("simplifycfg2", simplify_cfg)
+    pm.add("dce2", eliminate_dead_code)
+    return pm.run(module)

@@ -1,0 +1,96 @@
+"""Textual printer for the repro IR (LLVM-assembly-flavoured).
+
+The printed form is for humans, debugging and golden tests; there is no
+parser (modules are built via the builder or the MiniC front end).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, FCmp, GetElementPtr, ICmp,
+    Instruction, Load, Phi, Ret, Select, Store, Unreachable,
+)
+from repro.ir.module import BasicBlock, Function, Module
+
+
+def _op(value) -> str:
+    return f"{value.type} {value.ref()}"
+
+
+def format_instruction(inst: Instruction) -> str:
+    if isinstance(inst, BinaryOp):
+        return (f"%{inst.name} = {inst.opcode} {inst.type} "
+                f"{inst.lhs.ref()}, {inst.rhs.ref()}")
+    if isinstance(inst, ICmp):
+        return (f"%{inst.name} = icmp {inst.predicate} {inst.lhs.type} "
+                f"{inst.lhs.ref()}, {inst.rhs.ref()}")
+    if isinstance(inst, FCmp):
+        return (f"%{inst.name} = fcmp {inst.predicate} {inst.lhs.type} "
+                f"{inst.lhs.ref()}, {inst.rhs.ref()}")
+    if isinstance(inst, Alloca):
+        return f"%{inst.name} = alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        return f"%{inst.name} = load {inst.type}, {_op(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_op(inst.value)}, {_op(inst.pointer)}"
+    if isinstance(inst, GetElementPtr):
+        idx = ", ".join(_op(i) for i in inst.indices)
+        return (f"%{inst.name} = getelementptr "
+                f"{inst.pointer.type.pointee}, {_op(inst.pointer)}, {idx}")
+    if isinstance(inst, Cast):
+        return (f"%{inst.name} = {inst.opcode} {_op(inst.value)} to {inst.type}")
+    if isinstance(inst, Phi):
+        pairs = ", ".join(f"[ {v.ref()}, %{b.name} ]" for v, b in inst.incoming)
+        return f"%{inst.name} = phi {inst.type} {pairs}"
+    if isinstance(inst, Select):
+        return (f"%{inst.name} = select {_op(inst.condition)}, "
+                f"{_op(inst.true_value)}, {_op(inst.false_value)}")
+    if isinstance(inst, Branch):
+        if inst.is_conditional:
+            t, f = inst.targets
+            return (f"br i1 {inst.condition.ref()}, "
+                    f"label %{t.name}, label %{f.name}")
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, Ret):
+        if inst.value is not None:
+            return f"ret {_op(inst.value)}"
+        return "ret void"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Call):
+        args = ", ".join(_op(a) for a in inst.args)
+        prefix = f"%{inst.name} = " if inst.has_result() else ""
+        return f"{prefix}call {inst.type} @{inst.callee.name}({args})"
+    raise AssertionError(f"unprintable instruction {type(inst).__name__}")
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    header = f"define {func.return_type} @{func.name}({params})"
+    if func.is_declaration:
+        return f"declare {func.return_type} @{func.name}({params})"
+    body = "\n\n".join(format_block(b) for b in func.blocks)
+    return f"{header} {{\n{body}\n}}"
+
+
+def format_module(module: Module) -> str:
+    parts: List[str] = [f"; module {module.name}"]
+    for struct in module.structs.values():
+        if struct.is_complete:
+            fields = ", ".join(str(t) for t in struct.field_types)
+            parts.append(f"%struct.{struct.name} = type {{ {fields} }}")
+    for g in module.globals.values():
+        kind = "constant" if g.is_constant else "global"
+        parts.append(f"@{g.name} = {kind} {g.value_type} {g.initializer.ref()}")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,335 @@
+"""Type system for the repro IR.
+
+Modeled on LLVM's type system, restricted to what the MiniC front end and
+the SimX86 backend need:
+
+* ``void``
+* integers of 1, 8, 16, 32 and 64 bits (``i1`` is the result of compares)
+* ``double`` (64-bit IEEE float; MiniC has no ``float``)
+* pointers (typed, 64-bit representation)
+* fixed-size arrays
+* named structs
+* function types
+
+Types are interned: constructing the same type twice returns the same
+object, so identity comparison (``is``) works and types are hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import IRError
+
+#: Size of a pointer in bytes on the simulated machine (x86-64-like).
+POINTER_SIZE = 8
+
+
+class Type:
+    """Base class of all IR types. Instances are immutable and interned."""
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_integer(self, bits: int | None = None) -> bool:
+        if not isinstance(self, IntType):
+            return False
+        return bits is None or self.bits == bits
+
+    def is_double(self) -> bool:
+        return isinstance(self, DoubleType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    def is_aggregate(self) -> bool:
+        return self.is_array() or self.is_struct()
+
+    def is_first_class(self) -> bool:
+        """A value of this type can live in a virtual register."""
+        return not (self.is_void() or self.is_function() or self.is_aggregate())
+
+    @property
+    def size(self) -> int:
+        """Size of a value of this type in bytes, as laid out in memory."""
+        raise IRError(f"type {self} has no size")
+
+    @property
+    def alignment(self) -> int:
+        """Natural alignment in bytes."""
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self}>"
+
+
+class VoidType(Type):
+    _instance: "VoidType | None" = None
+
+    def __new__(cls) -> "VoidType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width. All MiniC integers are signed
+    at the language level; signedness in the IR lives in the *operations*
+    (sdiv vs udiv, sext vs zext), like LLVM."""
+
+    _cache: Dict[int, "IntType"] = {}
+    VALID_WIDTHS = (1, 8, 16, 32, 64)
+
+    def __new__(cls, bits: int) -> "IntType":
+        if bits not in cls.VALID_WIDTHS:
+            raise IRError(f"unsupported integer width: i{bits}")
+        inst = cls._cache.get(bits)
+        if inst is None:
+            inst = super().__new__(cls)
+            inst._bits = bits
+            cls._cache[bits] = inst
+        return inst
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def size(self) -> int:
+        # i1 occupies one byte in memory.
+        return max(1, self._bits // 8)
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self._bits - 1))
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self._bits - 1)) - 1
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self._bits) - 1
+
+    def __str__(self) -> str:
+        return f"i{self._bits}"
+
+
+class DoubleType(Type):
+    _instance: "DoubleType | None" = None
+
+    def __new__(cls) -> "DoubleType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "double"
+
+
+class PointerType(Type):
+    _cache: Dict[int, "PointerType"] = {}
+
+    def __new__(cls, pointee: Type) -> "PointerType":
+        if pointee.is_void():
+            raise IRError("pointer to void is not allowed; use i8*")
+        inst = cls._cache.get(id(pointee))
+        if inst is None:
+            inst = super().__new__(cls)
+            inst._pointee = pointee
+            cls._cache[id(pointee)] = inst
+        return inst
+
+    @property
+    def pointee(self) -> Type:
+        return self._pointee
+
+    @property
+    def size(self) -> int:
+        return POINTER_SIZE
+
+    def __str__(self) -> str:
+        return f"{self._pointee}*"
+
+
+class ArrayType(Type):
+    _cache: Dict[Tuple[int, int], "ArrayType"] = {}
+
+    def __new__(cls, element: Type, count: int) -> "ArrayType":
+        if count < 0:
+            raise IRError(f"array count must be non-negative, got {count}")
+        if not element.is_first_class() and not element.is_aggregate():
+            raise IRError(f"invalid array element type {element}")
+        key = (id(element), count)
+        inst = cls._cache.get(key)
+        if inst is None:
+            inst = super().__new__(cls)
+            inst._element = element
+            inst._count = count
+            cls._cache[key] = inst
+        return inst
+
+    @property
+    def element(self) -> Type:
+        return self._element
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def size(self) -> int:
+        return self._element.size * self._count
+
+    @property
+    def alignment(self) -> int:
+        return self._element.alignment
+
+    def __str__(self) -> str:
+        return f"[{self._count} x {self._element}]"
+
+
+class StructType(Type):
+    """A named struct with C-style layout (fields padded to natural
+    alignment, total size rounded up to the max field alignment)."""
+
+    def __init__(self, name: str, field_types: Sequence[Type] | None = None,
+                 field_names: Sequence[str] | None = None) -> None:
+        self.name = name
+        self._field_types: List[Type] = []
+        self._field_names: List[str] = []
+        self._offsets: List[int] = []
+        self._size = 0
+        self._alignment = 1
+        self._complete = False
+        if field_types is not None:
+            self.set_body(field_types, field_names)
+
+    def set_body(self, field_types: Sequence[Type],
+                 field_names: Sequence[str] | None = None) -> None:
+        """Complete an opaque struct (allows self-referential pointers)."""
+        if self._complete:
+            raise IRError(f"struct {self.name} already has a body")
+        names = list(field_names) if field_names is not None else [
+            f"f{i}" for i in range(len(field_types))]
+        if len(names) != len(field_types):
+            raise IRError("field name/type count mismatch")
+        offset = 0
+        align = 1
+        for ftype in field_types:
+            falign = ftype.alignment
+            offset = _align_up(offset, falign)
+            self._offsets.append(offset)
+            offset += ftype.size
+            align = max(align, falign)
+        self._field_types = list(field_types)
+        self._field_names = names
+        self._alignment = align
+        self._size = _align_up(offset, align) if field_types else 0
+        self._complete = True
+
+    @property
+    def is_complete(self) -> bool:
+        return self._complete
+
+    @property
+    def field_types(self) -> List[Type]:
+        self._require_complete()
+        return list(self._field_types)
+
+    @property
+    def field_names(self) -> List[str]:
+        self._require_complete()
+        return list(self._field_names)
+
+    @property
+    def num_fields(self) -> int:
+        self._require_complete()
+        return len(self._field_types)
+
+    def field_index(self, name: str) -> int:
+        self._require_complete()
+        try:
+            return self._field_names.index(name)
+        except ValueError:
+            raise IRError(f"struct {self.name} has no field {name!r}") from None
+
+    def field_type(self, index: int) -> Type:
+        self._require_complete()
+        return self._field_types[index]
+
+    def field_offset(self, index: int) -> int:
+        self._require_complete()
+        return self._offsets[index]
+
+    @property
+    def size(self) -> int:
+        self._require_complete()
+        return self._size
+
+    @property
+    def alignment(self) -> int:
+        self._require_complete()
+        return self._alignment
+
+    def _require_complete(self) -> None:
+        if not self._complete:
+            raise IRError(f"struct {self.name} is opaque (no body yet)")
+
+    def __str__(self) -> str:
+        return f"%struct.{self.name}"
+
+
+class FunctionType(Type):
+    def __init__(self, return_type: Type, param_types: Sequence[Type],
+                 vararg: bool = False) -> None:
+        for pt in param_types:
+            if not pt.is_first_class():
+                raise IRError(f"invalid parameter type {pt}")
+        if not (return_type.is_void() or return_type.is_first_class()):
+            raise IRError(f"invalid return type {return_type}")
+        self.return_type = return_type
+        self.param_types = list(param_types)
+        self.vararg = vararg
+
+    def __str__(self) -> str:
+        params = ", ".join(str(t) for t in self.param_types)
+        if self.vararg:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.return_type} ({params})"
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+# Canonical singletons -------------------------------------------------------
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+DOUBLE = DoubleType()
+
+
+def ptr(pointee: Type) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(pointee)

@@ -1,0 +1,290 @@
+"""Value hierarchy of the repro IR: constants, arguments, globals.
+
+Instructions (which are also values) live in :mod:`repro.ir.instructions`;
+functions and modules in :mod:`repro.ir.module`.
+
+Use-def chains are maintained eagerly: every :class:`User` records its
+operands, and every :class:`Value` records the users that reference it.
+LLFI relies on these chains to restrict injection to instructions whose
+results are actually used (paper §IV: "the LLVM compiler will automatically
+identify the def-use chain of an instruction").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from repro.errors import IRError
+from repro.ir import types as ty
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.instructions import Instruction
+
+
+class Value:
+    """Anything that can be an operand: constants, arguments, globals,
+    functions and instruction results."""
+
+    def __init__(self, type_: ty.Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+        self._uses: List["Use"] = []
+
+    # -- use-def chain -----------------------------------------------------
+    @property
+    def uses(self) -> List["Use"]:
+        return list(self._uses)
+
+    @property
+    def num_uses(self) -> int:
+        return len(self._uses)
+
+    def users(self) -> Iterator["User"]:
+        for use in self._uses:
+            yield use.user
+
+    def is_used(self) -> bool:
+        return bool(self._uses)
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every user of ``self`` to reference ``new`` instead."""
+        if new is self:
+            return
+        for use in list(self._uses):
+            use.user._set_operand(use.index, new)
+
+    def _add_use(self, use: "Use") -> None:
+        self._uses.append(use)
+
+    def _remove_use(self, use: "Use") -> None:
+        self._uses.remove(use)
+
+    # -- printing ----------------------------------------------------------
+    def ref(self) -> str:
+        """How this value is written when used as an operand."""
+        return f"%{self.name}" if self.name else "%<unnamed>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.type} {self.ref()}>"
+
+
+class Use:
+    """One operand slot of a user: (user, index) referencing a value."""
+
+    __slots__ = ("user", "index", "value")
+
+    def __init__(self, user: "User", index: int, value: Value) -> None:
+        self.user = user
+        self.index = index
+        self.value = value
+
+
+class User(Value):
+    """A value that references other values as operands."""
+
+    def __init__(self, type_: ty.Type, operands: List[Value], name: str = "") -> None:
+        super().__init__(type_, name)
+        self._operands: List[Use] = []
+        for i, op in enumerate(operands):
+            use = Use(self, i, op)
+            self._operands.append(use)
+            op._add_use(use)
+
+    @property
+    def operands(self) -> List[Value]:
+        return [use.value for use in self._operands]
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def operand(self, index: int) -> Value:
+        return self._operands[index].value
+
+    def _set_operand(self, index: int, value: Value) -> None:
+        use = self._operands[index]
+        use.value._remove_use(use)
+        use.value = value
+        value._add_use(use)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        self._set_operand(index, value)
+
+    def _append_operand(self, value: Value) -> None:
+        use = Use(self, len(self._operands), value)
+        self._operands.append(use)
+        value._add_use(use)
+
+    def drop_all_references(self) -> None:
+        """Detach from operands (used when deleting instructions)."""
+        for use in self._operands:
+            use.value._remove_use(use)
+        self._operands = []
+
+
+# ---------------------------------------------------------------------------
+# Constants
+# ---------------------------------------------------------------------------
+
+class Constant(Value):
+    """Base class for immediate values."""
+
+    def ref(self) -> str:
+        raise NotImplementedError
+
+
+class ConstantInt(Constant):
+    """Integer constant, stored as a Python int in the *signed* range of its
+    type. ``value`` outside the representable range wraps (two's complement),
+    matching LLVM constant folding semantics."""
+
+    def __init__(self, type_: ty.IntType, value: int) -> None:
+        if not isinstance(type_, ty.IntType):
+            raise IRError(f"ConstantInt requires an integer type, got {type_}")
+        super().__init__(type_)
+        self.value = wrap_signed(value, type_.bits)
+
+    @property
+    def unsigned(self) -> int:
+        return self.value & self.type.max_unsigned  # type: ignore[attr-defined]
+
+    def ref(self) -> str:
+        if self.type.is_integer(1):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+class ConstantDouble(Constant):
+    def __init__(self, value: float) -> None:
+        super().__init__(ty.DOUBLE)
+        self.value = float(value)
+
+    def ref(self) -> str:
+        return f"{self.value!r}"
+
+
+class ConstantNull(Constant):
+    """The null pointer of a given pointer type."""
+
+    def __init__(self, type_: ty.PointerType) -> None:
+        if not type_.is_pointer():
+            raise IRError("null constant requires a pointer type")
+        super().__init__(type_)
+
+    def ref(self) -> str:
+        return "null"
+
+
+class ConstantUndef(Constant):
+    """An undefined value (used for e.g. uninitialized phi inputs)."""
+
+    def ref(self) -> str:
+        return "undef"
+
+
+class ConstantArray(Constant):
+    """Array initializer for globals."""
+
+    def __init__(self, type_: ty.ArrayType, elements: List[Constant]) -> None:
+        if len(elements) != type_.count:
+            raise IRError(
+                f"array initializer has {len(elements)} elements, type wants {type_.count}")
+        super().__init__(type_)
+        self.elements = list(elements)
+
+    def ref(self) -> str:
+        inner = ", ".join(f"{e.type} {e.ref()}" for e in self.elements)
+        return f"[{inner}]"
+
+
+class ConstantStruct(Constant):
+    """Struct initializer for globals."""
+
+    def __init__(self, type_: ty.StructType, fields: List[Constant]) -> None:
+        if len(fields) != type_.num_fields:
+            raise IRError(
+                f"struct initializer has {len(fields)} fields, type wants {type_.num_fields}")
+        super().__init__(type_)
+        self.fields = list(fields)
+
+    def ref(self) -> str:
+        inner = ", ".join(f"{f.type} {f.ref()}" for f in self.fields)
+        return f"{{{inner}}}"
+
+
+class ConstantZero(Constant):
+    """Zero initializer of any sized type (like LLVM's ``zeroinitializer``)."""
+
+    def ref(self) -> str:
+        return "zeroinitializer"
+
+
+class ConstantString(Constant):
+    """A NUL-terminated byte string, typed ``[len+1 x i8]``."""
+
+    def __init__(self, text: str) -> None:
+        data = text.encode("utf-8") + b"\x00"
+        super().__init__(ty.ArrayType(ty.I8, len(data)))
+        self.data = data
+
+    def ref(self) -> str:
+        printable = self.data[:-1].decode("utf-8", errors="replace")
+        return f'c"{printable}\\00"'
+
+
+# ---------------------------------------------------------------------------
+# Arguments and globals
+# ---------------------------------------------------------------------------
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: ty.Type, name: str, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable. Its *value* is a pointer to the storage
+    (like LLVM: ``@g`` has type ``T*`` for a global of type ``T``)."""
+
+    def __init__(self, name: str, value_type: ty.Type,
+                 initializer: Optional[Constant] = None,
+                 constant: bool = False) -> None:
+        super().__init__(ty.PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer if initializer is not None else ConstantZero(value_type)
+        self.is_constant = constant
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+# ---------------------------------------------------------------------------
+# Bit-level helpers shared by constant folding, the interpreter and the
+# fault-injection machinery.
+# ---------------------------------------------------------------------------
+
+def wrap_signed(value: int, bits: int) -> int:
+    """Wrap a Python int to the signed two's-complement range of ``bits``."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= (1 << (bits - 1)):
+        value -= (1 << bits)
+    return value
+
+
+def wrap_unsigned(value: int, bits: int) -> int:
+    """Wrap a Python int to the unsigned range of ``bits``."""
+    return value & ((1 << bits) - 1)
+
+
+def double_to_bits(value: float) -> int:
+    """Reinterpret an IEEE-754 double as a 64-bit unsigned integer."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_double(bits: int) -> float:
+    """Reinterpret a 64-bit unsigned integer as an IEEE-754 double."""
+    return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]

@@ -1,0 +1,10 @@
+"""MiniC: the C-subset front end the benchmark programs are written in.
+
+Public entry point: :func:`repro.minic.compile_source`.
+"""
+
+from repro.minic.compiler import compile_source
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+
+__all__ = ["compile_source", "parse", "analyze"]

@@ -1,0 +1,273 @@
+"""AST node definitions for MiniC.
+
+Plain dataclasses; semantic information (resolved types) is attached by
+:mod:`repro.minic.sema` via the ``ctype`` attribute on expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- C-level types (distinct from IR types; sema maps between them) -----------
+
+@dataclass(frozen=True)
+class CType:
+    """Base C type."""
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CVoid(CType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class CInt(CType):
+    """Integer with a width in bits (char=8, int=32, long=64)."""
+    bits: int
+
+    def __str__(self) -> str:
+        return {8: "char", 32: "int", 64: "long"}.get(self.bits, f"int{self.bits}")
+
+
+@dataclass(frozen=True)
+class CDouble(CType):
+    def __str__(self) -> str:
+        return "double"
+
+
+@dataclass(frozen=True)
+class CPointer(CType):
+    pointee: CType
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class CArray(CType):
+    element: CType
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.count}]"
+
+
+@dataclass(frozen=True)
+class CStruct(CType):
+    name: str
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+CHAR = CInt(8)
+INT = CInt(32)
+LONG = CInt(64)
+DOUBLE = CDouble()
+VOID = CVoid()
+BOOL_RESULT = INT  # C comparison/logical results are int
+
+
+# -- Expressions --------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+    ctype: Optional[CType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    # char/int/long literal; sema decides type from magnitude/context
+    suffix_long: bool = False
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class NameRef(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str          # '-', '!', '~', '*', '&'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str          # '=', '+=', ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class IncDec(Expr):
+    op: str          # '++' or '--'
+    target: Expr
+    is_prefix: bool
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    field_name: str
+    arrow: bool      # True for '->'
+
+
+@dataclass
+class CastExpr(Expr):
+    target_type: CType
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: CType
+
+
+# -- Statements ----------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class VarDecl(Stmt):
+    var_type: CType
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]     # VarDecl or ExprStmt
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- Top level --------------------------------------------------------------
+
+@dataclass
+class StructDecl:
+    name: str
+    fields: List[Tuple[CType, str]]
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    var_type: CType
+    name: str
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class Param:
+    ptype: CType
+    name: str
+
+
+@dataclass
+class FuncDecl:
+    return_type: CType
+    name: str
+    params: List[Param]
+    body: Optional[Block]    # None for declarations
+    line: int = 0
+
+
+@dataclass
+class Program:
+    structs: List[StructDecl]
+    globals: List[GlobalDecl]
+    functions: List[FuncDecl]

@@ -1,0 +1,698 @@
+"""IR code generation for MiniC (Clang-style).
+
+Every local variable gets an ``alloca`` in the entry block and is accessed
+through loads/stores; ``mem2reg`` then promotes scalars to SSA form. This
+matches how Clang feeds LLVM and produces IR with the same shape the paper's
+LLFI consumed (phis, GEPs, casts, icmp/br pairs).
+
+The generator trusts a prior :func:`repro.minic.sema.analyze` run: every
+expression node carries its resolved ``ctype``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.ir import types as irty
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Phi
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import (
+    ConstantDouble, ConstantInt, ConstantNull, ConstantString, GlobalVariable,
+    Value,
+)
+from repro.minic import ast_nodes as ast
+from repro.minic.ast_nodes import (
+    CArray, CDouble, CInt, CPointer, CStruct, CType, CVoid, CHAR, INT, LONG,
+)
+from repro.minic.sema import ProgramInfo, decay, promote, usual_arithmetic
+
+I64_ZERO = None  # set lazily to avoid import-order issues
+
+
+class TypeMapper:
+    """Maps C types to IR types, materializing struct layouts on demand."""
+
+    def __init__(self, module: Module, info: ProgramInfo) -> None:
+        self.module = module
+        self.info = info
+
+    def map(self, t: CType) -> irty.Type:
+        if isinstance(t, CVoid):
+            return irty.VOID
+        if isinstance(t, CInt):
+            return irty.IntType(t.bits)
+        if isinstance(t, CDouble):
+            return irty.DOUBLE
+        if isinstance(t, CPointer):
+            return irty.PointerType(self.map(t.pointee))
+        if isinstance(t, CArray):
+            return irty.ArrayType(self.map(t.element), t.count)
+        if isinstance(t, CStruct):
+            return self.struct(t.name)
+        raise AssertionError(f"unmappable C type {t}")
+
+    def struct(self, name: str) -> irty.StructType:
+        existing = self.module.structs.get(name)
+        if existing is not None:
+            return existing
+        struct = irty.StructType(name)
+        self.module.add_struct(struct)  # register before body: self-reference
+        sinfo = self.info.structs[name]
+        struct.set_body([self.map(ft) for ft, _ in sinfo.fields],
+                        [fn for _, fn in sinfo.fields])
+        return struct
+
+
+class CodeGenerator:
+    def __init__(self, program: ast.Program, info: ProgramInfo,
+                 module_name: str = "minic") -> None:
+        self.program = program
+        self.info = info
+        self.module = Module(module_name)
+        self.types = TypeMapper(self.module, info)
+        self.builder = IRBuilder()
+        self.locals: Dict[str, Tuple[Value, CType]] = {}
+        self.current_func: Optional[Function] = None
+        self.current_decl: Optional[ast.FuncDecl] = None
+        self.break_targets: List[BasicBlock] = []
+        self.continue_targets: List[BasicBlock] = []
+        self._string_cache: Dict[str, GlobalVariable] = {}
+        self._string_count = 0
+
+    # -- entry point -----------------------------------------------------
+    def run(self) -> Module:
+        for sdecl in self.program.structs:
+            self.types.struct(sdecl.name)
+        for g in self.program.globals:
+            self._gen_global(g)
+        for sig in self.info.functions.values():
+            if sig.is_builtin:
+                ft = irty.FunctionType(
+                    self.types.map(sig.return_type),
+                    [self.types.map(p) for p in sig.param_types])
+                func = self.module.add_function(sig.name, ft)
+                func.is_intrinsic = True
+        for fdecl in self.program.functions:
+            if fdecl.name not in self.module.functions:
+                sig = self.info.functions[fdecl.name]
+                ft = irty.FunctionType(
+                    self.types.map(sig.return_type),
+                    [self.types.map(p) for p in sig.param_types])
+                self.module.add_function(fdecl.name, ft,
+                                         [p.name for p in fdecl.params])
+        for fdecl in self.program.functions:
+            if fdecl.body is not None:
+                self._gen_function(fdecl)
+        return self.module
+
+    # -- globals -----------------------------------------------------------
+    def _gen_global(self, g: ast.GlobalDecl) -> None:
+        value_type = self.types.map(g.var_type)
+        init = None
+        if g.init is not None:
+            init = self._const_initializer(g.init, g.var_type)
+        var = GlobalVariable(g.name, value_type, init)
+        self.module.add_global(var)
+
+    def _const_initializer(self, expr: ast.Expr, want: CType):
+        if isinstance(expr, ast.IntLiteral):
+            if isinstance(want, CDouble):
+                return ConstantDouble(float(expr.value))
+            if isinstance(want, CInt):
+                return ConstantInt(irty.IntType(want.bits), expr.value)
+            if isinstance(want, CPointer) and expr.value == 0:
+                return ConstantNull(self.types.map(want))  # type: ignore[arg-type]
+        if isinstance(expr, ast.FloatLiteral) and isinstance(want, CDouble):
+            return ConstantDouble(expr.value)
+        raise SemanticError("unsupported global initializer", expr.line)
+
+    # -- functions -----------------------------------------------------------
+    def _gen_function(self, fdecl: ast.FuncDecl) -> None:
+        func = self.module.get_function(fdecl.name)
+        self.current_func = func
+        self.current_decl = fdecl
+        self.locals = {}
+        entry = func.add_block("entry")
+        self.builder.set_insert_point(entry)
+        self.builder.current_line = fdecl.line
+        for param, arg in zip(fdecl.params, func.args):
+            ptype = decay(param.ptype)
+            slot = self.builder.alloca(self.types.map(ptype),
+                                       f"{param.name}.addr")
+            self.builder.store(arg, slot)
+            self.locals[param.name] = (slot, ptype)
+        assert fdecl.body is not None
+        self._gen_block(fdecl.body, new_scope=False)
+        self._finish_function(fdecl)
+        self.current_func = None
+        self.current_decl = None
+
+    def _finish_function(self, fdecl: ast.FuncDecl) -> None:
+        assert self.current_func is not None
+        for block in self.current_func.blocks:
+            if block.is_terminated():
+                continue
+            self.builder.set_insert_point(block)
+            ret = fdecl.return_type
+            if isinstance(ret, CVoid):
+                self.builder.ret()
+            elif isinstance(ret, CDouble):
+                self.builder.ret(ConstantDouble(0.0))
+            elif isinstance(ret, CPointer):
+                self.builder.ret(ConstantNull(self.types.map(ret)))  # type: ignore[arg-type]
+            else:
+                assert isinstance(ret, CInt)
+                self.builder.ret(ConstantInt(irty.IntType(ret.bits), 0))
+
+    # -- statements ------------------------------------------------------------
+    def _gen_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        saved = dict(self.locals) if new_scope else None
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        if saved is not None:
+            self.locals = saved
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        self.builder.current_line = stmt.line
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._gen_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.builder.br(self.break_targets[-1])
+            self._start_dead_block()
+        elif isinstance(stmt, ast.Continue):
+            self.builder.br(self.continue_targets[-1])
+            self._start_dead_block()
+        else:
+            raise AssertionError(f"unknown statement {type(stmt).__name__}")
+
+    def _gen_var_decl(self, stmt: ast.VarDecl) -> None:
+        # Allocas go at the top of the entry block so mem2reg sees them.
+        assert self.current_func is not None
+        entry = self.current_func.entry
+        from repro.ir.instructions import Alloca
+        slot = Alloca(self.types.map(stmt.var_type), stmt.name)
+        slot.source_line = stmt.line
+        entry.insert(0, slot)
+        self.locals[stmt.name] = (slot, stmt.var_type)
+        if stmt.init is not None:
+            value = self._gen_converted(stmt.init, decay(stmt.var_type))
+            if isinstance(stmt.var_type, CArray):
+                raise SemanticError("array initializers are not supported",
+                                    stmt.line)
+            self.builder.store(value, slot)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        assert self.current_func is not None
+        func = self.current_func
+        then_bb = func.add_block("if.then")
+        join_bb = func.add_block("if.end")
+        else_bb = func.add_block("if.else") if stmt.otherwise else join_bb
+        cond = self._gen_condition(stmt.cond)
+        self.builder.cond_br(cond, then_bb, else_bb)
+        self.builder.set_insert_point(then_bb)
+        self._gen_stmt(stmt.then)
+        if not self.builder.block.is_terminated():
+            self.builder.br(join_bb)
+        if stmt.otherwise is not None:
+            self.builder.set_insert_point(else_bb)
+            self._gen_stmt(stmt.otherwise)
+            if not self.builder.block.is_terminated():
+                self.builder.br(join_bb)
+        self.builder.set_insert_point(join_bb)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        assert self.current_func is not None
+        func = self.current_func
+        cond_bb = func.add_block("while.cond")
+        body_bb = func.add_block("while.body")
+        end_bb = func.add_block("while.end")
+        self.builder.br(cond_bb)
+        self.builder.set_insert_point(cond_bb)
+        cond = self._gen_condition(stmt.cond)
+        self.builder.cond_br(cond, body_bb, end_bb)
+        self.builder.set_insert_point(body_bb)
+        self._loop_body(stmt.body, break_to=end_bb, continue_to=cond_bb)
+        if not self.builder.block.is_terminated():
+            self.builder.br(cond_bb)
+        self.builder.set_insert_point(end_bb)
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        assert self.current_func is not None
+        func = self.current_func
+        body_bb = func.add_block("do.body")
+        cond_bb = func.add_block("do.cond")
+        end_bb = func.add_block("do.end")
+        self.builder.br(body_bb)
+        self.builder.set_insert_point(body_bb)
+        self._loop_body(stmt.body, break_to=end_bb, continue_to=cond_bb)
+        if not self.builder.block.is_terminated():
+            self.builder.br(cond_bb)
+        self.builder.set_insert_point(cond_bb)
+        cond = self._gen_condition(stmt.cond)
+        self.builder.cond_br(cond, body_bb, end_bb)
+        self.builder.set_insert_point(end_bb)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        assert self.current_func is not None
+        func = self.current_func
+        saved_locals = dict(self.locals)
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        cond_bb = func.add_block("for.cond")
+        body_bb = func.add_block("for.body")
+        step_bb = func.add_block("for.step")
+        end_bb = func.add_block("for.end")
+        self.builder.br(cond_bb)
+        self.builder.set_insert_point(cond_bb)
+        if stmt.cond is not None:
+            cond = self._gen_condition(stmt.cond)
+            self.builder.cond_br(cond, body_bb, end_bb)
+        else:
+            self.builder.br(body_bb)
+        self.builder.set_insert_point(body_bb)
+        self._loop_body(stmt.body, break_to=end_bb, continue_to=step_bb)
+        if not self.builder.block.is_terminated():
+            self.builder.br(step_bb)
+        self.builder.set_insert_point(step_bb)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+        self.builder.br(cond_bb)
+        self.builder.set_insert_point(end_bb)
+        self.locals = saved_locals
+
+    def _loop_body(self, body: ast.Stmt, break_to: BasicBlock,
+                   continue_to: BasicBlock) -> None:
+        self.break_targets.append(break_to)
+        self.continue_targets.append(continue_to)
+        try:
+            self._gen_stmt(body)
+        finally:
+            self.break_targets.pop()
+            self.continue_targets.pop()
+
+    def _gen_return(self, stmt: ast.Return) -> None:
+        assert self.current_decl is not None
+        ret = self.current_decl.return_type
+        if stmt.value is None:
+            self.builder.ret()
+        else:
+            self.builder.ret(self._gen_converted(stmt.value, decay(ret)))
+        self._start_dead_block()
+
+    def _start_dead_block(self) -> None:
+        assert self.current_func is not None
+        dead = self.current_func.add_block("dead")
+        self.builder.set_insert_point(dead)
+
+    # -- expressions: rvalues ---------------------------------------------------
+    def _gen_expr(self, expr: ast.Expr) -> Value:
+        """Generate an rvalue (arrays decay to element pointers)."""
+        self.builder.current_line = expr.line or self.builder.current_line
+        if isinstance(expr, ast.IntLiteral):
+            ct = expr.ctype or INT
+            assert isinstance(ct, CInt)
+            return ConstantInt(irty.IntType(ct.bits), expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return ConstantDouble(expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return self._gen_string(expr.value)
+        if isinstance(expr, ast.NameRef):
+            ptr, ctype = self._lookup(expr.name, expr.line)
+            if isinstance(ctype, CArray):
+                return self._decay_array(ptr)
+            if isinstance(ctype, CStruct):
+                raise SemanticError("struct values cannot be used directly",
+                                    expr.line)
+            return self.builder.load(ptr, expr.name)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                return self._bool_to_int(self._gen_condition(expr))
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                return self._bool_to_int(self._gen_comparison(expr))
+            return self._gen_arith_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._gen_conditional(expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            ptr = self._gen_lvalue(expr)
+            ctype = expr.ctype
+            if isinstance(ctype, CArray):
+                return self._decay_array(ptr)
+            if isinstance(ctype, CStruct):
+                raise SemanticError("struct values cannot be used directly",
+                                    expr.line)
+            return self.builder.load(ptr)
+        if isinstance(expr, ast.CastExpr):
+            src = self._gen_expr(expr.operand)
+            return self._convert(src, decay(expr.operand.ctype),
+                                 expr.target_type, expr.line)
+        if isinstance(expr, ast.SizeOf):
+            return ConstantInt(irty.I64, self.types.map(expr.target_type).size)
+        raise AssertionError(f"unknown expression {type(expr).__name__}")
+
+    def _gen_converted(self, expr: ast.Expr, want: CType) -> Value:
+        value = self._gen_expr(expr)
+        src = decay(expr.ctype) if expr.ctype is not None else want
+        return self._convert(value, src, want, expr.line)
+
+    # -- lvalues --------------------------------------------------------------
+    def _gen_lvalue(self, expr: ast.Expr) -> Value:
+        """Generate a pointer to the storage of an lvalue expression."""
+        if isinstance(expr, ast.NameRef):
+            ptr, _ = self._lookup(expr.name, expr.line)
+            return ptr
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._gen_expr(expr.operand)
+        if isinstance(expr, ast.Index):
+            base_ct = expr.base.ctype
+            idx = self._gen_converted(expr.index, LONG)
+            if isinstance(base_ct, CArray):
+                base_ptr = self._gen_lvalue(expr.base)
+                zero = ConstantInt(irty.I64, 0)
+                return self.builder.gep(base_ptr, [zero, idx])
+            base_val = self._gen_expr(expr.base)
+            return self.builder.gep(base_val, [idx])
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base_ptr = self._gen_expr(expr.base)
+                struct_ct = decay(expr.base.ctype).pointee  # type: ignore[union-attr]
+            else:
+                base_ptr = self._gen_lvalue(expr.base)
+                struct_ct = expr.base.ctype
+            assert isinstance(struct_ct, CStruct)
+            sinfo = self.info.structs[struct_ct.name]
+            index = next(i for i, (_, fn) in enumerate(sinfo.fields)
+                         if fn == expr.field_name)
+            zero = ConstantInt(irty.I64, 0)
+            fidx = ConstantInt(irty.I32, index)
+            return self.builder.gep(base_ptr, [zero, fidx])
+        raise SemanticError("expression is not an lvalue", expr.line)
+
+    def _lookup(self, name: str, line: int) -> Tuple[Value, CType]:
+        if name in self.locals:
+            return self.locals[name]
+        g = self.module.globals.get(name)
+        if g is not None:
+            return g, self.info.globals[name]
+        raise SemanticError(f"undeclared identifier {name!r}", line)
+
+    def _decay_array(self, array_ptr: Value) -> Value:
+        """[N x T]* -> T* via gep 0,0 (array-to-pointer decay)."""
+        zero = ConstantInt(irty.I64, 0)
+        return self.builder.gep(array_ptr, [zero, zero])
+
+    # -- operators ---------------------------------------------------------------
+    def _gen_unary(self, expr: ast.Unary) -> Value:
+        if expr.op == "&":
+            return self._gen_lvalue(expr.operand)
+        if expr.op == "*":
+            ptr = self._gen_expr(expr.operand)
+            pointee = decay(expr.operand.ctype).pointee  # type: ignore[union-attr]
+            if isinstance(pointee, CArray):
+                return self._decay_array(ptr)
+            return self.builder.load(ptr)
+        operand_ct = decay(expr.operand.ctype)
+        if expr.op == "-":
+            if isinstance(operand_ct, CDouble):
+                return self.builder.fneg(self._gen_expr(expr.operand))
+            value = self._gen_converted(expr.operand, promote(operand_ct))
+            return self.builder.neg(value)
+        if expr.op == "~":
+            value = self._gen_converted(expr.operand, promote(operand_ct))
+            return self.builder.not_(value)
+        if expr.op == "!":
+            cond = self._gen_condition(expr.operand)
+            inverted = self.builder.xor(cond, ConstantInt(irty.I1, 1))
+            return self._bool_to_int(inverted)
+        raise AssertionError(f"unknown unary {expr.op}")
+
+    _INT_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+                "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr"}
+    _FP_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def _gen_arith_binary(self, expr: ast.Binary) -> Value:
+        lhs_ct = decay(expr.lhs.ctype)
+        rhs_ct = decay(expr.rhs.ctype)
+        op = expr.op
+        # pointer arithmetic
+        if isinstance(lhs_ct, CPointer) and isinstance(rhs_ct, CPointer):
+            assert op == "-"
+            lhs = self._gen_expr(expr.lhs)
+            rhs = self._gen_expr(expr.rhs)
+            li = self.builder.cast("ptrtoint", lhs, irty.I64)
+            ri = self.builder.cast("ptrtoint", rhs, irty.I64)
+            diff = self.builder.sub(li, ri)
+            elem_size = self.types.map(lhs_ct.pointee).size
+            return self.builder.sdiv(diff, ConstantInt(irty.I64, elem_size))
+        if isinstance(lhs_ct, CPointer) or isinstance(rhs_ct, CPointer):
+            if isinstance(rhs_ct, CPointer):
+                expr_ptr, expr_int = expr.rhs, expr.lhs
+            else:
+                expr_ptr, expr_int = expr.lhs, expr.rhs
+            ptr = self._gen_expr(expr_ptr)
+            offset = self._gen_converted(expr_int, LONG)
+            if op == "-":
+                offset = self.builder.neg(offset)
+            return self.builder.gep(ptr, [offset])
+        result_ct = usual_arithmetic(lhs_ct, rhs_ct, expr.line)
+        if op in ("<<", ">>"):
+            result_ct = promote(lhs_ct)
+            lhs = self._gen_converted(expr.lhs, result_ct)
+            rhs = self._gen_converted(expr.rhs, result_ct)
+        else:
+            lhs = self._gen_converted(expr.lhs, result_ct)
+            rhs = self._gen_converted(expr.rhs, result_ct)
+        if isinstance(result_ct, CDouble):
+            return self.builder.binop(self._FP_OPS[op], lhs, rhs)
+        return self.builder.binop(self._INT_OPS[op], lhs, rhs)
+
+    _ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+             ">": "sgt", ">=": "sge"}
+    _FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole",
+             ">": "ogt", ">=": "oge"}
+
+    def _gen_comparison(self, expr: ast.Binary) -> Value:
+        """Returns an i1."""
+        lhs_ct = decay(expr.lhs.ctype)
+        rhs_ct = decay(expr.rhs.ctype)
+        if isinstance(lhs_ct, CPointer) or isinstance(rhs_ct, CPointer):
+            ptr_ct = lhs_ct if isinstance(lhs_ct, CPointer) else rhs_ct
+            lhs = self._gen_pointer_operand(expr.lhs, ptr_ct)
+            rhs = self._gen_pointer_operand(expr.rhs, ptr_ct)
+            return self.builder.icmp(self._ICMP[expr.op], lhs, rhs)
+        common = usual_arithmetic(lhs_ct, rhs_ct, expr.line)
+        lhs = self._gen_converted(expr.lhs, common)
+        rhs = self._gen_converted(expr.rhs, common)
+        if isinstance(common, CDouble):
+            return self.builder.fcmp(self._FCMP[expr.op], lhs, rhs)
+        return self.builder.icmp(self._ICMP[expr.op], lhs, rhs)
+
+    def _gen_pointer_operand(self, expr: ast.Expr, ptr_ct: CPointer) -> Value:
+        if isinstance(expr, ast.IntLiteral) and expr.value == 0:
+            return ConstantNull(self.types.map(ptr_ct))  # type: ignore[arg-type]
+        value = self._gen_expr(expr)
+        want = self.types.map(ptr_ct)
+        if value.type is not want:
+            value = self.builder.bitcast(value, want)
+        return value
+
+    def _gen_condition(self, expr: ast.Expr) -> Value:
+        """Generate an i1 truth value with short-circuit && / ||."""
+        self.builder.current_line = expr.line or self.builder.current_line
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            assert self.current_func is not None
+            func = self.current_func
+            is_and = expr.op == "&&"
+            rhs_bb = func.add_block("land.rhs" if is_and else "lor.rhs")
+            join_bb = func.add_block("land.end" if is_and else "lor.end")
+            lhs = self._gen_condition(expr.lhs)
+            lhs_end = self.builder.block
+            if is_and:
+                self.builder.cond_br(lhs, rhs_bb, join_bb)
+            else:
+                self.builder.cond_br(lhs, join_bb, rhs_bb)
+            self.builder.set_insert_point(rhs_bb)
+            rhs = self._gen_condition(expr.rhs)
+            rhs_end = self.builder.block
+            self.builder.br(join_bb)
+            self.builder.set_insert_point(join_bb)
+            phi = self.builder.phi(irty.I1)
+            phi.add_incoming(ConstantInt(irty.I1, 0 if is_and else 1), lhs_end)
+            phi.add_incoming(rhs, rhs_end)
+            return phi
+        if isinstance(expr, ast.Binary) and expr.op in self._ICMP:
+            return self._gen_comparison(expr)
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            inner = self._gen_condition(expr.operand)
+            return self.builder.xor(inner, ConstantInt(irty.I1, 1))
+        value = self._gen_expr(expr)
+        ct = decay(expr.ctype)
+        if isinstance(ct, CDouble):
+            return self.builder.fcmp("one", value, ConstantDouble(0.0))
+        if isinstance(ct, CPointer):
+            null = ConstantNull(value.type)  # type: ignore[arg-type]
+            return self.builder.icmp("ne", value, null)
+        zero = ConstantInt(value.type, 0)  # type: ignore[arg-type]
+        return self.builder.icmp("ne", value, zero)
+
+    def _bool_to_int(self, i1_value: Value) -> Value:
+        return self.builder.zext(i1_value, irty.I32)
+
+    def _gen_assign(self, expr: ast.Assign) -> Value:
+        target_ct = expr.target.ctype
+        assert target_ct is not None
+        ptr = self._gen_lvalue(expr.target)
+        if expr.op == "=":
+            value = self._gen_converted(expr.value, target_ct)
+        else:
+            base_op = expr.op[:-1]
+            synth = ast.Binary(base_op, expr.target, expr.value, line=expr.line)
+            synth.lhs.ctype = target_ct
+            # recompute the binary result using the already-typed operands
+            current = self.builder.load(ptr)
+            value = self._apply_compound(base_op, current, target_ct,
+                                         expr.value, expr.line)
+        self.builder.store(value, ptr)
+        return value
+
+    def _apply_compound(self, op: str, current: Value, target_ct: CType,
+                        rhs_expr: ast.Expr, line: int) -> Value:
+        rhs_ct = decay(rhs_expr.ctype)
+        if isinstance(target_ct, CPointer):
+            offset = self._gen_converted(rhs_expr, LONG)
+            if op == "-":
+                offset = self.builder.neg(offset)
+            return self.builder.gep(current, [offset])
+        common = usual_arithmetic(decay(target_ct), rhs_ct, line) \
+            if op not in ("<<", ">>") else promote(decay(target_ct))
+        lhs = self._convert(current, decay(target_ct), common, line)
+        rhs = self._gen_converted(rhs_expr, common)
+        if isinstance(common, CDouble):
+            result = self.builder.binop(self._FP_OPS[op], lhs, rhs)
+        else:
+            result = self.builder.binop(self._INT_OPS[op], lhs, rhs)
+        return self._convert(result, common, decay(target_ct), line)
+
+    def _gen_incdec(self, expr: ast.IncDec) -> Value:
+        target_ct = decay(expr.target.ctype)
+        ptr = self._gen_lvalue(expr.target)
+        old = self.builder.load(ptr)
+        if isinstance(target_ct, CPointer):
+            step = ConstantInt(irty.I64, 1 if expr.op == "++" else -1)
+            new = self.builder.gep(old, [step])
+        elif isinstance(target_ct, CDouble):
+            delta = ConstantDouble(1.0)
+            new = self.builder.fadd(old, delta) if expr.op == "++" \
+                else self.builder.fsub(old, delta)
+        else:
+            assert isinstance(target_ct, CInt)
+            one = ConstantInt(irty.IntType(target_ct.bits), 1)
+            new = self.builder.add(old, one) if expr.op == "++" \
+                else self.builder.sub(old, one)
+        self.builder.store(new, ptr)
+        return new if expr.is_prefix else old
+
+    def _gen_conditional(self, expr: ast.Conditional) -> Value:
+        assert self.current_func is not None
+        func = self.current_func
+        result_ct = expr.ctype
+        assert result_ct is not None
+        then_bb = func.add_block("cond.then")
+        else_bb = func.add_block("cond.else")
+        join_bb = func.add_block("cond.end")
+        cond = self._gen_condition(expr.cond)
+        self.builder.cond_br(cond, then_bb, else_bb)
+        self.builder.set_insert_point(then_bb)
+        then_val = self._gen_converted(expr.then, result_ct)
+        then_end = self.builder.block
+        self.builder.br(join_bb)
+        self.builder.set_insert_point(else_bb)
+        else_val = self._gen_converted(expr.otherwise, result_ct)
+        else_end = self.builder.block
+        self.builder.br(join_bb)
+        self.builder.set_insert_point(join_bb)
+        if isinstance(result_ct, CVoid):
+            return ConstantInt(irty.I32, 0)
+        phi = self.builder.phi(self.types.map(result_ct))
+        phi.add_incoming(then_val, then_end)
+        phi.add_incoming(else_val, else_end)
+        return phi
+
+    def _gen_call(self, expr: ast.Call) -> Value:
+        sig = self.info.functions[expr.name]
+        callee = self.module.get_function(expr.name)
+        args = [self._gen_converted(a, decay(p))
+                for a, p in zip(expr.args, sig.param_types)]
+        return self.builder.call(callee, args)
+
+    def _gen_string(self, text: str) -> Value:
+        cached = self._string_cache.get(text)
+        if cached is None:
+            self._string_count += 1
+            init = ConstantString(text)
+            cached = GlobalVariable(f".str{self._string_count}", init.type,
+                                    init, constant=True)
+            self.module.add_global(cached)
+            self._string_cache[text] = cached
+        return self._decay_array(cached)
+
+    # -- conversions ----------------------------------------------------------
+    def _convert(self, value: Value, src: CType, dst: CType, line: int) -> Value:
+        src = decay(src)
+        dst = decay(dst)
+        if src == dst:
+            return value
+        if isinstance(src, CInt) and isinstance(dst, CInt):
+            if dst.bits < src.bits:
+                return self.builder.trunc(value, irty.IntType(dst.bits))
+            if dst.bits > src.bits:
+                return self.builder.sext(value, irty.IntType(dst.bits))
+            return value
+        if isinstance(src, CInt) and isinstance(dst, CDouble):
+            widened = value
+            if src.bits < 32:
+                widened = self.builder.sext(value, irty.I32)
+            return self.builder.sitofp(widened)
+        if isinstance(src, CDouble) and isinstance(dst, CInt):
+            if dst.bits < 32:
+                narrow = self.builder.fptosi(value, irty.I32)
+                return self.builder.trunc(narrow, irty.IntType(dst.bits))
+            return self.builder.fptosi(value, irty.IntType(dst.bits))
+        if isinstance(src, CPointer) and isinstance(dst, CPointer):
+            want = self.types.map(dst)
+            if value.type is want:
+                return value
+            return self.builder.bitcast(value, want)
+        if isinstance(src, CPointer) and isinstance(dst, CInt):
+            return self.builder.cast("ptrtoint", value, irty.I64)
+        if isinstance(src, CInt) and isinstance(dst, CPointer):
+            widened = value
+            if src.bits < 64:
+                widened = self.builder.sext(value, irty.I64)
+            if isinstance(value, ConstantInt) and value.value == 0:
+                return ConstantNull(self.types.map(dst))  # type: ignore[arg-type]
+            return self.builder.cast("inttoptr", widened, self.types.map(dst))
+        raise SemanticError(f"cannot convert {src} to {dst}", line)

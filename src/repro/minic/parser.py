@@ -1,0 +1,414 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (C subset):
+
+    program    := (struct | global | function)*
+    struct     := 'struct' IDENT '{' (type declarator ';')* '}' ';'
+    global     := type declarator ('=' expr)? ';'
+    function   := type IDENT '(' params ')' (block | ';')
+    type       := ('int'|'long'|'char'|'double'|'void'|'struct' IDENT) '*'*
+    declarator := IDENT ('[' INT ']')*
+
+Expression precedence follows C. Increment/decrement are supported in both
+prefix and postfix positions; the comma operator, varargs functions and
+function pointers are not supported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import Token, tokenize
+
+# Binary precedence table: operator -> (precedence, right-assoc)
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+_TYPE_KEYWORDS = {"int", "long", "char", "double", "void", "struct"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.struct_names: set = set()
+
+    # -- token helpers ------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.current
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.current.text!r}",
+                self.current.line, self.current.column)
+        return self.advance()
+
+    # -- types -------------------------------------------------------------
+    def at_type(self) -> bool:
+        if self.current.kind != "kw" or self.current.text not in _TYPE_KEYWORDS:
+            return False
+        if self.current.text == "struct":
+            return self.peek().kind == "ident"
+        return True
+
+    def parse_type(self) -> ast.CType:
+        tok = self.expect("kw")
+        base: ast.CType
+        if tok.text == "int":
+            base = ast.INT
+        elif tok.text == "long":
+            base = ast.LONG
+        elif tok.text == "char":
+            base = ast.CHAR
+        elif tok.text == "double":
+            base = ast.DOUBLE
+        elif tok.text == "void":
+            base = ast.VOID
+        elif tok.text == "struct":
+            name = self.expect("ident").text
+            base = ast.CStruct(name)
+        else:
+            raise ParseError(f"expected a type, found {tok.text!r}",
+                             tok.line, tok.column)
+        while self.accept("op", "*"):
+            if isinstance(base, ast.CVoid):
+                base = ast.CPointer(ast.CHAR)  # void* ≙ char*
+            else:
+                base = ast.CPointer(base)
+        return base
+
+    def parse_array_suffix(self, base: ast.CType) -> ast.CType:
+        """Parse trailing ``[N]``* and build the array type outside-in."""
+        dims: List[int] = []
+        while self.accept("op", "["):
+            size_tok = self.expect("int")
+            dims.append(int(size_tok.value))  # type: ignore[arg-type]
+            self.expect("op", "]")
+        for dim in reversed(dims):
+            base = ast.CArray(base, dim)
+        return base
+
+    # -- top level ------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        structs: List[ast.StructDecl] = []
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FuncDecl] = []
+        while not self.check("eof"):
+            if self.check("kw", "struct") and self.peek().kind == "ident" \
+                    and self.peek(2).text == "{":
+                structs.append(self.parse_struct())
+                continue
+            line = self.current.line
+            decl_type = self.parse_type()
+            name = self.expect("ident").text
+            if self.check("op", "("):
+                functions.append(self.parse_function(decl_type, name, line))
+            else:
+                full_type = self.parse_array_suffix(decl_type)
+                init = None
+                if self.accept("op", "="):
+                    init = self.parse_expr()
+                self.expect("op", ";")
+                globals_.append(ast.GlobalDecl(full_type, name, init, line))
+        return ast.Program(structs, globals_, functions)
+
+    def parse_struct(self) -> ast.StructDecl:
+        line = self.current.line
+        self.expect("kw", "struct")
+        name = self.expect("ident").text
+        self.struct_names.add(name)
+        self.expect("op", "{")
+        fields: List[Tuple[ast.CType, str]] = []
+        while not self.check("op", "}"):
+            ftype = self.parse_type()
+            fname = self.expect("ident").text
+            ftype = self.parse_array_suffix(ftype)
+            self.expect("op", ";")
+            fields.append((ftype, fname))
+        self.expect("op", "}")
+        self.expect("op", ";")
+        return ast.StructDecl(name, fields, line)
+
+    def parse_function(self, return_type: ast.CType, name: str,
+                       line: int) -> ast.FuncDecl:
+        self.expect("op", "(")
+        params: List[ast.Param] = []
+        if not self.check("op", ")"):
+            if self.check("kw", "void") and self.peek().text == ")":
+                self.advance()
+            else:
+                while True:
+                    ptype = self.parse_type()
+                    pname = self.expect("ident").text
+                    params.append(ast.Param(ptype, pname))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            return ast.FuncDecl(return_type, name, params, None, line)
+        body = self.parse_block()
+        return ast.FuncDecl(return_type, name, params, body, line)
+
+    # -- statements ---------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        line = self.current.line
+        self.expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(stmts, line=line)
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.current
+        if self.check("op", "{"):
+            return self.parse_block()
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.check("kw", "while"):
+            return self.parse_while()
+        if self.check("kw", "do"):
+            return self.parse_do_while()
+        if self.check("kw", "for"):
+            return self.parse_for()
+        if self.check("kw", "return"):
+            self.advance()
+            value = None if self.check("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(value, line=tok.line)
+        if self.check("kw", "break"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Break(line=tok.line)
+        if self.check("kw", "continue"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Continue(line=tok.line)
+        if self.at_type():
+            decl = self.parse_var_decl()
+            self.expect("op", ";")
+            return decl
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, line=tok.line)
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        line = self.current.line
+        var_type = self.parse_type()
+        name = self.expect("ident").text
+        var_type = self.parse_array_suffix(var_type)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        return ast.VarDecl(var_type, name, init, line=line)
+
+    def parse_if(self) -> ast.If:
+        line = self.current.line
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.accept("kw", "else"):
+            otherwise = self.parse_statement()
+        return ast.If(cond, then, otherwise, line=line)
+
+    def parse_while(self) -> ast.While:
+        line = self.current.line
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.While(cond, body, line=line)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        line = self.current.line
+        self.expect("kw", "do")
+        body = self.parse_statement()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body, cond, line=line)
+
+    def parse_for(self) -> ast.For:
+        line = self.current.line
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.check("op", ";"):
+            if self.at_type():
+                init = self.parse_var_decl()
+            else:
+                init = ast.ExprStmt(self.parse_expr(), line=line)
+        self.expect("op", ";")
+        cond = None if self.check("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, line=line)
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self.parse_conditional()
+        if self.current.kind == "op" and self.current.text in _ASSIGN_OPS:
+            op_tok = self.advance()
+            rhs = self.parse_assignment()
+            return ast.Assign(op_tok.text, lhs, rhs, line=op_tok.line)
+        return lhs
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("op", "?"):
+            then = self.parse_expr()
+            self.expect("op", ":")
+            otherwise = self.parse_conditional()
+            return ast.Conditional(cond, then, otherwise, line=cond.line)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.current
+            if tok.kind != "op":
+                break
+            prec = _BINARY_PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                break
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.Binary(tok.text, lhs, rhs, line=tok.line)
+        return lhs
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.text, operand, line=tok.line)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.advance()
+            target = self.parse_unary()
+            return ast.IncDec(tok.text, target, True, line=tok.line)
+        if tok.kind == "kw" and tok.text == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            target = self.parse_type()
+            target = self.parse_array_suffix(target)
+            self.expect("op", ")")
+            return ast.SizeOf(target, line=tok.line)
+        # cast: '(' type ')' unary
+        if tok.text == "(" and self._is_cast_start():
+            self.advance()
+            target = self.parse_type()
+            self.expect("op", ")")
+            operand = self.parse_unary()
+            return ast.CastExpr(target, operand, line=tok.line)
+        return self.parse_postfix()
+
+    def _is_cast_start(self) -> bool:
+        nxt = self.peek()
+        if nxt.kind != "kw" or nxt.text not in _TYPE_KEYWORDS:
+            return False
+        if nxt.text == "struct":
+            return self.peek(2).kind == "ident"
+        return True
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.current
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, line=tok.line)
+            elif self.accept("op", "."):
+                name = self.expect("ident").text
+                expr = ast.Member(expr, name, False, line=tok.line)
+            elif self.accept("op", "->"):
+                name = self.expect("ident").text
+                expr = ast.Member(expr, name, True, line=tok.line)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self.advance()
+                expr = ast.IncDec(tok.text, expr, False, line=tok.line)
+            else:
+                break
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLiteral(tok.value, line=tok.line)  # type: ignore[arg-type]
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(tok.value, line=tok.line)  # type: ignore[arg-type]
+        if tok.kind == "char":
+            self.advance()
+            return ast.IntLiteral(tok.value, line=tok.line)  # type: ignore[arg-type]
+        if tok.kind == "string":
+            self.advance()
+            return ast.StringLiteral(tok.value, line=tok.line)  # type: ignore[arg-type]
+        if tok.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(tok.text, args, line=tok.line)
+            return ast.NameRef(tok.text, line=tok.line)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.column)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into a :class:`Program` AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,516 @@
+"""Semantic analysis for MiniC.
+
+``analyze`` builds the program-level tables (structs, globals, functions,
+builtins), walks every function body, checks C typing rules and annotates
+each expression node with its resolved :class:`CType`. Codegen requires a
+successfully analyzed program and reuses the conversion helpers here, so
+the typing rules live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.minic import ast_nodes as ast
+from repro.minic.ast_nodes import (
+    CArray, CDouble, CInt, CPointer, CStruct, CType, CVoid,
+    CHAR, DOUBLE, INT, LONG, VOID,
+)
+
+#: MiniC's built-in functions, handled as intrinsics by both execution
+#: engines. ``void*`` is spelled ``char*``.
+BUILTINS: Dict[str, "FuncSig"] = {}
+
+
+@dataclass
+class FuncSig:
+    name: str
+    return_type: CType
+    param_types: List[CType]
+    is_builtin: bool = False
+    has_body: bool = False
+
+
+def _builtin(name: str, ret: CType, params: List[CType]) -> None:
+    BUILTINS[name] = FuncSig(name, ret, params, is_builtin=True)
+
+
+_builtin("print_int", VOID, [INT])
+_builtin("print_long", VOID, [LONG])
+_builtin("print_double", VOID, [DOUBLE])
+_builtin("print_char", VOID, [INT])
+_builtin("print_str", VOID, [CPointer(CHAR)])
+_builtin("malloc", CPointer(CHAR), [LONG])
+_builtin("free", VOID, [CPointer(CHAR)])
+
+
+@dataclass
+class StructInfo:
+    name: str
+    fields: List[Tuple[CType, str]]
+
+    def field_type(self, name: str, line: int = 0) -> CType:
+        for ftype, fname in self.fields:
+            if fname == name:
+                return ftype
+        raise SemanticError(f"struct {self.name} has no field {name!r}", line)
+
+    def has_field(self, name: str) -> bool:
+        return any(fname == name for _, fname in self.fields)
+
+
+@dataclass
+class ProgramInfo:
+    structs: Dict[str, StructInfo] = field(default_factory=dict)
+    globals: Dict[str, CType] = field(default_factory=dict)
+    functions: Dict[str, FuncSig] = field(default_factory=dict)
+
+
+# -- type predicates / conversions -------------------------------------------
+
+def is_integer(t: CType) -> bool:
+    return isinstance(t, CInt)
+
+
+def is_arithmetic(t: CType) -> bool:
+    return isinstance(t, (CInt, CDouble))
+
+
+def is_scalar(t: CType) -> bool:
+    return is_arithmetic(t) or isinstance(t, CPointer)
+
+
+def decay(t: CType) -> CType:
+    """Array-to-pointer decay for rvalue contexts."""
+    if isinstance(t, CArray):
+        return CPointer(t.element)
+    return t
+
+
+def promote(t: CType) -> CType:
+    """C integer promotion: anything narrower than int becomes int."""
+    if isinstance(t, CInt) and t.bits < 32:
+        return INT
+    return t
+
+
+def usual_arithmetic(lhs: CType, rhs: CType, line: int = 0) -> CType:
+    """C's usual arithmetic conversions (restricted to our types)."""
+    if not (is_arithmetic(lhs) and is_arithmetic(rhs)):
+        raise SemanticError(
+            f"arithmetic on non-arithmetic types {lhs} and {rhs}", line)
+    if isinstance(lhs, CDouble) or isinstance(rhs, CDouble):
+        return DOUBLE
+    lhs_p, rhs_p = promote(lhs), promote(rhs)
+    assert isinstance(lhs_p, CInt) and isinstance(rhs_p, CInt)
+    return lhs_p if lhs_p.bits >= rhs_p.bits else rhs_p
+
+
+def check_assignable(dst: CType, src: CType, line: int,
+                     src_expr: Optional[ast.Expr] = None) -> None:
+    """Check that a value of (decayed) type ``src`` can be implicitly
+    converted to ``dst``. Raises SemanticError otherwise."""
+    src = decay(src)
+    if types_equal(dst, src):
+        return
+    if is_arithmetic(dst) and is_arithmetic(src):
+        return
+    if isinstance(dst, CPointer):
+        # integer literal 0 is a null pointer constant
+        if isinstance(src_expr, ast.IntLiteral) and src_expr.value == 0:
+            return
+        if isinstance(src, CPointer):
+            # char* is our void*: freely convertible in both directions
+            if types_equal(dst.pointee, CHAR) or types_equal(src.pointee, CHAR):
+                return
+    raise SemanticError(f"cannot assign {src} to {dst}", line)
+
+
+def types_equal(a: CType, b: CType) -> bool:
+    return a == b
+
+
+# -- the analyzer itself --------------------------------------------------------
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.vars: Dict[str, CType] = {}
+
+    def declare(self, name: str, t: CType, line: int) -> None:
+        if name in self.vars:
+            raise SemanticError(f"redeclaration of {name!r}", line)
+        self.vars[name] = t
+
+    def lookup(self, name: str) -> Optional[CType]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.info = ProgramInfo()
+        self.current_function: Optional[ast.FuncDecl] = None
+        self.loop_depth = 0
+
+    # -- program level ---------------------------------------------------
+    def run(self) -> ProgramInfo:
+        for struct in self.program.structs:
+            if struct.name in self.info.structs:
+                raise SemanticError(f"duplicate struct {struct.name}", struct.line)
+            self.info.structs[struct.name] = StructInfo(struct.name, struct.fields)
+        for struct in self.program.structs:
+            self._check_struct_sized(struct)
+        self.info.functions.update(BUILTINS)
+        for g in self.program.globals:
+            if g.name in self.info.globals:
+                raise SemanticError(f"duplicate global {g.name}", g.line)
+            self._check_complete(g.var_type, g.line)
+            if g.init is not None:
+                init_t = self.check_expr_in_scope(g.init, _Scope())
+                check_assignable(decay(g.var_type), init_t, g.line, g.init)
+                if not isinstance(g.init, (ast.IntLiteral, ast.FloatLiteral)):
+                    raise SemanticError(
+                        "global initializers must be literal constants", g.line)
+            self.info.globals[g.name] = g.var_type
+        for func in self.program.functions:
+            existing = self.info.functions.get(func.name)
+            sig = FuncSig(func.name, func.return_type,
+                          [decay(p.ptype) for p in func.params],
+                          has_body=func.body is not None)
+            if existing is not None:
+                if existing.is_builtin:
+                    raise SemanticError(
+                        f"{func.name} collides with a builtin", func.line)
+                if existing.has_body and sig.has_body:
+                    raise SemanticError(
+                        f"duplicate definition of {func.name}", func.line)
+                if existing.return_type != sig.return_type or \
+                        existing.param_types != sig.param_types:
+                    raise SemanticError(
+                        f"conflicting declarations of {func.name}", func.line)
+                existing.has_body = existing.has_body or sig.has_body
+            else:
+                self.info.functions[func.name] = sig
+        for func in self.program.functions:
+            if func.body is not None:
+                self._check_function(func)
+        return self.info
+
+    def _check_struct_sized(self, struct: ast.StructDecl,
+                            stack: Optional[set] = None) -> None:
+        stack = stack or set()
+        if struct.name in stack:
+            raise SemanticError(
+                f"struct {struct.name} contains itself", struct.line)
+        stack.add(struct.name)
+        for ftype, fname in struct.fields:
+            base = ftype
+            while isinstance(base, CArray):
+                base = base.element
+            if isinstance(base, CStruct):
+                inner = self.info.structs.get(base.name)
+                if inner is None:
+                    raise SemanticError(
+                        f"field {fname} has unknown struct type {base.name}",
+                        struct.line)
+                decl = next(s for s in self.program.structs
+                            if s.name == base.name)
+                self._check_struct_sized(decl, stack)
+        stack.discard(struct.name)
+
+    def _check_complete(self, t: CType, line: int) -> None:
+        base = t
+        while isinstance(base, (CArray, CPointer)):
+            base = base.element if isinstance(base, CArray) else base.pointee
+        if isinstance(base, CStruct) and base.name not in self.info.structs:
+            raise SemanticError(f"unknown struct {base.name}", line)
+        if isinstance(t, CVoid):
+            raise SemanticError("cannot declare a void variable", line)
+
+    # -- functions ----------------------------------------------------------
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        self.current_function = func
+        scope = _Scope()
+        for p in func.params:
+            self._check_complete(decay(p.ptype), func.line)
+            scope.declare(p.name, decay(p.ptype), func.line)
+        assert func.body is not None
+        self._check_block(func.body, scope)
+        self.current_function = None
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_complete(stmt.var_type, stmt.line)
+            if stmt.init is not None:
+                init_t = self.check_expr(stmt.init, scope)
+                check_assignable(decay(stmt.var_type), init_t, stmt.line, stmt.init)
+            scope.declare(stmt.name, stmt.var_type, stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.cond, scope)
+            self._in_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._in_loop(stmt.body, scope)
+            self._check_condition(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self.check_expr(stmt.step, inner)
+            self._in_loop(stmt.body, inner)
+        elif isinstance(stmt, ast.Return):
+            assert self.current_function is not None
+            ret = self.current_function.return_type
+            if isinstance(ret, CVoid):
+                if stmt.value is not None:
+                    raise SemanticError("return with value in void function",
+                                        stmt.line)
+            else:
+                if stmt.value is None:
+                    raise SemanticError("return without value", stmt.line)
+                vt = self.check_expr(stmt.value, scope)
+                check_assignable(decay(ret), vt, stmt.line, stmt.value)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"{kind} outside a loop", stmt.line)
+        else:
+            raise AssertionError(f"unknown statement {type(stmt).__name__}")
+
+    def _in_loop(self, body: ast.Stmt, scope: _Scope) -> None:
+        self.loop_depth += 1
+        try:
+            self._check_stmt(body, scope)
+        finally:
+            self.loop_depth -= 1
+
+    def _check_condition(self, expr: ast.Expr, scope: _Scope) -> None:
+        t = decay(self.check_expr(expr, scope))
+        if not is_scalar(t):
+            raise SemanticError(f"condition has non-scalar type {t}", expr.line)
+
+    # -- expressions ----------------------------------------------------------
+    def check_expr_in_scope(self, expr: ast.Expr, scope: _Scope) -> CType:
+        return self.check_expr(expr, scope)
+
+    def check_expr(self, expr: ast.Expr, scope: _Scope) -> CType:
+        t = self._type_of(expr, scope)
+        expr.ctype = t
+        return t
+
+    def _type_of(self, expr: ast.Expr, scope: _Scope) -> CType:
+        if isinstance(expr, ast.IntLiteral):
+            if expr.suffix_long or not (-2**31 <= expr.value < 2**31):
+                return LONG
+            return INT
+        if isinstance(expr, ast.FloatLiteral):
+            return DOUBLE
+        if isinstance(expr, ast.StringLiteral):
+            return CPointer(CHAR)
+        if isinstance(expr, ast.NameRef):
+            t = scope.lookup(expr.name)
+            if t is None:
+                t = self.info.globals.get(expr.name)
+            if t is None:
+                raise SemanticError(f"undeclared identifier {expr.name!r}",
+                                    expr.line)
+            return t
+        if isinstance(expr, ast.Unary):
+            return self._type_of_unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._type_of_binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._type_of_assign(expr, scope)
+        if isinstance(expr, ast.IncDec):
+            t = decay(self.check_expr(expr.target, scope))
+            self._require_lvalue(expr.target)
+            if not is_scalar(t):
+                raise SemanticError(f"{expr.op} on non-scalar {t}", expr.line)
+            return t
+        if isinstance(expr, ast.Conditional):
+            self._check_condition(expr.cond, scope)
+            then_t = decay(self.check_expr(expr.then, scope))
+            else_t = decay(self.check_expr(expr.otherwise, scope))
+            if types_equal(then_t, else_t):
+                return then_t
+            if is_arithmetic(then_t) and is_arithmetic(else_t):
+                return usual_arithmetic(then_t, else_t, expr.line)
+            raise SemanticError(
+                f"?: arms have incompatible types {then_t} and {else_t}",
+                expr.line)
+        if isinstance(expr, ast.Call):
+            sig = self.info.functions.get(expr.name)
+            if sig is None:
+                raise SemanticError(f"call to undeclared function {expr.name!r}",
+                                    expr.line)
+            if len(expr.args) != len(sig.param_types):
+                raise SemanticError(
+                    f"{expr.name} expects {len(sig.param_types)} args, "
+                    f"got {len(expr.args)}", expr.line)
+            for arg, want in zip(expr.args, sig.param_types):
+                at = self.check_expr(arg, scope)
+                check_assignable(decay(want), at, expr.line, arg)
+            return sig.return_type
+        if isinstance(expr, ast.Index):
+            base_t = decay(self.check_expr(expr.base, scope))
+            if not isinstance(base_t, CPointer):
+                raise SemanticError(f"cannot index type {base_t}", expr.line)
+            idx_t = decay(self.check_expr(expr.index, scope))
+            if not is_integer(idx_t):
+                raise SemanticError("array index must be an integer", expr.line)
+            return base_t.pointee
+        if isinstance(expr, ast.Member):
+            base_t = self.check_expr(expr.base, scope)
+            if expr.arrow:
+                base_t = decay(base_t)
+                if not (isinstance(base_t, CPointer)
+                        and isinstance(base_t.pointee, CStruct)):
+                    raise SemanticError(
+                        f"-> on non-pointer-to-struct {base_t}", expr.line)
+                struct_t = base_t.pointee
+            else:
+                if not isinstance(base_t, CStruct):
+                    raise SemanticError(f". on non-struct {base_t}", expr.line)
+                struct_t = base_t
+            info = self.info.structs.get(struct_t.name)
+            if info is None:
+                raise SemanticError(f"unknown struct {struct_t.name}", expr.line)
+            return info.field_type(expr.field_name, expr.line)
+        if isinstance(expr, ast.CastExpr):
+            src = decay(self.check_expr(expr.operand, scope))
+            dst = expr.target_type
+            if isinstance(dst, CVoid):
+                raise SemanticError("cannot cast to void", expr.line)
+            ok = (is_arithmetic(src) and is_arithmetic(dst)) \
+                or (isinstance(src, CPointer) and isinstance(dst, CPointer)) \
+                or (isinstance(src, CPointer) and isinstance(dst, CInt)
+                    and dst.bits == 64) \
+                or (isinstance(src, CInt) and src.bits == 64
+                    and isinstance(dst, CPointer))
+            if not ok:
+                raise SemanticError(f"invalid cast from {src} to {dst}", expr.line)
+            return dst
+        if isinstance(expr, ast.SizeOf):
+            return LONG
+        raise AssertionError(f"unknown expression {type(expr).__name__}")
+
+    def _type_of_unary(self, expr: ast.Unary, scope: _Scope) -> CType:
+        if expr.op == "&":
+            t = self.check_expr(expr.operand, scope)
+            self._require_lvalue(expr.operand)
+            return CPointer(decay(t) if isinstance(t, CArray) else t)
+        t = decay(self.check_expr(expr.operand, scope))
+        if expr.op == "*":
+            if not isinstance(t, CPointer):
+                raise SemanticError(f"cannot dereference {t}", expr.line)
+            return t.pointee
+        if expr.op == "-":
+            if not is_arithmetic(t):
+                raise SemanticError(f"unary - on {t}", expr.line)
+            return promote(t)
+        if expr.op == "~":
+            if not is_integer(t):
+                raise SemanticError(f"~ on {t}", expr.line)
+            return promote(t)
+        if expr.op == "!":
+            if not is_scalar(t):
+                raise SemanticError(f"! on {t}", expr.line)
+            return INT
+        raise AssertionError(f"unknown unary op {expr.op}")
+
+    def _type_of_binary(self, expr: ast.Binary, scope: _Scope) -> CType:
+        op = expr.op
+        lhs_t = decay(self.check_expr(expr.lhs, scope))
+        rhs_t = decay(self.check_expr(expr.rhs, scope))
+        if op in ("&&", "||"):
+            for t, e in ((lhs_t, expr.lhs), (rhs_t, expr.rhs)):
+                if not is_scalar(t):
+                    raise SemanticError(f"{op} operand has type {t}", e.line)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if isinstance(lhs_t, CPointer) or isinstance(rhs_t, CPointer):
+                ptr_ok = isinstance(lhs_t, CPointer) and isinstance(rhs_t, CPointer)
+                null_ok = (isinstance(lhs_t, CPointer)
+                           and isinstance(expr.rhs, ast.IntLiteral)
+                           and expr.rhs.value == 0) or \
+                          (isinstance(rhs_t, CPointer)
+                           and isinstance(expr.lhs, ast.IntLiteral)
+                           and expr.lhs.value == 0)
+                if not (ptr_ok or null_ok):
+                    raise SemanticError(
+                        f"invalid comparison of {lhs_t} and {rhs_t}", expr.line)
+                return INT
+            usual_arithmetic(lhs_t, rhs_t, expr.line)
+            return INT
+        if op in ("+", "-"):
+            if isinstance(lhs_t, CPointer) and is_integer(rhs_t):
+                return lhs_t
+            if op == "+" and is_integer(lhs_t) and isinstance(rhs_t, CPointer):
+                return rhs_t
+            if op == "-" and isinstance(lhs_t, CPointer) \
+                    and isinstance(rhs_t, CPointer):
+                if not types_equal(lhs_t, rhs_t):
+                    raise SemanticError("pointer difference of unlike types",
+                                        expr.line)
+                return LONG
+            return usual_arithmetic(lhs_t, rhs_t, expr.line)
+        if op in ("*", "/"):
+            return usual_arithmetic(lhs_t, rhs_t, expr.line)
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (is_integer(lhs_t) and is_integer(rhs_t)):
+                raise SemanticError(f"{op} requires integer operands", expr.line)
+            if op in ("<<", ">>"):
+                return promote(lhs_t)
+            return usual_arithmetic(lhs_t, rhs_t, expr.line)
+        raise AssertionError(f"unknown binary op {op}")
+
+    def _type_of_assign(self, expr: ast.Assign, scope: _Scope) -> CType:
+        target_t = self.check_expr(expr.target, scope)
+        self._require_lvalue(expr.target)
+        if isinstance(target_t, CArray):
+            raise SemanticError("cannot assign to an array", expr.line)
+        value_t = self.check_expr(expr.value, scope)
+        if expr.op == "=":
+            check_assignable(target_t, value_t, expr.line, expr.value)
+        else:
+            base_op = expr.op[:-1]
+            synth = ast.Binary(base_op, expr.target, expr.value, line=expr.line)
+            result_t = self._type_of_binary(synth, scope)
+            check_assignable(target_t, result_t, expr.line)
+        return target_t
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.NameRef, ast.Index, ast.Member)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise SemanticError("expression is not an lvalue", expr.line)
+
+
+def analyze(program: ast.Program) -> ProgramInfo:
+    """Type-check a parsed program, annotating expression nodes."""
+    return Analyzer(program).run()

@@ -1,0 +1,18 @@
+"""Execution engines and machine model: memory, traps, IR interpreter and
+SimX86 simulator."""
+
+from repro.vm.io import OutputBuffer
+from repro.vm.memory import BumpAllocator, Memory, standard_memory
+from repro.vm.result import ExecutionResult
+from repro.vm.traps import HangTimeout, Trap, TrapKind
+
+__all__ = [
+    "OutputBuffer",
+    "BumpAllocator",
+    "Memory",
+    "standard_memory",
+    "ExecutionResult",
+    "HangTimeout",
+    "Trap",
+    "TrapKind",
+]

@@ -1,0 +1,602 @@
+"""SimX86 simulator: executes compiled machine programs.
+
+This is the runtime under PINFI. It shares the memory model, global image,
+output formatting and trap/hang conventions with the IR interpreter, so a
+fault-free run produces byte-identical output at both levels.
+
+Machine state: sixteen 64-bit GPRs, sixteen 128-bit XMM registers (doubles
+live in the low 64 bits — the basis of the paper's XMM pruning heuristic),
+and five EFLAGS bits (CF, PF, ZF, SF, OF) at their real bit positions.
+
+Return addresses are synthetic code addresses (``CODE_BASE + 16*site``)
+pushed through rsp into simulated stack memory; a corrupted return address
+or stack pointer therefore faults exactly the way it would on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.backend.machine import (
+    FLAG_NAMES, FuncRef, GlobalAddr, Imm, Label, MBlock, MFunction, MInst,
+    Mem, MProgram, Reg, evaluate_condition,
+)
+from repro.ir.values import bits_to_double, double_to_bits
+from repro.vm.image import build_global_image
+from repro.vm.io import OutputBuffer
+from repro.vm.memory import BumpAllocator, STACK_TOP
+from repro.vm.result import ExecutionResult
+from repro.vm.traps import HangTimeout, Trap, TrapKind
+
+MASK64 = (1 << 64) - 1
+CODE_BASE = 0x0000_4000_0000_0000
+EXIT_TOKEN = CODE_BASE
+
+#: Parity of each byte value (PF=1 when the low result byte has an even
+#: number of set bits), precomputed like hardware.
+_PARITY = tuple(1 if bin(i).count("1") % 2 == 0 else 0 for i in range(256))
+
+
+class AsmHook:
+    """Base class for fault-injection hooks into the simulator."""
+
+    def on_executed(self, inst: MInst, sim: "AsmSimulator") -> None:
+        """Called after each instruction retires; may corrupt state."""
+
+
+@dataclass
+class _Loc:
+    """Program counter: function record + block index + instruction index."""
+    func: "_FuncRec"
+    block: int
+    index: int
+
+
+class _FuncRec:
+    __slots__ = ("name", "mfunc", "blocks", "block_index")
+
+    def __init__(self, mfunc: MFunction) -> None:
+        self.name = mfunc.name
+        self.mfunc = mfunc
+        self.blocks = [b.insts for b in mfunc.blocks]
+        self.block_index = {id(b): i for i, b in enumerate(mfunc.blocks)}
+
+
+class AsmSimulator:
+    def __init__(self, program: MProgram,
+                 max_instructions: int = 100_000_000,
+                 max_call_depth: int = 400,
+                 hook: Optional[AsmHook] = None,
+                 hook_filter: Optional[frozenset] = None) -> None:
+        if program.ir_module is None:
+            raise ReproError("program has no IR module attached")
+        self.program = program
+        self.max_instructions = max_instructions
+        self.max_call_depth = max_call_depth
+        self.hook = hook
+        #: When set, the hook only fires for instructions whose id() is in
+        #: this set (fault injectors pass their candidate set here, keeping
+        #: per-instruction overhead off the hot path).
+        self.hook_filter = hook_filter
+        self.output = OutputBuffer()
+        self.executed = 0
+        self.call_depth = 0
+        self.fault_activated = False
+        #: Poisoned targets: ('gpr', name) / ('xmm', name) / ('flag', name).
+        self.poison: Dict[Tuple[str, str], bool] = {}
+
+        self.memory, addr_by_id = build_global_image(program.ir_module)
+        self.global_addr: Dict[str, int] = {
+            g.name: addr_by_id[id(g)]
+            for g in program.ir_module.globals.values()}
+        self.heap = BumpAllocator()
+
+        self.regs: Dict[str, int] = {}
+        self.xmm: Dict[str, int] = {}
+        self.flags: Dict[str, int] = {n: 0 for n in FLAG_NAMES}
+
+        self.funcs: Dict[str, _FuncRec] = {
+            name: _FuncRec(mf) for name, mf in program.functions.items()}
+        self.intrinsics = {name: f.name for name, f in
+                           program.ir_module.functions.items()
+                           if f.is_intrinsic}
+        #: call-site token <-> return location registry.
+        self._site_tokens: Dict[Tuple[str, int, int], int] = {}
+        self._token_sites: Dict[int, Tuple[str, int, int]] = {}
+
+        #: Static per-instruction metadata (uses/defs as poison targets).
+        self._meta: Dict[int, Tuple[Tuple, Tuple]] = {}
+        for rec in self.funcs.values():
+            for insts in rec.blocks:
+                for inst in insts:
+                    self._meta[id(inst)] = _poison_meta(inst)
+
+    # -- register access ------------------------------------------------------
+    def get_gpr(self, name: str) -> int:
+        return self.regs.get(name, 0)
+
+    def set_gpr(self, name: str, value: int) -> None:
+        self.regs[name] = value & MASK64
+
+    def get_xmm(self, name: str) -> int:
+        return self.xmm.get(name, 0)
+
+    def set_xmm(self, name: str, value: int) -> None:
+        self.xmm[name] = value & ((1 << 128) - 1)
+
+    def get_xmm_double(self, name: str) -> float:
+        return bits_to_double(self.get_xmm(name) & MASK64)
+
+    def set_xmm_double(self, name: str, value: float) -> None:
+        high = self.get_xmm(name) & ~MASK64
+        self.xmm[name] = high | double_to_bits(value)
+
+    # -- top level -----------------------------------------------------------------
+    def run(self, entry: str = "main") -> ExecutionResult:
+        try:
+            exit_value = self._execute(entry)
+            return ExecutionResult("ok", None, self.output.text(),
+                                   self.executed, exit_value)
+        except Trap as trap:
+            return ExecutionResult("trap", trap, self.output.text(),
+                                   self.executed)
+        except HangTimeout:
+            return ExecutionResult("hang", None, self.output.text(),
+                                   self.executed)
+
+    def _execute(self, entry: str) -> int:
+        rec = self.funcs.get(entry)
+        if rec is None:
+            raise ReproError(f"no function {entry} in program")
+        self.set_gpr("rsp", STACK_TOP)
+        self._push(EXIT_TOKEN)
+        loc = _Loc(rec, 0, 0)
+        self.call_depth = 1
+        hook = self.hook
+        hook_filter = self.hook_filter
+        while True:
+            insts = loc.func.blocks[loc.block]
+            while loc.index >= len(insts):
+                # Fall through to the next block in layout order.
+                loc.block += 1
+                loc.index = 0
+                if loc.block >= len(loc.func.blocks):
+                    raise Trap(TrapKind.BAD_JUMP,
+                               f"fell off function {loc.func.name}")
+                insts = loc.func.blocks[loc.block]
+            inst = insts[loc.index]
+            self.executed += 1
+            if self.executed > self.max_instructions:
+                raise HangTimeout(self.executed)
+            if self.poison:
+                self._check_poison(inst)
+            next_loc = self._step(inst, loc)
+            if hook is not None and (hook_filter is None
+                                     or id(inst) in hook_filter):
+                hook.on_executed(inst, self)
+            if next_loc is None:  # program exit
+                return wrap_signed32(self.get_gpr("rax"))
+            loc = next_loc
+
+    # -- poison / activation -----------------------------------------------------
+    def _check_poison(self, inst: MInst) -> None:
+        uses, defs = self._meta[id(inst)]
+        poison = self.poison
+        for target in uses:
+            if target in poison:
+                self.fault_activated = True
+        for target in defs:
+            poison.pop(target, None)
+
+    def poison_target(self, target: Tuple[str, str]) -> None:
+        self.poison[target] = True
+
+    # -- operand helpers --------------------------------------------------------
+    def _mem_addr(self, mem: Mem) -> int:
+        addr = mem.disp
+        if mem.sym is not None:
+            addr += self.global_addr[mem.sym]
+        if mem.base is not None:
+            addr += self.get_gpr(mem.base.name)  # type: ignore[union-attr]
+        if mem.index is not None:
+            addr += self.get_gpr(mem.index.name) * mem.scale  # type: ignore[union-attr]
+        return addr & MASK64
+
+    def _read_int_operand(self, op, width: int) -> int:
+        """Unsigned value of a GPR/Imm/Mem operand at the given width."""
+        mask = (1 << width) - 1
+        if isinstance(op, Reg):
+            return self.get_gpr(op.name) & mask
+        if isinstance(op, Imm):
+            return op.value & mask
+        if isinstance(op, GlobalAddr):
+            return self.global_addr[op.name] & mask
+        if isinstance(op, Mem):
+            return self.memory.read_int(self._mem_addr(op), width // 8,
+                                        signed=False)
+        raise ReproError(f"bad integer operand {op!r}")
+
+    def _read_double_operand(self, op) -> float:
+        if isinstance(op, Reg):
+            return self.get_xmm_double(op.name)
+        if isinstance(op, Mem):
+            return self.memory.read_double(self._mem_addr(op))
+        raise ReproError(f"bad double operand {op!r}")
+
+    def _write_gpr_or_mem(self, op, value: int, width: int) -> None:
+        value &= (1 << width) - 1
+        if isinstance(op, Reg):
+            self.set_gpr(op.name, value)  # zero-extend (SimX86 convention)
+        elif isinstance(op, Mem):
+            self.memory.write_int(self._mem_addr(op), width // 8, value)
+        else:
+            raise ReproError(f"bad destination {op!r}")
+
+    def _push(self, value: int) -> None:
+        rsp = (self.get_gpr("rsp") - 8) & MASK64
+        self.memory.write_int(rsp, 8, value & MASK64)
+        self.set_gpr("rsp", rsp)
+
+    def _pop(self) -> int:
+        rsp = self.get_gpr("rsp")
+        value = self.memory.read_int(rsp, 8, signed=False)
+        self.set_gpr("rsp", (rsp + 8) & MASK64)
+        return value
+
+    # -- flags --------------------------------------------------------------------
+    def _set_flags_logic(self, result: int, width: int) -> None:
+        mask = (1 << width) - 1
+        r = result & mask
+        self.flags["CF"] = 0
+        self.flags["OF"] = 0
+        self.flags["ZF"] = 1 if r == 0 else 0
+        self.flags["SF"] = (r >> (width - 1)) & 1
+        self.flags["PF"] = _PARITY[r & 0xFF]
+
+    def _set_flags_sub(self, a: int, b: int, width: int) -> None:
+        mask = (1 << width) - 1
+        r = (a - b) & mask
+        self.flags["ZF"] = 1 if r == 0 else 0
+        self.flags["SF"] = (r >> (width - 1)) & 1
+        self.flags["CF"] = 1 if (a & mask) < (b & mask) else 0
+        self.flags["OF"] = ((a ^ b) & (a ^ r)) >> (width - 1) & 1
+        self.flags["PF"] = _PARITY[r & 0xFF]
+
+    def _set_flags_add(self, a: int, b: int, width: int) -> None:
+        mask = (1 << width) - 1
+        full = (a & mask) + (b & mask)
+        r = full & mask
+        self.flags["ZF"] = 1 if r == 0 else 0
+        self.flags["SF"] = (r >> (width - 1)) & 1
+        self.flags["CF"] = 1 if full > mask else 0
+        self.flags["OF"] = ((a ^ r) & (b ^ r)) >> (width - 1) & 1
+        self.flags["PF"] = _PARITY[r & 0xFF]
+
+    def _set_flags_ucomisd(self, a: float, b: float) -> None:
+        unordered = (a != a) or (b != b)
+        self.flags["OF"] = 0
+        self.flags["SF"] = 0
+        if unordered:
+            self.flags["ZF"] = 1
+            self.flags["PF"] = 1
+            self.flags["CF"] = 1
+        else:
+            self.flags["ZF"] = 1 if a == b else 0
+            self.flags["PF"] = 0
+            self.flags["CF"] = 1 if a < b else 0
+
+    # -- the dispatcher ----------------------------------------------------------
+    def _step(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        op = inst.opcode
+        w = inst.width
+        ops = inst.operands
+
+        if op == "mov":
+            dst, src = ops
+            if isinstance(dst, Mem):
+                self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
+            else:
+                self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
+            return self._advance(loc)
+        if op in ("movsx", "movzx"):
+            dst, src = ops
+            sw = inst.src_width
+            raw = self._read_int_operand(src, sw)
+            if op == "movsx" and raw >> (sw - 1) & 1:
+                raw |= ((1 << w) - 1) ^ ((1 << sw) - 1)
+            self.set_gpr(dst.name, raw & ((1 << w) - 1))
+            return self._advance(loc)
+        if op == "lea":
+            dst, mem = ops
+            self.set_gpr(dst.name, self._mem_addr(mem))
+            return self._advance(loc)
+        if op == "imul3":
+            dst, src, imm = ops
+            mask = (1 << w) - 1
+            a = wrap_signed(self._read_int_operand(src, w), w)
+            r = (a * imm.value) & mask
+            self._set_flags_logic(r, w)
+            self.set_gpr(dst.name, r)
+            return self._advance(loc)
+        if op in ("add", "sub", "and", "or", "xor", "imul"):
+            dst, src = ops
+            a = self._read_int_operand(dst, w)
+            b = self._read_int_operand(src, w)
+            mask = (1 << w) - 1
+            if op == "add":
+                r = (a + b) & mask
+                self._set_flags_add(a, b, w)
+            elif op == "sub":
+                r = (a - b) & mask
+                self._set_flags_sub(a, b, w)
+            elif op == "imul":
+                r = (wrap_signed(a, w) * wrap_signed(b, w)) & mask
+                self._set_flags_logic(r, w)
+            else:
+                r = {"and": a & b, "or": a | b, "xor": a ^ b}[op] & mask
+                self._set_flags_logic(r, w)
+            self._write_gpr_or_mem(dst, r, w)
+            return self._advance(loc)
+        if op == "neg":
+            (dst,) = ops
+            a = self._read_int_operand(dst, w)
+            r = (-a) & ((1 << w) - 1)
+            self._set_flags_sub(0, a, w)
+            self._write_gpr_or_mem(dst, r, w)
+            return self._advance(loc)
+        if op == "not":
+            (dst,) = ops
+            a = self._read_int_operand(dst, w)
+            self._write_gpr_or_mem(dst, ~a, w)
+            return self._advance(loc)
+        if op in ("shl", "sar", "shr"):
+            dst, cnt = ops
+            a = self._read_int_operand(dst, w)
+            count = self._read_int_operand(cnt, 64) & (63 if w == 64 else 31)
+            if op == "shl":
+                r = (a << count) & ((1 << w) - 1)
+            elif op == "shr":
+                r = a >> count
+            else:
+                r = (wrap_signed(a, w) >> count) & ((1 << w) - 1)
+            self._set_flags_logic(r, w)
+            self._write_gpr_or_mem(dst, r, w)
+            return self._advance(loc)
+        if op in ("cdq", "cqo"):
+            if op == "cdq":
+                sign = (self.get_gpr("rax") >> 31) & 1
+                self.set_gpr("rdx", 0xFFFF_FFFF if sign else 0)
+            else:
+                sign = (self.get_gpr("rax") >> 63) & 1
+                self.set_gpr("rdx", MASK64 if sign else 0)
+            return self._advance(loc)
+        if op == "idiv":
+            (src,) = ops
+            divisor = wrap_signed(self._read_int_operand(src, w), w)
+            lo = self.get_gpr("rax") & ((1 << w) - 1)
+            hi = self.get_gpr("rdx") & ((1 << w) - 1)
+            dividend = wrap_signed((hi << w) | lo, 2 * w)
+            if divisor == 0:
+                raise Trap(TrapKind.DIVIDE_ERROR, "idiv by zero")
+            q = abs(dividend) // abs(divisor)
+            if (dividend < 0) != (divisor < 0):
+                q = -q
+            if not (-(1 << (w - 1)) <= q < (1 << (w - 1))):
+                raise Trap(TrapKind.DIVIDE_ERROR, "idiv overflow")
+            rem = dividend - q * divisor
+            self.set_gpr("rax", q & ((1 << w) - 1))
+            self.set_gpr("rdx", rem & ((1 << w) - 1))
+            return self._advance(loc)
+        if op == "cmp":
+            a = self._read_int_operand(ops[0], w)
+            b = self._read_int_operand(ops[1], w)
+            self._set_flags_sub(a, b, w)
+            return self._advance(loc)
+        if op == "test":
+            a = self._read_int_operand(ops[0], w)
+            b = self._read_int_operand(ops[1], w)
+            self._set_flags_logic(a & b, w)
+            return self._advance(loc)
+        if op == "setcc":
+            (dst,) = ops
+            self.set_gpr(dst.name,
+                         1 if evaluate_condition(inst.cond, self.flags) else 0)
+            return self._advance(loc)
+        if op == "cmovcc":
+            dst, src = ops
+            if evaluate_condition(inst.cond, self.flags):
+                self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
+            return self._advance(loc)
+        if op == "jmp":
+            return self._jump(loc, ops[0])
+        if op == "jcc":
+            if evaluate_condition(inst.cond, self.flags):
+                return self._jump(loc, ops[0])
+            return self._advance(loc)
+        if op == "push":
+            self._push(self._read_int_operand(ops[0], 64))
+            return self._advance(loc)
+        if op == "pop":
+            self.set_gpr(ops[0].name, self._pop())
+            return self._advance(loc)
+        if op == "call":
+            return self._call(loc, ops[0])
+        if op == "ret":
+            return self._ret()
+        if op == "movsd":
+            dst, src = ops
+            if isinstance(dst, Mem):
+                self.memory.write_double(self._mem_addr(dst),
+                                         self._read_double_operand(src))
+            else:
+                self.set_xmm_double(dst.name, self._read_double_operand(src))
+            return self._advance(loc)
+        if op == "movq":
+            dst, src = ops
+            if dst.name.startswith("xmm"):
+                self.set_xmm(dst.name, self.get_gpr(src.name))
+            else:
+                self.set_gpr(dst.name, self.get_xmm(src.name) & MASK64)
+            return self._advance(loc)
+        if op in ("addsd", "subsd", "mulsd", "divsd"):
+            dst, src = ops
+            a = self.get_xmm_double(dst.name)
+            b = self._read_double_operand(src)
+            self.set_xmm_double(dst.name, _fp_op(op, a, b))
+            return self._advance(loc)
+        if op == "pxor":
+            dst, src = ops
+            self.set_xmm(dst.name, self.get_xmm(dst.name)
+                         ^ self.get_xmm(src.name))
+            return self._advance(loc)
+        if op == "ucomisd":
+            a = self.get_xmm_double(ops[0].name)
+            b = self._read_double_operand(ops[1])
+            self._set_flags_ucomisd(a, b)
+            return self._advance(loc)
+        if op == "cvtsi2sd":
+            dst, src = ops
+            value = wrap_signed(self._read_int_operand(src, w), w)
+            self.set_xmm_double(dst.name, float(value))
+            return self._advance(loc)
+        if op == "cvttsd2si":
+            dst, src = ops
+            value = self._read_double_operand(src)
+            self.set_gpr(dst.name, _cvttsd2si(value, w))
+            return self._advance(loc)
+        if op == "ud2":
+            raise Trap(TrapKind.BAD_JUMP, "ud2 executed")
+        raise ReproError(f"cannot simulate {op}")
+
+    # -- control flow helpers ---------------------------------------------------
+    def _advance(self, loc: _Loc) -> _Loc:
+        loc.index += 1
+        return loc
+
+    def _jump(self, loc: _Loc, label: Label) -> _Loc:
+        target = loc.func.block_index.get(id(label.block))
+        if target is None:
+            raise Trap(TrapKind.BAD_JUMP, label.block.name)
+        loc.block = target
+        loc.index = 0
+        return loc
+
+    def _call(self, loc: _Loc, ref: FuncRef) -> Optional[_Loc]:
+        name = ref.name
+        if name in self.intrinsics:
+            self._intrinsic(name)
+            return self._advance(loc)
+        rec = self.funcs.get(name)
+        if rec is None:
+            raise Trap(TrapKind.BAD_JUMP, f"call to unknown {name}")
+        if self.call_depth >= self.max_call_depth:
+            raise Trap(TrapKind.CALL_DEPTH, name)
+        site = (loc.func.name, loc.block, loc.index + 1)
+        token = self._site_tokens.get(site)
+        if token is None:
+            token = CODE_BASE + 16 * (len(self._site_tokens) + 1)
+            self._site_tokens[site] = token
+            self._token_sites[token] = site
+        self._push(token)
+        self.call_depth += 1
+        return _Loc(rec, 0, 0)
+
+    def _ret(self) -> Optional[_Loc]:
+        token = self._pop()
+        self.call_depth -= 1
+        if token == EXIT_TOKEN:
+            if self.call_depth == 0:
+                return None
+            raise Trap(TrapKind.BAD_RETURN, "exit token mid-stack")
+        site = self._token_sites.get(token)
+        if site is None:
+            raise Trap(TrapKind.BAD_RETURN, f"{token:#x}")
+        func_name, block, index = site
+        return _Loc(self.funcs[func_name], block, index)
+
+    # -- intrinsics ---------------------------------------------------------------
+    def _intrinsic(self, name: str) -> None:
+        if name == "print_int":
+            self.output.print_int(wrap_signed32(self.get_gpr("rdi")))
+        elif name == "print_long":
+            self.output.print_long(wrap_signed(self.get_gpr("rdi"), 64))
+        elif name == "print_double":
+            self.output.print_double(self.get_xmm_double("xmm0"))
+        elif name == "print_char":
+            self.output.print_char(self.get_gpr("rdi") & 0xFF)
+        elif name == "print_str":
+            self.output.print_str(self.memory.read_cstring(self.get_gpr("rdi")))
+        elif name == "malloc":
+            self.set_gpr("rax", self.heap.malloc(
+                wrap_signed(self.get_gpr("rdi"), 64)))
+        elif name == "free":
+            self.heap.free(self.get_gpr("rdi"))
+        else:
+            raise ReproError(f"unknown intrinsic {name}")
+
+
+# -- helpers ---------------------------------------------------------------------
+
+def wrap_signed(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value >= (1 << (bits - 1)):
+        value -= (1 << bits)
+    return value
+
+
+def wrap_signed32(value: int) -> int:
+    return wrap_signed(value, 32)
+
+
+def _fp_op(op: str, a: float, b: float) -> float:
+    import math
+
+    if op == "addsd":
+        return a + b
+    if op == "subsd":
+        return a - b
+    if op == "mulsd":
+        return a * b
+    # divsd
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return float("nan")
+        return float("inf") if (a > 0) == (math.copysign(1.0, b) > 0) \
+            else float("-inf")
+    return a / b
+
+
+def _cvttsd2si(value: float, width: int) -> int:
+    indefinite = 1 << (width - 1)  # unsigned encoding of INT_MIN
+    if value != value or value in (float("inf"), float("-inf")):
+        return indefinite
+    truncated = int(value)
+    if not (-(1 << (width - 1)) <= truncated < (1 << (width - 1))):
+        return indefinite
+    return truncated & ((1 << width) - 1)
+
+
+def _poison_meta(inst: MInst) -> Tuple[Tuple, Tuple]:
+    """Static (uses, defs) poison-target tuples for activation tracking."""
+    uses: List[Tuple[str, str]] = []
+    defs: List[Tuple[str, str]] = []
+    for r in inst.reg_uses():
+        if isinstance(r, Reg):
+            cls = "xmm" if r.name.startswith("xmm") else "gpr"
+            uses.append((cls, r.name))
+    for name in inst.flags_read():
+        uses.append(("flag", name))
+    for r in inst.reg_defs():
+        if isinstance(r, Reg):
+            cls = "xmm" if r.name.startswith("xmm") else "gpr"
+            defs.append((cls, r.name))
+    if inst.writes_flags():
+        for name in FLAG_NAMES:
+            defs.append(("flag", name))
+    # A conditional move does not reliably overwrite its destination, so it
+    # must not clear poison.
+    if inst.opcode == "cmovcc":
+        defs = []
+    return tuple(uses), tuple(defs)

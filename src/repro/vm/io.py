@@ -1,0 +1,51 @@
+"""Output capture shared by both execution engines.
+
+SDC detection compares program output against the golden run, so both
+engines must format values *identically*; all formatting lives here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class OutputBuffer:
+    """Collects the simulated program's stdout."""
+
+    def __init__(self, limit: int = 1 << 20) -> None:
+        self._parts: List[str] = []
+        self._size = 0
+        self._limit = limit
+        self.truncated = False
+
+    def _emit(self, text: str) -> None:
+        if self._size >= self._limit:
+            self.truncated = True
+            return
+        self._parts.append(text)
+        self._size += len(text)
+
+    def print_int(self, value: int) -> None:
+        self._emit(str(int(value)))
+
+    def print_long(self, value: int) -> None:
+        self._emit(str(int(value)))
+
+    def print_double(self, value: float) -> None:
+        # Fixed format so both engines agree bit-for-bit; NaN/inf are
+        # rendered distinctly so FP corruption is visible as an SDC.
+        if value != value:
+            self._emit("nan")
+        elif value in (float("inf"), float("-inf")):
+            self._emit("inf" if value > 0 else "-inf")
+        else:
+            self._emit(f"{value:.6f}")
+
+    def print_char(self, value: int) -> None:
+        self._emit(chr(value & 0xFF))
+
+    def print_str(self, text: str) -> None:
+        self._emit(text)
+
+    def text(self) -> str:
+        return "".join(self._parts)

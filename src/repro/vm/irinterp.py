@@ -1,0 +1,484 @@
+"""IR interpreter: executes repro-IR modules directly.
+
+This is the runtime under LLFI. It mirrors LLVM IR semantics with the
+following deliberate deviations, chosen so that both execution engines
+behave identically under injected faults (the paper's comparison would be
+confounded otherwise):
+
+* shift counts are masked to the operand width (x86 semantics) instead of
+  producing poison;
+* ``sdiv INT_MIN, -1`` and division by zero trap (x86 ``#DE``) instead of
+  being undefined;
+* out-of-range ``fptosi`` produces the x86 "integer indefinite"
+  (``0x8000...``) instead of poison.
+
+Faults are delivered through an optional :class:`InterpHook`: after an
+instruction with a result executes, the hook may replace the result value
+(LLFI's injection hook lives in :mod:`repro.fi.llfi`). Activation tracking
+is a single identity comparison on the operand-read path.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.ir import types as irty
+from repro.ir.instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, FCmp, GetElementPtr, ICmp,
+    Instruction, Load, Phi, Ret, Select, Store, Unreachable,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import (
+    Argument, ConstantDouble, ConstantInt, ConstantNull, ConstantUndef,
+    GlobalVariable, Value, wrap_signed,
+)
+from repro.vm.io import OutputBuffer
+from repro.vm.memory import BumpAllocator, STACK_TOP
+from repro.vm.result import ExecutionResult
+from repro.vm.traps import HangTimeout, Trap, TrapKind
+
+MASK64 = (1 << 64) - 1
+
+
+class InterpHook:
+    """Base class for fault-injection hooks into the interpreter."""
+
+    def on_result(self, inst: Instruction, value, interp: "IRInterpreter"):
+        """Called after each value-producing instruction; the return value
+        replaces the instruction's result."""
+        return value
+
+
+@dataclass
+class Frame:
+    function: Function
+    values: Dict[int, object] = field(default_factory=dict)
+    saved_sp: int = 0
+    #: When fault injection poisons an SSA value in this frame, this is the
+    #: poisoned instruction; reading it marks the fault activated.
+    poison_inst: Optional[Instruction] = None
+
+
+class IRInterpreter:
+    def __init__(self, module: Module,
+                 max_instructions: int = 50_000_000,
+                 max_call_depth: int = 400,
+                 hook: Optional[InterpHook] = None,
+                 hook_filter: Optional[frozenset] = None) -> None:
+        self.module = module
+        self.max_instructions = max_instructions
+        self.max_call_depth = max_call_depth
+        self.hook = hook
+        #: When set, the hook only fires for instructions whose id() is in
+        #: this set (fault injectors pass their candidate set here).
+        self.hook_filter = hook_filter
+        # Simulated calls consume several Python frames each; make sure the
+        # simulated call-depth limit is reached before CPython's.
+        needed = max_call_depth * 10 + 2000
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        self.output = OutputBuffer()
+        self.executed = 0
+        self.call_depth = 0
+        #: Frame currently executing (hooks use this to poison SSA values).
+        self.current_frame: Optional[Frame] = None
+        #: Set by the hook when it poisons a value; cleared never (one
+        #: injection per run). Read by the fault-injection campaign.
+        self.fault_activated = False
+        self._global_addr: Dict[int, int] = {}
+        self.memory, self.heap, self._stack_sp = self._load_globals()
+        self._dispatch: Dict[type, Callable] = {
+            BinaryOp: self._exec_binop,
+            ICmp: self._exec_icmp,
+            FCmp: self._exec_fcmp,
+            Load: self._exec_load,
+            Store: self._exec_store,
+            GetElementPtr: self._exec_gep,
+            Cast: self._exec_cast,
+            Select: self._exec_select,
+            Alloca: self._exec_alloca,
+            Call: self._exec_call,
+        }
+
+    # -- program image -----------------------------------------------------
+    def _load_globals(self):
+        from repro.vm.image import build_global_image
+
+        memory, addrs = build_global_image(self.module)
+        self._global_addr = addrs
+        return memory, BumpAllocator(), STACK_TOP
+
+    # -- top level -----------------------------------------------------------
+    def run(self, entry: str = "main") -> ExecutionResult:
+        func = self.module.get_function(entry)
+        try:
+            result = self._call_function(func, [])
+            return ExecutionResult("ok", None, self.output.text(),
+                                   self.executed, result)
+        except Trap as trap:
+            return ExecutionResult("trap", trap, self.output.text(),
+                                   self.executed)
+        except HangTimeout:
+            return ExecutionResult("hang", None, self.output.text(),
+                                   self.executed)
+
+    # -- calls -----------------------------------------------------------------
+    def _call_function(self, func: Function, args: List[object]):
+        if func.is_intrinsic:
+            return self._call_intrinsic(func, args)
+        if func.is_declaration:
+            raise ReproError(f"call to undefined function {func.name}")
+        if self.call_depth >= self.max_call_depth:
+            raise Trap(TrapKind.CALL_DEPTH, func.name)
+        self.call_depth += 1
+        frame = Frame(func, saved_sp=self._stack_sp)
+        for arg, value in zip(func.args, args):
+            frame.values[id(arg)] = value
+        prev_frame = self.current_frame
+        self.current_frame = frame
+        try:
+            return self._run_frame(frame)
+        finally:
+            self.current_frame = prev_frame
+            self._stack_sp = frame.saved_sp
+            self.call_depth -= 1
+
+    def _call_intrinsic(self, func: Function, args: List[object]):
+        name = func.name
+        if name == "print_int":
+            self.output.print_int(args[0])  # type: ignore[arg-type]
+            return None
+        if name == "print_long":
+            self.output.print_long(args[0])  # type: ignore[arg-type]
+            return None
+        if name == "print_double":
+            self.output.print_double(args[0])  # type: ignore[arg-type]
+            return None
+        if name == "print_char":
+            self.output.print_char(args[0])  # type: ignore[arg-type]
+            return None
+        if name == "print_str":
+            self.output.print_str(self.memory.read_cstring(args[0]))  # type: ignore[arg-type]
+            return None
+        if name == "malloc":
+            return self.heap.malloc(args[0])  # type: ignore[arg-type]
+        if name == "free":
+            self.heap.free(args[0])  # type: ignore[arg-type]
+            return None
+        raise ReproError(f"unknown intrinsic {name}")
+
+    # -- the main loop -----------------------------------------------------------
+    def _run_frame(self, frame: Frame):
+        block = frame.function.entry
+        prev_block: Optional[BasicBlock] = None
+        hook = self.hook
+        hook_filter = self.hook_filter
+        values = frame.values
+        while True:
+            # Evaluate all phis for this (prev -> block) edge at once.
+            index = 0
+            insts = block.instructions
+            if insts and isinstance(insts[0], Phi):
+                phi_values = []
+                while index < len(insts) and isinstance(insts[index], Phi):
+                    phi = insts[index]
+                    incoming = phi.incoming_for_block(prev_block)  # type: ignore[arg-type]
+                    phi_values.append((phi, self._value_of(incoming, frame)))
+                    index += 1
+                for phi, value in phi_values:
+                    self.executed += 1
+                    if hook is not None and (hook_filter is None
+                                             or id(phi) in hook_filter):
+                        value = hook.on_result(phi, value, self)
+                    values[id(phi)] = value
+                if self.executed > self.max_instructions:
+                    raise HangTimeout(self.executed)
+            while index < len(insts):
+                inst = insts[index]
+                self.executed += 1
+                if self.executed > self.max_instructions:
+                    raise HangTimeout(self.executed)
+                cls = type(inst)
+                if cls is Branch:
+                    if inst.is_conditional:
+                        cond = self._value_of(inst.condition, frame)
+                        target = inst.targets[0] if cond else inst.targets[1]
+                    else:
+                        target = inst.targets[0]
+                    prev_block = block
+                    block = target
+                    break
+                if cls is Ret:
+                    if inst.value is not None:
+                        return self._value_of(inst.value, frame)
+                    return None
+                if cls is Unreachable:
+                    raise Trap(TrapKind.BAD_JUMP, "unreachable executed")
+                handler = self._dispatch.get(cls)
+                if handler is None:
+                    raise ReproError(f"cannot interpret {inst.opcode}")
+                result = handler(inst, frame)
+                if inst.has_result():
+                    if hook is not None and (hook_filter is None
+                                             or id(inst) in hook_filter):
+                        result = hook.on_result(inst, result, self)
+                    values[id(inst)] = result
+                index += 1
+            else:
+                raise ReproError(
+                    f"block {block.name} fell through without terminator")
+
+    # -- operand evaluation -------------------------------------------------------
+    def _value_of(self, operand: Value, frame: Frame):
+        if isinstance(operand, Instruction):
+            if operand is frame.poison_inst:
+                self.fault_activated = True
+            return frame.values[id(operand)]
+        if isinstance(operand, ConstantInt):
+            return operand.value
+        if isinstance(operand, ConstantDouble):
+            return operand.value
+        if isinstance(operand, ConstantNull):
+            return 0
+        if isinstance(operand, Argument):
+            if operand is frame.poison_inst:
+                self.fault_activated = True
+            return frame.values[id(operand)]
+        if isinstance(operand, GlobalVariable):
+            return self._global_addr[id(operand)]
+        if isinstance(operand, ConstantUndef):
+            return 0.0 if operand.type.is_double() else 0
+        raise ReproError(f"cannot evaluate operand {type(operand).__name__}")
+
+    def global_address(self, g: GlobalVariable) -> int:
+        return self._global_addr[id(g)]
+
+    # -- instruction semantics -----------------------------------------------------
+    def _exec_binop(self, inst: BinaryOp, frame: Frame):
+        a = self._value_of(inst.lhs, frame)
+        b = self._value_of(inst.rhs, frame)
+        op = inst.opcode
+        if op[0] == "f":
+            return _float_binop(op, a, b)
+        bits = inst.type.bits  # type: ignore[attr-defined]
+        return _int_binop(op, a, b, bits)
+
+    def _exec_icmp(self, inst: ICmp, frame: Frame):
+        a = self._value_of(inst.lhs, frame)
+        b = self._value_of(inst.rhs, frame)
+        if inst.lhs.type.is_pointer():
+            # pointers are stored unsigned
+            ua, ub = a & MASK64, b & MASK64
+            return int({
+                "eq": ua == ub, "ne": ua != ub,
+                "ult": ua < ub, "ule": ua <= ub, "ugt": ua > ub, "uge": ua >= ub,
+                "slt": wrap_signed(ua, 64) < wrap_signed(ub, 64),
+                "sle": wrap_signed(ua, 64) <= wrap_signed(ub, 64),
+                "sgt": wrap_signed(ua, 64) > wrap_signed(ub, 64),
+                "sge": wrap_signed(ua, 64) >= wrap_signed(ub, 64),
+            }[inst.predicate])
+        bits = inst.lhs.type.bits  # type: ignore[attr-defined]
+        mask = (1 << bits) - 1
+        ua, ub = a & mask, b & mask
+        sa, sb = wrap_signed(ua, bits), wrap_signed(ub, bits)
+        return int({
+            "eq": ua == ub, "ne": ua != ub,
+            "slt": sa < sb, "sle": sa <= sb, "sgt": sa > sb, "sge": sa >= sb,
+            "ult": ua < ub, "ule": ua <= ub, "ugt": ua > ub, "uge": ua >= ub,
+        }[inst.predicate])
+
+    def _exec_fcmp(self, inst: FCmp, frame: Frame):
+        a = self._value_of(inst.lhs, frame)
+        b = self._value_of(inst.rhs, frame)
+        if a != a or b != b:
+            return 0  # ordered predicates are false on NaN
+        return int({
+            "oeq": a == b, "one": a != b,
+            "olt": a < b, "ole": a <= b, "ogt": a > b, "oge": a >= b,
+        }[inst.predicate])
+
+    def _exec_load(self, inst: Load, frame: Frame):
+        addr = self._value_of(inst.pointer, frame) & MASK64
+        t = inst.type
+        if t.is_double():
+            return self.memory.read_double(addr)
+        if t.is_pointer():
+            return self.memory.read_int(addr, 8, signed=False)
+        if t.is_integer(1):
+            return 1 if self.memory.read_int(addr, 1, signed=False) else 0
+        return self.memory.read_int(addr, t.size, signed=True)
+
+    def _exec_store(self, inst: Store, frame: Frame):
+        value = self._value_of(inst.value, frame)
+        addr = self._value_of(inst.pointer, frame) & MASK64
+        t = inst.value.type
+        if t.is_double():
+            self.memory.write_double(addr, value)
+        elif t.is_pointer():
+            self.memory.write_int(addr, 8, value & MASK64)
+        elif t.is_integer(1):
+            self.memory.write_int(addr, 1, 1 if value else 0)
+        else:
+            self.memory.write_int(addr, t.size, value & ((1 << (t.size * 8)) - 1))
+        return None
+
+    def _exec_gep(self, inst: GetElementPtr, frame: Frame):
+        addr = self._value_of(inst.pointer, frame) & MASK64
+        current = inst.pointer.type.pointee  # type: ignore[attr-defined]
+        indices = inst.indices
+        first = self._value_of(indices[0], frame)
+        addr = (addr + first * current.size) & MASK64
+        for idx_val in indices[1:]:
+            if current.is_array():
+                idx = self._value_of(idx_val, frame)
+                current = current.element
+                addr = (addr + idx * current.size) & MASK64
+            else:  # struct
+                idx = idx_val.value  # type: ignore[attr-defined]
+                addr = (addr + current.field_offset(idx)) & MASK64
+                current = current.field_type(idx)
+        return addr
+
+    def _exec_cast(self, inst: Cast, frame: Frame):
+        value = self._value_of(inst.value, frame)
+        op = inst.opcode
+        if op == "trunc":
+            return wrap_signed(value, inst.type.bits)  # type: ignore[attr-defined]
+        if op == "zext":
+            src_bits = inst.value.type.bits  # type: ignore[attr-defined]
+            return value & ((1 << src_bits) - 1)
+        if op == "sext":
+            return value  # already signed
+        if op == "fptosi":
+            return _fptosi(value, inst.type.bits)  # type: ignore[attr-defined]
+        if op == "fptoui":
+            bits = inst.type.bits  # type: ignore[attr-defined]
+            try:
+                result = int(value)
+            except (OverflowError, ValueError):
+                return wrap_signed(1 << (bits - 1), bits)
+            return wrap_signed(result & ((1 << bits) - 1), bits)
+        if op == "sitofp":
+            return float(value)
+        if op == "uitofp":
+            src_bits = inst.value.type.bits  # type: ignore[attr-defined]
+            return float(value & ((1 << src_bits) - 1))
+        if op == "bitcast":
+            return value
+        if op == "ptrtoint":
+            return wrap_signed(value, 64)
+        if op == "inttoptr":
+            return value & MASK64
+        raise ReproError(f"unknown cast {op}")
+
+    def _exec_select(self, inst: Select, frame: Frame):
+        cond = self._value_of(inst.condition, frame)
+        return self._value_of(inst.true_value if cond else inst.false_value,
+                              frame)
+
+    def _exec_alloca(self, inst: Alloca, frame: Frame):
+        t = inst.allocated_type
+        size = max(t.size, 1)
+        align = max(t.alignment, 8)
+        sp = self._stack_sp - size
+        sp -= sp % align
+        stack = self.memory.region_named("stack")
+        if sp < stack.base:
+            raise Trap(TrapKind.STACK_OVERFLOW, frame.function.name)
+        self._stack_sp = sp
+        # Zero the slot: frames are reused and stale bytes would make runs
+        # depend on execution history.
+        self.memory.write_bytes(sp, b"\x00" * size)
+        return sp
+
+    def _exec_call(self, inst: Call, frame: Frame):
+        args = [self._value_of(a, frame) for a in inst.args]
+        return self._call_function(inst.callee, args)
+
+
+# -- arithmetic helpers ---------------------------------------------------------
+
+def _int_binop(op: str, a: int, b: int, bits: int) -> int:
+    if op == "add":
+        return wrap_signed(a + b, bits)
+    if op == "sub":
+        return wrap_signed(a - b, bits)
+    if op == "mul":
+        return wrap_signed(a * b, bits)
+    mask = (1 << bits) - 1
+    if op == "sdiv":
+        if b == 0:
+            raise Trap(TrapKind.DIVIDE_ERROR, "sdiv by zero")
+        if a == -(1 << (bits - 1)) and b == -1:
+            raise Trap(TrapKind.DIVIDE_ERROR, "sdiv overflow")
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    if op == "srem":
+        if b == 0:
+            raise Trap(TrapKind.DIVIDE_ERROR, "srem by zero")
+        if a == -(1 << (bits - 1)) and b == -1:
+            raise Trap(TrapKind.DIVIDE_ERROR, "srem overflow")
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return a - q * b
+    if op == "udiv":
+        if b == 0:
+            raise Trap(TrapKind.DIVIDE_ERROR, "udiv by zero")
+        return wrap_signed((a & mask) // (b & mask), bits)
+    if op == "urem":
+        if b == 0:
+            raise Trap(TrapKind.DIVIDE_ERROR, "urem by zero")
+        return wrap_signed((a & mask) % (b & mask), bits)
+    if op == "and":
+        return wrap_signed(a & b, bits)
+    if op == "or":
+        return wrap_signed(a | b, bits)
+    if op == "xor":
+        return wrap_signed(a ^ b, bits)
+    # x86 masks shift counts to the operand width.
+    shift_mask = 63 if bits == 64 else 31
+    count = (b & mask) & shift_mask
+    if op == "shl":
+        return wrap_signed(a << count, bits)
+    if op == "lshr":
+        return wrap_signed((a & mask) >> count, bits)
+    if op == "ashr":
+        return wrap_signed(a >> count, bits)
+    raise ReproError(f"unknown binop {op}")
+
+
+def _float_binop(op: str, a: float, b: float) -> float:
+    if op == "fadd":
+        return a + b
+    if op == "fsub":
+        return a - b
+    if op == "fmul":
+        return a * b
+    if op == "fdiv":
+        if b == 0.0:
+            if a == 0.0 or a != a:
+                return float("nan")
+            return float("inf") if (a > 0) == (math.copysign(1.0, b) > 0) \
+                else float("-inf")
+        return a / b
+    if op == "frem":
+        if b == 0.0:
+            return float("nan")
+        return math.fmod(a, b)
+    raise ReproError(f"unknown float binop {op}")
+
+
+def _fptosi(value: float, bits: int) -> int:
+    """x86 cvttsd2si semantics: truncate toward zero; out of range or NaN
+    produces the "integer indefinite" (minimum signed value)."""
+    indefinite = -(1 << (bits - 1))
+    if value != value or value in (float("inf"), float("-inf")):
+        return indefinite
+    truncated = int(value)
+    if not (-(1 << (bits - 1)) <= truncated < (1 << (bits - 1))):
+        return indefinite
+    return truncated

@@ -1,0 +1,177 @@
+"""Sparse region-based memory for the simulated machine.
+
+The address space is 64-bit but only a few small islands are mapped:
+
+======================  =====================  =======================
+region                  default base           default size
+======================  =====================  =======================
+globals                 0x0000_0000_0001_0000  sized to the module
+heap                    0x0000_0000_1000_0000  4 MiB
+stack (grows down)      0x0000_7FFF_FF00_0000  1 MiB (top at base)
+======================  =====================  =======================
+
+This sparseness is load-bearing for the reproduction: a random single-bit
+flip in a 64-bit pointer almost always produces an address outside every
+mapped region, so pointer corruption crashes with high probability — the
+same mechanism that produces SIGSEGV on real hardware, and the origin of
+the paper's crash-rate results.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.vm.traps import Trap, TrapKind
+
+GLOBALS_BASE = 0x0000_0000_0001_0000
+HEAP_BASE = 0x0000_0000_1000_0000
+HEAP_SIZE = 4 * 1024 * 1024
+STACK_TOP = 0x0000_7FFF_FF00_0000
+STACK_SIZE = 1024 * 1024
+
+_PACK = {1: "<b", 2: "<h", 4: "<i", 8: "<q"}
+_PACK_U = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+
+@dataclass
+class Region:
+    name: str
+    base: int
+    size: int
+    data: bytearray
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class Memory:
+    """Byte-addressable memory made of disjoint mapped regions. Any access
+    that is not fully inside one region raises a SEGV trap."""
+
+    def __init__(self) -> None:
+        self._regions: List[Region] = []
+        #: Hot-path cache of the last region hit (locality is high).
+        self._last: Optional[Region] = None
+
+    def map_region(self, name: str, base: int, size: int) -> Region:
+        if base < 0 or size <= 0:
+            raise ValueError(f"bad region {name}: base={base:#x} size={size}")
+        for region in self._regions:
+            if base < region.end and region.base < base + size:
+                raise ValueError(
+                    f"region {name} overlaps {region.name}")
+        region = Region(name, base, size, bytearray(size))
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def region_named(self, name: str) -> Region:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        return self._find(addr, size) is not None
+
+    def _find(self, addr: int, size: int) -> Optional[Region]:
+        last = self._last
+        if last is not None and last.contains(addr, size):
+            return last
+        for region in self._regions:
+            if region.contains(addr, size):
+                self._last = region
+                return region
+        return None
+
+    def _locate(self, addr: int, size: int) -> Tuple[Region, int]:
+        region = self._find(addr, size)
+        if region is None:
+            raise Trap(TrapKind.SEGV, f"access to {addr:#x} ({size} bytes)")
+        return region, addr - region.base
+
+    # -- raw bytes ----------------------------------------------------------
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        region, offset = self._locate(addr, size)
+        return bytes(region.data[offset:offset + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        region, offset = self._locate(addr, len(data))
+        region.data[offset:offset + len(data)] = data
+
+    # -- integers -------------------------------------------------------------
+    def read_int(self, addr: int, size: int, signed: bool = True) -> int:
+        region, offset = self._locate(addr, size)
+        fmt = _PACK[size] if signed else _PACK_U[size]
+        return struct.unpack_from(fmt, region.data, offset)[0]
+
+    def write_int(self, addr: int, size: int, value: int) -> None:
+        region, offset = self._locate(addr, size)
+        value &= (1 << (size * 8)) - 1
+        struct.pack_into(_PACK_U[size], region.data, offset, value)
+
+    # -- doubles ---------------------------------------------------------------
+    def read_double(self, addr: int) -> float:
+        region, offset = self._locate(addr, 8)
+        return struct.unpack_from("<d", region.data, offset)[0]
+
+    def write_double(self, addr: int, value: float) -> None:
+        region, offset = self._locate(addr, 8)
+        struct.pack_into("<d", region.data, offset, value)
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated string (for the print_str intrinsic)."""
+        chars = []
+        for i in range(limit):
+            byte = self.read_int(addr + i, 1, signed=False)
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)
+
+
+def standard_memory(globals_size: int = 64 * 1024) -> Memory:
+    """Memory with the standard three-region layout."""
+    mem = Memory()
+    mem.map_region("globals", GLOBALS_BASE, max(globals_size, 4096))
+    mem.map_region("heap", HEAP_BASE, HEAP_SIZE)
+    mem.map_region("stack", STACK_TOP - STACK_SIZE, STACK_SIZE)
+    return mem
+
+
+class BumpAllocator:
+    """Trivial malloc: bump pointer, 16-byte aligned; free is a no-op.
+
+    Matches what the benchmarks need (allocate-once workloads) and keeps
+    both execution engines byte-identical in heap layout.
+    """
+
+    def __init__(self, base: int = HEAP_BASE, size: int = HEAP_SIZE) -> None:
+        self.base = base
+        self.size = size
+        self._next = base
+        self.allocations = 0
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            size = 1
+        aligned = (size + 15) // 16 * 16
+        if self._next + aligned > self.base + self.size:
+            raise Trap(TrapKind.SEGV, "heap exhausted")
+        addr = self._next
+        self._next += aligned
+        self.allocations += 1
+        return addr
+
+    def free(self, addr: int) -> None:
+        # Intentionally a no-op; see class docstring.
+        del addr

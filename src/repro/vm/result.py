@@ -1,0 +1,36 @@
+"""Execution result record shared by both engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.vm.traps import Trap
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated program run."""
+
+    #: 'ok' (ran to completion), 'trap' (crashed), or 'hang' (budget hit).
+    status: str
+    #: The trap when status == 'trap'.
+    trap: Optional[Trap]
+    #: Captured program output.
+    output: str
+    #: Dynamic instructions executed.
+    instructions: int
+    #: main()'s return value when status == 'ok'.
+    exit_value: Optional[int] = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.status == "trap"
+
+    @property
+    def hung(self) -> bool:
+        return self.status == "hang"
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "ok"

@@ -1,0 +1,39 @@
+"""The benchmark workloads (paper Table II, scaled down).
+
+Each workload is a MiniC program whose computational character mirrors its
+SPEC/SPLASH-2 namesake — the per-category instruction mix is what drives
+the per-benchmark differences the paper reports:
+
+==========  ===========  ====================================================
+name        mirrors      character
+==========  ===========  ====================================================
+bzip2m      bzip2        byte-array compression (RLE + MTF + Huffman
+                         lengths); memory address computation heavy
+mcfm        mcf          min-cost-flow vehicle scheduling on a pointer-
+                         linked network; pointer chasing
+hmmerm      hmmer        Viterbi dynamic programming over an HMM; integer
+                         score arithmetic on 2-D tables
+libquantumm libquantum   state-vector quantum simulation (Grover search);
+                         dominated by data movement of amplitude pairs
+oceanm      ocean        red-black SOR relaxation on a 2-D grid; dense
+                         floating point
+raytracem   raytrace     recursive sphere ray tracer with fixed-point-free
+                         double math and a software sqrt
+==========  ===========  ====================================================
+
+``build(name)`` compiles a workload once and returns the pieces needed by
+both injectors; results are cached per process.
+"""
+
+from repro.workloads.registry import (
+    BuiltWorkload, Workload, all_workloads, build, get, workload_names,
+)
+
+__all__ = [
+    "BuiltWorkload",
+    "Workload",
+    "all_workloads",
+    "build",
+    "get",
+    "workload_names",
+]

@@ -1,0 +1,165 @@
+"""hmmerm: profile-HMM search workload mirroring SPEC's hmmer.
+
+hmmer scores protein sequences against a profile hidden Markov model with
+the Viterbi algorithm over integer log-odds scores. This miniature builds
+a small plan7-style profile (match/insert/delete states) and runs exact
+Viterbi DP plus a traceback, all in 32-bit integer score arithmetic on 2-D
+tables — hmmer's dominant instruction mix.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = r"""
+// hmmerm: Viterbi over a plan7-like profile HMM (integer log-odds).
+
+int M;                    // model length (match states)
+int L;                    // sequence length
+int seq[80];              // digitized sequence (alphabet of 20)
+
+int match_emit[24][20];   // match emission scores
+int ins_emit[24][20];     // insert emission scores
+int tr_mm[24];            // match -> match
+int tr_mi[24];            // match -> insert
+int tr_md[24];            // match -> delete
+int tr_im[24];            // insert -> match
+int tr_ii[24];            // insert -> insert
+int tr_dm[24];            // delete -> match
+int tr_dd[24];            // delete -> delete
+
+int vm[81][24];
+int vi[81][24];
+int vd[81][24];
+int NEG;
+
+long rng_state = 777777;
+
+int next_rand(int modulus) {
+    rng_state = rng_state * 6364136223846793005 + 1442695040888963407;
+    long x = rng_state >> 35;
+    int v = (int)(x % modulus);
+    if (v < 0) v = -v;
+    return v;
+}
+
+void build_model(void) {
+    int k;
+    int a;
+    for (k = 0; k < M; k++) {
+        for (a = 0; a < 20; a++) {
+            match_emit[k][a] = next_rand(11) - 3;   // mostly positive-ish
+            ins_emit[k][a] = next_rand(7) - 4;      // inserts score worse
+        }
+        tr_mm[k] = -(1 + next_rand(2));
+        tr_mi[k] = -(4 + next_rand(4));
+        tr_md[k] = -(5 + next_rand(4));
+        tr_im[k] = -(2 + next_rand(3));
+        tr_ii[k] = -(3 + next_rand(3));
+        tr_dm[k] = -(2 + next_rand(3));
+        tr_dd[k] = -(4 + next_rand(4));
+    }
+}
+
+void build_sequence(void) {
+    int i;
+    for (i = 0; i < L; i++)
+        seq[i] = next_rand(20);
+}
+
+int max2(int a, int b) { if (a > b) return a; return b; }
+int max3(int a, int b, int c) { return max2(max2(a, b), c); }
+
+int viterbi(void) {
+    int i;
+    int k;
+    int cutoff = NEG / 2;   // underflow guard, hoisted like hmmer's -INFTY
+    for (i = 0; i <= L; i++)
+        for (k = 0; k < M; k++) {
+            vm[i][k] = NEG; vi[i][k] = NEG; vd[i][k] = NEG;
+        }
+    // row i = number of sequence symbols consumed
+    for (i = 1; i <= L; i++) {
+        int sym = seq[i - 1];
+        for (k = 0; k < M; k++) {
+            int frm;
+            if (k == 0) {
+                // local entry into the model
+                frm = 0;
+            } else {
+                frm = max3(vm[i - 1][k - 1] + tr_mm[k - 1],
+                           vi[i - 1][k - 1] + tr_im[k - 1],
+                           vd[i - 1][k - 1] + tr_dm[k - 1]);
+            }
+            if (frm > cutoff)
+                vm[i][k] = frm + match_emit[k][sym];
+            // insert state consumes a symbol, stays at model position k
+            int fri = max2(vm[i - 1][k] + tr_mi[k],
+                           vi[i - 1][k] + tr_ii[k]);
+            if (fri > cutoff)
+                vi[i][k] = fri + ins_emit[k][sym];
+            // delete state consumes no symbol
+            if (k > 0) {
+                int frd = max2(vm[i][k - 1] + tr_md[k - 1],
+                               vd[i][k - 1] + tr_dd[k - 1]);
+                if (frd > cutoff)
+                    vd[i][k] = frd;
+            }
+        }
+    }
+    int best = NEG;
+    for (i = 1; i <= L; i++)
+        best = max2(best, vm[i][M - 1]);
+    return best;
+}
+
+int traceback_checksum(int best) {
+    // Greedy traceback from the best cell; checksum the visited states.
+    int bi = 0;
+    int i;
+    for (i = 1; i <= L; i++)
+        if (vm[i][M - 1] == best) { bi = i; break; }
+    int k = M - 1;
+    i = bi;
+    long sum = 0;
+    while (k > 0 && i > 0) {
+        sum = (sum * 31 + k * 3 + (i % 7)) % 1000000007;
+        int fm = vm[i - 1][k - 1];
+        int fi = vi[i - 1][k - 1];
+        int fd = vd[i - 1][k - 1];
+        if (fm >= fi && fm >= fd) { i--; k--; }
+        else if (fi >= fd) { i--; }
+        else { k--; }
+    }
+    return (int)sum;
+}
+
+int main() {
+    M = 10;
+    L = 26;
+    NEG = -100000000;
+    build_model();
+    build_sequence();
+    int best = viterbi();
+    double per_pos = (double)best / (double)L;
+    print_str("perpos="); print_double(per_pos); print_char('\n');
+    print_str("score="); print_int(best);
+    print_str(" trace="); print_int(traceback_checksum(best));
+    print_char('\n');
+    // score a shuffled decoy; a real profile should beat it
+    build_sequence();
+    int s = viterbi();
+    print_str("decoy="); print_int(s); print_char('\n');
+    if (s > best) print_str("beats=1\n");
+    else print_str("beats=0\n");
+    return 0;
+}
+"""
+
+register(Workload(
+    name="hmmerm",
+    mirrors="hmmer",
+    suite="SPEC CPU2006",
+    description="plan7-style profile-HMM Viterbi search with traceback and "
+                "decoy rescoring (integer log-odds DP)",
+    source=SOURCE,
+    input_description="model length 10, sequence length 26, 1 decoy",
+))

@@ -1,0 +1,115 @@
+"""libquantumm: quantum-computer simulation mirroring SPEC's libquantum.
+
+libquantum simulates a register of qubits as a vector of complex
+amplitudes and factors numbers with Shor's algorithm. This miniature
+simulates a 5-qubit register (32 complex amplitudes in two double arrays)
+running Grover's search — the same state-vector data movement pattern
+(gate application = strided pair updates over the amplitude arrays) that
+makes libquantum load/store dominated.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = r"""
+// libquantumm: state-vector simulation of Grover search on 5 qubits.
+
+double re[32];
+double im[32];
+int NQ;
+int DIM;
+
+double inv_sqrt2;
+
+void hadamard(int target) {
+    int mask = 1 << target;
+    int i;
+    for (i = 0; i < DIM; i++) {
+        if ((i & mask) == 0) {
+            int j = i | mask;
+            double ar = re[i]; double ai = im[i];
+            double br = re[j]; double bi = im[j];
+            re[i] = (ar + br) * inv_sqrt2;
+            im[i] = (ai + bi) * inv_sqrt2;
+            re[j] = (ar - br) * inv_sqrt2;
+            im[j] = (ai - bi) * inv_sqrt2;
+        }
+    }
+}
+
+void phase_flip(int state) {
+    re[state] = 0.0 - re[state];
+    im[state] = 0.0 - im[state];
+}
+
+void diffusion(void) {
+    // H^n, flip |0>, H^n  == inversion about the mean
+    int q;
+    for (q = 0; q < NQ; q++) hadamard(q);
+    phase_flip(0);
+    for (q = 0; q < NQ; q++) hadamard(q);
+    // global phase fixup: multiply everything by -1
+    int i;
+    for (i = 0; i < DIM; i++) {
+        re[i] = 0.0 - re[i];
+        im[i] = 0.0 - im[i];
+    }
+}
+
+double probability(int i) {
+    return re[i] * re[i] + im[i] * im[i];
+}
+
+int main() {
+    NQ = 5;
+    DIM = 32;
+    inv_sqrt2 = 0.7071067811865476;
+    int marked = 21;
+
+    // |0...0> then uniform superposition
+    int i;
+    for (i = 0; i < DIM; i++) { re[i] = 0.0; im[i] = 0.0; }
+    re[0] = 1.0;
+    int q;
+    for (q = 0; q < NQ; q++) hadamard(q);
+
+    // optimal Grover iterations for N=32 is round(pi/4*sqrt(32)) = 4
+    int iter;
+    for (iter = 0; iter < 4; iter++) {
+        phase_flip(marked);
+        diffusion();
+        print_str("iter "); print_int(iter);
+        print_str(" p="); print_double(probability(marked));
+        print_char('\n');
+    }
+
+    // measurement statistics
+    int best = 0;
+    double best_p = 0.0;
+    double total = 0.0;
+    for (i = 0; i < DIM; i++) {
+        double p = probability(i);
+        total += p;
+        if (p > best_p) { best_p = p; best = i; }
+    }
+    double uniform = 1.0 / (double)DIM;
+    print_str("uniform="); print_double(uniform); print_char('\n');
+    print_str("best="); print_int(best);
+    print_str(" p="); print_double(best_p);
+    print_str(" norm="); print_double(total);
+    print_char('\n');
+    if (best == marked) print_str("grover=OK\n");
+    else print_str("grover=BAD\n");
+    return 0;
+}
+"""
+
+register(Workload(
+    name="libquantumm",
+    mirrors="libquantum",
+    suite="SPEC CPU2006",
+    description="state-vector quantum register simulation running Grover's "
+                "search (gate application as strided amplitude updates)",
+    source=SOURCE,
+    input_description="5 qubits (32 amplitudes), marked state 21, 4 Grover "
+                      "iterations",
+))

@@ -1,0 +1,121 @@
+"""oceanm: grid relaxation workload mirroring SPLASH-2's ocean.
+
+Ocean simulates large-scale eddy currents by solving elliptic PDEs with a
+red-black successive-over-relaxation (SOR) multigrid solver. This
+miniature runs red-black SOR with over-relaxation on a 2-D grid with
+fixed boundary conditions and residual tracking — the same dense
+double-precision stencil traffic.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = r"""
+// oceanm: red-black SOR solving laplace(u) = f on a 2-D grid.
+
+int N;
+double grid[18][18];
+double rhs[18][18];
+
+long rng_state = 31415;
+
+int next_rand(int modulus) {
+    rng_state = rng_state * 6364136223846793005 + 1442695040888963407;
+    long x = rng_state >> 35;
+    int v = (int)(x % modulus);
+    if (v < 0) v = -v;
+    return v;
+}
+
+void init_grid(void) {
+    int i;
+    int j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            grid[i][j] = 0.0;
+            rhs[i][j] = (double)(next_rand(200) - 100) / 100.0;
+        }
+    // boundary currents: warm western boundary, cold eastern
+    for (i = 0; i < N; i++) {
+        grid[i][0] = 1.0;
+        grid[i][N - 1] = -1.0;
+    }
+    for (j = 0; j < N; j++) {
+        grid[0][j] = (double)j / (double)(N - 1) * -2.0 + 1.0;
+        grid[N - 1][j] = (double)j / (double)(N - 1) * -2.0 + 1.0;
+    }
+}
+
+double sweep_color(int color, double omega, double h2) {
+    double change = 0.0;
+    int i;
+    int j;
+    for (i = 1; i < N - 1; i++) {
+        for (j = 1; j < N - 1; j++) {
+            if (((i + j) & 1) == color) {
+                double nb = grid[i - 1][j] + grid[i + 1][j]
+                          + grid[i][j - 1] + grid[i][j + 1];
+                double gs = (nb - h2 * rhs[i][j]) / 4.0;
+                double delta = gs - grid[i][j];
+                grid[i][j] += omega * delta;
+                if (delta < 0.0) delta = 0.0 - delta;
+                change += delta;
+            }
+        }
+    }
+    return change;
+}
+
+double residual(double h2) {
+    double r = 0.0;
+    int i;
+    int j;
+    for (i = 1; i < N - 1; i++)
+        for (j = 1; j < N - 1; j++) {
+            double lap = grid[i - 1][j] + grid[i + 1][j]
+                       + grid[i][j - 1] + grid[i][j + 1]
+                       - 4.0 * grid[i][j];
+            double res = lap - h2 * rhs[i][j];
+            if (res < 0.0) res = 0.0 - res;
+            r += res;
+        }
+    return r;
+}
+
+int main() {
+    N = 12;
+    double omega = 1.5;
+    double h2 = 1.0 / ((double)(N - 1) * (double)(N - 1));
+    init_grid();
+    int iter;
+    double change = 0.0;
+    for (iter = 0; iter < 8; iter++) {
+        change = sweep_color(0, omega, h2);
+        change += sweep_color(1, omega, h2);
+        if (iter % 3 == 0) {
+            print_str("iter "); print_int(iter);
+            print_str(" change="); print_double(change);
+            print_char('\n');
+        }
+    }
+    print_str("residual="); print_double(residual(h2)); print_char('\n');
+    double checksum = 0.0;
+    int i;
+    int j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            checksum += grid[i][j] * (double)(i * 31 + j);
+    print_str("checksum="); print_double(checksum); print_char('\n');
+    print_str("center="); print_double(grid[6][6]); print_char('\n');
+    return 0;
+}
+"""
+
+register(Workload(
+    name="oceanm",
+    mirrors="ocean",
+    suite="SPLASH-2",
+    description="red-black successive over-relaxation on a 2-D grid with "
+                "boundary currents (eddy-current solver kernel)",
+    source=SOURCE,
+    input_description="12x12 grid, omega=1.5, 8 iterations",
+))

@@ -1,0 +1,166 @@
+"""raytracem: ray-tracing workload mirroring SPLASH-2's raytrace.
+
+Renders a small scene of diffuse/reflective spheres with recursive ray
+tracing: ray-sphere intersection (quadratic solve with a software
+Newton-iteration sqrt), Lambertian shading, shadows and one reflection
+bounce. Double-precision vector math with deep call chains — raytrace's
+signature mix.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = r"""
+// raytracem: recursive sphere ray tracer over a 10x10 image.
+
+struct Sphere {
+    double cx; double cy; double cz;
+    double radius;
+    double refl;          // 0 = diffuse, >0 = mirror component
+    double shade;         // base brightness
+};
+
+struct Sphere spheres[4];
+int num_spheres;
+
+double light_x;
+double light_y;
+double light_z;
+
+double my_sqrt(double x) {
+    if (x <= 0.0) return 0.0;
+    double guess = x;
+    if (guess > 1.0) guess = x / 2.0 + 0.5;
+    int i;
+    for (i = 0; i < 9; i++)
+        guess = (guess + x / guess) / 2.0;
+    return guess;
+}
+
+// Ray-sphere intersection; returns distance t or -1.
+double intersect(int s, double ox, double oy, double oz,
+                 double dx, double dy, double dz) {
+    double lx = spheres[s].cx - ox;
+    double ly = spheres[s].cy - oy;
+    double lz = spheres[s].cz - oz;
+    double tca = lx * dx + ly * dy + lz * dz;
+    if (tca < 0.0) return 0.0 - 1.0;
+    double d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+    double r2 = spheres[s].radius * spheres[s].radius;
+    if (d2 > r2) return 0.0 - 1.0;
+    double thc = my_sqrt(r2 - d2);
+    double t = tca - thc;
+    if (t < 0.001) t = tca + thc;
+    if (t < 0.001) return 0.0 - 1.0;
+    return t;
+}
+
+int find_hit(double ox, double oy, double oz,
+             double dx, double dy, double dz, double *t_out) {
+    int best = -1;
+    double best_t = 1000000.0;
+    int s;
+    for (s = 0; s < num_spheres; s++) {
+        double t = intersect(s, ox, oy, oz, dx, dy, dz);
+        if (t > 0.0 && t < best_t) { best_t = t; best = s; }
+    }
+    *t_out = best_t;
+    return best;
+}
+
+double trace(double ox, double oy, double oz,
+             double dx, double dy, double dz, int depth) {
+    double t;
+    int s = find_hit(ox, oy, oz, dx, dy, dz, &t);
+    if (s < 0) {
+        // sky gradient
+        double v = dy;
+        if (v < 0.0) v = 0.0;
+        return 0.1 + v * 0.2;
+    }
+    double px = ox + dx * t;
+    double py = oy + dy * t;
+    double pz = oz + dz * t;
+    double nx = (px - spheres[s].cx) / spheres[s].radius;
+    double ny = (py - spheres[s].cy) / spheres[s].radius;
+    double nz = (pz - spheres[s].cz) / spheres[s].radius;
+
+    // light direction
+    double lx = light_x - px;
+    double ly = light_y - py;
+    double lz = light_z - pz;
+    double llen = my_sqrt(lx * lx + ly * ly + lz * lz);
+    lx = lx / llen; ly = ly / llen; lz = lz / llen;
+
+    double diff = nx * lx + ny * ly + nz * lz;
+    if (diff < 0.0) diff = 0.0;
+
+    // shadow ray
+    double st;
+    int blocker = find_hit(px + nx * 0.01, py + ny * 0.01, pz + nz * 0.01,
+                           lx, ly, lz, &st);
+    if (blocker >= 0 && st < llen) diff = diff * 0.2;
+
+    double color = spheres[s].shade * (0.15 + 0.85 * diff);
+
+    if (spheres[s].refl > 0.0 && depth > 0) {
+        double dot = dx * nx + dy * ny + dz * nz;
+        double rx = dx - 2.0 * dot * nx;
+        double ry = dy - 2.0 * dot * ny;
+        double rz = dz - 2.0 * dot * nz;
+        double bounce = trace(px + nx * 0.01, py + ny * 0.01, pz + nz * 0.01,
+                              rx, ry, rz, depth - 1);
+        color = color * (1.0 - spheres[s].refl) + bounce * spheres[s].refl;
+    }
+    if (color > 1.0) color = 1.0;
+    return color;
+}
+
+void set_sphere(int i, double x, double y, double z, double r,
+                double refl, double shade) {
+    spheres[i].cx = x; spheres[i].cy = y; spheres[i].cz = z;
+    spheres[i].radius = r; spheres[i].refl = refl; spheres[i].shade = shade;
+}
+
+int main() {
+    num_spheres = 4;
+    set_sphere(0, 0.0, -100.5, -3.0, 100.0, 0.0, 0.7);   // ground
+    set_sphere(1, 0.0, 0.3, -3.0, 0.8, 0.5, 0.9);        // mirror ball
+    set_sphere(2, -1.4, 0.0, -2.4, 0.4, 0.0, 0.5);
+    set_sphere(3, 1.3, -0.1, -2.6, 0.5, 0.0, 0.8);
+    light_x = 3.0; light_y = 4.0; light_z = 1.0;
+
+    int width = 10;
+    int height = 10;
+    double total = 0.0;
+    int y;
+    for (y = 0; y < height; y++) {
+        int x;
+        for (x = 0; x < width; x++) {
+            double u = ((double)x + 0.5) / (double)width * 2.0 - 1.0;
+            double v = 1.0 - ((double)y + 0.5) / (double)height * 2.0;
+            double dx = u;
+            double dy = v;
+            double dz = -1.5;
+            double len = my_sqrt(dx * dx + dy * dy + dz * dz);
+            double c = trace(0.0, 0.2, 1.0, dx / len, dy / len, dz / len, 2);
+            total += c;
+            int level = (int)(c * 9.0);
+            if (level > 9) level = 9;
+            print_char('0' + level);
+        }
+        print_char('\n');
+    }
+    print_str("total="); print_double(total); print_char('\n');
+    return 0;
+}
+"""
+
+register(Workload(
+    name="raytracem",
+    mirrors="raytrace",
+    suite="SPLASH-2",
+    description="recursive sphere ray tracer (shadows, one mirror bounce, "
+                "software Newton sqrt), renders ASCII luminance",
+    source=SOURCE,
+    input_description="10x10 image, 4 spheres, reflection depth 2",
+))

@@ -1,0 +1,88 @@
+"""Workload registry and build cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.backend import compile_module
+from repro.backend.machine import MProgram
+from repro.errors import ReproError
+from repro.ir.module import Module
+from repro.minic import compile_source
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    mirrors: str               # the paper benchmark this stands in for
+    suite: str                 # "SPEC CPU2006" or "SPLASH-2"
+    description: str
+    source: str
+    input_description: str
+
+    @property
+    def lines_of_code(self) -> int:
+        return sum(1 for line in self.source.splitlines()
+                   if line.strip() and not line.strip().startswith("//"))
+
+
+@dataclass
+class BuiltWorkload:
+    workload: Workload
+    module: Module             # IR after optimization + backend prep
+    program: MProgram          # compiled SimX86
+
+
+_REGISTRY: Dict[str, Workload] = {}
+_BUILD_CACHE: Dict[str, BuiltWorkload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ReproError(f"duplicate workload {workload.name}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def _ensure_loaded() -> None:
+    if _REGISTRY:
+        return
+    # Importing the modules registers the workloads.
+    from repro.workloads import (  # noqa: F401
+        bzip2m, hmmerm, libquantumm, mcfm, oceanm, raytracem,
+    )
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload {name!r}; have {sorted(_REGISTRY)}") from None
+
+
+def all_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def build(name: str, use_cache: bool = True) -> BuiltWorkload:
+    """Compile a workload to IR + SimX86. The returned module has been
+    through backend preparation, so it is exactly what both LLFI and the
+    IR interpreter must consume (paper fairness requirement)."""
+    if use_cache and name in _BUILD_CACHE:
+        return _BUILD_CACHE[name]
+    workload = get(name)
+    module = compile_source(workload.source, module_name=name)
+    program = compile_module(module)  # prepares `module` in place
+    built = BuiltWorkload(workload, module, program)
+    if use_cache:
+        _BUILD_CACHE[name] = built
+    return built

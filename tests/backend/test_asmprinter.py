@@ -1,0 +1,82 @@
+"""Tests for the assembly printer and miscellaneous backend surfaces."""
+
+from repro.backend import compile_module, format_program
+from repro.backend.asmprinter import format_function
+from repro.minic import compile_source
+
+
+SRC = """
+double factor;
+int scale(int x) { return (int)((double)x * factor); }
+int main() {
+    factor = 1.5;
+    print_int(scale(10));
+    return 0;
+}
+"""
+
+
+class TestPrinter:
+    def test_program_lists_all_functions(self):
+        program = compile_module(compile_source(SRC, optimize=False))
+        text = format_program(program)
+        assert "main:" in text and "scale:" in text
+
+    def test_blocks_labelled(self):
+        program = compile_module(compile_source(SRC, optimize=False))
+        text = format_function(program.functions["main"])
+        assert ".entry:" in text
+
+    def test_origin_annotations(self):
+        program = compile_module(compile_source(SRC, optimize=False))
+        text = format_program(program)
+        assert "# prologue" in text
+        assert "# ret" in text
+
+    def test_width_suffixes(self):
+        program = compile_module(compile_source(SRC, optimize=False))
+        text = format_program(program)
+        assert "movq" in text       # 64-bit
+        assert "cvtsi2sd" in text   # the conversion survived
+
+    def test_frame_header(self):
+        program = compile_module(compile_source(SRC))
+        text = format_function(program.functions["main"])
+        assert "frame=" in text and "saved=" in text
+
+
+class TestSelectLowering:
+    def test_select_via_cmov(self):
+        """Build IR with a select directly (MiniC never emits one) and
+        check both the lowering and the execution."""
+        from repro.ir import types as ty
+        from repro.ir.builder import IRBuilder
+        from repro.ir.module import Module
+        from repro.vm.asmsim import AsmSimulator
+        from repro.vm.irinterp import IRInterpreter
+
+        m = Module()
+        printer = m.add_function("print_int",
+                                 ty.FunctionType(ty.VOID, [ty.I32]))
+        printer.is_intrinsic = True
+        f = m.add_function("main", ty.FunctionType(ty.I32, []))
+        g_mod = m
+        b = IRBuilder(f.add_block("entry"))
+        from repro.ir.values import GlobalVariable
+        g = GlobalVariable("g", ty.I32)
+        g_mod.add_global(g)
+        v = b.load(g)
+        cond = b.icmp("sgt", v, b.const_int(5))
+        # keep the icmp multi-use so it is NOT fused into a branch
+        chosen = b.select(cond, b.const_int(111), b.const_int(222))
+        keep = b.zext(cond, ty.I32)
+        summed = b.add(chosen, keep)
+        b.call(printer, [summed])
+        b.ret(b.const_int(0))
+
+        program = compile_module(m)
+        ops = [i.opcode for i in program.functions["main"].instructions()]
+        assert "cmovcc" in ops
+        ir = IRInterpreter(m).run()
+        asm = AsmSimulator(program).run()
+        assert ir.output == asm.output == "222"  # g == 0 -> false arm

@@ -1,0 +1,107 @@
+"""Tests for the backend preparation passes (critical edges, phi shapes)."""
+
+from repro.backend.lowering import (
+    prepare_for_backend, remove_single_pred_phis, split_critical_edges,
+)
+from repro.ir import types as ty
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Phi
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.minic import compile_source
+from repro.vm.irinterp import IRInterpreter
+
+
+def critical_edge_module():
+    """entry --(cond)--> merge directly AND via mid: the entry->merge edge
+    is critical (entry has 2 succs, merge has 2 preds) and carries a phi."""
+    m = Module()
+    f = m.add_function("f", ty.FunctionType(ty.I32, [ty.I32]))
+    entry = f.add_block("entry")
+    mid = f.add_block("mid")
+    merge = f.add_block("merge")
+    b = IRBuilder(entry)
+    cond = b.icmp("slt", f.args[0], b.const_int(0))
+    b.cond_br(cond, merge, mid)
+    b.set_insert_point(mid)
+    doubled = b.mul(f.args[0], b.const_int(2))
+    b.br(merge)
+    b.set_insert_point(merge)
+    phi = b.phi(ty.I32, "out")
+    phi.add_incoming(b.const_int(-1), entry)
+    phi.add_incoming(doubled, mid)
+    b.ret(phi)
+    return m, f, entry, merge
+
+
+class TestSplitCriticalEdges:
+    def test_splits_and_stays_valid(self):
+        m, f, entry, merge = critical_edge_module()
+        count = split_critical_edges(m)
+        assert count == 1
+        verify_module(m)
+        # entry no longer branches straight to merge
+        assert merge not in entry.successors()
+        # the phi edge was retargeted to the split block
+        phi = merge.phis()[0]
+        preds = [blk.name for _, blk in phi.incoming]
+        assert any("split" in name for name in preds)
+
+    def test_idempotent(self):
+        m, f, entry, merge = critical_edge_module()
+        split_critical_edges(m)
+        assert split_critical_edges(m) == 0
+
+    def test_no_phi_no_split(self):
+        m = Module()
+        f = m.add_function("g", ty.FunctionType(ty.VOID, [ty.I32]))
+        entry = f.add_block("entry")
+        a = f.add_block("a")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("slt", f.args[0], b.const_int(0))
+        b.cond_br(cond, join, a)
+        b.set_insert_point(a)
+        b.br(join)
+        b.set_insert_point(join)
+        b.ret()
+        assert split_critical_edges(m) == 0  # critical edge but no phi
+
+
+class TestRemoveSinglePredPhis:
+    def test_removes_trivial_phi(self):
+        m = Module()
+        f = m.add_function("h", ty.FunctionType(ty.I32, [ty.I32]))
+        entry = f.add_block("entry")
+        nxt = f.add_block("next")
+        b = IRBuilder(entry)
+        b.br(nxt)
+        b.set_insert_point(nxt)
+        phi = b.phi(ty.I32)
+        phi.add_incoming(f.args[0], entry)
+        b.ret(phi)
+        assert remove_single_pred_phis(m) == 1
+        verify_module(m)
+        assert not any(isinstance(i, Phi) for i in f.instructions())
+
+
+class TestBehaviorPreservation:
+    SRC = """
+    int main() {
+        int x = 7; int total = 0; int i;
+        for (i = 0; i < 10; i++) {
+            if ((i % 3 == 0) && (i % 2 == 0)) total += i * x;
+            else if (i % 5 == 0) total -= i;
+        }
+        print_int(total);
+        return 0;
+    }
+    """
+
+    def test_prepare_preserves_output(self):
+        module = compile_source(self.SRC)
+        before = IRInterpreter(module).run().output
+        prepare_for_backend(module)
+        verify_module(module)
+        after = IRInterpreter(module).run().output
+        assert before == after

@@ -1,0 +1,135 @@
+"""Tests for the SimX86 machine model metadata (def/use, flags, conds)."""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.backend.machine import (
+    CONDITION_FLAGS, FLAG_BITS, FuncRef, Imm, MInst, Mem, Reg, VReg,
+    evaluate_condition,
+)
+
+
+class TestRegisters:
+    def test_reg_interned(self):
+        assert Reg("rax") is Reg("rax")
+
+    def test_reg_class(self):
+        assert Reg("rax").cls == "gpr"
+        assert Reg("xmm3").cls == "xmm"
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(BackendError):
+            Reg("r99")
+
+    def test_vreg_ids_unique(self):
+        a, b = VReg("gpr"), VReg("gpr")
+        assert a.id != b.id
+
+
+class TestDefUse:
+    def test_mov_reg_reg(self):
+        d, s = Reg("rbx"), Reg("r10")
+        inst = MInst("mov", [d, s])
+        assert inst.reg_defs() == [d]
+        assert inst.reg_uses() == [s]
+
+    def test_two_address_arith_reads_dest(self):
+        d, s = Reg("rbx"), Reg("r10")
+        inst = MInst("add", [d, s])
+        assert inst.reg_defs() == [d]
+        assert set(r.name for r in inst.reg_uses()) == {"rbx", "r10"}
+        assert inst.writes_flags()
+
+    def test_store_has_memory_dest(self):
+        mem = Mem(base=Reg("rbx"), size=4)
+        inst = MInst("mov", [mem, Reg("r10")], width=32)
+        assert inst.reg_defs() == []          # destination is memory
+        assert inst.dest_register() is None
+        names = {r.name for r in inst.reg_uses()}
+        assert names == {"rbx", "r10"}        # address regs are uses
+
+    def test_mem_index_reg_is_use(self):
+        mem = Mem(base=Reg("rbx"), index=Reg("r10"), scale=4)
+        inst = MInst("mov", [Reg("r11"), mem])
+        assert {r.name for r in inst.reg_uses()} == {"rbx", "r10"}
+
+    def test_idiv_implicit_defs(self):
+        inst = MInst("idiv", [Reg("rbx")], width=32)
+        names = {r.name for r in inst.reg_defs()}
+        assert names == {"rax", "rdx"}
+        assert inst.implicit_dest_register().name == "rax"
+
+    def test_push_defs_rsp(self):
+        inst = MInst("push", [Reg("rbx")])
+        assert {r.name for r in inst.reg_defs()} == {"rsp"}
+        assert {r.name for r in inst.reg_uses()} == {"rbx", "rsp"}
+
+    def test_cmp_no_defs_only_flags(self):
+        inst = MInst("cmp", [Reg("rbx"), Imm(1)], width=32)
+        assert inst.reg_defs() == []
+        assert inst.writes_flags()
+        assert inst.dest_register() is None
+
+    def test_jcc_reads_specific_flags(self):
+        inst = MInst("jcc", [], cond="l")
+        assert inst.flags_read() == ("SF", "OF")
+        inst = MInst("jcc", [], cond="e")
+        assert inst.flags_read() == ("ZF",)
+
+    def test_setcc_dest(self):
+        inst = MInst("setcc", [Reg("rbx")], width=8, cond="ne")
+        assert inst.dest_register().name == "rbx"
+        assert inst.reads_flags()
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(BackendError):
+            MInst("frobnicate", [])
+
+    def test_terminators(self):
+        assert MInst("jmp", []).is_terminator()
+        assert MInst("ret", []).is_terminator()
+        assert not MInst("call", [FuncRef("f")]).is_terminator()
+
+
+class TestConditionFlagTable:
+    def test_every_condition_has_dependent_bits(self):
+        for cond, flags in CONDITION_FLAGS.items():
+            assert flags, cond
+            for f in flags:
+                assert f in FLAG_BITS
+
+    def test_flag_bit_positions_match_x86(self):
+        assert FLAG_BITS == {"CF": 0, "PF": 2, "ZF": 6, "SF": 7, "OF": 11}
+
+    def test_dependent_bits_are_sufficient(self):
+        # Flipping a non-dependent bit must never change the condition.
+        import itertools
+
+        for cond, dependent in CONDITION_FLAGS.items():
+            for bits in itertools.product((0, 1), repeat=5):
+                flags = dict(zip(("CF", "PF", "ZF", "SF", "OF"), bits))
+                base = evaluate_condition(cond, flags)
+                for name in ("CF", "PF", "ZF", "SF", "OF"):
+                    if name in dependent:
+                        continue
+                    flipped = dict(flags)
+                    flipped[name] ^= 1
+                    assert evaluate_condition(cond, flipped) == base, \
+                        (cond, name)
+
+    def test_dependent_bits_are_minimal(self):
+        # Every listed dependent bit changes the outcome for some state.
+        import itertools
+
+        for cond, dependent in CONDITION_FLAGS.items():
+            for name in dependent:
+                matters = False
+                for bits in itertools.product((0, 1), repeat=5):
+                    flags = dict(zip(("CF", "PF", "ZF", "SF", "OF"), bits))
+                    flipped = dict(flags)
+                    flipped[name] ^= 1
+                    if evaluate_condition(cond, flags) != \
+                            evaluate_condition(cond, flipped):
+                        matters = True
+                        break
+                assert matters, (cond, name)

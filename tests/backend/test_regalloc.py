@@ -1,0 +1,132 @@
+"""Tests for the register allocator and frame lowering."""
+
+from repro.backend import compile_module
+from repro.backend.machine import Mem, Reg, VReg
+from repro.backend.regalloc import ARG_POOL_GPRS, call_windows
+from repro.minic import compile_source
+
+
+def compiled(source, **kwargs):
+    return compile_module(compile_source(source, **kwargs))
+
+
+def all_operand_regs(mfunc):
+    for inst in mfunc.instructions():
+        for op in inst.operands:
+            if isinstance(op, (Reg, VReg)):
+                yield op
+            elif isinstance(op, Mem):
+                yield from op.regs()
+
+
+SPILLY = """
+int src[14];
+int main() {
+    int a = src[0]; int b = src[1]; int c = src[2]; int d = src[3];
+    int e = src[4]; int f = src[5]; int g = src[6]; int h = src[7];
+    int i = src[8]; int j = src[9]; int k = src[10]; int l = src[11];
+    int m = src[12]; int n = src[13];
+    int x = (a+b)*(c+d)*(e+f)*(g+h)*(i+j)*(k+l)*(m+n);
+    print_int(x + a + b + c + d + e + f + g + h + i + j + k + l + m + n);
+    return 0;
+}
+"""
+
+CALL_HEAVY = """
+// recursive, so the inliner leaves the call in place
+int leafy(int v) {
+    if (v <= 0) return 1;
+    return (v * 3 % 101) + leafy(v - 7);
+}
+int main() {
+    int acc = 0; int i;
+    for (i = 0; i < 20; i++) acc += leafy(acc + i);
+    print_int(acc);
+    return 0;
+}
+"""
+
+
+class TestAllocation:
+    def test_no_vregs_survive(self):
+        for src in (SPILLY, CALL_HEAVY):
+            program = compiled(src)
+            for mfunc in program.functions.values():
+                assert not any(isinstance(r, VReg)
+                               for r in all_operand_regs(mfunc)), mfunc.name
+
+    def test_spill_slots_created_under_pressure(self):
+        program = compiled(SPILLY)
+        main = program.functions["main"]
+        spills = [i for i in main.instructions() if i.ir_origin == "spill"]
+        assert spills  # pressure exceeds the pool
+
+    def test_callee_saved_recorded_and_saved(self):
+        program = compiled(CALL_HEAVY)
+        main = program.functions["main"]
+        assert main.used_callee_saved  # acc/i live across the call
+        ops = [i.opcode for i in main.blocks[0].insts]
+        # push rbp + pushes for each used callee-saved GPR
+        gprs = [r for r in main.used_callee_saved if not r.startswith("xmm")]
+        assert ops.count("push") == 1 + len(gprs)
+
+    def test_values_across_calls_use_callee_saved(self):
+        program = compiled(CALL_HEAVY)
+        main = program.functions["main"]
+        # No caller-saved allocatable register may be written before the
+        # call and read after it without an intervening write.  Instead of
+        # proving it structurally, rely on the simulator-level parity tests;
+        # here just confirm arg-pool registers were considered.
+        assert set(ARG_POOL_GPRS).isdisjoint(
+            set(main.used_callee_saved))  # sanity: they are caller-saved
+
+
+class TestCallWindows:
+    def test_windows_cover_arg_setups(self):
+        from repro.backend.isel import DoubleConstantPool, select_function
+        from repro.minic import compile_source as cs
+
+        module = cs("""
+        int f(int a, int b, int c) { return a + b + c; }
+        int main() { return f(1, 2, 3); }
+        """, optimize=False)
+        from repro.backend.lowering import prepare_for_backend
+
+        prepare_for_backend(module)
+        pool = DoubleConstantPool(module)
+        mfunc = select_function(module.get_function("main"), pool)
+        windows = call_windows(mfunc)
+        assert windows
+        flat = [i for b in mfunc.blocks for i in b.insts]
+        # at least one window ends exactly at a call
+        assert any(flat[end].opcode == "call" for _, end in windows
+                   if flat[end].opcode == "call")
+        # and spans the three argument moves before it
+        starts = {s for s, e in windows if flat[e].opcode == "call"}
+        assert any(e - s >= 3 for s, e in windows
+                   if flat[e].opcode == "call")
+
+
+class TestFrame:
+    def test_frame_slots_resolved(self):
+        program = compiled(SPILLY)
+        for mfunc in program.functions.values():
+            for inst in mfunc.instructions():
+                for op in inst.operands:
+                    if isinstance(op, Mem):
+                        assert op.frame_slot is None  # all resolved to rbp
+
+    def test_frame_size_16_aligned(self):
+        program = compiled(SPILLY)
+        assert program.functions["main"].frame_size % 16 == 0
+
+    def test_epilogue_restores_in_reverse(self):
+        program = compiled(CALL_HEAVY)
+        main = program.functions["main"]
+        for block in main.blocks:
+            ops = [i.opcode for i in block.insts]
+            if "ret" not in ops:
+                continue
+            ret_idx = ops.index("ret")
+            pops = [i for i in block.insts[:ret_idx] if i.opcode == "pop"]
+            assert pops and pops[-1].operands[0].name == "rbp"

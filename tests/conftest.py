@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.minic import compile_source
+from repro.vm.asmsim import AsmSimulator
+from repro.vm.irinterp import IRInterpreter
+
+
+def compile_and_run_ir(source: str, **interp_kwargs):
+    """MiniC source -> optimized IR -> interpreter result."""
+    module = compile_source(source)
+    return IRInterpreter(module, **interp_kwargs).run()
+
+
+def compile_both(source: str):
+    """MiniC source -> (module, program) ready for both engines."""
+    module = compile_source(source)
+    program = compile_module(module)
+    return module, program
+
+
+def run_both(source: str):
+    """Run a program on both engines; returns (ir result, asm result)."""
+    module, program = compile_both(source)
+    return IRInterpreter(module).run(), AsmSimulator(program).run()
+
+
+def output_of(source: str) -> str:
+    """IR-interpreter output of a program, asserting clean completion."""
+    result = compile_and_run_ir(source)
+    assert result.completed, f"{result.status}: {result.trap}"
+    return result.output
+
+
+@pytest.fixture(scope="session")
+def built_workloads():
+    """All six workloads compiled once for the whole session."""
+    from repro.workloads import build, workload_names
+
+    return {name: build(name) for name in workload_names()}

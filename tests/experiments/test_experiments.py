@@ -1,0 +1,93 @@
+"""Tests for the experiment modules (table/figure generators)."""
+
+import pytest
+
+from repro.experiments import table1, table2
+from repro.experiments.report import format_bar, format_table, stacked_bar
+from repro.fi import CampaignConfig
+
+
+class TestReportFormatting:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "yyyy" in text
+
+    def test_table_with_title(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_bar_scaling(self):
+        assert format_bar(0.5, scale=10) == "#####"
+        assert format_bar(0.0) == ""
+        assert len(format_bar(2.0, scale=10)) == 10  # clamped
+
+    def test_stacked_bar(self):
+        bar = stacked_bar([0.5, 0.25, 0.25], "#+.", scale=20)
+        assert bar.count("#") == 10
+        assert bar.count("+") == 5
+        assert len(bar) <= 20
+
+
+class TestTable2:
+    def test_contains_all_benchmarks(self):
+        text = table2.generate()
+        for name in ("bzip2m", "mcfm", "hmmerm", "libquantumm", "oceanm",
+                     "raytracem"):
+            assert name in text
+        assert "SPLASH-2" in text and "SPEC CPU2006" in text
+
+
+class TestTable1:
+    def test_measures_lowering(self, built_workloads):
+        stats = table1.analyze("libquantumm")
+        assert stats["ir_gep"] > 0
+        assert stats["push_pop"] > 0
+        assert stats.get("ir_phi", 0) > 0
+
+    def test_generate_lists_constructs(self, built_workloads):
+        text = table1.generate(["libquantumm"])
+        assert "GEP lowering" in text
+        assert "push/pop" in text
+
+
+class TestTable4Generation:
+    def test_shares_sum_sanely(self, built_workloads):
+        from repro.experiments import table4
+
+        data = table4.collect(["libquantumm"])
+        for tool in ("LLFI", "PINFI"):
+            counts = data["libquantumm"][tool]
+            subtotal = sum(counts[c] for c in
+                           ("arithmetic", "cast", "cmp", "load"))
+            assert subtotal <= counts["all"]
+
+    def test_table_iv_headline_shapes(self, built_workloads):
+        """The paper's §VI-B findings on the workloads where they are
+        cleanest: LLFI sees more instructions overall, fewer arithmetic,
+        more loads; cmp counts are nearly identical."""
+        from repro.experiments import table4
+
+        data = table4.collect(["libquantumm"])
+        llfi = data["libquantumm"]["LLFI"]
+        pinfi = data["libquantumm"]["PINFI"]
+        assert llfi["all"] > pinfi["all"]
+        assert llfi["load"] > pinfi["load"]
+        assert llfi["cmp"] == pytest.approx(pinfi["cmp"], rel=0.05)
+        llfi_share = llfi["arithmetic"] / llfi["all"]
+        pinfi_share = pinfi["arithmetic"] / pinfi["all"]
+        assert llfi_share < pinfi_share
+
+
+class TestCachedCampaign(object):
+    def test_cache_roundtrip(self, tmp_path, built_workloads):
+        from repro.experiments.common import cached_campaign
+
+        config = CampaignConfig(trials=5, seed=123)
+        r1 = cached_campaign("libquantumm", "LLFI", "cmp", config,
+                             results_dir=str(tmp_path))
+        r2 = cached_campaign("libquantumm", "LLFI", "cmp", config,
+                             results_dir=str(tmp_path))
+        assert r2.counts == r1.counts
+        assert (tmp_path / "libquantumm-LLFI-cmp-t5-s123.json").exists()

@@ -1,0 +1,92 @@
+"""Tests for the campaign runner (the paper's experimental procedure)."""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.errors import FaultInjectionError
+from repro.fi import (
+    CampaignConfig, LLFIInjector, Outcome, PINFIInjector, run_campaign,
+    run_grid,
+)
+from repro.minic import compile_source
+
+SRC = """
+int acc[8];
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) acc[i] = (i * 11 + 3) % 17;
+    int s = 0;
+    for (i = 0; i < 8; i++) s += acc[i] * acc[i];
+    print_int(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def injectors():
+    module = compile_source(SRC)
+    program = compile_module(module)
+    return LLFIInjector(module), PINFIInjector(program)
+
+
+class TestCampaign:
+    def test_counts_sum_to_activated(self, injectors):
+        llfi, _ = injectors
+        result = run_campaign(llfi, "all", CampaignConfig(trials=25, seed=1))
+        assert result.activated == sum(result.counts.values())
+        assert result.activated == 25
+
+    def test_same_seed_reproduces(self, injectors):
+        llfi, _ = injectors
+        a = run_campaign(llfi, "all", CampaignConfig(trials=20, seed=7))
+        b = run_campaign(llfi, "all", CampaignConfig(trials=20, seed=7))
+        assert a.counts == b.counts
+        assert [t.k for t in a.records] == [t.k for t in b.records]
+
+    def test_different_seed_differs(self, injectors):
+        llfi, _ = injectors
+        a = run_campaign(llfi, "all", CampaignConfig(trials=20, seed=7))
+        b = run_campaign(llfi, "all", CampaignConfig(trials=20, seed=8))
+        assert [t.k for t in a.records] != [t.k for t in b.records]
+
+    def test_proportions_accessible(self, injectors):
+        llfi, _ = injectors
+        r = run_campaign(llfi, "all", CampaignConfig(trials=25, seed=2))
+        total = (r.crash.value + r.sdc.value + r.hang.value + r.benign.value)
+        assert total == pytest.approx(1.0)
+
+    def test_records_store_outcomes(self, injectors):
+        llfi, _ = injectors
+        r = run_campaign(llfi, "all", CampaignConfig(trials=15, seed=3))
+        assert len(r.records) == 15
+        assert all(isinstance(t.outcome, Outcome) for t in r.records)
+        assert all(1 <= t.k <= r.dynamic_candidates for t in r.records)
+
+    def test_pinfi_campaign(self, injectors):
+        _, pinfi = injectors
+        r = run_campaign(pinfi, "arithmetic",
+                         CampaignConfig(trials=15, seed=4))
+        assert r.tool == "PINFI"
+        assert r.activated == 15
+
+    def test_summary_format(self, injectors):
+        llfi, _ = injectors
+        r = run_campaign(llfi, "cmp", CampaignConfig(trials=10, seed=5))
+        text = r.summary()
+        assert "LLFI/cmp" in text and "sdc=" in text
+
+    def test_grid(self, injectors):
+        llfi, pinfi = injectors
+        grid = run_grid(llfi, pinfi, ["cmp"], CampaignConfig(trials=8, seed=6))
+        assert set(grid["cmp"]) == {"LLFI", "PINFI"}
+
+    def test_empty_category_raises(self):
+        # A program with no FP conversions has no 'cast' candidates at the
+        # IR level.
+        module = compile_source(
+            "int main() { print_int(3); return 0; }")
+        compile_module(module)
+        llfi = LLFIInjector(module)
+        with pytest.raises(FaultInjectionError):
+            run_campaign(llfi, "cast", CampaignConfig(trials=2))

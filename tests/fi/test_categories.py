@@ -1,0 +1,177 @@
+"""Tests for the Table III category classifiers."""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.errors import FaultInjectionError
+from repro.fi.categories import (
+    CATEGORIES, llfi_candidates, llfi_is_candidate, pinfi_candidates,
+    pinfi_is_candidate,
+)
+from repro.ir import types as ty
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.minic import compile_source
+
+
+@pytest.fixture
+def sample():
+    """A function exercising every instruction category."""
+    m = Module()
+    f = m.add_function("f", ty.FunctionType(
+        ty.I32, [ty.I32, ty.PointerType(ty.I32)]), ["n", "p"])
+    b = IRBuilder(f.add_block("entry"))
+    exit_ = f.add_block("exit")
+    other = f.add_block("other")
+    loaded = b.load(f.args[1], "loaded")
+    added = b.add(loaded, f.args[0], "added")
+    gep = b.gep(f.args[1], [b.const_int(1, ty.I64)], "gep")
+    stored = b.store(added, gep)
+    as_double = b.sitofp(added, "conv")
+    back = b.fptosi(as_double, ty.I32, "back")
+    cmp = b.icmp("slt", back, f.args[0], "cmp")
+    b.cond_br(cmp, exit_, other)
+    b.set_insert_point(exit_)
+    b.ret(back)
+    b.set_insert_point(other)
+    b.ret(added)
+    return m, f, dict(loaded=loaded, added=added, gep=gep, stored=stored,
+                      conv=as_double, back=back, cmp=cmp)
+
+
+class TestLLFIClassification:
+    def test_arithmetic(self, sample):
+        m, f, insts = sample
+        assert llfi_is_candidate(insts["added"], "arithmetic")
+        assert not llfi_is_candidate(insts["loaded"], "arithmetic")
+        assert not llfi_is_candidate(insts["gep"], "arithmetic")
+
+    def test_gep_as_arithmetic_option(self, sample):
+        m, f, insts = sample
+        assert llfi_is_candidate(insts["gep"], "arithmetic",
+                                 gep_as_arithmetic=True)
+
+    def test_cast_only_int_fp_conversions(self, sample):
+        m, f, insts = sample
+        assert llfi_is_candidate(insts["conv"], "cast")
+        assert llfi_is_candidate(insts["back"], "cast")
+
+    def test_pointer_cast_excluded_by_default(self):
+        m = Module()
+        f = m.add_function("g", ty.FunctionType(
+            ty.VOID, [ty.PointerType(ty.I32)]))
+        b = IRBuilder(f.add_block("entry"))
+        cast = b.bitcast(f.args[0], ty.PointerType(ty.I8))
+        b.store(b.const_int(0, ty.I8), cast)
+        b.ret()
+        assert not llfi_is_candidate(cast, "cast")
+        assert llfi_is_candidate(cast, "cast", include_pointer_casts=True)
+
+    def test_cmp(self, sample):
+        m, f, insts = sample
+        assert llfi_is_candidate(insts["cmp"], "cmp")
+        assert not llfi_is_candidate(insts["added"], "cmp")
+
+    def test_load(self, sample):
+        m, f, insts = sample
+        assert llfi_is_candidate(insts["loaded"], "load")
+
+    def test_store_never_candidate(self, sample):
+        m, f, insts = sample
+        for category in CATEGORIES:
+            assert not llfi_is_candidate(insts["stored"], category)
+
+    def test_all_includes_gep_and_casts(self, sample):
+        m, f, insts = sample
+        for name in ("loaded", "added", "gep", "conv", "back", "cmp"):
+            assert llfi_is_candidate(insts[name], "all"), name
+
+    def test_unused_result_excluded(self):
+        m = Module()
+        f = m.add_function("h", ty.FunctionType(ty.VOID, [ty.I32]))
+        b = IRBuilder(f.add_block("entry"))
+        from repro.ir.instructions import BinaryOp
+        from repro.ir.values import ConstantInt
+        dead = BinaryOp("add", f.args[0], ConstantInt(ty.I32, 1))
+        f.entry.append(dead)
+        b.set_insert_point(f.entry)
+        b.ret()
+        assert not llfi_is_candidate(dead, "all")
+
+    def test_unknown_category_rejected(self, sample):
+        m, f, insts = sample
+        with pytest.raises(FaultInjectionError):
+            llfi_is_candidate(insts["added"], "bogus")
+
+    def test_module_level_enumeration(self, sample):
+        m, f, insts = sample
+        alls = llfi_candidates(m, "all")
+        assert insts["added"] in alls
+        assert insts["stored"] not in alls
+
+
+SRC = """
+double scale;
+int data[32];
+int main() {
+    int i;
+    long total = 0;
+    for (i = 0; i < 32; i++) data[i] = i * 3;
+    for (i = 0; i < 32; i++) total += data[i];
+    scale = (double)total / 32.0;
+    print_double(scale);
+    return 0;
+}
+"""
+
+
+class TestPINFIClassification:
+    @pytest.fixture
+    def program(self):
+        return compile_module(compile_source(SRC))
+
+    def test_cmp_requires_following_jcc(self, program):
+        for mfunc in program.functions.values():
+            for block in mfunc.blocks:
+                for i, inst in enumerate(block.insts):
+                    nxt = block.insts[i + 1] if i + 1 < len(block.insts) \
+                        else None
+                    if pinfi_is_candidate(inst, nxt, "cmp"):
+                        assert inst.opcode in ("cmp", "test", "ucomisd")
+                        assert nxt is not None and nxt.opcode == "jcc"
+
+    def test_load_requires_memory_source(self, program):
+        from repro.backend.machine import Mem
+
+        for inst in pinfi_candidates(program, "load"):
+            assert inst.opcode in ("mov", "movsx", "movzx", "movsd")
+            assert any(isinstance(op, Mem) for op in inst.operands[1:])
+            assert inst.dest_register() is not None
+
+    def test_arith_includes_lea_and_sse(self, program):
+        ops = {i.opcode for i in pinfi_candidates(program, "arithmetic")}
+        assert "add" in ops
+        assert ops & {"lea", "imul", "imul3"}
+
+    def test_cast_is_convert_category(self, program):
+        ops = {i.opcode for i in pinfi_candidates(program, "cast")}
+        assert ops <= {"cvtsi2sd", "cvttsd2si", "cdq", "cqo"}
+        assert "cvtsi2sd" in ops
+
+    def test_all_excludes_control_flow(self, program):
+        for inst in pinfi_candidates(program, "all"):
+            assert inst.opcode not in ("jmp", "jcc", "ret", "ud2")
+
+    def test_all_superset_of_other_categories(self, program):
+        alls = {id(i) for i in pinfi_candidates(program, "all")}
+        for category in ("arithmetic", "cast", "cmp", "load"):
+            subset = {id(i) for i in pinfi_candidates(program, category)}
+            assert subset <= alls, category
+
+    def test_stores_not_candidates(self, program):
+        from repro.backend.machine import Mem
+
+        for inst in pinfi_candidates(program, "all"):
+            dest = inst.dest_operand()
+            if dest is not None:
+                assert not isinstance(dest, Mem)

@@ -1,0 +1,96 @@
+"""Tests for the fault models."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fi.fault import (
+    MultiBitFlip, SingleBitFlip, StuckAtOne, StuckAtZero,
+    corrupt_double, corrupt_int, corrupt_pointer,
+)
+
+
+class TestSingleBitFlip:
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0))
+    def test_flip_changes_exactly_one_bit(self, bits, seed):
+        model = SingleBitFlip()
+        rng = random.Random(seed)
+        positions = model.pick_bits(32, rng)
+        flipped = model.apply(bits, positions, 32)
+        assert bin(bits ^ flipped).count("1") == 1
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=31))
+    def test_flip_twice_is_identity(self, bits, pos):
+        model = SingleBitFlip()
+        once = model.apply(bits, [pos], 32)
+        twice = model.apply(once, [pos], 32)
+        assert twice == bits
+
+    def test_positions_within_width(self):
+        model = SingleBitFlip()
+        rng = random.Random(7)
+        for _ in range(100):
+            (pos,) = model.pick_bits(8, rng)
+            assert 0 <= pos < 8
+
+    def test_uniform_coverage(self):
+        model = SingleBitFlip()
+        rng = random.Random(0)
+        seen = {model.pick_bits(8, rng)[0] for _ in range(400)}
+        assert seen == set(range(8))
+
+
+class TestOtherModels:
+    def test_multibit_flips_k_distinct(self):
+        model = MultiBitFlip(3)
+        rng = random.Random(1)
+        positions = model.pick_bits(32, rng)
+        assert len(positions) == len(set(positions)) == 3
+        flipped = model.apply(0, positions, 32)
+        assert bin(flipped).count("1") == 3
+
+    def test_multibit_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            MultiBitFlip(0)
+
+    def test_stuck_at_zero_clears(self):
+        model = StuckAtZero()
+        assert model.apply(0xFF, [3], 8) == 0xF7
+        assert model.apply(0x00, [3], 8) == 0x00  # may be a no-op
+
+    def test_stuck_at_one_sets(self):
+        model = StuckAtOne()
+        assert model.apply(0x00, [3], 8) == 0x08
+        assert model.apply(0xFF, [3], 8) == 0xFF
+
+
+class TestTypedCorruption:
+    def test_corrupt_int_stays_in_range(self):
+        model = SingleBitFlip()
+        for pos in range(32):
+            v = corrupt_int(-1, 32, model, [pos])
+            assert -(2**31) <= v < 2**31
+
+    def test_corrupt_int_sign_bit(self):
+        model = SingleBitFlip()
+        assert corrupt_int(0, 32, model, [31]) == -(2**31)
+
+    def test_corrupt_pointer_unsigned(self):
+        model = SingleBitFlip()
+        v = corrupt_pointer(0x1000, model, [63])
+        assert v == 0x1000 | (1 << 63)
+        assert v >= 0
+
+    def test_corrupt_double_exponent_bit(self):
+        model = SingleBitFlip()
+        v = corrupt_double(1.0, model, [62])
+        assert v != 1.0
+
+    def test_corrupt_double_mantissa_lsb_small_change(self):
+        model = SingleBitFlip()
+        v = corrupt_double(1.0, model, [0])
+        assert v != 1.0
+        assert abs(v - 1.0) < 1e-12

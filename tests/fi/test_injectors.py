@@ -1,0 +1,158 @@
+"""Tests for the LLFI and PINFI injectors: profiling determinism, injection
+mechanics, activation tracking, the paper's §IV heuristics."""
+
+import random
+
+import pytest
+
+from repro.backend import compile_module
+from repro.fi import (
+    LLFIInjector, LLFIOptions, Outcome, PINFIInjector, PINFIOptions, classify,
+)
+from repro.minic import compile_source
+
+SRC = """
+int data[16];
+int main() {
+    int i;
+    for (i = 0; i < 16; i++) data[i] = i * 7 % 13;
+    int best = 0;
+    for (i = 0; i < 16; i++)
+        if (data[i] > best) best = data[i];
+    print_int(best);
+    double avg = (double)best / 2.0;
+    print_double(avg);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    module = compile_source(SRC)
+    program = compile_module(module)
+    return LLFIInjector(module), PINFIInjector(program)
+
+
+class TestProfiling:
+    def test_golden_runs_complete_and_agree(self, setup):
+        llfi, pinfi = setup
+        g1, g2 = llfi.golden(), pinfi.golden()
+        assert g1.completed and g2.completed
+        assert g1.output == g2.output
+
+    def test_counts_deterministic(self, setup):
+        llfi, pinfi = setup
+        for injector in setup:
+            a = injector.count_dynamic_candidates("all")
+            b = injector.count_dynamic_candidates("all")
+            assert a == b > 0
+
+    def test_count_all_consistent_with_single(self, setup):
+        for injector in setup:
+            combined = injector.count_all_categories()
+            for category in ("arithmetic", "cmp", "load", "all"):
+                assert combined[category] == \
+                    injector.count_dynamic_candidates(category)
+
+    def test_subcategories_do_not_exceed_all(self, setup):
+        for injector in setup:
+            counts = injector.count_all_categories()
+            for category in ("arithmetic", "cast", "cmp", "load"):
+                assert counts[category] <= counts["all"]
+
+    def test_static_counts_positive(self, setup):
+        llfi, pinfi = setup
+        for injector in setup:
+            assert injector.static_candidate_count("all") > 0
+
+
+class TestInjection:
+    def test_injection_is_reproducible(self, setup):
+        for injector in setup:
+            n = injector.count_dynamic_candidates("all")
+            k = n // 2 or 1
+            r1, rec1, act1 = injector.run_with_fault(
+                "all", k, random.Random(99))
+            r2, rec2, act2 = injector.run_with_fault(
+                "all", k, random.Random(99))
+            assert r1.status == r2.status
+            assert r1.output == r2.output
+            assert rec1.bit_positions == rec2.bit_positions
+            assert act1 == act2
+
+    def test_fault_record_populated(self, setup):
+        for injector in setup:
+            _, record, _ = injector.run_with_fault("all", 1, random.Random(0))
+            assert record.dynamic_index == 1
+            assert record.bit_positions
+            assert record.target
+
+    def test_unreachable_instance_raises(self, setup):
+        from repro.errors import FaultInjectionError
+
+        for injector in setup:
+            n = injector.count_dynamic_candidates("all")
+            with pytest.raises(FaultInjectionError):
+                injector.run_with_fault("all", n + 1000, random.Random(0))
+
+    def test_injections_produce_varied_outcomes(self, setup):
+        # Across many injections we should see at least benign and one of
+        # crash/SDC (statistical but extremely likely with 60 trials).
+        llfi, pinfi = setup
+        for injector in setup:
+            golden = injector.golden()
+            n = injector.count_dynamic_candidates("all")
+            rng = random.Random(5)
+            outcomes = set()
+            for _ in range(60):
+                k = rng.randint(1, n)
+                result, _, activated = injector.run_with_fault(
+                    "all", k, rng, max_instructions=10 * golden.instructions)
+                outcomes.add(classify(result, golden.output, activated))
+            assert Outcome.BENIGN in outcomes
+            assert outcomes & {Outcome.CRASH, Outcome.SDC}
+
+
+class TestActivationHeuristics:
+    def test_pinfi_flag_injection_always_activates(self, setup):
+        _, pinfi = setup
+        n = pinfi.count_dynamic_candidates("cmp")
+        rng = random.Random(3)
+        for _ in range(20):
+            k = rng.randint(1, n)
+            _, record, activated = pinfi.run_with_fault("cmp", k, rng)
+            assert activated  # dependent flag bit is read by the next jcc
+
+    def test_flag_ablation_reduces_activation(self):
+        module = compile_source(SRC)
+        program = compile_module(module)
+        pinfi = PINFIInjector(program,
+                              PINFIOptions(flag_dependent_bits=False))
+        n = pinfi.count_dynamic_candidates("cmp")
+        rng = random.Random(4)
+        activations = sum(
+            pinfi.run_with_fault("cmp", rng.randint(1, n), rng)[2]
+            for _ in range(40))
+        # Only ~5/16 flag bits are ever read; most injections are silent.
+        assert activations < 30
+
+    def test_llfi_gep_option_changes_candidates(self):
+        module = compile_source(SRC)
+        base = LLFIInjector(module)
+        with_gep = LLFIInjector(module, LLFIOptions(gep_as_arithmetic=True))
+        assert with_gep.static_candidate_count("arithmetic") > \
+            base.static_candidate_count("arithmetic")
+        assert with_gep.count_dynamic_candidates("arithmetic") > \
+            base.count_dynamic_candidates("arithmetic")
+
+    def test_llfi_activation_tracked(self, setup):
+        llfi, _ = setup
+        n = llfi.count_dynamic_candidates("all")
+        rng = random.Random(11)
+        seen_active = False
+        for _ in range(20):
+            _, _, activated = llfi.run_with_fault(
+                "all", rng.randint(1, n), rng)
+            seen_active = seen_active or activated
+        assert seen_active

@@ -1,0 +1,106 @@
+"""Tests for outcome classification and campaign statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fi.outcome import Outcome, classify
+from repro.fi.stats import Proportion, two_proportion_z, wilson_interval
+from repro.vm.result import ExecutionResult
+from repro.vm.traps import Trap, TrapKind
+
+GOLDEN = "expected output"
+
+
+def result(status="ok", output=GOLDEN):
+    trap = Trap(TrapKind.SEGV) if status == "trap" else None
+    return ExecutionResult(status, trap, output, 100)
+
+
+class TestClassification:
+    def test_crash(self):
+        assert classify(result("trap"), GOLDEN, True) is Outcome.CRASH
+
+    def test_crash_wins_even_without_activation_flag(self):
+        assert classify(result("trap"), GOLDEN, False) is Outcome.CRASH
+
+    def test_hang(self):
+        assert classify(result("hang"), GOLDEN, True) is Outcome.HANG
+
+    def test_sdc_on_output_mismatch(self):
+        assert classify(result(output="wrong"), GOLDEN, True) is Outcome.SDC
+
+    def test_sdc_wins_over_non_activation(self):
+        assert classify(result(output="wrong"), GOLDEN, False) is Outcome.SDC
+
+    def test_benign(self):
+        assert classify(result(), GOLDEN, True) is Outcome.BENIGN
+
+    def test_not_activated(self):
+        assert classify(result(), GOLDEN, False) is Outcome.NOT_ACTIVATED
+
+
+class TestWilson:
+    def test_known_value(self):
+        low, high = wilson_interval(50, 100)
+        assert 0.40 < low < 0.41
+        assert 0.59 < high < 0.60
+
+    def test_zero_and_full(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0 and 0 < high < 0.05
+        low, high = wilson_interval(100, 100)
+        assert 0.95 < low < 1.0 and high == 1.0
+
+    def test_empty_sample(self):
+        assert wilson_interval(0, 0) == (0.0, 0.0)
+
+    def test_invalid_successes(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(0, 500), st.integers(1, 500))
+    def test_interval_contains_point_estimate(self, successes, n):
+        successes = min(successes, n)
+        low, high = wilson_interval(successes, n)
+        phat = successes / n
+        assert low <= phat <= high
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(st.integers(1, 200))
+    def test_interval_narrows_with_n(self, n):
+        low1, high1 = wilson_interval(n // 2, n)
+        low2, high2 = wilson_interval(5 * n, 10 * n)
+        assert (high2 - low2) < (high1 - low1) + 1e-12
+
+
+class TestProportion:
+    def test_percent_rendering(self):
+        p = Proportion(10, 100)
+        assert p.percent().startswith("10.0%")
+
+    def test_overlap_symmetric(self):
+        a = Proportion(10, 100)
+        b = Proportion(14, 100)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_disjoint_intervals(self):
+        a = Proportion(5, 1000)
+        b = Proportion(500, 1000)
+        assert not a.overlaps(b)
+
+    def test_zero_n(self):
+        p = Proportion(0, 0)
+        assert p.value == 0.0
+
+
+class TestTwoProportionZ:
+    def test_equal_rates_give_zero(self):
+        assert two_proportion_z(10, 100, 10, 100) == pytest.approx(0.0)
+
+    def test_sign_follows_difference(self):
+        assert two_proportion_z(30, 100, 10, 100) > 0
+        assert two_proportion_z(10, 100, 30, 100) < 0
+
+    def test_degenerate_inputs(self):
+        assert two_proportion_z(0, 0, 5, 10) == 0.0
+        assert two_proportion_z(0, 10, 0, 10) == 0.0

@@ -1,0 +1,119 @@
+"""Tests for CFG analyses: reachability, dominators, frontiers."""
+
+from repro.ir import types as ty
+from repro.ir.analysis import DominatorTree, reachable_blocks
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+
+
+def diamond():
+    """entry -> (left|right) -> join -> exit"""
+    m = Module()
+    f = m.add_function("f", ty.FunctionType(ty.VOID, [ty.I32]))
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    join = f.add_block("join")
+    b = IRBuilder(entry)
+    cond = b.icmp("slt", f.args[0], b.const_int(0))
+    b.cond_br(cond, left, right)
+    b.set_insert_point(left)
+    b.br(join)
+    b.set_insert_point(right)
+    b.br(join)
+    b.set_insert_point(join)
+    b.ret()
+    return f, entry, left, right, join
+
+
+def loop():
+    """entry -> header <-> body; header -> exit"""
+    m = Module()
+    f = m.add_function("f", ty.FunctionType(ty.VOID, [ty.I32]))
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.set_insert_point(header)
+    cond = b.icmp("slt", f.args[0], b.const_int(10))
+    b.cond_br(cond, body, exit_)
+    b.set_insert_point(body)
+    b.br(header)
+    b.set_insert_point(exit_)
+    b.ret()
+    return f, entry, header, body, exit_
+
+
+class TestReachability:
+    def test_all_reachable_in_diamond(self):
+        f, *blocks = diamond()
+        assert set(id(b) for b in reachable_blocks(f)) == \
+            set(id(b) for b in blocks)
+
+    def test_rpo_starts_at_entry(self):
+        f, entry, *_ = diamond()
+        assert reachable_blocks(f)[0] is entry
+
+    def test_unreachable_excluded(self):
+        f, *_ = diamond()
+        dead = f.add_block("dead")
+        b = IRBuilder(dead)
+        b.ret()
+        assert dead not in reachable_blocks(f)
+
+    def test_rpo_respects_dominance_in_loop(self):
+        f, entry, header, body, exit_ = loop()
+        rpo = reachable_blocks(f)
+        assert rpo.index(entry) < rpo.index(header) < rpo.index(body)
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        f, entry, left, right, join = diamond()
+        dt = DominatorTree(f)
+        assert dt.immediate_dominator(left) is entry
+        assert dt.immediate_dominator(right) is entry
+        assert dt.immediate_dominator(join) is entry
+        assert dt.immediate_dominator(entry) is entry
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        f, entry, left, right, join = diamond()
+        dt = DominatorTree(f)
+        assert dt.dominates(entry, join)
+        assert dt.dominates(left, left)
+        assert not dt.dominates(left, join)
+        assert not dt.dominates(join, entry)
+
+    def test_loop_idoms(self):
+        f, entry, header, body, exit_ = loop()
+        dt = DominatorTree(f)
+        assert dt.immediate_dominator(header) is entry
+        assert dt.immediate_dominator(body) is header
+        assert dt.immediate_dominator(exit_) is header
+
+    def test_children(self):
+        f, entry, left, right, join = diamond()
+        dt = DominatorTree(f)
+        kids = dt.children(entry)
+        assert set(id(b) for b in kids) == {id(left), id(right), id(join)}
+
+
+class TestFrontiers:
+    def test_diamond_frontier_is_join(self):
+        f, entry, left, right, join = diamond()
+        dt = DominatorTree(f)
+        frontiers = dt.dominance_frontiers()
+        assert frontiers[id(left)] == {id(join)}
+        assert frontiers[id(right)] == {id(join)}
+        assert frontiers[id(entry)] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        f, entry, header, body, exit_ = loop()
+        dt = DominatorTree(f)
+        frontiers = dt.dominance_frontiers()
+        # body's frontier is the header (back edge target)
+        assert id(header) in frontiers[id(body)]
+        # header dominates itself but sits on its own frontier via the loop
+        assert id(header) in frontiers[id(header)]

@@ -1,0 +1,126 @@
+"""Tests for the IRBuilder, including its constant folding."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import types as ty
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import BinaryOp
+from repro.ir.module import Module
+from repro.ir.values import ConstantDouble, ConstantInt
+
+
+@pytest.fixture
+def builder():
+    m = Module()
+    f = m.add_function("f", ty.FunctionType(ty.I32, [ty.I32]), ["n"])
+    b = IRBuilder(f.add_block("entry"))
+    return b, f
+
+
+class TestConstantFolding:
+    def test_add_consts_folds(self, builder):
+        b, f = builder
+        r = b.add(b.const_int(2), b.const_int(3))
+        assert isinstance(r, ConstantInt) and r.value == 5
+
+    def test_fold_wraps(self, builder):
+        b, f = builder
+        r = b.add(b.const_int(2**31 - 1), b.const_int(1))
+        assert isinstance(r, ConstantInt) and r.value == -(2**31)
+
+    def test_sdiv_truncates_toward_zero(self, builder):
+        b, f = builder
+        r = b.sdiv(b.const_int(-7), b.const_int(2))
+        assert r.value == -3
+        r = b.srem(b.const_int(-7), b.const_int(2))
+        assert r.value == -1
+
+    def test_division_by_zero_not_folded(self, builder):
+        b, f = builder
+        r = b.sdiv(b.const_int(1), b.const_int(0))
+        assert isinstance(r, BinaryOp)  # left to trap at runtime
+
+    def test_float_folding(self, builder):
+        b, f = builder
+        r = b.fmul(b.const_double(2.0), b.const_double(4.0))
+        assert isinstance(r, ConstantDouble) and r.value == 8.0
+
+    def test_shift_folding(self, builder):
+        b, f = builder
+        assert b.shl(b.const_int(1), b.const_int(4)).value == 16
+        assert b.ashr(b.const_int(-8), b.const_int(1)).value == -4
+        assert b.lshr(b.const_int(-1), b.const_int(28)).value == 15
+
+    def test_oversized_shift_not_folded(self, builder):
+        b, f = builder
+        r = b.shl(b.const_int(1), b.const_int(40))
+        assert isinstance(r, BinaryOp)
+
+    def test_nonconst_not_folded(self, builder):
+        b, f = builder
+        r = b.add(f.args[0], b.const_int(1))
+        assert isinstance(r, BinaryOp)
+
+    def test_int_cast_folding(self, builder):
+        b, f = builder
+        assert b.sext(ConstantInt(ty.I8, -1), ty.I32).value == -1
+        assert b.zext(ConstantInt(ty.I8, -1), ty.I32).value == 255
+        assert b.trunc(b.const_int(0x1FF), ty.I8).value == -1
+
+
+class TestSynthesizedOps:
+    def test_neg(self, builder):
+        b, f = builder
+        r = b.neg(f.args[0])
+        assert isinstance(r, BinaryOp) and r.opcode == "sub"
+        assert r.lhs.value == 0
+
+    def test_not(self, builder):
+        b, f = builder
+        r = b.not_(f.args[0])
+        assert r.opcode == "xor" and r.rhs.value == -1
+
+    def test_fneg(self, builder):
+        b, f = builder
+        v = b.sitofp(f.args[0])
+        r = b.fneg(v)
+        assert r.opcode == "fsub"
+
+
+class TestEmission:
+    def test_instructions_appended_in_order(self, builder):
+        b, f = builder
+        x = b.add(f.args[0], b.const_int(1))
+        y = b.mul(x, f.args[0])
+        b.ret(y)
+        opcodes = [i.opcode for i in f.entry.instructions]
+        assert opcodes == ["add", "mul", "ret"]
+
+    def test_unnamed_results_get_names(self, builder):
+        b, f = builder
+        x = b.add(f.args[0], b.const_int(1))
+        assert x.name
+
+    def test_append_after_terminator_rejected(self, builder):
+        b, f = builder
+        b.ret(b.const_int(0))
+        with pytest.raises(IRError):
+            b.add(f.args[0], b.const_int(1))
+
+    def test_phi_inserted_before_non_phis(self, builder):
+        b, f = builder
+        b.add(f.args[0], b.const_int(1))
+        phi = b.phi(ty.I32)
+        assert f.entry.instructions[0] is phi
+
+    def test_source_line_stamped(self, builder):
+        b, f = builder
+        b.current_line = 42
+        x = b.add(f.args[0], b.const_int(1))
+        assert x.source_line == 42
+
+    def test_no_insert_point_rejected(self):
+        b = IRBuilder()
+        with pytest.raises(IRError):
+            b.ret()

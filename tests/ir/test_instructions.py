@@ -1,0 +1,236 @@
+"""Tests for IR instruction construction and validation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import types as ty
+from repro.ir.instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, FCmp, GetElementPtr, ICmp, Load,
+    Phi, Ret, Select, Store, INT_FP_CONVERSION_CASTS,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import ConstantDouble, ConstantInt, ConstantNull
+
+
+def i32(v):
+    return ConstantInt(ty.I32, v)
+
+
+def i64(v):
+    return ConstantInt(ty.I64, v)
+
+
+class TestBinaryOp:
+    def test_result_type_matches_operands(self):
+        inst = BinaryOp("add", i32(1), i32(2))
+        assert inst.type is ty.I32
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", i32(1), i64(2))
+
+    def test_float_op_on_ints_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("fadd", i32(1), i32(2))
+
+    def test_int_op_on_doubles_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", ConstantDouble(1.0), ConstantDouble(2.0))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("bogus", i32(1), i32(2))
+
+
+class TestCompares:
+    def test_icmp_yields_i1(self):
+        assert ICmp("slt", i32(1), i32(2)).type is ty.I1
+
+    def test_icmp_on_pointers_allowed(self):
+        null = ConstantNull(ty.PointerType(ty.I8))
+        assert ICmp("eq", null, null).type is ty.I1
+
+    def test_icmp_on_doubles_rejected(self):
+        with pytest.raises(IRError):
+            ICmp("slt", ConstantDouble(1.0), ConstantDouble(2.0))
+
+    def test_fcmp_yields_i1(self):
+        assert FCmp("olt", ConstantDouble(1.0), ConstantDouble(2.0)).type is ty.I1
+
+    def test_bad_predicates_rejected(self):
+        with pytest.raises(IRError):
+            ICmp("lt", i32(1), i32(2))
+        with pytest.raises(IRError):
+            FCmp("slt", ConstantDouble(1.0), ConstantDouble(2.0))
+
+
+class TestMemory:
+    def test_alloca_produces_pointer(self):
+        inst = Alloca(ty.I32)
+        assert inst.type is ty.PointerType(ty.I32)
+        assert inst.allocated_type is ty.I32
+
+    def test_load_type_from_pointee(self):
+        ptr = Alloca(ty.DOUBLE)
+        assert Load(ptr).type is ty.DOUBLE
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(IRError):
+            Load(i32(0))
+
+    def test_load_of_aggregate_rejected(self):
+        ptr = Alloca(ty.ArrayType(ty.I32, 4))
+        with pytest.raises(IRError):
+            Load(ptr)
+
+    def test_store_has_no_result(self):
+        ptr = Alloca(ty.I32)
+        inst = Store(i32(1), ptr)
+        assert not inst.has_result()
+
+    def test_store_type_mismatch_rejected(self):
+        ptr = Alloca(ty.I32)
+        with pytest.raises(IRError):
+            Store(i64(1), ptr)
+
+
+class TestGEP:
+    def test_scalar_gep(self):
+        ptr = Alloca(ty.I32)
+        gep = GetElementPtr(ptr, [i64(3)])
+        assert gep.type is ty.PointerType(ty.I32)
+
+    def test_array_gep(self):
+        ptr = Alloca(ty.ArrayType(ty.I32, 8))
+        gep = GetElementPtr(ptr, [i64(0), i64(2)])
+        assert gep.type is ty.PointerType(ty.I32)
+
+    def test_struct_gep(self):
+        s = ty.StructType("gp", [ty.I32, ty.DOUBLE], ["a", "b"])
+        ptr = Alloca(s)
+        gep = GetElementPtr(ptr, [i64(0), ConstantInt(ty.I32, 1)])
+        assert gep.type is ty.PointerType(ty.DOUBLE)
+
+    def test_struct_gep_needs_const_index(self):
+        s = ty.StructType("gq", [ty.I32], ["a"])
+        ptr = Alloca(s)
+        var_index = BinaryOp("add", i32(0), i32(0))
+        with pytest.raises(IRError):
+            GetElementPtr(ptr, [i64(0), var_index])
+
+    def test_gep_requires_indices(self):
+        with pytest.raises(IRError):
+            GetElementPtr(Alloca(ty.I32), [])
+
+    def test_indexing_into_scalar_rejected(self):
+        ptr = Alloca(ty.I32)
+        with pytest.raises(IRError):
+            GetElementPtr(ptr, [i64(0), i64(0)])
+
+
+class TestCasts:
+    def test_conversion_cast_classification(self):
+        assert set(INT_FP_CONVERSION_CASTS) == {
+            "fptosi", "fptoui", "sitofp", "uitofp"}
+        c = Cast("sitofp", i32(1), ty.DOUBLE)
+        assert c.is_int_fp_conversion()
+        t = Cast("sext", ConstantInt(ty.I8, 1), ty.I32)
+        assert not t.is_int_fp_conversion()
+
+    @pytest.mark.parametrize("op,src,dst", [
+        ("trunc", ty.I32, ty.I64),      # wrong direction
+        ("zext", ty.I64, ty.I32),
+        ("sext", ty.I32, ty.I32),       # same width
+        ("fptosi", ty.I32, ty.I32),     # not a double source
+        ("sitofp", ty.DOUBLE, ty.DOUBLE),
+    ])
+    def test_invalid_casts_rejected(self, op, src, dst):
+        value = ConstantInt(src, 0) if src.is_integer() else ConstantDouble(0.0)
+        with pytest.raises(IRError):
+            Cast(op, value, dst)
+
+    def test_ptrtoint_requires_i64(self):
+        null = ConstantNull(ty.PointerType(ty.I8))
+        Cast("ptrtoint", null, ty.I64)
+        with pytest.raises(IRError):
+            Cast("ptrtoint", null, ty.I32)
+
+
+class TestControlFlow:
+    def _blocks(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.VOID, []))
+        return f.add_block("a"), f.add_block("b")
+
+    def test_unconditional_branch(self):
+        a, b = self._blocks()
+        br = Branch(b)
+        assert not br.is_conditional
+        assert br.successors() == [b]
+
+    def test_conditional_branch(self):
+        a, b = self._blocks()
+        cond = ICmp("eq", i32(0), i32(0))
+        br = Branch(condition=cond, if_true=a, if_false=b)
+        assert br.is_conditional
+        assert br.successors() == [a, b]
+        assert br.condition is cond
+
+    def test_condition_must_be_i1(self):
+        a, b = self._blocks()
+        with pytest.raises(IRError):
+            Branch(condition=i32(1), if_true=a, if_false=b)
+
+    def test_ret_value(self):
+        assert Ret(i32(1)).value.value == 1
+        assert Ret().value is None
+        assert Ret().successors() == []
+
+    def test_phi_incoming(self):
+        a, b = self._blocks()
+        phi = Phi(ty.I32, "p")
+        phi.add_incoming(i32(1), a)
+        phi.add_incoming(i32(2), b)
+        assert phi.incoming_for_block(a).value == 1
+        assert phi.incoming_for_block(b).value == 2
+
+    def test_phi_type_mismatch_rejected(self):
+        a, _ = self._blocks()
+        phi = Phi(ty.I32)
+        with pytest.raises(IRError):
+            phi.add_incoming(i64(1), a)
+
+    def test_phi_remove_incoming(self):
+        a, b = self._blocks()
+        phi = Phi(ty.I32)
+        phi.add_incoming(i32(1), a)
+        phi.add_incoming(i32(2), b)
+        phi.remove_incoming(a)
+        assert len(phi.incoming) == 1
+        with pytest.raises(IRError):
+            phi.incoming_for_block(a)
+
+    def test_select(self):
+        cond = ICmp("eq", i32(0), i32(0))
+        sel = Select(cond, i32(1), i32(2))
+        assert sel.type is ty.I32
+        with pytest.raises(IRError):
+            Select(i32(1), i32(1), i32(2))  # condition not i1
+
+
+class TestCall:
+    def _callee(self):
+        m = Module()
+        return m.add_function("g", ty.FunctionType(ty.I32, [ty.I32, ty.DOUBLE]))
+
+    def test_call_result_type(self):
+        call = Call(self._callee(), [i32(1), ConstantDouble(2.0)])
+        assert call.type is ty.I32
+
+    def test_arity_checked(self):
+        with pytest.raises(IRError):
+            Call(self._callee(), [i32(1)])
+
+    def test_arg_types_checked(self):
+        with pytest.raises(IRError):
+            Call(self._callee(), [i32(1), i32(2)])

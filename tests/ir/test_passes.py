@@ -1,0 +1,269 @@
+"""Tests for the optimization passes (mem2reg, constfold, dce, simplifycfg,
+inline), checking both structure and behavior preservation."""
+
+import pytest
+
+from repro.ir import types as ty
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Alloca, Call, Load, Phi, Store
+from repro.ir.module import Module
+from repro.ir.passes import (
+    eliminate_dead_code, fold_constants, promote_memory_to_registers,
+    run_default_pipeline, simplify_cfg,
+)
+from repro.ir.passes.inline import inline_functions
+from repro.ir.verifier import verify_module
+from repro.minic import compile_source
+from repro.vm.irinterp import IRInterpreter
+
+
+def counting_module():
+    """sum of 0..n-1 via alloca'd locals (classic mem2reg fodder)."""
+    m = Module()
+    f = m.add_function("sum", ty.FunctionType(ty.I32, [ty.I32]), ["n"])
+    entry = f.add_block("entry")
+    cond = f.add_block("cond")
+    body = f.add_block("body")
+    done = f.add_block("done")
+    b = IRBuilder(entry)
+    acc = b.alloca(ty.I32, "acc")
+    i = b.alloca(ty.I32, "i")
+    b.store(b.const_int(0), acc)
+    b.store(b.const_int(0), i)
+    b.br(cond)
+    b.set_insert_point(cond)
+    iv = b.load(i)
+    b.cond_br(b.icmp("slt", iv, f.args[0]), body, done)
+    b.set_insert_point(body)
+    b.store(b.add(b.load(acc), b.load(i)), acc)
+    b.store(b.add(b.load(i), b.const_int(1)), i)
+    b.br(cond)
+    b.set_insert_point(done)
+    b.ret(b.load(acc))
+    return m, f
+
+
+class TestMem2Reg:
+    def test_promotes_scalar_allocas(self):
+        m, f = counting_module()
+        promoted = promote_memory_to_registers(m)
+        assert promoted == 2
+        verify_module(m)
+        assert not any(isinstance(i, (Alloca, Load, Store))
+                       for i in f.instructions())
+
+    def test_inserts_loop_phis(self):
+        m, f = counting_module()
+        promote_memory_to_registers(m)
+        phis = [i for i in f.instructions() if isinstance(i, Phi)]
+        assert len(phis) == 2  # acc and i at the loop header
+
+    def test_skips_address_taken_allocas(self):
+        m = Module()
+        callee = m.add_function("use", ty.FunctionType(
+            ty.VOID, [ty.PointerType(ty.I32)]))
+        f = m.add_function("f", ty.FunctionType(ty.I32, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(ty.I32)
+        b.store(b.const_int(1), slot)
+        b.call(callee, [slot])  # address escapes
+        b.ret(b.load(slot))
+        assert promote_memory_to_registers(m) == 0
+        assert any(isinstance(i, Alloca) for i in f.instructions())
+
+    def test_skips_aggregate_allocas(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.VOID, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.alloca(ty.ArrayType(ty.I32, 4))
+        b.ret()
+        assert promote_memory_to_registers(m) == 0
+
+    def test_behavior_preserved(self):
+        src = """
+        int main() {
+            int acc = 0; int i;
+            for (i = 0; i < 10; i++) acc += i * i;
+            print_int(acc);
+            return 0;
+        }
+        """
+        unopt = compile_source(src, optimize=False)
+        opt = compile_source(src, optimize=True)
+        r1 = IRInterpreter(unopt).run()
+        r2 = IRInterpreter(opt).run()
+        assert r1.output == r2.output == "285"
+        assert r2.instructions < r1.instructions  # actually optimized
+
+
+class TestConstFold:
+    def test_folds_chains(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.I32, []))
+        b = IRBuilder(f.add_block("entry"))
+        # Builder folds eagerly, so construct instructions directly.
+        from repro.ir.instructions import BinaryOp
+        from repro.ir.values import ConstantInt
+        x = BinaryOp("add", ConstantInt(ty.I32, 2), ConstantInt(ty.I32, 3))
+        f.entry.append(x)
+        y = BinaryOp("mul", x, ConstantInt(ty.I32, 4))
+        f.entry.append(y)
+        b.set_insert_point(f.entry)
+        b.ret(y)
+        assert fold_constants(m) == 2
+        verify_module(m)
+        term = f.entry.terminator
+        assert term.value.value == 20  # type: ignore[union-attr]
+
+    def test_identity_simplification(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.I32, [ty.I32]))
+        from repro.ir.instructions import BinaryOp
+        from repro.ir.values import ConstantInt
+        x = BinaryOp("add", f.args[0], ConstantInt(ty.I32, 0))
+        f.add_block("entry").append(x)
+        b = IRBuilder(f.entry)
+        b.ret(x)
+        fold_constants(m)
+        assert f.entry.terminator.value is f.args[0]  # type: ignore[union-attr]
+
+
+class TestDCE:
+    def test_removes_unused_chain(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.VOID, [ty.I32]))
+        b = IRBuilder(f.add_block("entry"))
+        x = b.add(f.args[0], b.const_int(1))
+        b.mul(x, x)  # dead
+        b.ret()
+        removed = eliminate_dead_code(m)
+        assert removed == 2  # mul, then the now-dead add
+        assert len(f.entry.instructions) == 1
+
+    def test_keeps_side_effects(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.VOID, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(ty.I32)
+        b.store(b.const_int(1), slot)
+        b.ret()
+        assert eliminate_dead_code(m) == 0
+
+
+class TestSimplifyCFG:
+    def test_removes_unreachable(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.VOID, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.ret()
+        dead = f.add_block("dead")
+        b.set_insert_point(dead)
+        b.ret()
+        simplify_cfg(m)
+        assert len(f.blocks) == 1
+
+    def test_folds_constant_branch(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.I32, []))
+        entry = f.add_block("entry")
+        then = f.add_block("then")
+        other = f.add_block("other")
+        b = IRBuilder(entry)
+        from repro.ir.values import ConstantInt
+        b.cond_br(ConstantInt(ty.I1, 1), then, other)
+        b.set_insert_point(then)
+        b.ret(b.const_int(1))
+        b.set_insert_point(other)
+        b.ret(b.const_int(2))
+        simplify_cfg(m)
+        verify_module(m)
+        # entry falls straight into 'then' (merged) and 'other' is gone
+        assert len(f.blocks) == 1
+        assert f.entry.terminator.value.value == 1  # type: ignore[union-attr]
+
+    def test_merges_straightline(self):
+        m = Module()
+        f = m.add_function("f", ty.FunctionType(ty.VOID, []))
+        a = f.add_block("a")
+        c = f.add_block("c")
+        b = IRBuilder(a)
+        b.br(c)
+        b.set_insert_point(c)
+        b.ret()
+        simplify_cfg(m)
+        assert len(f.blocks) == 1
+
+
+class TestInline:
+    SRC = """
+    int max2(int a, int b) { if (a > b) return a; return b; }
+    int main() {
+        int best = 0; int i;
+        for (i = 0; i < 10; i++) best = max2(best, (i * 7) % 11);
+        print_int(best);
+        return 0;
+    }
+    """
+
+    def test_inlines_small_callee(self):
+        module = compile_source(self.SRC, optimize=False)
+        count = inline_functions(module)
+        assert count >= 1
+        verify_module(module)
+        main = module.get_function("main")
+        assert not any(isinstance(i, Call) and i.callee.name == "max2"
+                       for i in main.instructions())
+
+    def test_behavior_preserved(self):
+        plain = compile_source(self.SRC, optimize=False)
+        expected = IRInterpreter(plain).run().output
+        inlined = compile_source(self.SRC, optimize=False)
+        inline_functions(inlined)
+        verify_module(inlined)
+        assert IRInterpreter(inlined).run().output == expected == "10"
+
+    def test_recursive_not_inlined(self):
+        src = """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { print_int(fib(12)); return 0; }
+        """
+        module = compile_source(src, optimize=False)
+        inline_functions(module)
+        verify_module(module)
+        fib = module.get_function("fib")
+        assert any(isinstance(i, Call) and i.callee is fib
+                   for i in fib.instructions())
+        assert IRInterpreter(module).run().output == "144"
+
+    def test_void_callee(self):
+        src = """
+        int g;
+        void bump(int d) { g += d; }
+        int main() { bump(3); bump(4); print_int(g); return 0; }
+        """
+        module = compile_source(src, optimize=False)
+        inline_functions(module)
+        verify_module(module)
+        assert IRInterpreter(module).run().output == "7"
+
+
+class TestPipeline:
+    def test_pipeline_reports_and_verifies(self):
+        m, f = counting_module()
+        report = run_default_pipeline(m)
+        assert report["mem2reg"] == 2
+        verify_module(m)
+
+    def test_pipeline_preserves_semantics(self):
+        m, f = counting_module()
+        # Wrap with a main that prints sum(10).
+        main = m.add_function("main", ty.FunctionType(ty.I32, []))
+        printer = m.add_function("print_int",
+                                 ty.FunctionType(ty.VOID, [ty.I32]))
+        printer.is_intrinsic = True
+        b = IRBuilder(main.add_block("entry"))
+        b.call(printer, [b.call(f, [b.const_int(10)])])
+        b.ret(b.const_int(0))
+        expected = IRInterpreter(m).run().output
+        run_default_pipeline(m)
+        assert IRInterpreter(m).run().output == expected == "45"

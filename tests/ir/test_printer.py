@@ -1,0 +1,106 @@
+"""Tests for the IR printer (stable, readable textual forms)."""
+
+from repro.ir import types as ty
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.printer import format_function, format_instruction, format_module
+from repro.ir.values import ConstantString, GlobalVariable
+
+
+def build_sample():
+    m = Module("sample")
+    s = ty.StructType("pair", [ty.I32, ty.I32], ["a", "b"])
+    m.add_struct(s)
+    g = GlobalVariable("counter", ty.I64)
+    m.add_global(g)
+    f = m.add_function("f", ty.FunctionType(ty.I32, [ty.I32]), ["n"])
+    entry = f.add_block("entry")
+    loop = f.add_block("loop")
+    done = f.add_block("done")
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.set_insert_point(loop)
+    phi = b.phi(ty.I32, "i")
+    nxt = b.add(phi, b.const_int(1), "next")
+    cond = b.icmp("slt", nxt, f.args[0], "more")
+    b.cond_br(cond, loop, done)
+    phi.add_incoming(b.const_int(0), entry)
+    phi.add_incoming(nxt, loop)
+    b.set_insert_point(done)
+    b.ret(phi)
+    return m, f
+
+
+class TestInstructionForms:
+    def test_binop(self):
+        m, f = build_sample()
+        text = format_function(f)
+        assert "%next = add i32 %i, 1" in text
+
+    def test_icmp(self):
+        m, f = build_sample()
+        assert "icmp slt i32 %next, %n" in format_function(f)
+
+    def test_phi_edges(self):
+        m, f = build_sample()
+        text = format_function(f)
+        assert "%i = phi i32 [ 0, %entry ], [ %next, %loop ]" in text
+
+    def test_branches(self):
+        m, f = build_sample()
+        text = format_function(f)
+        assert "br i1 %more, label %loop, label %done" in text
+        assert "br label %loop" in text
+
+    def test_ret(self):
+        m, f = build_sample()
+        assert "ret i32 %i" in format_function(f)
+
+    def test_memory_forms(self):
+        m = Module()
+        f = m.add_function("g", ty.FunctionType(ty.VOID, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(ty.I32, "x")
+        b.store(b.const_int(3), slot)
+        v = b.load(slot, "v")
+        b.ret()
+        text = format_function(f)
+        assert "%x = alloca i32" in text
+        assert "store i32 3, i32* %x" in text
+        assert "%v = load i32, i32* %x" in text
+
+    def test_gep_form(self):
+        m = Module()
+        f = m.add_function("g", ty.FunctionType(ty.VOID, []))
+        b = IRBuilder(f.add_block("entry"))
+        arr = b.alloca(ty.ArrayType(ty.I32, 4), "a")
+        p = b.gep(arr, [b.const_int(0, ty.I64), b.const_int(2, ty.I64)], "p")
+        b.store(b.const_int(0), p)
+        b.ret()
+        assert "getelementptr [4 x i32]" in format_function(f)
+
+
+class TestModuleForm:
+    def test_module_sections(self):
+        m, f = build_sample()
+        text = format_module(m)
+        assert "; module sample" in text
+        assert "%struct.pair = type { i32, i32 }" in text
+        assert "@counter = global i64 zeroinitializer" in text
+        assert "define i32 @f(i32 %n)" in text
+
+    def test_string_constant_form(self):
+        g = GlobalVariable("msg", ConstantString("hi").type,
+                           ConstantString("hi"), constant=True)
+        assert 'c"hi\\00"' in g.initializer.ref()
+
+    def test_declaration_form(self):
+        m = Module()
+        m.add_function("ext", ty.FunctionType(ty.I32, [ty.I32]))
+        assert "declare i32 @ext" in format_module(m)
+
+    def test_str_dunder_roundtrips(self):
+        m, f = build_sample()
+        assert str(m) == format_module(m)
+        inst = f.blocks[1].instructions[1]
+        assert str(inst) == format_instruction(inst)

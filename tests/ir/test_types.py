@@ -1,0 +1,152 @@
+"""Tests for the IR type system: interning, sizes, layout."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import types as ty
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert ty.IntType(32) is ty.IntType(32)
+        assert ty.IntType(32) is ty.I32
+
+    def test_distinct_widths_are_distinct(self):
+        assert ty.IntType(32) is not ty.IntType(64)
+
+    def test_pointer_types_are_interned(self):
+        assert ty.PointerType(ty.I32) is ty.PointerType(ty.I32)
+
+    def test_pointers_to_distinct_types_differ(self):
+        assert ty.PointerType(ty.I32) is not ty.PointerType(ty.I64)
+
+    def test_array_types_are_interned(self):
+        assert ty.ArrayType(ty.I8, 10) is ty.ArrayType(ty.I8, 10)
+        assert ty.ArrayType(ty.I8, 10) is not ty.ArrayType(ty.I8, 11)
+
+    def test_void_and_double_singletons(self):
+        assert ty.VoidType() is ty.VOID
+        assert ty.DoubleType() is ty.DOUBLE
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(IRError):
+            ty.IntType(13)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(IRError):
+            ty.PointerType(ty.VOID)
+
+    def test_negative_array_count_rejected(self):
+        with pytest.raises(IRError):
+            ty.ArrayType(ty.I32, -1)
+
+
+class TestSizes:
+    @pytest.mark.parametrize("t,size", [
+        (ty.I1, 1), (ty.I8, 1), (ty.I16, 2), (ty.I32, 4), (ty.I64, 8),
+        (ty.DOUBLE, 8),
+    ])
+    def test_scalar_sizes(self, t, size):
+        assert t.size == size
+
+    def test_pointer_size_is_8(self):
+        assert ty.PointerType(ty.I8).size == 8
+        assert ty.PointerType(ty.DOUBLE).size == 8
+
+    def test_array_size(self):
+        assert ty.ArrayType(ty.I32, 10).size == 40
+        assert ty.ArrayType(ty.ArrayType(ty.I64, 3), 4).size == 96
+
+    def test_array_alignment_follows_element(self):
+        assert ty.ArrayType(ty.I64, 2).alignment == 8
+        assert ty.ArrayType(ty.I8, 100).alignment == 1
+
+    def test_void_has_no_size(self):
+        with pytest.raises(IRError):
+            _ = ty.VOID.size
+
+
+class TestIntRanges:
+    def test_i32_signed_range(self):
+        assert ty.I32.min_signed == -(2 ** 31)
+        assert ty.I32.max_signed == 2 ** 31 - 1
+        assert ty.I32.max_unsigned == 2 ** 32 - 1
+
+    def test_i1_range(self):
+        assert ty.I1.min_signed == -1
+        assert ty.I1.max_signed == 0
+
+
+class TestStructLayout:
+    def test_c_style_padding(self):
+        # { i32, i64 }: i64 aligned to 8 -> offset 8, size 16
+        s = ty.StructType("p", [ty.I32, ty.I64])
+        assert s.field_offset(0) == 0
+        assert s.field_offset(1) == 8
+        assert s.size == 16
+        assert s.alignment == 8
+
+    def test_tail_padding(self):
+        # { i64, i8 }: size rounds up to 16
+        s = ty.StructType("t", [ty.I64, ty.I8])
+        assert s.size == 16
+
+    def test_packed_ints_no_padding(self):
+        s = ty.StructType("q", [ty.I32, ty.I32, ty.I32])
+        assert [s.field_offset(i) for i in range(3)] == [0, 4, 8]
+        assert s.size == 12
+
+    def test_field_lookup_by_name(self):
+        s = ty.StructType("n", [ty.I32, ty.DOUBLE], ["a", "b"])
+        assert s.field_index("b") == 1
+        assert s.field_type(1) is ty.DOUBLE
+        with pytest.raises(IRError):
+            s.field_index("missing")
+
+    def test_opaque_struct_completion(self):
+        s = ty.StructType("node")
+        assert not s.is_complete
+        with pytest.raises(IRError):
+            _ = s.size
+        s.set_body([ty.I32, ty.PointerType(s)])
+        assert s.is_complete
+        assert s.size == 16
+
+    def test_double_completion_rejected(self):
+        s = ty.StructType("once", [ty.I32])
+        with pytest.raises(IRError):
+            s.set_body([ty.I64])
+
+    def test_empty_struct(self):
+        s = ty.StructType("empty", [])
+        assert s.size == 0
+        assert s.num_fields == 0
+
+
+class TestFunctionType:
+    def test_signature_str(self):
+        ft = ty.FunctionType(ty.I32, [ty.I32, ty.DOUBLE])
+        assert str(ft) == "i32 (i32, double)"
+
+    def test_aggregate_param_rejected(self):
+        with pytest.raises(IRError):
+            ty.FunctionType(ty.VOID, [ty.ArrayType(ty.I32, 4)])
+
+    def test_void_param_rejected(self):
+        with pytest.raises(IRError):
+            ty.FunctionType(ty.VOID, [ty.VOID])
+
+
+class TestPredicates:
+    def test_first_class(self):
+        assert ty.I32.is_first_class()
+        assert ty.PointerType(ty.I8).is_first_class()
+        assert not ty.VOID.is_first_class()
+        assert not ty.ArrayType(ty.I8, 2).is_first_class()
+        assert not ty.StructType("x", [ty.I8]).is_first_class()
+
+    def test_is_integer_with_width(self):
+        assert ty.I32.is_integer()
+        assert ty.I32.is_integer(32)
+        assert not ty.I32.is_integer(64)
+        assert not ty.DOUBLE.is_integer()

@@ -1,0 +1,123 @@
+"""Tests for values, constants and use-def chains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir import types as ty
+from repro.ir.instructions import BinaryOp
+from repro.ir.values import (
+    ConstantArray, ConstantDouble, ConstantInt, ConstantNull, ConstantString,
+    bits_to_double, double_to_bits, wrap_signed, wrap_unsigned,
+)
+
+
+class TestConstantInt:
+    def test_value_stored_signed(self):
+        assert ConstantInt(ty.I32, 5).value == 5
+        assert ConstantInt(ty.I32, -5).value == -5
+
+    def test_wraps_overflow(self):
+        assert ConstantInt(ty.I8, 200).value == 200 - 256
+        assert ConstantInt(ty.I8, -200).value == 56
+
+    def test_unsigned_view(self):
+        assert ConstantInt(ty.I8, -1).unsigned == 255
+        assert ConstantInt(ty.I32, -1).unsigned == 2 ** 32 - 1
+
+    def test_i1_true_false_render(self):
+        assert ConstantInt(ty.I1, 1).ref() == "true"
+        assert ConstantInt(ty.I1, 0).ref() == "false"
+
+    def test_non_int_type_rejected(self):
+        with pytest.raises(IRError):
+            ConstantInt(ty.DOUBLE, 1)
+
+
+class TestOtherConstants:
+    def test_null_requires_pointer(self):
+        ConstantNull(ty.PointerType(ty.I8))
+        with pytest.raises(IRError):
+            ConstantNull(ty.I64)
+
+    def test_string_is_nul_terminated(self):
+        s = ConstantString("hi")
+        assert s.data == b"hi\x00"
+        assert s.type is ty.ArrayType(ty.I8, 3)
+
+    def test_array_length_checked(self):
+        at = ty.ArrayType(ty.I32, 2)
+        ConstantArray(at, [ConstantInt(ty.I32, 1), ConstantInt(ty.I32, 2)])
+        with pytest.raises(IRError):
+            ConstantArray(at, [ConstantInt(ty.I32, 1)])
+
+
+class TestUseDef:
+    def _binop(self):
+        a = ConstantInt(ty.I32, 1)
+        b = ConstantInt(ty.I32, 2)
+        return a, b, BinaryOp("add", a, b, "x")
+
+    def test_operands_recorded(self):
+        a, b, inst = self._binop()
+        assert inst.operands == [a, b]
+        assert inst.num_operands == 2
+
+    def test_uses_recorded(self):
+        a, b, inst = self._binop()
+        assert a.num_uses == 1
+        assert list(a.users()) == [inst]
+
+    def test_replace_all_uses_with(self):
+        a, b, inst = self._binop()
+        c = ConstantInt(ty.I32, 3)
+        a.replace_all_uses_with(c)
+        assert inst.operands == [c, b]
+        assert a.num_uses == 0
+        assert c.num_uses == 1
+
+    def test_rauw_self_is_noop(self):
+        a, b, inst = self._binop()
+        a.replace_all_uses_with(a)
+        assert inst.operands == [a, b]
+
+    def test_drop_all_references(self):
+        a, b, inst = self._binop()
+        inst.drop_all_references()
+        assert a.num_uses == 0
+        assert b.num_uses == 0
+        assert inst.num_operands == 0
+
+    def test_same_value_twice_counts_two_uses(self):
+        a = ConstantInt(ty.I32, 7)
+        inst = BinaryOp("add", a, a)
+        assert a.num_uses == 2
+        assert inst.lhs is a and inst.rhs is a
+
+
+class TestBitHelpers:
+    @given(st.integers(), st.sampled_from([1, 8, 16, 32, 64]))
+    def test_wrap_signed_in_range(self, value, bits):
+        w = wrap_signed(value, bits)
+        assert -(1 << (bits - 1)) <= w < (1 << (bits - 1))
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_wrap_signed_identity_in_range(self, value):
+        assert wrap_signed(value, 32) == value
+
+    @given(st.integers())
+    def test_wrap_unsigned_range(self, value):
+        assert 0 <= wrap_unsigned(value, 16) < 2 ** 16
+
+    @given(st.floats(allow_nan=False))
+    def test_double_bits_roundtrip(self, value):
+        assert bits_to_double(double_to_bits(value)) == value
+
+    def test_double_bits_known_values(self):
+        assert double_to_bits(0.0) == 0
+        assert double_to_bits(1.0) == 0x3FF0000000000000
+        assert bits_to_double(0xBFF0000000000000) == -1.0
+
+    def test_nan_bits_preserved_shapewise(self):
+        nan_bits = double_to_bits(float("nan"))
+        assert bits_to_double(nan_bits) != bits_to_double(nan_bits)

@@ -1,0 +1,144 @@
+"""White-box tests of MiniC codegen: the IR shapes LLFI depends on."""
+
+from repro.ir.instructions import (
+    Alloca, Call, Cast, GetElementPtr, ICmp, Load, Phi, Store,
+)
+from repro.minic import compile_source
+
+
+def instructions(src, fname="main", optimize=False):
+    module = compile_source(src, optimize=optimize)
+    return module, list(module.get_function(fname).instructions())
+
+
+class TestAllocasAndLocals:
+    def test_allocas_in_entry_block(self):
+        module, _ = instructions("""
+        int main() {
+            int a = 1;
+            if (a) { int b = 2; while (b) { int c = b - 1; b = c; } }
+            return a;
+        }
+        """)
+        main = module.get_function("main")
+        for block in main.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Alloca):
+                    assert block is main.entry
+
+    def test_params_get_slots(self):
+        module, insts = instructions(
+            "int f(int x, double y) { return x + (int)y; }", fname="f")
+        allocas = [i for i in insts if isinstance(i, Alloca)]
+        assert len(allocas) == 2
+
+
+class TestExpressionShapes:
+    def test_comparison_as_value_zexts(self):
+        module, insts = instructions(
+            "int g; int main() { int f = g > 2; return f; }")
+        zexts = [i for i in insts if isinstance(i, Cast) and i.opcode == "zext"]
+        assert zexts and zexts[0].value.type.is_integer(1)
+
+    def test_short_circuit_produces_phi(self):
+        module, insts = instructions("""
+        int a; int b;
+        int main() { if (a > 0 && b > 0) return 1; return 0; }
+        """)
+        assert any(isinstance(i, Phi) for i in insts)
+
+    def test_array_access_is_gep_plus_load(self):
+        module, insts = instructions("""
+        int arr[4];
+        int main() { return arr[2]; }
+        """)
+        assert any(isinstance(i, GetElementPtr) for i in insts)
+        assert any(isinstance(i, Load) for i in insts)
+
+    def test_string_literals_deduplicated(self):
+        module = compile_source("""
+        int main() { print_str("same"); print_str("same");
+                     print_str("other"); return 0; }
+        """)
+        strings = [g for g in module.globals.values()
+                   if g.name.startswith(".str")]
+        assert len(strings) == 2
+
+    def test_pointer_difference_divides_by_size(self):
+        module, insts = instructions("""
+        int main() {
+            int a[10];
+            return (int)(&a[9] - &a[2]);
+        }
+        """, optimize=True)
+        # ptrtoint + sub + sdiv-by-4 shape survives somewhere
+        from repro.ir.instructions import BinaryOp
+        ops = [i.opcode for i in insts if isinstance(i, (BinaryOp, Cast))]
+        assert "ptrtoint" in ops
+
+    def test_char_conversion_uses_sext(self):
+        module, insts = instructions("""
+        int main() { char c = 'a'; int wide = c; return wide; }
+        """)
+        assert any(isinstance(i, Cast) and i.opcode == "sext" for i in insts)
+
+    def test_int_to_double_uses_sitofp(self):
+        module, insts = instructions("""
+        int g;
+        int main() { double d = g; return (int)d; }
+        """)
+        casts = {i.opcode for i in insts if isinstance(i, Cast)}
+        assert "sitofp" in casts and "fptosi" in casts
+
+
+class TestCallsAndIntrinsics:
+    def test_intrinsics_marked(self):
+        module = compile_source("int main() { print_int(1); return 0; }")
+        assert module.get_function("print_int").is_intrinsic
+        assert not module.get_function("main").is_intrinsic
+
+    def test_void_call_has_no_result(self):
+        module, insts = instructions(
+            "int main() { print_int(1); return 0; }")
+        calls = [i for i in insts if isinstance(i, Call)]
+        assert calls and not calls[0].has_result()
+
+    def test_source_lines_stamped(self):
+        module, insts = instructions("""int g;
+int main() {
+    g = 1;
+    g = g + 2;
+    return g;
+}
+""")
+        stores = [i for i in insts if isinstance(i, Store)]
+        assert stores[0].source_line == 3
+        lines = {i.source_line for i in insts}
+        assert 4 in lines
+
+
+class TestOptimizedShapes:
+    def test_optimized_main_has_no_scalar_allocas(self):
+        module = compile_source("""
+        int main() {
+            int total = 0; int i;
+            for (i = 0; i < 5; i++) total += i;
+            print_int(total);
+            return 0;
+        }
+        """, optimize=True)
+        insts = list(module.get_function("main").instructions())
+        assert not any(isinstance(i, Alloca) for i in insts)
+        assert any(isinstance(i, Phi) for i in insts)
+
+    def test_arrays_stay_in_memory(self):
+        module = compile_source("""
+        int main() {
+            int a[4]; int i;
+            for (i = 0; i < 4; i++) a[i] = i;
+            print_int(a[3]);
+            return 0;
+        }
+        """, optimize=True)
+        insts = list(module.get_function("main").instructions())
+        assert any(isinstance(i, Alloca) for i in insts)  # the array

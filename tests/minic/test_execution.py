@@ -1,0 +1,436 @@
+"""End-to-end MiniC behavior tests: compile to IR and interpret.
+
+Each test pins down a C semantic the benchmarks rely on (two's-complement
+wrap, truncating division, short-circuit order, pointer arithmetic...).
+"""
+
+import pytest
+
+from tests.conftest import output_of
+
+
+class TestArithmetic:
+    def test_integer_basics(self):
+        assert output_of("""
+        int main() { print_int(2 + 3 * 4 - 1); return 0; }
+        """) == "13"
+
+    def test_division_truncates_toward_zero(self):
+        assert output_of("""
+        int main() {
+            print_int(7 / 2); print_char(' ');
+            print_int(-7 / 2); print_char(' ');
+            print_int(7 / -2);
+            return 0;
+        }
+        """) == "3 -3 -3"
+
+    def test_modulo_sign_follows_dividend(self):
+        assert output_of("""
+        int main() {
+            print_int(7 % 3); print_char(' ');
+            print_int(-7 % 3); print_char(' ');
+            print_int(7 % -3);
+            return 0;
+        }
+        """) == "1 -1 1"
+
+    def test_int_overflow_wraps(self):
+        assert output_of("""
+        int main() { int x = 2147483647; print_int(x + 1); return 0; }
+        """) == "-2147483648"
+
+    def test_long_arithmetic(self):
+        assert output_of("""
+        int main() {
+            long x = 1;
+            int i;
+            for (i = 0; i < 62; i++) x = x * 2;
+            print_long(x);
+            return 0;
+        }
+        """) == "4611686018427387904"
+
+    def test_bitwise_ops(self):
+        assert output_of("""
+        int main() {
+            print_int(12 & 10); print_char(' ');
+            print_int(12 | 10); print_char(' ');
+            print_int(12 ^ 10); print_char(' ');
+            print_int(~0); print_char(' ');
+            print_int(1 << 10); print_char(' ');
+            print_int(-16 >> 2);
+            return 0;
+        }
+        """) == "8 14 6 -1 1024 -4"
+
+    def test_char_arithmetic_promotes(self):
+        assert output_of("""
+        int main() {
+            char a = 100; char b = 100;
+            print_int(a + b);   // promoted to int: no i8 wrap
+            char c = (char)(a + b);
+            print_char(' '); print_int(c);
+            return 0;
+        }
+        """) == "200 -56"
+
+    def test_double_arithmetic(self):
+        assert output_of("""
+        int main() { print_double(1.5 * 4.0 + 0.25); return 0; }
+        """) == "6.250000"
+
+    def test_mixed_int_double(self):
+        assert output_of("""
+        int main() { int i = 3; print_double(i / 2.0); return 0; }
+        """) == "1.500000"
+
+    def test_double_to_int_truncates(self):
+        assert output_of("""
+        int main() {
+            print_int((int)3.99); print_char(' ');
+            print_int((int)(0.0 - 3.99));
+            return 0;
+        }
+        """) == "3 -3"
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        assert output_of("""
+        int classify(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else return 1;
+        }
+        int main() {
+            print_int(classify(-5)); print_int(classify(0));
+            print_int(classify(9));
+            return 0;
+        }
+        """) == "-101"
+
+    def test_while_and_break(self):
+        assert output_of("""
+        int main() {
+            int i = 0;
+            while (1) { if (i == 5) break; i++; }
+            print_int(i);
+            return 0;
+        }
+        """) == "5"
+
+    def test_continue(self):
+        assert output_of("""
+        int main() {
+            int total = 0; int i;
+            for (i = 0; i < 10; i++) { if (i % 2) continue; total += i; }
+            print_int(total);
+            return 0;
+        }
+        """) == "20"
+
+    def test_do_while_runs_once(self):
+        assert output_of("""
+        int main() {
+            int n = 0;
+            do { n++; } while (0);
+            print_int(n);
+            return 0;
+        }
+        """) == "1"
+
+    def test_nested_loops(self):
+        assert output_of("""
+        int main() {
+            int c = 0; int i; int j;
+            for (i = 0; i < 4; i++)
+                for (j = 0; j <= i; j++)
+                    c++;
+            print_int(c);
+            return 0;
+        }
+        """) == "10"
+
+    def test_short_circuit_and_skips_rhs(self):
+        assert output_of("""
+        int calls;
+        int bump() { calls++; return 1; }
+        int main() {
+            int r = 0 && bump();
+            print_int(r); print_int(calls);
+            return 0;
+        }
+        """) == "00"
+
+    def test_short_circuit_or_skips_rhs(self):
+        assert output_of("""
+        int calls;
+        int bump() { calls++; return 0; }
+        int main() {
+            int r = 1 || bump();
+            print_int(r); print_int(calls);
+            return 0;
+        }
+        """) == "10"
+
+    def test_logical_results_are_0_or_1(self):
+        assert output_of("""
+        int main() {
+            print_int(5 && 7); print_int(0 || 42); print_int(!9); print_int(!0);
+            return 0;
+        }
+        """) == "1101"
+
+    def test_ternary(self):
+        assert output_of("""
+        int main() {
+            int a = 7; int b = 3;
+            print_int(a > b ? a - b : b - a);
+            return 0;
+        }
+        """) == "4"
+
+    def test_ternary_evaluates_one_arm(self):
+        assert output_of("""
+        int calls;
+        int bump() { calls++; return 9; }
+        int main() {
+            int r = 1 ? 5 : bump();
+            print_int(r); print_int(calls);
+            return 0;
+        }
+        """) == "50"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert output_of("""
+        int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+        int main() { print_int(fact(10)); return 0; }
+        """) == "3628800"
+
+    def test_mutual_recursion(self):
+        assert output_of("""
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { print_int(is_even(10)); print_int(is_odd(10)); return 0; }
+        """) == "10"
+
+    def test_double_args_and_return(self):
+        assert output_of("""
+        double mix(double a, double b, double t) {
+            return a * (1.0 - t) + b * t;
+        }
+        int main() { print_double(mix(0.0, 10.0, 0.25)); return 0; }
+        """) == "2.500000"
+
+    def test_many_args(self):
+        assert output_of("""
+        int sum6(int a, int b, int c, int d, int e, int f) {
+            return a + b + c + d + e + f;
+        }
+        int main() { print_int(sum6(1, 2, 3, 4, 5, 6)); return 0; }
+        """) == "21"
+
+    def test_fall_off_end_returns_zero(self):
+        assert output_of("""
+        int f(int x) { if (x > 0) return 7; }
+        int main() { print_int(f(-1)); return 0; }
+        """) == "0"
+
+
+class TestMemory:
+    def test_array_roundtrip(self):
+        assert output_of("""
+        int main() {
+            int a[5]; int i;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            int s = 0;
+            for (i = 0; i < 5; i++) s += a[i];
+            print_int(s);
+            return 0;
+        }
+        """) == "30"
+
+    def test_2d_array(self):
+        assert output_of("""
+        int m[3][4];
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            print_int(m[2][3]); print_int(m[0][1]);
+            return 0;
+        }
+        """) == "231"
+
+    def test_pointer_arithmetic(self):
+        assert output_of("""
+        int main() {
+            int a[4];
+            a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+            int *p = &a[1];
+            print_int(*p); print_char(' ');
+            print_int(*(p + 2)); print_char(' ');
+            p++;
+            print_int(*p); print_char(' ');
+            print_long(&a[3] - &a[0]);
+            return 0;
+        }
+        """) == "20 40 30 3"
+
+    def test_pointer_write_through(self):
+        assert output_of("""
+        void set(int *p, int v) { *p = v; }
+        int main() { int x = 1; set(&x, 99); print_int(x); return 0; }
+        """) == "99"
+
+    def test_struct_fields(self):
+        assert output_of("""
+        struct P { int x; int y; double w; };
+        int main() {
+            struct P p;
+            p.x = 3; p.y = 4; p.w = 1.5;
+            print_int(p.x * p.y); print_double(p.w);
+            return 0;
+        }
+        """) == "121.500000"
+
+    def test_struct_pointer_arrow(self):
+        assert output_of("""
+        struct Node { int value; struct Node *next; };
+        int main() {
+            struct Node a; struct Node b;
+            a.value = 1; a.next = &b;
+            b.value = 2; b.next = 0;
+            int total = 0;
+            struct Node *cur = &a;
+            while (cur != 0) { total += cur->value; cur = cur->next; }
+            print_int(total);
+            return 0;
+        }
+        """) == "3"
+
+    def test_malloc_linked_list(self):
+        assert output_of("""
+        struct Node { int v; struct Node *next; };
+        int main() {
+            struct Node *head = 0;
+            int i;
+            for (i = 1; i <= 5; i++) {
+                struct Node *n = (struct Node*)malloc(sizeof(struct Node));
+                n->v = i;
+                n->next = head;
+                head = n;
+            }
+            int total = 0;
+            while (head != 0) { total += head->v; head = head->next; }
+            print_int(total);
+            return 0;
+        }
+        """) == "15"
+
+    def test_array_of_structs(self):
+        assert output_of("""
+        struct P { int a; char c; };
+        struct P items[3];
+        int main() {
+            int i;
+            for (i = 0; i < 3; i++) { items[i].a = i + 1; items[i].c = 'x'; }
+            print_int(items[0].a + items[1].a + items[2].a);
+            return 0;
+        }
+        """) == "6"
+
+    def test_global_initializers(self):
+        assert output_of("""
+        int g = 42;
+        double d = 2.5;
+        long big = 1000000;
+        int main() {
+            print_int(g); print_char(' ');
+            print_double(d); print_char(' ');
+            print_long(big);
+            return 0;
+        }
+        """) == "42 2.500000 1000000"
+
+    def test_string_and_chars(self):
+        assert output_of("""
+        int main() {
+            char *s = "abc";
+            print_str(s);
+            print_char(s[1]);
+            print_int(s[0]);
+            return 0;
+        }
+        """) == "abcb97"
+
+    def test_sizeof(self):
+        assert output_of("""
+        struct S { int a; double b; };
+        int main() {
+            print_long(sizeof(int)); print_char(' ');
+            print_long(sizeof(double)); print_char(' ');
+            print_long(sizeof(struct S)); print_char(' ');
+            print_long(sizeof(int[10]));
+            return 0;
+        }
+        """) == "4 8 16 40"
+
+
+class TestOperators:
+    def test_compound_assignment(self):
+        assert output_of("""
+        int main() {
+            int x = 10;
+            x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+            print_int(x);
+            return 0;
+        }
+        """) == "2"
+
+    def test_compound_shift_and_bits(self):
+        assert output_of("""
+        int main() {
+            int x = 3;
+            x <<= 4; x |= 1; x &= 60; x ^= 12;
+            print_int(x);
+            return 0;
+        }
+        """) == "60"
+
+    def test_increment_value_semantics(self):
+        assert output_of("""
+        int main() {
+            int i = 5;
+            print_int(i++); print_int(i);
+            print_int(++i); print_int(i--); print_int(--i);
+            return 0;
+        }
+        """) == "56775"
+
+    def test_pointer_compound_add(self):
+        assert output_of("""
+        int main() {
+            int a[3];
+            a[0] = 7; a[1] = 8; a[2] = 9;
+            int *p = &a[0];
+            p += 2;
+            print_int(*p);
+            return 0;
+        }
+        """) == "9"
+
+    def test_assignment_is_expression(self):
+        assert output_of("""
+        int main() {
+            int a; int b;
+            a = b = 21;
+            print_int(a + b);
+            return 0;
+        }
+        """) == "42"

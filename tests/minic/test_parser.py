@@ -1,0 +1,204 @@
+"""Tests for the MiniC parser (AST shapes and syntax errors)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import parse
+from repro.minic import ast_nodes as ast
+
+
+def parse_expr(text):
+    program = parse(f"int main() {{ return {text}; }}")
+    ret = program.functions[0].body.statements[0]
+    assert isinstance(ret, ast.Return)
+    return ret.value
+
+
+class TestTopLevel:
+    def test_function_with_params(self):
+        p = parse("int add(int a, int b) { return a + b; }")
+        f = p.functions[0]
+        assert f.name == "add"
+        assert [q.name for q in f.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        p = parse("void f(void) { }")
+        assert p.functions[0].params == []
+
+    def test_declaration_without_body(self):
+        p = parse("int f(int x);")
+        assert p.functions[0].body is None
+
+    def test_global_scalar_and_array(self):
+        p = parse("int g = 5; double a[10];")
+        assert p.globals[0].name == "g"
+        assert isinstance(p.globals[1].var_type, ast.CArray)
+        assert p.globals[1].var_type.count == 10
+
+    def test_2d_array_dims_ordered(self):
+        p = parse("int m[3][7];")
+        t = p.globals[0].var_type
+        assert t.count == 3 and t.element.count == 7
+
+    def test_struct_declaration(self):
+        p = parse("struct P { int x; double y; };")
+        s = p.structs[0]
+        assert s.name == "P"
+        assert [n for _, n in s.fields] == ["x", "y"]
+
+    def test_pointer_types(self):
+        p = parse("int **pp;")
+        t = p.globals[0].var_type
+        assert isinstance(t, ast.CPointer)
+        assert isinstance(t.pointee, ast.CPointer)
+
+    def test_struct_pointer_global(self):
+        p = parse("struct N { int v; }; struct N *head;")
+        t = p.globals[0].var_type
+        assert isinstance(t, ast.CPointer)
+        assert isinstance(t.pointee, ast.CStruct)
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.rhs, ast.Binary) and e.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.lhs, ast.Binary) and e.lhs.op == "+"
+
+    def test_comparison_below_arithmetic(self):
+        e = parse_expr("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = parse_expr("a < b && c < d || e")
+        assert e.op == "||"
+        assert e.lhs.op == "&&"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-" and e.lhs.op == "-"
+        assert e.rhs.name == "c"
+
+    def test_assignment_right_associative(self):
+        p = parse("int main() { a = b = c; }")
+        e = p.functions[0].body.statements[0].expr
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Assign)
+
+    def test_ternary(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e, ast.Conditional)
+        assert isinstance(e.otherwise, ast.Conditional)
+
+    def test_unary_binds_tighter(self):
+        e = parse_expr("-a * b")
+        assert e.op == "*"
+        assert isinstance(e.lhs, ast.Unary)
+
+    def test_shift_between_add_and_compare(self):
+        e = parse_expr("a + 1 << 2")
+        assert e.op == "<<"
+
+
+class TestPostfix:
+    def test_index_chain(self):
+        e = parse_expr("m[i][j]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.base, ast.Index)
+
+    def test_member_and_arrow(self):
+        e = parse_expr("p.x")
+        assert isinstance(e, ast.Member) and not e.arrow
+        e = parse_expr("p->x")
+        assert isinstance(e, ast.Member) and e.arrow
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, x + 2)")
+        assert isinstance(e, ast.Call) and len(e.args) == 2
+
+    def test_postfix_increment(self):
+        e = parse_expr("i++")
+        assert isinstance(e, ast.IncDec) and not e.is_prefix
+
+    def test_prefix_increment(self):
+        e = parse_expr("++i")
+        assert isinstance(e, ast.IncDec) and e.is_prefix
+
+    def test_cast_expression(self):
+        e = parse_expr("(double)x")
+        assert isinstance(e, ast.CastExpr)
+        assert isinstance(e.target_type, ast.CDouble)
+
+    def test_parenthesized_not_cast(self):
+        e = parse_expr("(x)")
+        assert isinstance(e, ast.NameRef)
+
+    def test_sizeof(self):
+        e = parse_expr("sizeof(struct P)")
+        assert isinstance(e, ast.SizeOf)
+
+
+class TestStatements:
+    def _stmts(self, body):
+        return parse(f"int main() {{ {body} }}").functions[0].body.statements
+
+    def test_if_else(self):
+        (s,) = self._stmts("if (a) x = 1; else x = 2;")
+        assert isinstance(s, ast.If) and s.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        (s,) = self._stmts("if (a) if (b) x = 1; else x = 2;")
+        assert s.otherwise is None
+        assert s.then.otherwise is not None
+
+    def test_while(self):
+        (s,) = self._stmts("while (i < 10) i++;")
+        assert isinstance(s, ast.While)
+
+    def test_do_while(self):
+        (s,) = self._stmts("do i++; while (i < 10);")
+        assert isinstance(s, ast.DoWhile)
+
+    def test_for_all_parts(self):
+        (s,) = self._stmts("for (int i = 0; i < 3; i++) x += i;")
+        assert isinstance(s, ast.For)
+        assert isinstance(s.init, ast.VarDecl)
+
+    def test_for_empty_parts(self):
+        (s,) = self._stmts("for (;;) break;")
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_local_declaration_with_init(self):
+        (s,) = self._stmts("int x = 42;")
+        assert isinstance(s, ast.VarDecl) and s.init.value == 42
+
+    def test_local_array(self):
+        (s,) = self._stmts("int buf[16];")
+        assert isinstance(s.var_type, ast.CArray)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "int main() { return 1 }",         # missing semicolon
+        "int main() { if a) x = 1; }",     # missing paren
+        "int f( { }",                      # bad params
+        "int main() { x = ; }",            # missing operand
+        "struct S { int x; }",             # missing trailing semicolon
+        "int a[;",                         # bad array
+    ])
+    def test_syntax_errors_raise(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_position_reported(self):
+        try:
+            parse("int main() {\n  return 1\n}")
+        except ParseError as e:
+            assert e.line == 3
+        else:
+            pytest.fail("expected ParseError")

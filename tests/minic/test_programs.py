@@ -1,0 +1,190 @@
+"""Larger MiniC program tests: small classic algorithms, run end-to-end on
+BOTH engines (each doubles as a cross-level parity check)."""
+
+import pytest
+
+from tests.conftest import run_both
+
+
+def outputs_match(source):
+    ir, asm = run_both(source)
+    assert ir.completed, ir.trap
+    assert ir.output == asm.output
+    return ir.output
+
+
+class TestAlgorithms:
+    def test_sieve_of_eratosthenes(self):
+        out = outputs_match("""
+        char composite[100];
+        int main() {
+            int i; int j; int count = 0;
+            for (i = 2; i < 100; i++) {
+                if (!composite[i]) {
+                    count++;
+                    for (j = i + i; j < 100; j += i) composite[j] = 1;
+                }
+            }
+            print_int(count);
+            return 0;
+        }
+        """)
+        assert out == "25"
+
+    def test_binary_search(self):
+        out = outputs_match("""
+        int data[32];
+        int find(int key) {
+            int lo = 0; int hi = 31;
+            while (lo <= hi) {
+                int mid = (lo + hi) / 2;
+                if (data[mid] == key) return mid;
+                if (data[mid] < key) lo = mid + 1;
+                else hi = mid - 1;
+            }
+            return -1;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 32; i++) data[i] = i * 3;
+            print_int(find(45)); print_char(' ');
+            print_int(find(46)); print_char(' ');
+            print_int(find(0)); print_char(' ');
+            print_int(find(93));
+            return 0;
+        }
+        """)
+        assert out == "15 -1 0 31"
+
+    def test_quicksort(self):
+        out = outputs_match("""
+        int a[16];
+        void qsort_range(int lo, int hi) {
+            if (lo >= hi) return;
+            int pivot = a[hi];
+            int i = lo - 1;
+            int j;
+            for (j = lo; j < hi; j++)
+                if (a[j] < pivot) {
+                    i++;
+                    int t = a[i]; a[i] = a[j]; a[j] = t;
+                }
+            int t = a[i + 1]; a[i + 1] = a[hi]; a[hi] = t;
+            qsort_range(lo, i);
+            qsort_range(i + 2, hi);
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 16; i++) a[i] = (i * 13 + 5) % 23;
+            qsort_range(0, 15);
+            for (i = 0; i < 16; i++) { print_int(a[i]); print_char(' '); }
+            int sorted = 1;
+            for (i = 1; i < 16; i++) if (a[i-1] > a[i]) sorted = 0;
+            print_int(sorted);
+            return 0;
+        }
+        """)
+        assert out.endswith("1")
+
+    def test_gcd_and_collatz(self):
+        out = outputs_match("""
+        int gcd(int a, int b) { while (b) { int t = a % b; a = b; b = t; }
+                                return a; }
+        int main() {
+            print_int(gcd(48, 180)); print_char(' ');
+            int n = 27; int steps = 0;
+            while (n != 1) {
+                if (n % 2) n = 3 * n + 1;
+                else n = n / 2;
+                steps++;
+            }
+            print_int(steps);
+            return 0;
+        }
+        """)
+        assert out == "12 111"
+
+    def test_string_reverse_in_place(self):
+        out = outputs_match("""
+        char buf[16];
+        int main() {
+            char *s = "stressed";
+            int n = 0;
+            while (s[n]) { buf[n] = s[n]; n++; }
+            int i;
+            for (i = 0; i < n / 2; i++) {
+                char t = buf[i]; buf[i] = buf[n-1-i]; buf[n-1-i] = t;
+            }
+            buf[n] = '\\0';
+            print_str(buf);
+            return 0;
+        }
+        """)
+        assert out == "desserts"
+
+    def test_newton_sqrt_doubles(self):
+        out = outputs_match("""
+        double my_sqrt(double x) {
+            double g = x / 2.0 + 0.5;
+            int i;
+            for (i = 0; i < 20; i++) g = (g + x / g) / 2.0;
+            return g;
+        }
+        int main() {
+            print_double(my_sqrt(2.0)); print_char(' ');
+            print_double(my_sqrt(144.0));
+            return 0;
+        }
+        """)
+        assert out == "1.414214 12.000000"
+
+    def test_matrix_multiply(self):
+        out = outputs_match("""
+        int a[4][4]; int b[4][4]; int c[4][4];
+        int main() {
+            int i; int j; int k;
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++) {
+                    a[i][j] = i + j;
+                    b[i][j] = i * j + 1;
+                }
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++) {
+                    int acc = 0;
+                    for (k = 0; k < 4; k++) acc += a[i][k] * b[k][j];
+                    c[i][j] = acc;
+                }
+            long h = 0;
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++) h = h * 31 + c[i][j];
+            print_long(h);
+            return 0;
+        }
+        """)
+        int(out)  # deterministic checksum
+
+    def test_fixed_point_mandelbrot_row(self):
+        outputs_match("""
+        int main() {
+            int px;
+            for (px = 0; px < 24; px++) {
+                long cr = ((long)px * 3000) / 24 - 2000;   // x1000 fixed pt
+                long ci = 200;
+                long zr = 0; long zi = 0;
+                int it = 0;
+                while (it < 20) {
+                    long zr2 = (zr * zr) / 1000;
+                    long zi2 = (zi * zi) / 1000;
+                    if (zr2 + zi2 > 4000) break;
+                    long nzr = zr2 - zi2 + cr;
+                    zi = (2 * zr * zi) / 1000 + ci;
+                    zr = nzr;
+                    it++;
+                }
+                if (it >= 20) print_char('*');
+                else print_char('0' + it % 10);
+            }
+            print_char('\\n');
+            return 0;
+        }
+        """)

@@ -1,0 +1,179 @@
+"""Tests for MiniC semantic analysis (typing and diagnostics)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.minic import analyze, parse
+from repro.minic.ast_nodes import (
+    CArray, CDouble, CInt, CPointer, CHAR, DOUBLE, INT, LONG,
+)
+from repro.minic.sema import (
+    check_assignable, decay, promote, usual_arithmetic,
+)
+
+
+def analyze_src(source):
+    return analyze(parse(source))
+
+
+def expect_error(source, fragment):
+    with pytest.raises(SemanticError, match=fragment):
+        analyze_src(source)
+
+
+class TestConversionRules:
+    def test_promote_small_ints(self):
+        assert promote(CHAR) == INT
+        assert promote(INT) == INT
+        assert promote(LONG) == LONG
+
+    def test_usual_arithmetic(self):
+        assert usual_arithmetic(INT, LONG) == LONG
+        assert usual_arithmetic(CHAR, CHAR) == INT
+        assert usual_arithmetic(INT, DOUBLE) == DOUBLE
+
+    def test_decay(self):
+        assert decay(CArray(INT, 4)) == CPointer(INT)
+        assert decay(INT) == INT
+
+    def test_char_star_is_void_star(self):
+        check_assignable(CPointer(CInt(32)), CPointer(CHAR), 0)
+        check_assignable(CPointer(CHAR), CPointer(CDouble()), 0)
+
+    def test_incompatible_pointers_rejected(self):
+        with pytest.raises(SemanticError):
+            check_assignable(CPointer(INT), CPointer(DOUBLE), 0)
+
+
+class TestDeclarations:
+    def test_duplicate_global(self):
+        expect_error("int g; int g;", "duplicate global")
+
+    def test_duplicate_function(self):
+        expect_error("int f() { return 0; } int f() { return 1; }",
+                     "duplicate definition")
+
+    def test_conflicting_prototypes(self):
+        expect_error("int f(int x); double f(int x) { return 1.0; }",
+                     "conflicting")
+
+    def test_prototype_then_definition_ok(self):
+        analyze_src("int f(int x); int f(int x) { return x; }")
+
+    def test_builtin_collision(self):
+        expect_error("int print_int(int x) { return x; }", "builtin")
+
+    def test_unknown_struct(self):
+        expect_error("struct Missing g;", "unknown struct")
+
+    def test_self_containing_struct(self):
+        expect_error("struct S { struct S inner; };", "contains itself")
+
+    def test_self_pointer_ok(self):
+        analyze_src("struct S { struct S *next; };")
+
+    def test_void_variable_rejected(self):
+        expect_error("int main() { void x; return 0; }", "void")
+
+    def test_redeclaration_in_scope(self):
+        expect_error("int main() { int x; int x; return 0; }",
+                     "redeclaration")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        analyze_src("int main() { int x = 1; { int x = 2; } return x; }")
+
+
+class TestExpressions:
+    def test_undeclared_identifier(self):
+        expect_error("int main() { return y; }", "undeclared")
+
+    def test_call_undeclared(self):
+        expect_error("int main() { return g(); }", "undeclared function")
+
+    def test_call_arity(self):
+        expect_error("int f(int a) { return a; } int main() { return f(); }",
+                     "expects 1 args")
+
+    def test_index_non_array(self):
+        expect_error("int main() { int x; return x[0]; }", "cannot index")
+
+    def test_member_of_non_struct(self):
+        expect_error("int main() { int x; return x.f; }", "non-struct")
+
+    def test_arrow_on_value(self):
+        expect_error(
+            "struct S { int v; }; int main() { struct S s; return s->v; }",
+            "non-pointer")
+
+    def test_missing_field(self):
+        expect_error(
+            "struct S { int v; }; int main() { struct S s; return s.w; }",
+            "no field")
+
+    def test_deref_non_pointer(self):
+        expect_error("int main() { int x; return *x; }", "dereference")
+
+    def test_assign_to_rvalue(self):
+        expect_error("int main() { 1 = 2; return 0; }", "not an lvalue")
+
+    def test_assign_to_array(self):
+        expect_error("int main() { int a[2]; int b[2]; a = b; return 0; }",
+                     "array")
+
+    def test_address_of_rvalue(self):
+        expect_error("int main() { int *p = &(1 + 2); return 0; }",
+                     "not an lvalue")
+
+    def test_modulo_on_double(self):
+        expect_error("int main() { double d; d = 1.5 % 2.0; return 0; }",
+                     "integer operands")
+
+    def test_pointer_minus_pointer_same_type(self):
+        analyze_src("int main() { int a[4]; long d = &a[3] - &a[0]; "
+                    "return (int)d; }")
+
+    def test_pointer_plus_pointer_rejected(self):
+        expect_error(
+            "int main() { int a[2]; int *p = &a[0] + &a[1]; return 0; }",
+            "arithmetic")
+
+    def test_null_pointer_constant(self):
+        analyze_src("int main() { int *p = 0; if (p == 0) return 1; "
+                    "return 0; }")
+
+    def test_int_to_pointer_assignment_rejected(self):
+        expect_error("int main() { int *p = 5; return 0; }", "cannot assign")
+
+
+class TestStatements:
+    def test_break_outside_loop(self):
+        expect_error("int main() { break; return 0; }", "break outside")
+
+    def test_continue_outside_loop(self):
+        expect_error("int main() { continue; return 0; }", "continue outside")
+
+    def test_return_value_from_void(self):
+        expect_error("void f() { return 1; }", "void function")
+
+    def test_return_nothing_from_int(self):
+        expect_error("int f() { return; }", "without value")
+
+    def test_return_type_converted(self):
+        analyze_src("double f() { return 1; }")  # implicit int->double
+
+    def test_condition_must_be_scalar(self):
+        expect_error(
+            "struct S { int v; }; int main() { struct S s; if (s) return 1; "
+            "return 0; }",
+            "non-scalar|struct values")
+
+    def test_annotation_attached(self):
+        program = parse("int main() { return 1 + 2; }")
+        analyze(program)
+        ret = program.functions[0].body.statements[0]
+        assert ret.value.ctype == INT
+
+    def test_for_scope_isolated(self):
+        expect_error(
+            "int main() { for (int i = 0; i < 3; i++) {} return i; }",
+            "undeclared")

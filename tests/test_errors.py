@@ -1,0 +1,42 @@
+"""Tests for the diagnostic hierarchy and error ergonomics."""
+
+import pytest
+
+from repro.errors import (
+    BackendError, FaultInjectionError, IRError, LexError, MiniCError,
+    ParseError, ReproError, SemanticError, VerificationError,
+)
+
+
+class TestHierarchy:
+    def test_all_diagnosed_errors_are_repro_errors(self):
+        for cls in (IRError, VerificationError, MiniCError, LexError,
+                    ParseError, SemanticError, BackendError,
+                    FaultInjectionError):
+            assert issubclass(cls, ReproError)
+
+    def test_verification_is_ir_error(self):
+        assert issubclass(VerificationError, IRError)
+
+    def test_frontend_errors_are_minic_errors(self):
+        assert issubclass(LexError, MiniCError)
+        assert issubclass(ParseError, MiniCError)
+        assert issubclass(SemanticError, MiniCError)
+
+    def test_minic_error_formats_position(self):
+        err = ParseError("unexpected token", 7, 3)
+        assert "7:3" in str(err)
+        assert err.line == 7 and err.column == 3
+
+    def test_minic_error_without_position(self):
+        err = SemanticError("plain message")
+        assert str(err) == "plain message"
+
+    def test_catchable_at_boundary(self):
+        # Library consumers catch one type for "your input was bad".
+        from repro.minic import compile_source
+
+        with pytest.raises(ReproError):
+            compile_source("int main( {")
+        with pytest.raises(ReproError):
+            compile_source("int main() { return undefined_var; }")

@@ -1,0 +1,165 @@
+"""Direct operand-level tests of individual SimX86 instructions, executed
+through hand-built machine functions (no front end involved)."""
+
+import pytest
+
+from repro.backend.machine import (
+    FuncRef, Imm, Label, MBlock, MFunction, MInst, Mem, MProgram, Reg,
+)
+from repro.ir.module import Module
+from repro.vm.asmsim import AsmSimulator
+
+
+def run_main(insts, setup=None):
+    """Build a one-function program from instruction specs and run it.
+    Returns the simulator (for register inspection)."""
+    mfunc = MFunction("main")
+    block = mfunc.add_block("entry")
+    for inst in insts:
+        block.append(inst)
+    block.append(MInst("ret", []))
+    program = MProgram(ir_module=Module("empty"))
+    program.add_function(mfunc)
+    sim = AsmSimulator(program)
+    if setup:
+        setup(sim)
+    result = sim.run()
+    assert result.completed, result.trap
+    return sim
+
+
+class TestMovFamily:
+    def test_mov_imm_zero_extends_width(self):
+        sim = run_main([MInst("mov", [Reg("rbx"), Imm(-1)], width=32)])
+        assert sim.get_gpr("rbx") == 0xFFFFFFFF  # not sign-extended to 64
+
+    def test_movsx_sign_extends(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(0xFF)], width=32),
+            MInst("movsx", [Reg("r10"), Reg("rbx")], width=32, src_width=8),
+        ])
+        assert sim.get_gpr("r10") == 0xFFFFFFFF
+
+    def test_movzx_zero_extends(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(0xFF)], width=32),
+            MInst("movzx", [Reg("r10"), Reg("rbx")], width=32, src_width=8),
+        ])
+        assert sim.get_gpr("r10") == 0xFF
+
+
+class TestAluWidths:
+    def test_add_wraps_at_width(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(0x7FFFFFFF)], width=32),
+            MInst("add", [Reg("rbx"), Imm(1)], width=32),
+        ])
+        assert sim.get_gpr("rbx") == 0x80000000  # 32-bit wrap, zero-extended
+
+    def test_imul3(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(7)], width=64),
+            MInst("imul3", [Reg("r10"), Reg("rbx"), Imm(96)], width=64),
+        ])
+        assert sim.get_gpr("r10") == 672
+        assert sim.get_gpr("rbx") == 7  # source untouched
+
+    def test_neg_and_not(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(5)], width=64),
+            MInst("neg", [Reg("rbx")], width=64),
+            MInst("mov", [Reg("r10"), Imm(0)], width=64),
+            MInst("not", [Reg("r10")], width=64),
+        ])
+        assert sim.get_gpr("rbx") == (1 << 64) - 5
+        assert sim.get_gpr("r10") == (1 << 64) - 1
+
+    def test_shifts_mask_count(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(1)], width=32),
+            MInst("shl", [Reg("rbx"), Imm(33)], width=32),  # 33 & 31 == 1
+        ])
+        assert sim.get_gpr("rbx") == 2
+
+    def test_sar_keeps_sign(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(-8)], width=32),
+            MInst("sar", [Reg("rbx"), Imm(1)], width=32),
+        ])
+        assert sim.get_gpr("rbx") == 0xFFFFFFFC  # -4 at width 32
+
+
+class TestDivide:
+    def test_cdq_idiv_quotient_remainder(self):
+        sim = run_main([
+            MInst("mov", [Reg("rax"), Imm(-7)], width=32),
+            MInst("cdq", [], width=32),
+            MInst("mov", [Reg("rbx"), Imm(2)], width=32),
+            MInst("idiv", [Reg("rbx")], width=32),
+        ])
+        assert sim.get_gpr("rax") == 0xFFFFFFFD  # -3
+        assert sim.get_gpr("rdx") == 0xFFFFFFFF  # -1
+
+    def test_cqo_64bit(self):
+        sim = run_main([
+            MInst("mov", [Reg("rax"), Imm(-1)], width=64),
+            MInst("cqo", [], width=64),
+        ])
+        assert sim.get_gpr("rdx") == (1 << 64) - 1
+
+
+class TestSSE:
+    def test_double_arithmetic(self):
+        from repro.ir.values import double_to_bits
+
+        def setup(sim):
+            sim.set_xmm_double("xmm8", 3.0)
+            sim.set_xmm_double("xmm9", 0.5)
+
+        sim = run_main([
+            MInst("mulsd", [Reg("xmm8"), Reg("xmm9")]),
+            MInst("addsd", [Reg("xmm8"), Reg("xmm9")]),
+        ], setup=setup)
+        assert sim.get_xmm_double("xmm8") == 2.0
+
+    def test_pxor_zeroes(self):
+        def setup(sim):
+            sim.set_xmm("xmm8", (123 << 64) | 456)
+
+        sim = run_main([MInst("pxor", [Reg("xmm8"), Reg("xmm8")])],
+                       setup=setup)
+        assert sim.get_xmm("xmm8") == 0
+
+    def test_xmm_high_bits_preserved_by_double_write(self):
+        def setup(sim):
+            sim.set_xmm("xmm8", (0xAB << 64) | 1)
+
+        sim = run_main([MInst("cvtsi2sd", [Reg("xmm8"), Reg("rbx")],
+                              width=64)], setup=setup)
+        assert sim.get_xmm("xmm8") >> 64 == 0xAB  # low 64 replaced only
+
+    def test_movq_bridges_register_files(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(0x3FF0000000000000)], width=64),
+            MInst("movq", [Reg("xmm8"), Reg("rbx")]),
+        ])
+        assert sim.get_xmm_double("xmm8") == 1.0
+
+
+class TestStack:
+    def test_push_pop_roundtrip(self):
+        sim = run_main([
+            MInst("mov", [Reg("rbx"), Imm(777)], width=64),
+            MInst("push", [Reg("rbx")]),
+            MInst("pop", [Reg("r10")]),
+        ])
+        assert sim.get_gpr("r10") == 777
+
+    def test_push_moves_rsp_down(self):
+        sim = run_main([
+            MInst("mov", [Reg("r10"), Reg("rsp")], width=64),
+            MInst("push", [Imm(1)]),
+            MInst("mov", [Reg("r11"), Reg("rsp")], width=64),
+            MInst("pop", [Reg("rbx")]),
+        ])
+        assert sim.get_gpr("r10") - sim.get_gpr("r11") == 8

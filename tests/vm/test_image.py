@@ -1,0 +1,80 @@
+"""Tests for the shared global-image builder: both engines must see the
+same bytes at the same addresses."""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.minic import compile_source
+from repro.vm.asmsim import AsmSimulator
+from repro.vm.image import build_global_image
+from repro.vm.irinterp import IRInterpreter
+from repro.vm.memory import GLOBALS_BASE
+
+
+SRC = """
+int scalar = 42;
+double dbl = 2.5;
+long big = 123456789012345;
+char small = 'q';
+int arr[6];
+struct P { char tag; double weight; };
+struct P record;
+int main() {
+    print_str("s");
+    return scalar + arr[0] + record.tag;
+}
+"""
+
+
+class TestLayout:
+    def test_globals_are_placed_and_aligned(self):
+        module = compile_source(SRC)
+        memory, addrs = build_global_image(module)
+        by_name = {g.name: addrs[id(g)] for g in module.globals.values()}
+        assert by_name["scalar"] >= GLOBALS_BASE
+        assert by_name["dbl"] % 8 == 0
+        assert by_name["big"] % 8 == 0
+        assert by_name["record"] % 8 == 0  # struct with double: align 8
+
+    def test_no_overlap(self):
+        module = compile_source(SRC)
+        memory, addrs = build_global_image(module)
+        spans = []
+        for g in module.globals.values():
+            start = addrs[id(g)]
+            spans.append((start, start + g.value_type.size))
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_initializer_bytes(self):
+        module = compile_source(SRC)
+        memory, addrs = build_global_image(module)
+        by_name = {g.name: addrs[id(g)] for g in module.globals.values()}
+        assert memory.read_int(by_name["scalar"], 4) == 42
+        assert memory.read_double(by_name["dbl"]) == 2.5
+        assert memory.read_int(by_name["big"], 8) == 123456789012345
+        assert memory.read_int(by_name["small"], 1) == ord("q")
+        assert memory.read_int(by_name["arr"], 4) == 0  # zero init
+
+    def test_string_literal_global(self):
+        module = compile_source(SRC)
+        memory, addrs = build_global_image(module)
+        strings = [g for g in module.globals.values()
+                   if g.name.startswith(".str")]
+        assert strings
+        assert memory.read_cstring(addrs[id(strings[0])]) == "s"
+
+    def test_identical_layout_for_both_engines(self):
+        module = compile_source(SRC)
+        program = compile_module(module)  # adds pool globals in place
+        interp = IRInterpreter(module)
+        sim = AsmSimulator(program)
+        for g in module.globals.values():
+            assert interp.global_address(g) == sim.global_addr[g.name]
+
+    def test_layout_deterministic(self):
+        module = compile_source(SRC)
+        _, a1 = build_global_image(module)
+        _, a2 = build_global_image(module)
+        assert a1 == a2

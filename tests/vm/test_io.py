@@ -1,0 +1,59 @@
+"""Tests for the shared output buffer (SDC comparison depends on it)."""
+
+from repro.vm.io import OutputBuffer
+
+
+class TestFormatting:
+    def test_ints(self):
+        out = OutputBuffer()
+        out.print_int(-42)
+        out.print_long(2**40)
+        assert out.text() == "-421099511627776"
+
+    def test_double_fixed_format(self):
+        out = OutputBuffer()
+        out.print_double(1.0)
+        assert out.text() == "1.000000"
+
+    def test_double_rounding_stable(self):
+        out = OutputBuffer()
+        out.print_double(2.0 / 3.0)
+        assert out.text() == "0.666667"
+
+    def test_nan_and_inf_visible(self):
+        out = OutputBuffer()
+        out.print_double(float("nan"))
+        out.print_char(ord(" "))
+        out.print_double(float("inf"))
+        out.print_char(ord(" "))
+        out.print_double(float("-inf"))
+        assert out.text() == "nan inf -inf"
+
+    def test_negative_zero_formats_as_zero_string(self):
+        out = OutputBuffer()
+        out.print_double(-0.0)
+        assert out.text() == "-0.000000"
+
+    def test_char_masks_to_byte(self):
+        out = OutputBuffer()
+        out.print_char(0x141)  # 'A' + 256
+        assert out.text() == "A"
+
+    def test_str(self):
+        out = OutputBuffer()
+        out.print_str("hi")
+        assert out.text() == "hi"
+
+
+class TestLimit:
+    def test_truncation_flag(self):
+        out = OutputBuffer(limit=10)
+        for _ in range(10):
+            out.print_str("xxxx")
+        assert out.truncated
+        assert len(out.text()) <= 14  # last chunk may exceed slightly
+
+    def test_no_truncation_below_limit(self):
+        out = OutputBuffer(limit=100)
+        out.print_str("short")
+        assert not out.truncated

@@ -1,0 +1,128 @@
+"""Tests for the region-based memory model."""
+
+import pytest
+
+from repro.vm.memory import (
+    BumpAllocator, GLOBALS_BASE, HEAP_BASE, Memory, STACK_SIZE, STACK_TOP,
+    standard_memory,
+)
+from repro.vm.traps import Trap, TrapKind
+
+
+class TestRegions:
+    def test_mapped_access(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x100)
+        mem.write_int(0x1000, 4, 0xDEADBEEF)
+        assert mem.read_int(0x1000, 4, signed=False) == 0xDEADBEEF
+
+    def test_unmapped_access_traps(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x100)
+        with pytest.raises(Trap) as exc:
+            mem.read_int(0x2000, 4)
+        assert exc.value.kind is TrapKind.SEGV
+
+    def test_null_page_unmapped_in_standard_layout(self):
+        mem = standard_memory()
+        with pytest.raises(Trap):
+            mem.read_int(0, 8)
+        with pytest.raises(Trap):
+            mem.write_int(8, 4, 1)
+
+    def test_straddling_region_end_traps(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x10)
+        mem.read_int(0x100C, 4)  # last valid word
+        with pytest.raises(Trap):
+            mem.read_int(0x100D, 4)
+
+    def test_overlapping_regions_rejected(self):
+        mem = Memory()
+        mem.map_region("a", 0x1000, 0x100)
+        with pytest.raises(ValueError):
+            mem.map_region("b", 0x10FF, 0x100)
+
+    def test_standard_layout_islands(self):
+        mem = standard_memory()
+        assert mem.is_mapped(GLOBALS_BASE)
+        assert mem.is_mapped(HEAP_BASE)
+        assert mem.is_mapped(STACK_TOP - 8, 8)
+        assert not mem.is_mapped(STACK_TOP, 8)
+        assert not mem.is_mapped(STACK_TOP - STACK_SIZE - 8, 8)
+
+    def test_random_pointer_bitflip_usually_unmapped(self):
+        # The crash mechanism the reproduction depends on: flipping a high
+        # bit of a valid pointer lands outside every region.
+        mem = standard_memory()
+        addr = HEAP_BASE + 128
+        unmapped = sum(not mem.is_mapped(addr ^ (1 << bit), 4)
+                       for bit in range(64))
+        assert unmapped >= 40  # most single-bit flips escape the islands
+
+
+class TestAccessWidths:
+    @pytest.fixture
+    def mem(self):
+        m = Memory()
+        m.map_region("r", 0x1000, 0x100)
+        return m
+
+    def test_signed_reads(self, mem):
+        mem.write_int(0x1000, 1, 0xFF)
+        assert mem.read_int(0x1000, 1, signed=True) == -1
+        assert mem.read_int(0x1000, 1, signed=False) == 255
+
+    def test_widths_roundtrip(self, mem):
+        for size, value in ((1, 0x7F), (2, 0x7FFF), (4, 0x7FFFFFFF),
+                            (8, 0x7FFFFFFFFFFFFFFF)):
+            mem.write_int(0x1010, size, value)
+            assert mem.read_int(0x1010, size) == value
+
+    def test_write_wraps_to_width(self, mem):
+        mem.write_int(0x1000, 1, 0x1FF)
+        assert mem.read_int(0x1000, 1, signed=False) == 0xFF
+
+    def test_little_endian(self, mem):
+        mem.write_int(0x1000, 4, 0x01020304)
+        assert mem.read_bytes(0x1000, 4) == b"\x04\x03\x02\x01"
+
+    def test_double_roundtrip(self, mem):
+        mem.write_double(0x1020, 3.14159)
+        assert mem.read_double(0x1020) == 3.14159
+
+    def test_cstring(self, mem):
+        mem.write_bytes(0x1000, b"hello\x00world")
+        assert mem.read_cstring(0x1000) == "hello"
+
+    def test_bytes_roundtrip(self, mem):
+        mem.write_bytes(0x1040, b"\x01\x02\x03")
+        assert mem.read_bytes(0x1040, 3) == b"\x01\x02\x03"
+
+
+class TestBumpAllocator:
+    def test_sequential_16_aligned(self):
+        heap = BumpAllocator(base=0x1000, size=0x1000)
+        a = heap.malloc(10)
+        b = heap.malloc(1)
+        assert a == 0x1000
+        assert b == 0x1010
+        assert heap.malloc(17) == 0x1020
+
+    def test_zero_size_allocates(self):
+        heap = BumpAllocator(base=0x1000, size=0x1000)
+        a = heap.malloc(0)
+        b = heap.malloc(0)
+        assert a != b
+
+    def test_exhaustion_traps(self):
+        heap = BumpAllocator(base=0x1000, size=0x20)
+        heap.malloc(16)
+        with pytest.raises(Trap):
+            heap.malloc(32)
+
+    def test_free_is_noop(self):
+        heap = BumpAllocator(base=0x1000, size=0x1000)
+        a = heap.malloc(8)
+        heap.free(a)
+        assert heap.malloc(8) != a  # no reuse

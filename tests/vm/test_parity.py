@@ -1,0 +1,177 @@
+"""Cross-engine parity: the IR interpreter and SimX86 simulator must agree
+on fault-free runs — the baseline of the whole LLFI-vs-PINFI comparison.
+
+Includes a property-based generator of small arithmetic programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import run_both
+
+
+def assert_parity(source):
+    ir, asm = run_both(source)
+    assert ir.status == asm.status, (ir.status, asm.status, ir.output,
+                                     asm.output)
+    assert ir.output == asm.output
+
+
+class TestDirectedParity:
+    def test_integer_torture(self):
+        assert_parity("""
+        int main() {
+            int acc = 0; int i;
+            for (i = -50; i < 50; i++) {
+                acc += i * i - (i << 2) + (i % 7) * (i / 3 + 1);
+                acc ^= (acc >> 3);
+            }
+            print_int(acc);
+            return 0;
+        }
+        """)
+
+    def test_long_overflow_behavior(self):
+        assert_parity("""
+        int main() {
+            long x = 0x7FFFFFFFFFFFFFF0;
+            int i;
+            for (i = 0; i < 32; i++) { x += 1; }
+            print_long(x);
+            return 0;
+        }
+        """)
+
+    def test_char_sign_handling(self):
+        assert_parity("""
+        int main() {
+            char c = -100;
+            int i;
+            for (i = 0; i < 10; i++) {
+                c = (char)(c * 3 + 1);
+                print_int(c); print_char(' ');
+            }
+            return 0;
+        }
+        """)
+
+    def test_double_chain(self):
+        assert_parity("""
+        int main() {
+            double x = 1.0; int i;
+            for (i = 1; i <= 20; i++) x = x * 1.1 + 1.0 / (double)i;
+            print_double(x);
+            return 0;
+        }
+        """)
+
+    def test_memory_stress(self):
+        assert_parity("""
+        int grid[8][8];
+        int main() {
+            int i; int j;
+            for (i = 0; i < 8; i++)
+                for (j = 0; j < 8; j++)
+                    grid[i][j] = i * 8 + j;
+            int total = 0;
+            for (i = 1; i < 7; i++)
+                for (j = 1; j < 7; j++)
+                    total += grid[i-1][j] + grid[i+1][j]
+                           + grid[i][j-1] + grid[i][j+1] - 4 * grid[i][j];
+            print_int(total);
+            return 0;
+        }
+        """)
+
+    def test_struct_and_heap(self):
+        assert_parity("""
+        struct Pair { int a; double b; };
+        int main() {
+            struct Pair *ps = (struct Pair*)malloc(10 * sizeof(struct Pair));
+            int i;
+            for (i = 0; i < 10; i++) { ps[i].a = i; ps[i].b = i * 0.5; }
+            int sa = 0; double sb = 0.0;
+            for (i = 0; i < 10; i++) { sa += ps[i].a; sb += ps[i].b; }
+            print_int(sa); print_char(' '); print_double(sb);
+            return 0;
+        }
+        """)
+
+    def test_crash_parity_null_pointer(self):
+        ir, asm = run_both("int main() { int *p = 0; return *p; }")
+        assert ir.crashed and asm.crashed
+
+    def test_recursive_calls(self):
+        assert_parity("""
+        int ack(int m, int n) {
+            if (m == 0) return n + 1;
+            if (n == 0) return ack(m - 1, 1);
+            return ack(m - 1, ack(m, n - 1));
+        }
+        int main() { print_int(ack(2, 3)); return 0; }
+        """)
+
+
+# -- property-based parity ------------------------------------------------------
+
+_INT_VALUES = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def arith_expr(draw, depth=0):
+    """A MiniC integer expression over variables a, b, c (non-crashing:
+    divisors are made nonzero by construction)."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return str(draw(_INT_VALUES))
+        return draw(st.sampled_from(["a", "b", "c"]))
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    lhs = draw(arith_expr(depth=depth + 1))
+    rhs = draw(arith_expr(depth=depth + 1))
+    return f"({lhs} {op} {rhs})"
+
+
+class TestPropertyParity:
+    @settings(max_examples=25, deadline=None)
+    @given(arith_expr(), _INT_VALUES, _INT_VALUES, _INT_VALUES)
+    def test_random_expression_parity(self, expr, a, b, c):
+        source = f"""
+        int main() {{
+            int a = {a}; int b = {b}; int c = {c};
+            print_int({expr});
+            print_long((long)a * b + c);
+            return 0;
+        }}
+        """
+        assert_parity(source)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(_INT_VALUES, min_size=1, max_size=12))
+    def test_array_sum_parity(self, values):
+        decl = " ".join(f"v[{i}] = {x};" for i, x in enumerate(values))
+        source = f"""
+        int v[12];
+        int main() {{
+            {decl}
+            int s = 0; int i;
+            for (i = 0; i < {len(values)}; i++) s += v[i] * (i + 1);
+            print_int(s);
+            return 0;
+        }}
+        """
+        assert_parity(source)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=40),
+           st.integers(min_value=1, max_value=9))
+    def test_loop_parity(self, n, step):
+        source = f"""
+        int main() {{
+            int s = 0; int i;
+            for (i = 0; i < {n}; i += {step}) s = s * 3 + i;
+            print_int(s);
+            return 0;
+        }}
+        """
+        assert_parity(source)

@@ -1,0 +1,85 @@
+"""Property-based floating-point parity between the two engines.
+
+Double-precision behaviour (rounding, conversions, compares) must match
+bit-for-bit across the IR interpreter and the SimX86 simulator, or SDC
+classification would disagree between LLFI and PINFI by construction.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import run_both
+
+_FINITE = st.floats(min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+
+
+def assert_parity(source):
+    ir, asm = run_both(source)
+    assert ir.status == asm.status
+    assert ir.output == asm.output
+
+
+class TestFPParity:
+    @settings(max_examples=20, deadline=None)
+    @given(_FINITE, _FINITE)
+    def test_basic_ops(self, a, b):
+        assert_parity(f"""
+        int main() {{
+            double a = {a!r}; double b = {b!r};
+            print_double(a + b); print_char(' ');
+            print_double(a - b); print_char(' ');
+            print_double(a * b);
+            return 0;
+        }}
+        """)
+
+    @settings(max_examples=20, deadline=None)
+    @given(_FINITE, st.floats(min_value=0.001, max_value=1e6))
+    def test_division_and_compare(self, a, b):
+        assert_parity(f"""
+        int main() {{
+            double a = {a!r}; double b = {b!r};
+            print_double(a / b); print_char(' ');
+            if (a < b) print_int(1); else print_int(0);
+            if (a == b) print_int(1); else print_int(0);
+            return 0;
+        }}
+        """)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_int_double_roundtrip(self, n):
+        assert_parity(f"""
+        int main() {{
+            int n = {n};
+            double d = (double)n;
+            print_double(d); print_char(' ');
+            print_int((int)d);
+            return 0;
+        }}
+        """)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=-1e18, max_value=1e18,
+                     allow_nan=False, allow_infinity=False))
+    def test_out_of_range_fptosi_agrees(self, x):
+        # both engines must produce the same "integer indefinite" behavior
+        assert_parity(f"""
+        int main() {{
+            double d = {x!r};
+            print_int((int)d);
+            return 0;
+        }}
+        """)
+
+    def test_special_values(self):
+        assert_parity("""
+        int main() {
+            double zero = 0.0;
+            double pos = 1.0;
+            print_double(pos / zero); print_char(' ');
+            print_double((0.0 - pos) / zero); print_char(' ');
+            print_double(zero / zero);
+            return 0;
+        }
+        """)

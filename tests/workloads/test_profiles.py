@@ -1,0 +1,57 @@
+"""Per-workload instruction-profile tests: each benchmark must exhibit the
+computational character of the paper program it stands in for."""
+
+import pytest
+
+from repro.fi import LLFIInjector, PINFIInjector
+
+
+@pytest.fixture(scope="module")
+def profiles(built_workloads):
+    out = {}
+    for name, built in built_workloads.items():
+        out[name] = {
+            "LLFI": LLFIInjector(built.module).count_all_categories(),
+            "PINFI": PINFIInjector(built.program).count_all_categories(),
+        }
+    return out
+
+
+class TestCharacter:
+    def test_every_category_populated_everywhere(self, profiles):
+        # the paper's grid needs all 5 categories injectable on all 6
+        # benchmarks, for both tools
+        for name, tools in profiles.items():
+            for tool, counts in tools.items():
+                for category, n in counts.items():
+                    assert n > 0, (name, tool, category)
+
+    def test_bzip2m_is_load_store_heavy(self, profiles):
+        llfi = profiles["bzip2m"]["LLFI"]
+        assert llfi["load"] / llfi["all"] > 0.10
+
+    def test_mcfm_pointer_chasing(self, profiles):
+        # mcf's trait: loads dominate arithmetic at the IR level
+        llfi = profiles["mcfm"]["LLFI"]
+        assert llfi["load"] > 2 * llfi["arithmetic"]
+
+    def test_oceanm_fp_arithmetic_heavy(self, profiles):
+        llfi = profiles["oceanm"]["LLFI"]
+        assert llfi["arithmetic"] / llfi["all"] > 0.2
+
+    def test_cast_counts_negligible_like_paper(self, profiles):
+        # Table IV: cast is ~0% of 'all' everywhere
+        for name, tools in profiles.items():
+            for tool, counts in tools.items():
+                assert counts["cast"] / counts["all"] < 0.02, (name, tool)
+
+    def test_cmp_counts_match_between_tools(self, profiles):
+        # Table IV: LLFI and PINFI see similar numbers of compares
+        for name, tools in profiles.items():
+            a = tools["LLFI"]["cmp"]
+            b = tools["PINFI"]["cmp"]
+            assert abs(a - b) <= 0.15 * max(a, b), name
+
+    def test_profiles_are_stable(self, built_workloads):
+        llfi = LLFIInjector(built_workloads["libquantumm"].module)
+        assert llfi.count_all_categories() == llfi.count_all_categories()
