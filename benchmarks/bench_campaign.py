@@ -1,0 +1,105 @@
+"""Campaign-engine throughput: trials/sec at jobs=1 vs jobs=N.
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py --trials 64 --jobs 4
+
+Measures one (workload, tool, category) campaign through the parallel
+engine at both job counts, checks the results are bit-identical (the
+engine's determinism contract), and writes a machine-readable summary
+(default ``BENCH_campaign.json``) so the perf trajectory of the campaign
+hot path can be tracked across PRs.
+
+Injector build, golden run and profiling pass are warmed outside the timed
+region — the benchmark isolates trial throughput, which is what dominates
+paper-scale (1000-trial) campaigns.  Pool startup is left *inside* the
+parallel timing: it is real engine overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.fi import (
+    CampaignConfig, InjectorSpec, resolve_jobs, run_parallel_campaign,
+    shutdown_pool,
+)
+from repro.fi.engine import injector_for_spec
+from repro.fi.campaign import prepare_campaign
+
+
+def measure(spec: InjectorSpec, category: str, config: CampaignConfig,
+            jobs: int) -> dict:
+    t0 = time.perf_counter()
+    result = run_parallel_campaign(spec, category, config, jobs=jobs)
+    seconds = time.perf_counter() - t0
+    runs = result.activated + result.not_activated
+    return {
+        "jobs": jobs,
+        "seconds": round(seconds, 4),
+        "trials": result.trials,
+        "injection_runs": runs,
+        "trials_per_sec": round(result.trials / seconds, 3),
+        "runs_per_sec": round(runs / seconds, 3),
+        "counts": {o.value: n for o, n in result.counts.items()},
+        "not_activated": result.not_activated,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="libquantumm")
+    parser.add_argument("--tool", choices=("LLFI", "PINFI"), default="LLFI")
+    parser.add_argument("--category", default="all")
+    parser.add_argument("--trials", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=20140623)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="parallel job count to compare against jobs=1")
+    parser.add_argument("--output", default="BENCH_campaign.json")
+    args = parser.parse_args()
+
+    jobs = resolve_jobs(args.jobs)
+    spec = InjectorSpec(args.workload, args.tool)
+    config = CampaignConfig(trials=args.trials, seed=args.seed)
+
+    # Warm build + golden + profiling so both timings measure trials only.
+    injector = injector_for_spec(spec)
+    executions_before = injector.executions
+    prepare_campaign(injector, args.category, config)
+    prep_executions = injector.executions - executions_before
+
+    serial = measure(spec, args.category, config, jobs=1)
+    parallel = measure(spec, args.category, config, jobs=jobs)
+    shutdown_pool()
+
+    identical = (serial["counts"] == parallel["counts"]
+                 and serial["not_activated"] == parallel["not_activated"])
+    summary = {
+        "benchmark": "campaign_throughput",
+        "workload": args.workload,
+        "tool": args.tool,
+        "category": args.category,
+        "trials": args.trials,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(serial["seconds"] / parallel["seconds"], 3),
+        "identical_results": identical,
+        # golden + one shared profiling pass, amortised over every campaign
+        # on this injector (previously 2 extra whole-program runs per cell).
+        "prep_executions": prep_executions,
+    }
+    with open(args.output, "w") as f:
+        json.dump(summary, f, indent=1)
+        f.write("\n")
+    print(json.dumps(summary, indent=1))
+    print(f"(written to {args.output})")
+    if not identical:
+        raise SystemExit("determinism violation: jobs=1 and "
+                         f"jobs={jobs} results differ")
+
+
+if __name__ == "__main__":
+    main()

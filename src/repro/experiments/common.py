@@ -3,7 +3,13 @@ caching, CLI plumbing.
 
 Campaigns are expensive (each trial re-executes a whole benchmark), so
 results are cached under ``results/`` keyed by (workload, tool, category,
-trials, seed, options). Delete the directory to force re-runs.
+and every ``CampaignConfig`` field that affects the outcome). Delete the
+directory to force re-runs.
+
+Campaigns dispatch through the parallel engine (``repro.fi.engine``);
+``--jobs`` controls the worker count and does not affect results (per-trial
+RNG streams make every job count bit-identical), so it is deliberately not
+part of the cache key.
 """
 
 from __future__ import annotations
@@ -12,15 +18,23 @@ import argparse
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+
+from typing import Optional
 
 from repro.fi import (
-    CampaignConfig, CampaignResult, LLFIInjector, LLFIOptions, Outcome,
-    PINFIInjector, PINFIOptions, run_campaign,
+    CampaignConfig, CampaignResult, InjectorSpec, LLFIInjector, LLFIOptions,
+    Outcome, PINFIInjector, PINFIOptions, run_parallel_campaign,
 )
-from repro.workloads import build, workload_names
+from repro.fi.engine import injector_for_spec
+from repro.fi.fault import SingleBitFlip
+from repro.workloads import workload_names
 
 DEFAULT_RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+#: Bump when the cache key schema or the campaign procedure changes in a
+#: result-affecting way (v2: per-trial RNG streams; key gained hang/attempt
+#: factors and the fault model).
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -29,27 +43,36 @@ class Injectors:
     pinfi: PINFIInjector
 
 
-_INJECTOR_CACHE: Dict[Tuple[str, str], Injectors] = {}
-
-
 def injectors_for(name: str, llfi_options: Optional[LLFIOptions] = None,
                   pinfi_options: Optional[PINFIOptions] = None) -> Injectors:
-    """LLFI + PINFI injectors over one workload (cached for defaults)."""
-    key = (name, repr(llfi_options) + repr(pinfi_options))
-    cached = _INJECTOR_CACHE.get(key)
-    if cached is not None:
-        return cached
-    built = build(name)
-    inj = Injectors(LLFIInjector(built.module, llfi_options),
-                    PINFIInjector(built.program, pinfi_options))
-    _INJECTOR_CACHE[key] = inj
-    return inj
+    """LLFI + PINFI injectors over one workload.
+
+    Backed by the engine's spec-keyed cache, so experiment code and the
+    parallel engine share one injector (and its memoised golden/profiling
+    runs) per (workload, options)."""
+    return Injectors(
+        injector_for_spec(InjectorSpec(name, "LLFI",
+                                       llfi_options=llfi_options)),
+        injector_for_spec(InjectorSpec(name, "PINFI",
+                                       pinfi_options=pinfi_options)))
 
 
 # -- result cache -------------------------------------------------------------
 
 def _cache_path(results_dir: str, key: str) -> str:
     return os.path.join(results_dir, f"{key}.json")
+
+
+def cache_key(workload: str, tool: str, category: str,
+              config: CampaignConfig, variant: str = "") -> str:
+    """Disk-cache key: every config field that can change the result."""
+    model = config.model or SingleBitFlip()
+    key = (f"v{CACHE_FORMAT_VERSION}-{workload}-{tool}-{category}"
+           f"-t{config.trials}-s{config.seed}-h{config.hang_factor}"
+           f"-a{config.max_attempts_factor}-m{model.name}")
+    if variant:
+        key += f"-{variant}"
+    return key
 
 
 def _result_to_dict(result: CampaignResult) -> dict:
@@ -82,16 +105,14 @@ def cached_campaign(workload: str, tool: str, category: str,
                     pinfi_options: Optional[PINFIOptions] = None,
                     ) -> CampaignResult:
     """Run (or load from cache) one campaign cell."""
-    key = f"{workload}-{tool}-{category}-t{config.trials}-s{config.seed}"
-    if variant:
-        key += f"-{variant}"
+    key = cache_key(workload, tool, category, config, variant)
     path = _cache_path(results_dir, key)
     if os.path.exists(path):
         with open(path) as f:
             return _result_from_dict(json.load(f))
-    inj = injectors_for(workload, llfi_options, pinfi_options)
-    injector = inj.llfi if tool == "LLFI" else inj.pinfi
-    result = run_campaign(injector, category, config)
+    spec = InjectorSpec(workload, tool, llfi_options=llfi_options,
+                        pinfi_options=pinfi_options)
+    result = run_parallel_campaign(spec, category, config)
     os.makedirs(results_dir, exist_ok=True)
     with open(path, "w") as f:
         json.dump(_result_to_dict(result), f, indent=1)
@@ -106,6 +127,9 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                         help="injections per (benchmark, category, tool) "
                              "cell (paper: 1000)")
     parser.add_argument("--seed", type=int, default=20140623)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="campaign worker processes (default: one per "
+                             "CPU; results are identical for any value)")
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         help="subset of workloads (default: all six)")
     parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
@@ -123,4 +147,5 @@ def selected_benchmarks(args) -> list:
 
 
 def config_from_args(args) -> CampaignConfig:
-    return CampaignConfig(trials=args.trials, seed=args.seed)
+    return CampaignConfig(trials=args.trials, seed=args.seed,
+                          jobs=getattr(args, "jobs", 1))

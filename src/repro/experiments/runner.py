@@ -1,7 +1,10 @@
 """Top-level experiment runner: regenerates every table and figure.
 
     python -m repro.experiments.runner --trials 150
-    python -m repro.experiments.runner --trials 1000   # paper scale (slow)
+    python -m repro.experiments.runner --trials 1000 --jobs 8   # paper scale
+
+Campaigns fan out over ``--jobs`` worker processes (default: one per CPU);
+per-trial RNG streams make the results identical for any job count.
 
 Results are cached in ``results/``; the combined report is written to
 ``results/report.txt`` and printed.
@@ -16,6 +19,7 @@ from repro.experiments import ablation, fig3, fig4, table1, table2, table4, tabl
 from repro.experiments.common import (
     config_from_args, experiment_argparser, selected_benchmarks,
 )
+from repro.fi import resolve_jobs
 
 
 def run_all(benchmarks, config, results_dir: str) -> str:
@@ -25,6 +29,7 @@ def run_all(benchmarks, config, results_dir: str) -> str:
     def stamp(label: str) -> None:
         print(f"[{time.time() - t0:7.1f}s] {label}")
 
+    stamp(f"campaign engine: jobs={resolve_jobs(config.jobs)}")
     stamp("Table I (static IR<->asm mapping)")
     sections.append(table1.generate(benchmarks))
     stamp("Table II (benchmark characteristics)")

@@ -15,9 +15,13 @@ Typical use::
 """
 
 from repro.fi.campaign import (
-    CampaignConfig, CampaignResult, Trial, run_campaign, run_grid,
+    CampaignConfig, CampaignResult, Trial, derive_trial_seed, run_campaign,
+    run_grid, trial_stream,
 )
 from repro.fi.categories import CATEGORIES, llfi_candidates, pinfi_candidates
+from repro.fi.engine import (
+    InjectorSpec, resolve_jobs, run_parallel_campaign, shutdown_pool,
+)
 from repro.fi.fault import (
     FaultModel, FaultRecord, MultiBitFlip, SingleBitFlip, StuckAtOne,
     StuckAtZero,
@@ -35,6 +39,12 @@ __all__ = [
     "Trial",
     "run_campaign",
     "run_grid",
+    "run_parallel_campaign",
+    "InjectorSpec",
+    "derive_trial_seed",
+    "trial_stream",
+    "resolve_jobs",
+    "shutdown_pool",
     "llfi_candidates",
     "pinfi_candidates",
     "FaultModel",

@@ -7,14 +7,36 @@ Implements the paper's experimental procedure (§V):
 3. ``trials`` injection runs, each picking a uniformly random dynamic
    instance k in [1, N] and flipping one random bit in its destination;
 4. outcomes classified among *activated* faults; non-activated injections
-   are re-drawn (up to ``max_attempts_factor`` × trials total runs).
+   are re-drawn (up to ``max_attempts_factor`` attempts per trial slot).
 
 Hangs are detected by an instruction budget of ``hang_factor`` × the golden
 instruction count.
+
+Determinism
+-----------
+
+Each of the ``trials`` slots owns an independent RNG stream seeded by a
+SHA-256 digest over ``(seed, tool, category, slot index)`` — see
+:func:`derive_trial_seed`.  This replaces the old shared sequential RNG
+(whose ``hash((tool, category))`` derivation depended on the per-process
+string-hash salt and was not reproducible across interpreter invocations)
+and makes slots independent of each other: the parallel engine
+(:mod:`repro.fi.engine`) can execute them in any order on any number of
+workers and still produce bit-identical results to the sequential path.
+The redraw-on-non-activated policy is preserved *per stream*: a slot that
+draws a non-activated fault redraws from its own stream, up to
+``max_attempts_factor`` attempts, then gives up (same worst-case run count
+as the old global ``trials × max_attempts_factor`` cap).
+
+The golden run and the per-category profiling counts are memoised on the
+injector (``golden_cached`` / ``dynamic_counts``), so a grid of campaigns
+over several categories performs one golden run and one profiling pass per
+injector instead of one of each per (tool, category) cell.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
@@ -25,6 +47,7 @@ from repro.fi.llfi import LLFIInjector
 from repro.fi.outcome import Outcome, classify
 from repro.fi.pinfi import PINFIInjector
 from repro.fi.stats import Proportion
+from repro.vm.result import ExecutionResult
 
 Injector = Union[LLFIInjector, PINFIInjector]
 
@@ -90,61 +113,157 @@ class CampaignConfig:
     seed: int = 20140623  # DSN'14
     hang_factor: int = 20
     model: Optional[FaultModel] = None
-    #: Give up after this many total runs per campaign (guards against
+    #: Give up on a trial slot after this many redraws (guards against
     #: categories whose faults almost never activate).
     max_attempts_factor: int = 10
+    #: Worker processes for the parallel engine; 1 = in-process, <=0 means
+    #: one per CPU. Results are independent of this value by construction.
+    jobs: int = 1
 
 
-def run_campaign(injector: Injector, category: str,
-                 config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run one (tool, category) fault-injection campaign."""
-    config = config or CampaignConfig()
-    model = config.model or SingleBitFlip()
+# -- deterministic per-trial RNG streams ---------------------------------------
 
-    golden = injector.golden()
+def derive_trial_seed(seed: int, tool: str, category: str, index: int) -> int:
+    """Stable 256-bit seed for one trial slot.
+
+    Uses a SHA-256 digest so the stream depends only on the campaign seed,
+    tool name, category and slot index — never on ``PYTHONHASHSEED`` or the
+    process the slot happens to run in.
+    """
+    msg = f"{seed}\x1f{tool}\x1f{category}\x1f{index}".encode()
+    return int.from_bytes(hashlib.sha256(msg).digest(), "big")
+
+
+def trial_stream(seed: int, tool: str, category: str,
+                 index: int) -> random.Random:
+    """The independent RNG stream owned by one trial slot."""
+    return random.Random(derive_trial_seed(seed, tool, category, index))
+
+
+# -- campaign setup (golden + profiling, shared across cells) ------------------
+
+@dataclass
+class CampaignSetup:
+    """Everything a trial slot needs besides its index: the golden
+    reference, the hang budget, N and the fault model."""
+
+    golden: ExecutionResult
+    budget: int
+    candidates: int
+    model: FaultModel
+
+
+def prepare_campaign(injector: Injector, category: str,
+                     config: CampaignConfig) -> CampaignSetup:
+    """Golden + profiling phase. Both are memoised on the injector, so
+    repeated campaigns over the same injector (different categories,
+    seeds or trial counts) re-use one golden run and one profiling pass."""
+    golden = injector.golden_cached()
     if not golden.completed:
         raise FaultInjectionError(
             f"golden run failed: {golden.status} "
             f"({golden.trap if golden.trap else ''})")
     budget = golden.instructions * config.hang_factor + 10_000
-
-    n = injector.count_dynamic_candidates(category)
+    n = injector.dynamic_counts()[category]
     if n == 0:
         raise FaultInjectionError(
             f"no dynamic {category!r} candidates for {injector.name}")
+    return CampaignSetup(golden=golden, budget=budget, candidates=n,
+                         model=config.model or SingleBitFlip())
 
-    rng = random.Random(config.seed ^ hash((injector.name, category)))
-    result = CampaignResult(tool=injector.name, category=category,
-                            trials=config.trials, dynamic_candidates=n,
-                            golden_instructions=golden.instructions)
+
+# -- trial slots ---------------------------------------------------------------
+
+@dataclass
+class SlotResult:
+    """What one trial slot produced: an activated trial (or None if every
+    redraw failed to activate) plus its non-activated attempt count."""
+
+    index: int
+    trial: Optional[Trial]
+    not_activated: int
+
+
+def run_trial_slot(injector: Injector, category: str, setup: CampaignSetup,
+                   config: CampaignConfig, index: int) -> SlotResult:
+    """Execute one trial slot: draw k from the slot's own RNG stream,
+    inject, classify; redraw on non-activation (same stream)."""
+    rng = trial_stream(config.seed, injector.name, category, index)
+    not_activated = 0
+    for _attempt in range(config.max_attempts_factor):
+        k = rng.randint(1, setup.candidates)
+        run, record, activated = injector.run_with_fault(
+            category, k, rng, model=setup.model,
+            max_instructions=setup.budget)
+        assert record is not None
+        outcome = classify(run, setup.golden.output, activated)
+        if outcome is Outcome.NOT_ACTIVATED:
+            not_activated += 1
+            continue
+        return SlotResult(index, Trial(k, record, outcome), not_activated)
+    return SlotResult(index, None, not_activated)
+
+
+def aggregate_slots(tool: str, category: str, config: CampaignConfig,
+                    setup: CampaignSetup,
+                    slots: List[SlotResult]) -> CampaignResult:
+    """Fold slot results into a CampaignResult. Slots are sorted by index,
+    so the aggregate is identical however the slots were scheduled."""
+    result = CampaignResult(tool=tool, category=category,
+                            trials=config.trials,
+                            dynamic_candidates=setup.candidates,
+                            golden_instructions=setup.golden.instructions)
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome
                                   if o is not Outcome.NOT_ACTIVATED}
-    attempts = 0
-    max_attempts = config.trials * config.max_attempts_factor
-    while result.activated < config.trials and attempts < max_attempts:
-        attempts += 1
-        k = rng.randint(1, n)
-        run, record, activated = injector.run_with_fault(
-            category, k, rng, model=model, max_instructions=budget)
-        assert record is not None
-        outcome = classify(run, golden.output, activated)
-        if outcome is Outcome.NOT_ACTIVATED:
-            result.not_activated += 1
-            continue
-        counts[outcome] += 1
-        result.counts = counts
-        result.records.append(Trial(k, record, outcome))
+    for slot in sorted(slots, key=lambda s: s.index):
+        result.not_activated += slot.not_activated
+        if slot.trial is not None:
+            counts[slot.trial.outcome] += 1
+            result.records.append(slot.trial)
     result.counts = counts
     return result
 
 
+def run_campaign(injector: Injector, category: str,
+                 config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run one (tool, category) fault-injection campaign in-process.
+
+    Bit-identical to ``run_parallel_campaign`` at any job count: both paths
+    execute the same per-slot streams and aggregate with
+    :func:`aggregate_slots`."""
+    config = config or CampaignConfig()
+    setup = prepare_campaign(injector, category, config)
+    slots = [run_trial_slot(injector, category, setup, config, index)
+             for index in range(config.trials)]
+    return aggregate_slots(injector.name, category, config, setup, slots)
+
+
 def run_grid(llfi: LLFIInjector, pinfi: PINFIInjector,
              categories: List[str],
-             config: Optional[CampaignConfig] = None
+             config: Optional[CampaignConfig] = None,
+             workload: Optional[str] = None,
              ) -> Dict[str, Dict[str, CampaignResult]]:
     """Run campaigns for both tools over a list of categories.
-    Returns {category: {'LLFI': ..., 'PINFI': ...}}."""
+    Returns {category: {'LLFI': ..., 'PINFI': ...}}.
+
+    When ``config.jobs != 1`` and the ``workload`` registry name is given,
+    campaigns are dispatched through the parallel engine (workers rebuild
+    the injectors from the workload name)."""
+    config = config or CampaignConfig()
     grid: Dict[str, Dict[str, CampaignResult]] = {}
+    if workload is not None and config.jobs != 1:
+        from repro.fi.engine import InjectorSpec, run_parallel_campaign
+        specs = {
+            "LLFI": InjectorSpec(workload, "LLFI", llfi_options=llfi.options),
+            "PINFI": InjectorSpec(workload, "PINFI",
+                                  pinfi_options=pinfi.options),
+        }
+        for category in categories:
+            grid[category] = {
+                tool: run_parallel_campaign(spec, category, config)
+                for tool, spec in specs.items()
+            }
+        return grid
     for category in categories:
         grid[category] = {
             "LLFI": run_campaign(llfi, category, config),

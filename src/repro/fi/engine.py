@@ -1,0 +1,168 @@
+"""Parallel campaign engine: fan trial slots out over a process pool.
+
+Campaign trials are independent by construction (each slot owns a
+deterministic RNG stream, see ``repro.fi.campaign``), so a campaign
+parallelises perfectly: pre-assign slot indices to chunks, run chunks on a
+``multiprocessing`` pool, and fold the ``SlotResult`` stream back into a
+``CampaignResult`` in the parent.  ``jobs=1`` and ``jobs=N`` are
+bit-identical — both execute the same per-slot streams and the aggregate
+sorts by slot index.
+
+Workers never receive simulator state: injector candidate sets are keyed by
+``id()`` and would not survive pickling.  Instead each worker rebuilds the
+injector from an :class:`InjectorSpec` (workload registry name + tool +
+options) and caches it per process — workloads compile deterministically
+from source, so rebuild-in-worker is correct.  On platforms with ``fork``
+the parent builds, goldens and profiles the injector *before* the pool is
+created, so workers inherit those caches and perform no redundant
+whole-program runs at all; the pool is re-forked when a spec it has not
+inherited shows up.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.fi.campaign import (
+    CampaignConfig, CampaignResult, Injector, SlotResult, aggregate_slots,
+    prepare_campaign, run_trial_slot,
+)
+from repro.fi.llfi import LLFIInjector, LLFIOptions
+from repro.fi.pinfi import PINFIInjector, PINFIOptions
+
+#: Chunks handed out per worker; >1 smooths load imbalance between chunks
+#: (individual injection runs vary in length — crashes are short).
+_CHUNKS_PER_JOB = 4
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """Everything needed to rebuild an injector from scratch in a worker."""
+
+    workload: str
+    tool: str  # "LLFI" | "PINFI"
+    llfi_options: Optional[LLFIOptions] = None
+    pinfi_options: Optional[PINFIOptions] = None
+
+    def key(self) -> str:
+        return repr(self)
+
+    def build(self) -> Injector:
+        from repro.workloads import build
+        built = build(self.workload)
+        if self.tool == "LLFI":
+            return LLFIInjector(built.module, self.llfi_options)
+        if self.tool == "PINFI":
+            return PINFIInjector(built.program, self.pinfi_options)
+        raise FaultInjectionError(f"unknown tool {self.tool!r}")
+
+
+#: Per-process injector cache (parent and workers alike). With a forked
+#: pool, entries built in the parent before the fork are inherited.
+_INJECTORS: Dict[str, Injector] = {}
+
+
+def injector_for_spec(spec: InjectorSpec) -> Injector:
+    key = spec.key()
+    injector = _INJECTORS.get(key)
+    if injector is None:
+        injector = spec.build()
+        _INJECTORS[key] = injector
+    return injector
+
+
+def _run_chunk(task: Tuple[InjectorSpec, str, CampaignConfig, List[int]]
+               ) -> List[SlotResult]:
+    """Worker entry point: execute one chunk of pre-assigned slot indices."""
+    spec, category, config, indices = task
+    injector = injector_for_spec(spec)
+    setup = prepare_campaign(injector, category, config)
+    return [run_trial_slot(injector, category, setup, config, index)
+            for index in indices]
+
+
+# -- pool management -----------------------------------------------------------
+
+_POOL = None
+_POOL_JOBS = 0
+#: Spec keys the parent had built when the current pool forked (workers
+#: inherited them); an unseen spec forces a cheap re-fork so workers never
+#: redo golden/profiling runs the parent already has.
+_POOL_WARM: Set[str] = set()
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else None
+    return multiprocessing.get_context(method)
+
+
+def shutdown_pool() -> None:
+    """Tear down the worker pool (tests; atexit)."""
+    global _POOL, _POOL_JOBS, _POOL_WARM
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+    _POOL = None
+    _POOL_JOBS = 0
+    _POOL_WARM = set()
+
+
+atexit.register(shutdown_pool)
+
+
+def _get_pool(jobs: int, spec_key: str):
+    global _POOL, _POOL_JOBS, _POOL_WARM
+    if _POOL is not None and (_POOL_JOBS != jobs
+                              or spec_key not in _POOL_WARM):
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = _pool_context().Pool(processes=jobs)
+        _POOL_JOBS = jobs
+        _POOL_WARM = set(_INJECTORS)
+    return _POOL
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """<=0 or None means one worker per CPU."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _chunk_indices(trials: int, jobs: int) -> List[List[int]]:
+    indices = list(range(trials))
+    nchunks = max(1, min(trials, jobs * _CHUNKS_PER_JOB))
+    size = -(-trials // nchunks)  # ceil
+    return [indices[i:i + size] for i in range(0, trials, size)]
+
+
+def run_parallel_campaign(spec: InjectorSpec, category: str,
+                          config: Optional[CampaignConfig] = None,
+                          jobs: Optional[int] = None) -> CampaignResult:
+    """Run one (tool, category) campaign, fanned out over ``jobs`` workers.
+
+    ``jobs`` defaults to ``config.jobs``; 1 runs in-process (no pool).
+    The result is bit-identical for every job count."""
+    config = config or CampaignConfig()
+    jobs = resolve_jobs(config.jobs if jobs is None else jobs)
+    # Build + golden + profile in the parent first: the result needs N and
+    # the golden instruction count anyway, and a forked pool inherits these
+    # caches so workers skip them entirely.
+    injector = injector_for_spec(spec)
+    setup = prepare_campaign(injector, category, config)
+    if jobs <= 1 or config.trials <= 1:
+        slots = [run_trial_slot(injector, category, setup, config, index)
+                 for index in range(config.trials)]
+    else:
+        pool = _get_pool(jobs, spec.key())
+        tasks = [(spec, category, config, chunk)
+                 for chunk in _chunk_indices(config.trials, jobs)]
+        slots = [slot for chunk in pool.map(_run_chunk, tasks)
+                 for slot in chunk]
+    return aggregate_slots(injector.name, category, config, setup, slots)

@@ -112,6 +112,11 @@ class LLFIInjector:
                  options: Optional[LLFIOptions] = None) -> None:
         self.module = module
         self.options = options or LLFIOptions()
+        #: Whole-program executions performed through this injector
+        #: (golden + profiling + injection runs); campaign perf accounting.
+        self.executions = 0
+        self._golden_result: Optional[ExecutionResult] = None
+        self._dynamic_counts: Optional[Dict[str, int]] = None
         self._candidate_ids: Dict[str, Set[int]] = {}
         self._static_counts: Dict[str, int] = {}
         for category in CATEGORIES:
@@ -135,11 +140,19 @@ class LLFIInjector:
 
     def golden(self, max_instructions: int = 50_000_000) -> ExecutionResult:
         """Fault-free reference run."""
+        self.executions += 1
         return self._interp(None, max_instructions).run()
+
+    def golden_cached(self) -> ExecutionResult:
+        """Memoised golden run: one per injector, not one per campaign."""
+        if self._golden_result is None:
+            self._golden_result = self.golden()
+        return self._golden_result
 
     def count_dynamic_candidates(self, category: str,
                                  max_instructions: int = 50_000_000) -> int:
         """Profiling run: N, the dynamic candidate-instance count."""
+        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _CountingHook(ids)
         result = self._interp(hook, max_instructions, hook_filter=ids).run()
@@ -148,10 +161,18 @@ class LLFIInjector:
                 f"profiling run did not complete: {result.status}")
         return hook.count
 
+    def dynamic_counts(self) -> Dict[str, int]:
+        """Memoised per-category dynamic counts from one shared profiling
+        pass (replaces a ``count_dynamic_candidates`` run per category)."""
+        if self._dynamic_counts is None:
+            self._dynamic_counts = self.count_all_categories()
+        return self._dynamic_counts
+
     def count_all_categories(self, max_instructions: int = 50_000_000
                              ) -> Dict[str, int]:
         """Dynamic candidate counts for every category in one run
         (the LLFI side of the paper's Table IV)."""
+        self.executions += 1
         hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
 
         class _Multi(InterpHook):
@@ -174,6 +195,7 @@ class LLFIInjector:
                        ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
         """One injection run: flip a bit in the result of the k-th dynamic
         candidate. Returns (result, fault record, activated?)."""
+        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _InjectionHook(ids, k, model or SingleBitFlip(), rng)
         interp = self._interp(hook, max_instructions, hook_filter=ids)

@@ -161,6 +161,11 @@ class PINFIInjector:
                  options: Optional[PINFIOptions] = None) -> None:
         self.program = program
         self.options = options or PINFIOptions()
+        #: Whole-program executions performed through this injector
+        #: (golden + profiling + injection runs); campaign perf accounting.
+        self.executions = 0
+        self._golden_result: Optional[ExecutionResult] = None
+        self._dynamic_counts: Optional[Dict[str, int]] = None
         self._candidate_ids: Dict[str, Set[int]] = {c: set() for c in CATEGORIES}
         self._targets: Dict[int, _Target] = {}
         for mfunc in program.functions.values():
@@ -190,10 +195,18 @@ class PINFIInjector:
                             hook=hook, hook_filter=hook_filter)
 
     def golden(self, max_instructions: int = 100_000_000) -> ExecutionResult:
+        self.executions += 1
         return self._sim(None, max_instructions).run()
+
+    def golden_cached(self) -> ExecutionResult:
+        """Memoised golden run: one per injector, not one per campaign."""
+        if self._golden_result is None:
+            self._golden_result = self.golden()
+        return self._golden_result
 
     def count_dynamic_candidates(self, category: str,
                                  max_instructions: int = 100_000_000) -> int:
+        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _CountingHook(ids)
         result = self._sim(hook, max_instructions, hook_filter=ids).run()
@@ -202,8 +215,16 @@ class PINFIInjector:
                 f"profiling run did not complete: {result.status}")
         return hook.count
 
+    def dynamic_counts(self) -> Dict[str, int]:
+        """Memoised per-category dynamic counts from one shared profiling
+        pass (replaces a ``count_dynamic_candidates`` run per category)."""
+        if self._dynamic_counts is None:
+            self._dynamic_counts = self.count_all_categories()
+        return self._dynamic_counts
+
     def count_all_categories(self, max_instructions: int = 100_000_000
                              ) -> Dict[str, int]:
+        self.executions += 1
         hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
 
         class _Multi(AsmHook):
@@ -223,6 +244,7 @@ class PINFIInjector:
                        model: Optional[FaultModel] = None,
                        max_instructions: int = 100_000_000,
                        ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
+        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _InjectionHook(ids, self._targets,
                               k, model or SingleBitFlip(), rng, self.options)

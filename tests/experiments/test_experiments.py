@@ -90,4 +90,36 @@ class TestCachedCampaign(object):
         r2 = cached_campaign("libquantumm", "LLFI", "cmp", config,
                              results_dir=str(tmp_path))
         assert r2.counts == r1.counts
-        assert (tmp_path / "libquantumm-LLFI-cmp-t5-s123.json").exists()
+        assert (tmp_path /
+                "v2-libquantumm-LLFI-cmp-t5-s123-h20-a10-mbitflip.json"
+                ).exists()
+
+    def test_cache_key_covers_all_result_affecting_fields(self):
+        """Regression: hang_factor, max_attempts_factor and the fault model
+        used to be missing from the key, silently returning stale results."""
+        from repro.experiments.common import cache_key
+        from repro.fi import MultiBitFlip
+
+        base = CampaignConfig(trials=5, seed=123)
+        key = cache_key("libquantumm", "LLFI", "cmp", base)
+        assert key.startswith("v2-")
+        variants = [
+            CampaignConfig(trials=5, seed=123, hang_factor=7),
+            CampaignConfig(trials=5, seed=123, max_attempts_factor=3),
+            CampaignConfig(trials=5, seed=123, model=MultiBitFlip(2)),
+            CampaignConfig(trials=6, seed=123),
+            CampaignConfig(trials=5, seed=124),
+        ]
+        keys = [cache_key("libquantumm", "LLFI", "cmp", c) for c in variants]
+        assert len(set(keys + [key])) == len(variants) + 1
+
+    def test_cache_key_ignores_jobs(self):
+        """jobs=1 and jobs=N are bit-identical by construction, so they
+        must share one cache entry."""
+        from repro.experiments.common import cache_key
+
+        a = cache_key("libquantumm", "LLFI", "cmp",
+                      CampaignConfig(trials=5, seed=123, jobs=1))
+        b = cache_key("libquantumm", "LLFI", "cmp",
+                      CampaignConfig(trials=5, seed=123, jobs=4))
+        assert a == b
