@@ -1,0 +1,142 @@
+"""Checkpoint-and-resume speedup: simulated instructions and wall-clock.
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --trials 32
+
+For each (workload, tool) pair the same campaign is run cold
+(``checkpoint_stride=0``) and with golden-run checkpoints at stride N/5
+and N/20 (N = golden instruction count; N/20 is what the experiments'
+default ``--checkpoint-stride -1`` resolves to).  Each configuration uses
+a *fresh* injector so nothing is shared between configurations except the
+compiled program.  The benchmark verifies the bit-identity contract — the
+outcome distribution and every per-trial fault record must be unchanged —
+and exits non-zero on any mismatch, so CI can use it as a regression gate.
+
+Writes a machine-readable summary (default ``BENCH_checkpoint.json``) with
+per-configuration simulated-instruction counts, wall-clock, and the
+instruction reduction vs cold, so the perf trajectory of the trial hot
+path can be tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.fi import CampaignConfig, LLFIInjector, PINFIInjector, run_campaign
+from repro.workloads import build
+
+
+def _fresh_injector(tool: str, built):
+    if tool == "LLFI":
+        return LLFIInjector(built.module)
+    return PINFIInjector(built.program)
+
+
+def _trial_key(t):
+    return (t.k, t.outcome.value, t.record.dynamic_index,
+            tuple(t.record.bit_positions), t.record.target, t.record.width)
+
+
+def _fingerprint(result) -> dict:
+    return {
+        "counts": {o.value: n for o, n in result.counts.items()},
+        "not_activated": result.not_activated,
+        "records": [_trial_key(t) for t in result.records],
+    }
+
+
+def measure(tool: str, built, category: str, trials: int, seed: int,
+            stride: int, label: str) -> dict:
+    injector = _fresh_injector(tool, built)
+    config = CampaignConfig(trials=trials, seed=seed,
+                            checkpoint_stride=stride)
+    t0 = time.perf_counter()
+    result = run_campaign(injector, category, config)
+    seconds = time.perf_counter() - t0
+    store = injector.ensure_checkpoints()
+    return {
+        "label": label,
+        "stride": stride,
+        "seconds": round(seconds, 4),
+        "instructions_simulated": injector.instructions_simulated,
+        "executions": injector.executions,
+        "checkpoints": len(store) if store is not None else 0,
+        "fingerprint": _fingerprint(result),
+    }
+
+
+def bench_pair(workload: str, tool: str, category: str, trials: int,
+               seed: int) -> dict:
+    built = build(workload)
+    golden = _fresh_injector(tool, built).golden_cached()
+    n = golden.instructions
+    configs = [
+        measure(tool, built, category, trials, seed, 0, "cold"),
+        measure(tool, built, category, trials, seed, max(1, n // 5), "N/5"),
+        measure(tool, built, category, trials, seed, max(1, n // 20), "N/20"),
+    ]
+    cold = configs[0]
+    identical = all(c["fingerprint"] == cold["fingerprint"]
+                    for c in configs[1:])
+    for c in configs:
+        c["instruction_reduction_vs_cold"] = round(
+            cold["instructions_simulated"] / c["instructions_simulated"], 3)
+        c["speedup_vs_cold"] = round(cold["seconds"] / c["seconds"], 3)
+        del c["fingerprint"]  # bulky; the verdict is what matters
+    return {
+        "golden_instructions": n,
+        "configs": configs,
+        "bit_identical": identical,
+        "reduction_at_default": configs[2]["instruction_reduction_vs_cold"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", nargs="*",
+                        default=["libquantumm", "mcfm"],
+                        help="workloads to measure (default: two)")
+    parser.add_argument("--tools", nargs="*", default=["LLFI", "PINFI"])
+    parser.add_argument("--category", default="all")
+    parser.add_argument("--trials", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=20140623)
+    parser.add_argument("--output", default="BENCH_checkpoint.json")
+    args = parser.parse_args()
+
+    workloads = {}
+    all_identical = True
+    reductions = []
+    for workload in args.benchmarks:
+        workloads[workload] = {}
+        for tool in args.tools:
+            cell = bench_pair(workload, tool, args.category, args.trials,
+                              args.seed)
+            workloads[workload][tool] = cell
+            all_identical = all_identical and cell["bit_identical"]
+            reductions.append(cell["reduction_at_default"])
+            print(f"{workload}/{tool}: golden={cell['golden_instructions']} "
+                  f"reduction@N/20={cell['reduction_at_default']}x "
+                  f"identical={cell['bit_identical']}")
+
+    summary = {
+        "benchmark": "checkpoint_resume",
+        "category": args.category,
+        "trials": args.trials,
+        "seed": args.seed,
+        "workloads": workloads,
+        "bit_identical": all_identical,
+        "min_reduction_at_default": min(reductions),
+    }
+    with open(args.output, "w") as f:
+        json.dump(summary, f, indent=1)
+        f.write("\n")
+    print(json.dumps(summary, indent=1))
+    print(f"(written to {args.output})")
+    if not all_identical:
+        raise SystemExit("bit-identity violation: checkpointed campaign "
+                         "results differ from cold-start results")
+
+
+if __name__ == "__main__":
+    main()

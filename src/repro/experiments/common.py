@@ -9,7 +9,11 @@ directory to force re-runs.
 Campaigns dispatch through the parallel engine (``repro.fi.engine``);
 ``--jobs`` controls the worker count and does not affect results (per-trial
 RNG streams make every job count bit-identical), so it is deliberately not
-part of the cache key.
+part of the cache key.  The same holds for ``--checkpoint-stride``: trials
+resumed from a golden checkpoint are bit-identical to cold-start trials
+(the differential tests in ``tests/fi/test_checkpoint.py`` prove it), so
+the stride is a pure accelerator and must never enter the cache key —
+cached results stay valid whatever stride produced them.
 """
 
 from __future__ import annotations
@@ -132,6 +136,11 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                              "CPU; results are identical for any value)")
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         help="subset of workloads (default: all six)")
+    parser.add_argument("--checkpoint-stride", type=int, default=-1,
+                        help="golden-run checkpoint stride in instructions; "
+                             "0 disables checkpoint resume, negative picks "
+                             "~1/20 of the golden run (default; results are "
+                             "identical for any value)")
     parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
     return parser
 
@@ -148,4 +157,6 @@ def selected_benchmarks(args) -> list:
 
 def config_from_args(args) -> CampaignConfig:
     return CampaignConfig(trials=args.trials, seed=args.seed,
-                          jobs=getattr(args, "jobs", 1))
+                          jobs=getattr(args, "jobs", 1),
+                          checkpoint_stride=getattr(args, "checkpoint_stride",
+                                                    -1))

@@ -119,6 +119,16 @@ class CampaignConfig:
     #: Worker processes for the parallel engine; 1 = in-process, <=0 means
     #: one per CPU. Results are independent of this value by construction.
     jobs: int = 1
+    #: Checkpoint-and-resume policy: 0 disables it, <0 records golden-run
+    #: checkpoints every ~1/20 of the golden instruction count, >0 is an
+    #: explicit instruction stride. A pure accelerator: trials resume from
+    #: the last golden checkpoint before their injection point and are
+    #: bit-identical to cold-start trials (the prefix they skip is by
+    #: construction a replay of the golden run, the per-slot RNG is first
+    #: consumed at the injection point, and the injection hook resumes
+    #: counting from the checkpoint's per-category candidate count).
+    #: Results are independent of this value, like ``jobs``.
+    checkpoint_stride: int = 0
 
 
 # -- deterministic per-trial RNG streams ---------------------------------------
@@ -158,6 +168,10 @@ def prepare_campaign(injector: Injector, category: str,
     """Golden + profiling phase. Both are memoised on the injector, so
     repeated campaigns over the same injector (different categories,
     seeds or trial counts) re-use one golden run and one profiling pass."""
+    injector.configure_checkpoints(config.checkpoint_stride)
+    # With an explicit stride the recording run doubles as the golden run
+    # and the profiling pass, so this adds no whole-program executions.
+    injector.ensure_checkpoints()
     golden = injector.golden_cached()
     if not golden.completed:
         raise FaultInjectionError(
@@ -195,7 +209,12 @@ def run_trial_slot(injector: Injector, category: str, setup: CampaignSetup,
         run, record, activated = injector.run_with_fault(
             category, k, rng, model=setup.model,
             max_instructions=setup.budget)
-        assert record is not None
+        if record is None:
+            # Not an assert: asserts vanish under ``python -O`` and a
+            # missing record would silently misclassify the trial.
+            raise FaultInjectionError(
+                f"{injector.name}/{category} slot {index}: injector "
+                f"returned no fault record for dynamic instance {k}")
         outcome = classify(run, setup.golden.output, activated)
         if outcome is Outcome.NOT_ACTIVATED:
             not_activated += 1

@@ -86,6 +86,13 @@ def _run_chunk(task: Tuple[InjectorSpec, str, CampaignConfig, List[int]]
             for index in indices]
 
 
+def _warm_key(spec_key: str, injector: Injector) -> str:
+    """What a forked worker must have inherited to skip redundant work:
+    the built injector (with its golden/profiling memos) *and* its
+    checkpoint store for the requested stride policy."""
+    return f"{spec_key}|ckpt={injector.checkpoint_request}"
+
+
 # -- pool management -----------------------------------------------------------
 
 _POOL = None
@@ -124,7 +131,8 @@ def _get_pool(jobs: int, spec_key: str):
     if _POOL is None:
         _POOL = _pool_context().Pool(processes=jobs)
         _POOL_JOBS = jobs
-        _POOL_WARM = set(_INJECTORS)
+        _POOL_WARM = {_warm_key(key, injector)
+                      for key, injector in _INJECTORS.items()}
     return _POOL
 
 
@@ -151,16 +159,16 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
     The result is bit-identical for every job count."""
     config = config or CampaignConfig()
     jobs = resolve_jobs(config.jobs if jobs is None else jobs)
-    # Build + golden + profile in the parent first: the result needs N and
-    # the golden instruction count anyway, and a forked pool inherits these
-    # caches so workers skip them entirely.
+    # Build + golden + profile (+ record checkpoints) in the parent first:
+    # the result needs N and the golden instruction count anyway, and a
+    # forked pool inherits these caches so workers skip them entirely.
     injector = injector_for_spec(spec)
     setup = prepare_campaign(injector, category, config)
     if jobs <= 1 or config.trials <= 1:
         slots = [run_trial_slot(injector, category, setup, config, index)
                  for index in range(config.trials)]
     else:
-        pool = _get_pool(jobs, spec.key())
+        pool = _get_pool(jobs, _warm_key(spec.key(), injector))
         tasks = [(spec, category, config, chunk)
                  for chunk in _chunk_indices(config.trials, jobs)]
         slots = [slot for chunk in pool.map(_run_chunk, tasks)

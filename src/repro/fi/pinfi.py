@@ -26,6 +26,7 @@ from repro.fi.categories import CATEGORIES, pinfi_is_candidate
 from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
 from repro.vm.asmsim import AsmHook, AsmSimulator
 from repro.vm.result import ExecutionResult
+from repro.vm.snapshot import CheckpointStore
 
 #: Opcodes whose XMM destination holds a double in the low 64 bits.
 _DOUBLE_DEST_OPS = frozenset({
@@ -78,6 +79,21 @@ class _CountingHook(AsmHook):
     def on_executed(self, inst, sim):
         if id(inst) in self.candidate_ids:
             self.count += 1
+
+
+class _MultiCountingHook(AsmHook):
+    """Fans one run out to several counting hooks (one per category); used
+    by the shared profiling pass and by checkpoint recording."""
+
+    def __init__(self, hooks: Dict[str, _CountingHook]) -> None:
+        self.hooks = hooks
+
+    def on_executed(self, inst, sim):
+        for h in self.hooks.values():
+            h.on_executed(inst, sim)
+
+    def counts(self) -> Dict[str, int]:
+        return {c: h.count for c, h in self.hooks.items()}
 
 
 class _InjectionHook(AsmHook):
@@ -164,6 +180,14 @@ class PINFIInjector:
         #: Whole-program executions performed through this injector
         #: (golden + profiling + injection runs); campaign perf accounting.
         self.executions = 0
+        #: Instructions actually simulated in this process (a resumed run
+        #: contributes only what it executed past its checkpoint).
+        self.instructions_simulated = 0
+        #: Requested checkpoint stride: 0 = off, <0 = auto (~N/20 of the
+        #: golden instruction count), >0 = explicit instruction stride.
+        self.checkpoint_request = 0
+        self._checkpoints: Optional[CheckpointStore] = None
+        self._checkpoints_request = 0
         self._golden_result: Optional[ExecutionResult] = None
         self._dynamic_counts: Optional[Dict[str, int]] = None
         self._candidate_ids: Dict[str, Set[int]] = {c: set() for c in CATEGORIES}
@@ -196,7 +220,9 @@ class PINFIInjector:
 
     def golden(self, max_instructions: int = 100_000_000) -> ExecutionResult:
         self.executions += 1
-        return self._sim(None, max_instructions).run()
+        result = self._sim(None, max_instructions).run()
+        self.instructions_simulated += result.instructions
+        return result
 
     def golden_cached(self) -> ExecutionResult:
         """Memoised golden run: one per injector, not one per campaign."""
@@ -210,6 +236,7 @@ class PINFIInjector:
         ids = frozenset(self._candidate_ids[category])
         hook = _CountingHook(ids)
         result = self._sim(hook, max_instructions, hook_filter=ids).run()
+        self.instructions_simulated += result.instructions
         if not result.completed:
             raise FaultInjectionError(
                 f"profiling run did not complete: {result.status}")
@@ -226,30 +253,90 @@ class PINFIInjector:
                              ) -> Dict[str, int]:
         self.executions += 1
         hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
-
-        class _Multi(AsmHook):
-            def on_executed(self, inst, sim):
-                for h in hooks.values():
-                    h.on_executed(inst, sim)
-
         union = frozenset().union(*self._candidate_ids.values())
-        result = self._sim(_Multi(), max_instructions,
+        multi = _MultiCountingHook(hooks)
+        result = self._sim(multi, max_instructions,
                            hook_filter=union).run()
+        self.instructions_simulated += result.instructions
         if not result.completed:
             raise FaultInjectionError(
                 f"profiling run did not complete: {result.status}")
-        return {c: h.count for c, h in hooks.items()}
+        return multi.counts()
+
+    # -- checkpoints --------------------------------------------------------
+    def configure_checkpoints(self, stride: int) -> None:
+        """Set the checkpoint policy: 0 disables resume-from-checkpoint,
+        <0 picks a stride of ~1/20 of the golden instruction count, >0 is
+        an explicit instruction stride."""
+        self.checkpoint_request = stride
+
+    def ensure_checkpoints(self,
+                           max_instructions: int = 100_000_000
+                           ) -> Optional[CheckpointStore]:
+        """Record golden-run checkpoints (memoised per requested policy).
+
+        The recording run executes the whole program once with the shared
+        multi-category counting hook, so it doubles as the golden run and
+        the profiling pass: with an explicit stride a fresh injector makes
+        one preparation run instead of two.
+        """
+        request = self.checkpoint_request
+        if request == 0:
+            return None
+        if self._checkpoints is not None \
+                and self._checkpoints_request == request:
+            return self._checkpoints
+        stride = request
+        if stride < 0:
+            stride = max(1, self.golden_cached().instructions // 20)
+        self.executions += 1
+        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
+        multi = _MultiCountingHook(hooks)
+        union = frozenset().union(*self._candidate_ids.values())
+        store = CheckpointStore(stride)
+        sim = AsmSimulator(
+            self.program, max_instructions=max_instructions,
+            max_call_depth=self.options.max_call_depth,
+            hook=multi, hook_filter=union,
+            checkpoint_stride=stride,
+            checkpoint_sink=lambda snap: store.record(snap, multi.counts()))
+        result = sim.run()
+        self.instructions_simulated += result.instructions
+        if not result.completed:
+            raise FaultInjectionError(
+                f"checkpoint recording run did not complete: {result.status}")
+        if self._golden_result is None:
+            self._golden_result = result
+        if self._dynamic_counts is None:
+            self._dynamic_counts = multi.counts()
+        self._checkpoints = store
+        self._checkpoints_request = request
+        return store
 
     def run_with_fault(self, category: str, k: int, rng: random.Random,
                        model: Optional[FaultModel] = None,
                        max_instructions: int = 100_000_000,
                        ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
+        """One injection run; with checkpoints enabled it resumes from the
+        last golden checkpoint before the k-th dynamic candidate (the hook
+        resumes counting from the checkpoint's candidate count, and the RNG
+        is only consumed at the injection point, so the resumed trial is
+        bit-identical to a cold start)."""
         self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _InjectionHook(ids, self._targets,
                               k, model or SingleBitFlip(), rng, self.options)
         sim = self._sim(hook, max_instructions, hook_filter=ids)
+        skipped = 0
+        store = self.ensure_checkpoints()
+        if store is not None:
+            checkpoint = store.best_for(category, k)
+            if checkpoint is not None:
+                sim.restore(checkpoint.snapshot)
+                hook.count = checkpoint.counts[category]
+                skipped = checkpoint.snapshot.executed
         result = sim.run()
+        self.instructions_simulated += result.instructions - skipped
         if hook.record is None:
             raise FaultInjectionError(
                 f"dynamic instance {k} was never reached")

@@ -11,6 +11,13 @@ and five EFLAGS bits (CF, PF, ZF, SF, OF) at their real bit positions.
 Return addresses are synthetic code addresses (``CODE_BASE + 16*site``)
 pushed through rsp into simulated stack memory; a corrupted return address
 or stack pointer therefore faults exactly the way it would on hardware.
+
+Opcodes dispatch through a precomputed bound-method table
+(``_OPCODE_METHODS``) instead of an if/elif chain, and the simulator can
+``capture()``/``restore()`` its complete state at any instruction boundary
+(see :mod:`repro.vm.snapshot`): a restored run retires the exact stream a
+cold run would from that boundary on, which is what lets fault-injection
+trials skip their fault-free prefix.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.vm.image import build_global_image
 from repro.vm.io import OutputBuffer
 from repro.vm.memory import BumpAllocator, STACK_TOP
 from repro.vm.result import ExecutionResult
+from repro.vm.snapshot import MachineSnapshot, capture_memory, restore_memory
 from repro.vm.traps import HangTimeout, Trap, TrapKind
 
 MASK64 = (1 << 64) - 1
@@ -65,11 +73,49 @@ class _FuncRec:
 
 
 class AsmSimulator:
+    #: opcode -> handler method name; resolved to bound methods per
+    #: instance so the hot loop is one dict lookup plus one call.
+    _OPCODE_METHODS: Dict[str, str] = {
+        "mov": "_op_mov",
+        "movsx": "_op_movx", "movzx": "_op_movx",
+        "lea": "_op_lea",
+        "imul3": "_op_imul3",
+        "add": "_op_alu", "sub": "_op_alu", "and": "_op_alu",
+        "or": "_op_alu", "xor": "_op_alu", "imul": "_op_alu",
+        "neg": "_op_neg",
+        "not": "_op_not",
+        "shl": "_op_shift", "sar": "_op_shift", "shr": "_op_shift",
+        "cdq": "_op_sign_extend_acc", "cqo": "_op_sign_extend_acc",
+        "idiv": "_op_idiv",
+        "cmp": "_op_cmp",
+        "test": "_op_test",
+        "setcc": "_op_setcc",
+        "cmovcc": "_op_cmovcc",
+        "jmp": "_op_jmp",
+        "jcc": "_op_jcc",
+        "push": "_op_push",
+        "pop": "_op_pop",
+        "call": "_op_call",
+        "ret": "_op_ret",
+        "movsd": "_op_movsd",
+        "movq": "_op_movq",
+        "addsd": "_op_sse_arith", "subsd": "_op_sse_arith",
+        "mulsd": "_op_sse_arith", "divsd": "_op_sse_arith",
+        "pxor": "_op_pxor",
+        "ucomisd": "_op_ucomisd",
+        "cvtsi2sd": "_op_cvtsi2sd",
+        "cvttsd2si": "_op_cvttsd2si",
+        "ud2": "_op_ud2",
+    }
+
     def __init__(self, program: MProgram,
                  max_instructions: int = 100_000_000,
                  max_call_depth: int = 400,
                  hook: Optional[AsmHook] = None,
-                 hook_filter: Optional[frozenset] = None) -> None:
+                 hook_filter: Optional[frozenset] = None,
+                 checkpoint_stride: int = 0,
+                 checkpoint_sink: Optional[Callable[[MachineSnapshot], None]]
+                 = None) -> None:
         if program.ir_module is None:
             raise ReproError("program has no IR module attached")
         self.program = program
@@ -86,6 +132,14 @@ class AsmSimulator:
         self.fault_activated = False
         #: Poisoned targets: ('gpr', name) / ('xmm', name) / ('flag', name).
         self.poison: Dict[Tuple[str, str], bool] = {}
+
+        #: Checkpoint recording: every ``checkpoint_stride`` retired
+        #: instructions (0 = off), pass a MachineSnapshot to the sink.
+        self._checkpoint_stride = checkpoint_stride
+        self._checkpoint_sink = checkpoint_sink
+        self._next_checkpoint = checkpoint_stride
+        #: Set by restore(): where run() continues instead of ``main``.
+        self._resume_loc: Optional[_Loc] = None
 
         self.memory, addr_by_id = build_global_image(program.ir_module)
         self.global_addr: Dict[str, int] = {
@@ -105,6 +159,10 @@ class AsmSimulator:
         #: call-site token <-> return location registry.
         self._site_tokens: Dict[Tuple[str, int, int], int] = {}
         self._token_sites: Dict[int, Tuple[str, int, int]] = {}
+
+        self._ops: Dict[str, Callable[[MInst, _Loc], Optional[_Loc]]] = {
+            op: getattr(self, meth) for op, meth in
+            self._OPCODE_METHODS.items()}
 
         #: Static per-instruction metadata (uses/defs as poison targets).
         self._meta: Dict[int, Tuple[Tuple, Tuple]] = {}
@@ -133,6 +191,47 @@ class AsmSimulator:
         high = self.get_xmm(name) & ~MASK64
         self.xmm[name] = high | double_to_bits(value)
 
+    # -- snapshot / restore ---------------------------------------------------
+    def capture(self, loc: _Loc) -> MachineSnapshot:
+        """Freeze complete machine state at the boundary *before* the
+        instruction at ``loc`` executes (``executed`` retired so far)."""
+        return MachineSnapshot(
+            executed=self.executed,
+            call_depth=self.call_depth,
+            memory=capture_memory(self.memory),
+            heap=self.heap.checkpoint(),
+            output=self.output.checkpoint(),
+            state={
+                "regs": dict(self.regs),
+                "xmm": dict(self.xmm),
+                "flags": dict(self.flags),
+                "loc": (loc.func.name, loc.block, loc.index),
+                "site_tokens": dict(self._site_tokens),
+            })
+
+    def restore(self, snapshot: MachineSnapshot) -> None:
+        """Load a snapshot; the next run() continues from its boundary
+        instead of entering ``main``.  The snapshot is not consumed — any
+        number of simulators may restore from the same one."""
+        state = snapshot.state
+        restore_memory(self.memory, snapshot.memory)
+        self.heap.restore(snapshot.heap)
+        self.output.restore(snapshot.output)
+        self.executed = snapshot.executed
+        self.call_depth = snapshot.call_depth
+        self.regs = dict(state["regs"])
+        self.xmm = dict(state["xmm"])
+        self.flags = dict(state["flags"])
+        self._site_tokens = dict(state["site_tokens"])
+        self._token_sites = {tok: site
+                             for site, tok in self._site_tokens.items()}
+        func_name, block, index = state["loc"]
+        self._resume_loc = _Loc(self.funcs[func_name], block, index)
+
+    def _take_checkpoint(self, loc: _Loc) -> None:
+        self._checkpoint_sink(self.capture(loc))
+        self._next_checkpoint = self.executed + self._checkpoint_stride
+
     # -- top level -----------------------------------------------------------------
     def run(self, entry: str = "main") -> ExecutionResult:
         try:
@@ -147,15 +246,22 @@ class AsmSimulator:
                                    self.executed)
 
     def _execute(self, entry: str) -> int:
-        rec = self.funcs.get(entry)
-        if rec is None:
-            raise ReproError(f"no function {entry} in program")
-        self.set_gpr("rsp", STACK_TOP)
-        self._push(EXIT_TOKEN)
-        loc = _Loc(rec, 0, 0)
-        self.call_depth = 1
+        if self._resume_loc is not None:
+            loc = self._resume_loc
+            self._resume_loc = None
+        else:
+            rec = self.funcs.get(entry)
+            if rec is None:
+                raise ReproError(f"no function {entry} in program")
+            self.set_gpr("rsp", STACK_TOP)
+            self._push(EXIT_TOKEN)
+            loc = _Loc(rec, 0, 0)
+            self.call_depth = 1
         hook = self.hook
         hook_filter = self.hook_filter
+        ops = self._ops
+        recording = (self._checkpoint_sink is not None
+                     and self._checkpoint_stride > 0)
         while True:
             insts = loc.func.blocks[loc.block]
             while loc.index >= len(insts):
@@ -166,13 +272,18 @@ class AsmSimulator:
                     raise Trap(TrapKind.BAD_JUMP,
                                f"fell off function {loc.func.name}")
                 insts = loc.func.blocks[loc.block]
+            if recording and self.executed >= self._next_checkpoint:
+                self._take_checkpoint(loc)
             inst = insts[loc.index]
             self.executed += 1
             if self.executed > self.max_instructions:
                 raise HangTimeout(self.executed)
             if self.poison:
                 self._check_poison(inst)
-            next_loc = self._step(inst, loc)
+            handler = ops.get(inst.opcode)
+            if handler is None:
+                raise ReproError(f"cannot simulate {inst.opcode}")
+            next_loc = handler(inst, loc)
             if hook is not None and (hook_filter is None
                                      or id(inst) in hook_filter):
                 hook.on_executed(inst, self)
@@ -287,188 +398,228 @@ class AsmSimulator:
             self.flags["PF"] = 0
             self.flags["CF"] = 1 if a < b else 0
 
-    # -- the dispatcher ----------------------------------------------------------
+    # -- opcode handlers ----------------------------------------------------------
     def _step(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        """Single-instruction dispatch (kept for tests/tools; the main loop
+        uses the bound-method table directly)."""
+        handler = self._ops.get(inst.opcode)
+        if handler is None:
+            raise ReproError(f"cannot simulate {inst.opcode}")
+        return handler(inst, loc)
+
+    def _op_mov(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        w = inst.width
+        self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
+        return self._advance(loc)
+
+    def _op_movx(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        w = inst.width
+        sw = inst.src_width
+        raw = self._read_int_operand(src, sw)
+        if inst.opcode == "movsx" and raw >> (sw - 1) & 1:
+            raw |= ((1 << w) - 1) ^ ((1 << sw) - 1)
+        self.set_gpr(dst.name, raw & ((1 << w) - 1))
+        return self._advance(loc)
+
+    def _op_lea(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, mem = inst.operands
+        self.set_gpr(dst.name, self._mem_addr(mem))
+        return self._advance(loc)
+
+    def _op_imul3(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src, imm = inst.operands
+        w = inst.width
+        mask = (1 << w) - 1
+        a = wrap_signed(self._read_int_operand(src, w), w)
+        r = (a * imm.value) & mask
+        self._set_flags_logic(r, w)
+        self.set_gpr(dst.name, r)
+        return self._advance(loc)
+
+    def _op_alu(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
         op = inst.opcode
         w = inst.width
-        ops = inst.operands
-
-        if op == "mov":
-            dst, src = ops
-            if isinstance(dst, Mem):
-                self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
-            else:
-                self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
-            return self._advance(loc)
-        if op in ("movsx", "movzx"):
-            dst, src = ops
-            sw = inst.src_width
-            raw = self._read_int_operand(src, sw)
-            if op == "movsx" and raw >> (sw - 1) & 1:
-                raw |= ((1 << w) - 1) ^ ((1 << sw) - 1)
-            self.set_gpr(dst.name, raw & ((1 << w) - 1))
-            return self._advance(loc)
-        if op == "lea":
-            dst, mem = ops
-            self.set_gpr(dst.name, self._mem_addr(mem))
-            return self._advance(loc)
-        if op == "imul3":
-            dst, src, imm = ops
-            mask = (1 << w) - 1
-            a = wrap_signed(self._read_int_operand(src, w), w)
-            r = (a * imm.value) & mask
-            self._set_flags_logic(r, w)
-            self.set_gpr(dst.name, r)
-            return self._advance(loc)
-        if op in ("add", "sub", "and", "or", "xor", "imul"):
-            dst, src = ops
-            a = self._read_int_operand(dst, w)
-            b = self._read_int_operand(src, w)
-            mask = (1 << w) - 1
-            if op == "add":
-                r = (a + b) & mask
-                self._set_flags_add(a, b, w)
-            elif op == "sub":
-                r = (a - b) & mask
-                self._set_flags_sub(a, b, w)
-            elif op == "imul":
-                r = (wrap_signed(a, w) * wrap_signed(b, w)) & mask
-                self._set_flags_logic(r, w)
-            else:
-                r = {"and": a & b, "or": a | b, "xor": a ^ b}[op] & mask
-                self._set_flags_logic(r, w)
-            self._write_gpr_or_mem(dst, r, w)
-            return self._advance(loc)
-        if op == "neg":
-            (dst,) = ops
-            a = self._read_int_operand(dst, w)
-            r = (-a) & ((1 << w) - 1)
-            self._set_flags_sub(0, a, w)
-            self._write_gpr_or_mem(dst, r, w)
-            return self._advance(loc)
-        if op == "not":
-            (dst,) = ops
-            a = self._read_int_operand(dst, w)
-            self._write_gpr_or_mem(dst, ~a, w)
-            return self._advance(loc)
-        if op in ("shl", "sar", "shr"):
-            dst, cnt = ops
-            a = self._read_int_operand(dst, w)
-            count = self._read_int_operand(cnt, 64) & (63 if w == 64 else 31)
-            if op == "shl":
-                r = (a << count) & ((1 << w) - 1)
-            elif op == "shr":
-                r = a >> count
-            else:
-                r = (wrap_signed(a, w) >> count) & ((1 << w) - 1)
-            self._set_flags_logic(r, w)
-            self._write_gpr_or_mem(dst, r, w)
-            return self._advance(loc)
-        if op in ("cdq", "cqo"):
-            if op == "cdq":
-                sign = (self.get_gpr("rax") >> 31) & 1
-                self.set_gpr("rdx", 0xFFFF_FFFF if sign else 0)
-            else:
-                sign = (self.get_gpr("rax") >> 63) & 1
-                self.set_gpr("rdx", MASK64 if sign else 0)
-            return self._advance(loc)
-        if op == "idiv":
-            (src,) = ops
-            divisor = wrap_signed(self._read_int_operand(src, w), w)
-            lo = self.get_gpr("rax") & ((1 << w) - 1)
-            hi = self.get_gpr("rdx") & ((1 << w) - 1)
-            dividend = wrap_signed((hi << w) | lo, 2 * w)
-            if divisor == 0:
-                raise Trap(TrapKind.DIVIDE_ERROR, "idiv by zero")
-            q = abs(dividend) // abs(divisor)
-            if (dividend < 0) != (divisor < 0):
-                q = -q
-            if not (-(1 << (w - 1)) <= q < (1 << (w - 1))):
-                raise Trap(TrapKind.DIVIDE_ERROR, "idiv overflow")
-            rem = dividend - q * divisor
-            self.set_gpr("rax", q & ((1 << w) - 1))
-            self.set_gpr("rdx", rem & ((1 << w) - 1))
-            return self._advance(loc)
-        if op == "cmp":
-            a = self._read_int_operand(ops[0], w)
-            b = self._read_int_operand(ops[1], w)
+        dst, src = inst.operands
+        a = self._read_int_operand(dst, w)
+        b = self._read_int_operand(src, w)
+        mask = (1 << w) - 1
+        if op == "add":
+            r = (a + b) & mask
+            self._set_flags_add(a, b, w)
+        elif op == "sub":
+            r = (a - b) & mask
             self._set_flags_sub(a, b, w)
-            return self._advance(loc)
-        if op == "test":
-            a = self._read_int_operand(ops[0], w)
-            b = self._read_int_operand(ops[1], w)
-            self._set_flags_logic(a & b, w)
-            return self._advance(loc)
-        if op == "setcc":
-            (dst,) = ops
-            self.set_gpr(dst.name,
-                         1 if evaluate_condition(inst.cond, self.flags) else 0)
-            return self._advance(loc)
-        if op == "cmovcc":
-            dst, src = ops
-            if evaluate_condition(inst.cond, self.flags):
-                self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
-            return self._advance(loc)
-        if op == "jmp":
-            return self._jump(loc, ops[0])
-        if op == "jcc":
-            if evaluate_condition(inst.cond, self.flags):
-                return self._jump(loc, ops[0])
-            return self._advance(loc)
-        if op == "push":
-            self._push(self._read_int_operand(ops[0], 64))
-            return self._advance(loc)
-        if op == "pop":
-            self.set_gpr(ops[0].name, self._pop())
-            return self._advance(loc)
-        if op == "call":
-            return self._call(loc, ops[0])
-        if op == "ret":
-            return self._ret()
-        if op == "movsd":
-            dst, src = ops
-            if isinstance(dst, Mem):
-                self.memory.write_double(self._mem_addr(dst),
-                                         self._read_double_operand(src))
-            else:
-                self.set_xmm_double(dst.name, self._read_double_operand(src))
-            return self._advance(loc)
-        if op == "movq":
-            dst, src = ops
-            if dst.name.startswith("xmm"):
-                self.set_xmm(dst.name, self.get_gpr(src.name))
-            else:
-                self.set_gpr(dst.name, self.get_xmm(src.name) & MASK64)
-            return self._advance(loc)
-        if op in ("addsd", "subsd", "mulsd", "divsd"):
-            dst, src = ops
-            a = self.get_xmm_double(dst.name)
-            b = self._read_double_operand(src)
-            self.set_xmm_double(dst.name, _fp_op(op, a, b))
-            return self._advance(loc)
-        if op == "pxor":
-            dst, src = ops
-            self.set_xmm(dst.name, self.get_xmm(dst.name)
-                         ^ self.get_xmm(src.name))
-            return self._advance(loc)
-        if op == "ucomisd":
-            a = self.get_xmm_double(ops[0].name)
-            b = self._read_double_operand(ops[1])
-            self._set_flags_ucomisd(a, b)
-            return self._advance(loc)
-        if op == "cvtsi2sd":
-            dst, src = ops
-            value = wrap_signed(self._read_int_operand(src, w), w)
-            self.set_xmm_double(dst.name, float(value))
-            return self._advance(loc)
-        if op == "cvttsd2si":
-            dst, src = ops
-            value = self._read_double_operand(src)
-            self.set_gpr(dst.name, _cvttsd2si(value, w))
-            return self._advance(loc)
-        if op == "ud2":
-            raise Trap(TrapKind.BAD_JUMP, "ud2 executed")
-        raise ReproError(f"cannot simulate {op}")
+        elif op == "imul":
+            r = (wrap_signed(a, w) * wrap_signed(b, w)) & mask
+            self._set_flags_logic(r, w)
+        else:
+            r = {"and": a & b, "or": a | b, "xor": a ^ b}[op] & mask
+            self._set_flags_logic(r, w)
+        self._write_gpr_or_mem(dst, r, w)
+        return self._advance(loc)
+
+    def _op_neg(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        (dst,) = inst.operands
+        w = inst.width
+        a = self._read_int_operand(dst, w)
+        r = (-a) & ((1 << w) - 1)
+        self._set_flags_sub(0, a, w)
+        self._write_gpr_or_mem(dst, r, w)
+        return self._advance(loc)
+
+    def _op_not(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        (dst,) = inst.operands
+        w = inst.width
+        a = self._read_int_operand(dst, w)
+        self._write_gpr_or_mem(dst, ~a, w)
+        return self._advance(loc)
+
+    def _op_shift(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        op = inst.opcode
+        w = inst.width
+        dst, cnt = inst.operands
+        a = self._read_int_operand(dst, w)
+        count = self._read_int_operand(cnt, 64) & (63 if w == 64 else 31)
+        if op == "shl":
+            r = (a << count) & ((1 << w) - 1)
+        elif op == "shr":
+            r = a >> count
+        else:
+            r = (wrap_signed(a, w) >> count) & ((1 << w) - 1)
+        self._set_flags_logic(r, w)
+        self._write_gpr_or_mem(dst, r, w)
+        return self._advance(loc)
+
+    def _op_sign_extend_acc(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        if inst.opcode == "cdq":
+            sign = (self.get_gpr("rax") >> 31) & 1
+            self.set_gpr("rdx", 0xFFFF_FFFF if sign else 0)
+        else:  # cqo
+            sign = (self.get_gpr("rax") >> 63) & 1
+            self.set_gpr("rdx", MASK64 if sign else 0)
+        return self._advance(loc)
+
+    def _op_idiv(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        (src,) = inst.operands
+        w = inst.width
+        divisor = wrap_signed(self._read_int_operand(src, w), w)
+        lo = self.get_gpr("rax") & ((1 << w) - 1)
+        hi = self.get_gpr("rdx") & ((1 << w) - 1)
+        dividend = wrap_signed((hi << w) | lo, 2 * w)
+        if divisor == 0:
+            raise Trap(TrapKind.DIVIDE_ERROR, "idiv by zero")
+        q = abs(dividend) // abs(divisor)
+        if (dividend < 0) != (divisor < 0):
+            q = -q
+        if not (-(1 << (w - 1)) <= q < (1 << (w - 1))):
+            raise Trap(TrapKind.DIVIDE_ERROR, "idiv overflow")
+        rem = dividend - q * divisor
+        self.set_gpr("rax", q & ((1 << w) - 1))
+        self.set_gpr("rdx", rem & ((1 << w) - 1))
+        return self._advance(loc)
+
+    def _op_cmp(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        w = inst.width
+        a = self._read_int_operand(inst.operands[0], w)
+        b = self._read_int_operand(inst.operands[1], w)
+        self._set_flags_sub(a, b, w)
+        return self._advance(loc)
+
+    def _op_test(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        w = inst.width
+        a = self._read_int_operand(inst.operands[0], w)
+        b = self._read_int_operand(inst.operands[1], w)
+        self._set_flags_logic(a & b, w)
+        return self._advance(loc)
+
+    def _op_setcc(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        (dst,) = inst.operands
+        self.set_gpr(dst.name,
+                     1 if evaluate_condition(inst.cond, self.flags) else 0)
+        return self._advance(loc)
+
+    def _op_cmovcc(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        w = inst.width
+        if evaluate_condition(inst.cond, self.flags):
+            self._write_gpr_or_mem(dst, self._read_int_operand(src, w), w)
+        return self._advance(loc)
+
+    def _op_jmp(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        return self._jump(loc, inst.operands[0])
+
+    def _op_jcc(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        if evaluate_condition(inst.cond, self.flags):
+            return self._jump(loc, inst.operands[0])
+        return self._advance(loc)
+
+    def _op_push(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        self._push(self._read_int_operand(inst.operands[0], 64))
+        return self._advance(loc)
+
+    def _op_pop(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        self.set_gpr(inst.operands[0].name, self._pop())
+        return self._advance(loc)
+
+    def _op_call(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        return self._call(loc, inst.operands[0])
+
+    def _op_ret(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        return self._ret()
+
+    def _op_movsd(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        if isinstance(dst, Mem):
+            self.memory.write_double(self._mem_addr(dst),
+                                     self._read_double_operand(src))
+        else:
+            self.set_xmm_double(dst.name, self._read_double_operand(src))
+        return self._advance(loc)
+
+    def _op_movq(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        if dst.name.startswith("xmm"):
+            self.set_xmm(dst.name, self.get_gpr(src.name))
+        else:
+            self.set_gpr(dst.name, self.get_xmm(src.name) & MASK64)
+        return self._advance(loc)
+
+    def _op_sse_arith(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        a = self.get_xmm_double(dst.name)
+        b = self._read_double_operand(src)
+        self.set_xmm_double(dst.name, _fp_op(inst.opcode, a, b))
+        return self._advance(loc)
+
+    def _op_pxor(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        self.set_xmm(dst.name, self.get_xmm(dst.name)
+                     ^ self.get_xmm(src.name))
+        return self._advance(loc)
+
+    def _op_ucomisd(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        a = self.get_xmm_double(inst.operands[0].name)
+        b = self._read_double_operand(inst.operands[1])
+        self._set_flags_ucomisd(a, b)
+        return self._advance(loc)
+
+    def _op_cvtsi2sd(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        w = inst.width
+        value = wrap_signed(self._read_int_operand(src, w), w)
+        self.set_xmm_double(dst.name, float(value))
+        return self._advance(loc)
+
+    def _op_cvttsd2si(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        dst, src = inst.operands
+        value = self._read_double_operand(src)
+        self.set_gpr(dst.name, _cvttsd2si(value, inst.width))
+        return self._advance(loc)
+
+    def _op_ud2(self, inst: MInst, loc: _Loc) -> Optional[_Loc]:
+        raise Trap(TrapKind.BAD_JUMP, "ud2 executed")
 
     # -- control flow helpers ---------------------------------------------------
     def _advance(self, loc: _Loc) -> _Loc:

@@ -49,3 +49,14 @@ class OutputBuffer:
 
     def text(self) -> str:
         return "".join(self._parts)
+
+    # -- snapshot support ---------------------------------------------------
+    def checkpoint(self) -> tuple:
+        """Frozen buffer state for :mod:`repro.vm.snapshot`."""
+        return ("".join(self._parts), self._size, self.truncated)
+
+    def restore(self, state: tuple) -> None:
+        text, size, truncated = state
+        self._parts = [text] if text else []
+        self._size = size
+        self.truncated = truncated

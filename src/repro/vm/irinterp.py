@@ -16,6 +16,17 @@ Faults are delivered through an optional :class:`InterpHook`: after an
 instruction with a result executes, the hook may replace the result value
 (LLFI's injection hook lives in :mod:`repro.fi.llfi`). Activation tracking
 is a single identity comparison on the operand-read path.
+
+Cast and binary-op semantics dispatch through precomputed per-opcode
+tables (module-level function dicts) instead of if/elif chains.
+
+The interpreter supports ``capture()``/``restore()`` of its complete state
+(see :mod:`repro.vm.snapshot`).  Because the simulated call stack is the
+Python call stack, a snapshot stores one :class:`~repro.vm.snapshot.FrameState`
+per live frame; ``restore()`` + ``run()`` rebuilds the recursion and
+continues at the captured instruction boundary, retiring the exact stream
+a cold run would from there — which is what lets fault-injection trials
+skip their fault-free prefix.
 """
 
 from __future__ import annotations
@@ -23,7 +34,7 @@ from __future__ import annotations
 import math
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.ir import types as irty
@@ -39,6 +50,9 @@ from repro.ir.values import (
 from repro.vm.io import OutputBuffer
 from repro.vm.memory import BumpAllocator, STACK_TOP
 from repro.vm.result import ExecutionResult
+from repro.vm.snapshot import (
+    FrameState, MachineSnapshot, capture_memory, restore_memory,
+)
 from repro.vm.traps import HangTimeout, Trap, TrapKind
 
 MASK64 = (1 << 64) - 1
@@ -61,6 +75,11 @@ class Frame:
     #: When fault injection poisons an SSA value in this frame, this is the
     #: poisoned instruction; reading it marks the fault activated.
     poison_inst: Optional[Instruction] = None
+    #: Position of the instruction this frame is currently executing, kept
+    #: up to date only while checkpoint recording is on.  For a suspended
+    #: frame this is its pending ``call`` instruction.
+    resume_block: Optional[BasicBlock] = None
+    resume_index: int = 0
 
 
 class IRInterpreter:
@@ -68,7 +87,10 @@ class IRInterpreter:
                  max_instructions: int = 50_000_000,
                  max_call_depth: int = 400,
                  hook: Optional[InterpHook] = None,
-                 hook_filter: Optional[frozenset] = None) -> None:
+                 hook_filter: Optional[frozenset] = None,
+                 checkpoint_stride: int = 0,
+                 checkpoint_sink: Optional[Callable[[MachineSnapshot], None]]
+                 = None) -> None:
         self.module = module
         self.max_instructions = max_instructions
         self.max_call_depth = max_call_depth
@@ -89,6 +111,17 @@ class IRInterpreter:
         #: Set by the hook when it poisons a value; cleared never (one
         #: injection per run). Read by the fault-injection campaign.
         self.fault_activated = False
+        #: Checkpoint recording: every ``checkpoint_stride`` retired
+        #: instructions (0 = off), pass a MachineSnapshot to the sink.
+        self._checkpoint_stride = checkpoint_stride
+        self._checkpoint_sink = checkpoint_sink
+        self._next_checkpoint = checkpoint_stride
+        self._recording = checkpoint_sink is not None and checkpoint_stride > 0
+        #: Live frame stack, innermost last (for capture()).
+        self._frames: List[Frame] = []
+        #: Set by restore(): frame states run() rebuilds instead of calling
+        #: the entry function.
+        self._resume: Optional[Sequence[FrameState]] = None
         self._global_addr: Dict[int, int] = {}
         self.memory, self.heap, self._stack_sp = self._load_globals()
         self._dispatch: Dict[type, Callable] = {
@@ -112,11 +145,50 @@ class IRInterpreter:
         self._global_addr = addrs
         return memory, BumpAllocator(), STACK_TOP
 
+    # -- snapshot / restore -------------------------------------------------
+    def capture(self) -> MachineSnapshot:
+        """Freeze complete interpreter state at the current instruction
+        boundary (each live frame's ``resume_*`` position, maintained while
+        recording, names the instruction about to execute / pending)."""
+        frames = tuple(
+            FrameState(f.function, f.resume_block, f.resume_index,
+                       dict(f.values), f.saved_sp)
+            for f in self._frames)
+        return MachineSnapshot(
+            executed=self.executed,
+            call_depth=self.call_depth,
+            memory=capture_memory(self.memory),
+            heap=self.heap.checkpoint(),
+            output=self.output.checkpoint(),
+            state={"frames": frames, "stack_sp": self._stack_sp})
+
+    def restore(self, snapshot: MachineSnapshot) -> None:
+        """Load a snapshot; the next run() rebuilds the captured call stack
+        and continues from its boundary instead of entering ``main``.  The
+        snapshot is not consumed — any number of interpreters (over the
+        same module instance) may restore from the same one."""
+        restore_memory(self.memory, snapshot.memory)
+        self.heap.restore(snapshot.heap)
+        self.output.restore(snapshot.output)
+        self.executed = snapshot.executed
+        self.call_depth = 0
+        self._stack_sp = snapshot.state["stack_sp"]
+        self._resume = snapshot.state["frames"]
+
+    def _take_checkpoint(self) -> None:
+        self._checkpoint_sink(self.capture())
+        self._next_checkpoint = self.executed + self._checkpoint_stride
+
     # -- top level -----------------------------------------------------------
     def run(self, entry: str = "main") -> ExecutionResult:
-        func = self.module.get_function(entry)
         try:
-            result = self._call_function(func, [])
+            if self._resume is not None:
+                frames = self._resume
+                self._resume = None
+                result = self._resume_depth(frames, 0)
+            else:
+                func = self.module.get_function(entry)
+                result = self._call_function(func, [])
             return ExecutionResult("ok", None, self.output.text(),
                                    self.executed, result)
         except Trap as trap:
@@ -125,6 +197,41 @@ class IRInterpreter:
         except HangTimeout:
             return ExecutionResult("hang", None, self.output.text(),
                                    self.executed)
+
+    def _resume_depth(self, frames: Sequence[FrameState], depth: int):
+        """Rebuild the captured recursion from ``depth`` inward and continue
+        execution.  Suspended frames complete their pending call with the
+        inner frame's return value — applying the hook exactly as the cold
+        run would — then continue at the next instruction."""
+        fs = frames[depth]
+        self.call_depth += 1
+        # Copy the values dict: the snapshot is shared across trials and a
+        # resumed frame mutates its values.
+        frame = Frame(fs.function, values=dict(fs.values),
+                      saved_sp=fs.saved_sp)
+        prev_frame = self.current_frame
+        self.current_frame = frame
+        self._frames.append(frame)
+        try:
+            if depth + 1 < len(frames):
+                inner = self._resume_depth(frames, depth + 1)
+                inst = fs.block.instructions[fs.index]  # the pending call
+                if inst.has_result():
+                    hook = self.hook
+                    if hook is not None and (self.hook_filter is None
+                                             or id(inst) in self.hook_filter):
+                        inner = hook.on_result(inst, inner, self)
+                    frame.values[id(inst)] = inner
+                # A call is never a block terminator, so index+1 is valid.
+                return self._run_frame(frame, start_block=fs.block,
+                                       start_index=fs.index + 1)
+            return self._run_frame(frame, start_block=fs.block,
+                                   start_index=fs.index)
+        finally:
+            self._frames.pop()
+            self.current_frame = prev_frame
+            self._stack_sp = frame.saved_sp
+            self.call_depth -= 1
 
     # -- calls -----------------------------------------------------------------
     def _call_function(self, func: Function, args: List[object]):
@@ -140,9 +247,11 @@ class IRInterpreter:
             frame.values[id(arg)] = value
         prev_frame = self.current_frame
         self.current_frame = frame
+        self._frames.append(frame)
         try:
             return self._run_frame(frame)
         finally:
+            self._frames.pop()
             self.current_frame = prev_frame
             self._stack_sp = frame.saved_sp
             self.call_depth -= 1
@@ -172,32 +281,53 @@ class IRInterpreter:
         raise ReproError(f"unknown intrinsic {name}")
 
     # -- the main loop -----------------------------------------------------------
-    def _run_frame(self, frame: Frame):
-        block = frame.function.entry
+    def _run_frame(self, frame: Frame,
+                   start_block: Optional[BasicBlock] = None,
+                   start_index: int = 0):
+        if start_block is None:
+            block = frame.function.entry
+            skip = 0
+        else:
+            # Resuming mid-block: the phi batch (if any) already ran before
+            # the snapshot was taken, so jump straight to start_index.
+            block = start_block
+            skip = start_index
         prev_block: Optional[BasicBlock] = None
         hook = self.hook
         hook_filter = self.hook_filter
         values = frame.values
+        recording = self._recording
         while True:
-            # Evaluate all phis for this (prev -> block) edge at once.
-            index = 0
             insts = block.instructions
-            if insts and isinstance(insts[0], Phi):
-                phi_values = []
-                while index < len(insts) and isinstance(insts[index], Phi):
-                    phi = insts[index]
-                    incoming = phi.incoming_for_block(prev_block)  # type: ignore[arg-type]
-                    phi_values.append((phi, self._value_of(incoming, frame)))
-                    index += 1
-                for phi, value in phi_values:
-                    self.executed += 1
-                    if hook is not None and (hook_filter is None
-                                             or id(phi) in hook_filter):
-                        value = hook.on_result(phi, value, self)
-                    values[id(phi)] = value
-                if self.executed > self.max_instructions:
-                    raise HangTimeout(self.executed)
+            if skip:
+                index = skip
+                skip = 0
+            else:
+                # Evaluate all phis for this (prev -> block) edge at once.
+                index = 0
+                if insts and isinstance(insts[0], Phi):
+                    phi_values = []
+                    while index < len(insts) and isinstance(insts[index], Phi):
+                        phi = insts[index]
+                        incoming = phi.incoming_for_block(prev_block)  # type: ignore[arg-type]
+                        phi_values.append((phi, self._value_of(incoming, frame)))
+                        index += 1
+                    for phi, value in phi_values:
+                        self.executed += 1
+                        if hook is not None and (hook_filter is None
+                                                 or id(phi) in hook_filter):
+                            value = hook.on_result(phi, value, self)
+                        values[id(phi)] = value
+                    if self.executed > self.max_instructions:
+                        raise HangTimeout(self.executed)
             while index < len(insts):
+                if recording:
+                    # Checkpoints land only at non-phi boundaries, so a
+                    # resumed frame never needs the (prev -> block) edge.
+                    frame.resume_block = block
+                    frame.resume_index = index
+                    if self.executed >= self._next_checkpoint:
+                        self._take_checkpoint()
                 inst = insts[index]
                 self.executed += 1
                 if self.executed > self.max_instructions:
@@ -262,10 +392,13 @@ class IRInterpreter:
         a = self._value_of(inst.lhs, frame)
         b = self._value_of(inst.rhs, frame)
         op = inst.opcode
-        if op[0] == "f":
-            return _float_binop(op, a, b)
-        bits = inst.type.bits  # type: ignore[attr-defined]
-        return _int_binop(op, a, b, bits)
+        handler = _FLOAT_BINOPS.get(op)
+        if handler is not None:
+            return handler(a, b)
+        handler = _INT_BINOPS.get(op)
+        if handler is None:
+            raise ReproError(f"unknown binop {op}")
+        return handler(a, b, inst.type.bits)  # type: ignore[attr-defined]
 
     def _exec_icmp(self, inst: ICmp, frame: Frame):
         a = self._value_of(inst.lhs, frame)
@@ -344,36 +477,10 @@ class IRInterpreter:
         return addr
 
     def _exec_cast(self, inst: Cast, frame: Frame):
-        value = self._value_of(inst.value, frame)
-        op = inst.opcode
-        if op == "trunc":
-            return wrap_signed(value, inst.type.bits)  # type: ignore[attr-defined]
-        if op == "zext":
-            src_bits = inst.value.type.bits  # type: ignore[attr-defined]
-            return value & ((1 << src_bits) - 1)
-        if op == "sext":
-            return value  # already signed
-        if op == "fptosi":
-            return _fptosi(value, inst.type.bits)  # type: ignore[attr-defined]
-        if op == "fptoui":
-            bits = inst.type.bits  # type: ignore[attr-defined]
-            try:
-                result = int(value)
-            except (OverflowError, ValueError):
-                return wrap_signed(1 << (bits - 1), bits)
-            return wrap_signed(result & ((1 << bits) - 1), bits)
-        if op == "sitofp":
-            return float(value)
-        if op == "uitofp":
-            src_bits = inst.value.type.bits  # type: ignore[attr-defined]
-            return float(value & ((1 << src_bits) - 1))
-        if op == "bitcast":
-            return value
-        if op == "ptrtoint":
-            return wrap_signed(value, 64)
-        if op == "inttoptr":
-            return value & MASK64
-        raise ReproError(f"unknown cast {op}")
+        handler = _CAST_OPS.get(inst.opcode)
+        if handler is None:
+            raise ReproError(f"unknown cast {inst.opcode}")
+        return handler(inst, self._value_of(inst.value, frame))
 
     def _exec_select(self, inst: Select, frame: Frame):
         cond = self._value_of(inst.condition, frame)
@@ -402,74 +509,136 @@ class IRInterpreter:
 
 # -- arithmetic helpers ---------------------------------------------------------
 
-def _int_binop(op: str, a: int, b: int, bits: int) -> int:
-    if op == "add":
-        return wrap_signed(a + b, bits)
-    if op == "sub":
-        return wrap_signed(a - b, bits)
-    if op == "mul":
-        return wrap_signed(a * b, bits)
+def _ib_add(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a + b, bits)
+
+
+def _ib_sub(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a - b, bits)
+
+
+def _ib_mul(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a * b, bits)
+
+
+def _ib_sdiv(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        raise Trap(TrapKind.DIVIDE_ERROR, "sdiv by zero")
+    if a == -(1 << (bits - 1)) and b == -1:
+        raise Trap(TrapKind.DIVIDE_ERROR, "sdiv overflow")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _ib_srem(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        raise Trap(TrapKind.DIVIDE_ERROR, "srem by zero")
+    if a == -(1 << (bits - 1)) and b == -1:
+        raise Trap(TrapKind.DIVIDE_ERROR, "srem overflow")
+    q = abs(a) // abs(b)
+    q = -q if (a < 0) != (b < 0) else q
+    return a - q * b
+
+
+def _ib_udiv(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        raise Trap(TrapKind.DIVIDE_ERROR, "udiv by zero")
     mask = (1 << bits) - 1
-    if op == "sdiv":
-        if b == 0:
-            raise Trap(TrapKind.DIVIDE_ERROR, "sdiv by zero")
-        if a == -(1 << (bits - 1)) and b == -1:
-            raise Trap(TrapKind.DIVIDE_ERROR, "sdiv overflow")
-        q = abs(a) // abs(b)
-        return -q if (a < 0) != (b < 0) else q
-    if op == "srem":
-        if b == 0:
-            raise Trap(TrapKind.DIVIDE_ERROR, "srem by zero")
-        if a == -(1 << (bits - 1)) and b == -1:
-            raise Trap(TrapKind.DIVIDE_ERROR, "srem overflow")
-        q = abs(a) // abs(b)
-        q = -q if (a < 0) != (b < 0) else q
-        return a - q * b
-    if op == "udiv":
-        if b == 0:
-            raise Trap(TrapKind.DIVIDE_ERROR, "udiv by zero")
-        return wrap_signed((a & mask) // (b & mask), bits)
-    if op == "urem":
-        if b == 0:
-            raise Trap(TrapKind.DIVIDE_ERROR, "urem by zero")
-        return wrap_signed((a & mask) % (b & mask), bits)
-    if op == "and":
-        return wrap_signed(a & b, bits)
-    if op == "or":
-        return wrap_signed(a | b, bits)
-    if op == "xor":
-        return wrap_signed(a ^ b, bits)
+    return wrap_signed((a & mask) // (b & mask), bits)
+
+
+def _ib_urem(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        raise Trap(TrapKind.DIVIDE_ERROR, "urem by zero")
+    mask = (1 << bits) - 1
+    return wrap_signed((a & mask) % (b & mask), bits)
+
+
+def _ib_and(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a & b, bits)
+
+
+def _ib_or(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a | b, bits)
+
+
+def _ib_xor(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a ^ b, bits)
+
+
+def _shift_count(b: int, bits: int) -> int:
     # x86 masks shift counts to the operand width.
-    shift_mask = 63 if bits == 64 else 31
-    count = (b & mask) & shift_mask
-    if op == "shl":
-        return wrap_signed(a << count, bits)
-    if op == "lshr":
-        return wrap_signed((a & mask) >> count, bits)
-    if op == "ashr":
-        return wrap_signed(a >> count, bits)
-    raise ReproError(f"unknown binop {op}")
+    return (b & ((1 << bits) - 1)) & (63 if bits == 64 else 31)
+
+
+def _ib_shl(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a << _shift_count(b, bits), bits)
+
+
+def _ib_lshr(a: int, b: int, bits: int) -> int:
+    return wrap_signed((a & ((1 << bits) - 1)) >> _shift_count(b, bits), bits)
+
+
+def _ib_ashr(a: int, b: int, bits: int) -> int:
+    return wrap_signed(a >> _shift_count(b, bits), bits)
+
+
+#: opcode -> (a, b, bits) -> result; the per-opcode dispatch table behind
+#: :func:`_int_binop` and the interpreter's BinaryOp handler.
+_INT_BINOPS: Dict[str, Callable[[int, int, int], int]] = {
+    "add": _ib_add, "sub": _ib_sub, "mul": _ib_mul,
+    "sdiv": _ib_sdiv, "srem": _ib_srem,
+    "udiv": _ib_udiv, "urem": _ib_urem,
+    "and": _ib_and, "or": _ib_or, "xor": _ib_xor,
+    "shl": _ib_shl, "lshr": _ib_lshr, "ashr": _ib_ashr,
+}
+
+
+def _int_binop(op: str, a: int, b: int, bits: int) -> int:
+    handler = _INT_BINOPS.get(op)
+    if handler is None:
+        raise ReproError(f"unknown binop {op}")
+    return handler(a, b, bits)
+
+
+def _fb_fadd(a: float, b: float) -> float:
+    return a + b
+
+
+def _fb_fsub(a: float, b: float) -> float:
+    return a - b
+
+
+def _fb_fmul(a: float, b: float) -> float:
+    return a * b
+
+
+def _fb_fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return float("nan")
+        return float("inf") if (a > 0) == (math.copysign(1.0, b) > 0) \
+            else float("-inf")
+    return a / b
+
+
+def _fb_frem(a: float, b: float) -> float:
+    if b == 0.0:
+        return float("nan")
+    return math.fmod(a, b)
+
+
+_FLOAT_BINOPS: Dict[str, Callable[[float, float], float]] = {
+    "fadd": _fb_fadd, "fsub": _fb_fsub, "fmul": _fb_fmul,
+    "fdiv": _fb_fdiv, "frem": _fb_frem,
+}
 
 
 def _float_binop(op: str, a: float, b: float) -> float:
-    if op == "fadd":
-        return a + b
-    if op == "fsub":
-        return a - b
-    if op == "fmul":
-        return a * b
-    if op == "fdiv":
-        if b == 0.0:
-            if a == 0.0 or a != a:
-                return float("nan")
-            return float("inf") if (a > 0) == (math.copysign(1.0, b) > 0) \
-                else float("-inf")
-        return a / b
-    if op == "frem":
-        if b == 0.0:
-            return float("nan")
-        return math.fmod(a, b)
-    raise ReproError(f"unknown float binop {op}")
+    handler = _FLOAT_BINOPS.get(op)
+    if handler is None:
+        raise ReproError(f"unknown float binop {op}")
+    return handler(a, b)
 
 
 def _fptosi(value: float, bits: int) -> int:
@@ -482,3 +651,60 @@ def _fptosi(value: float, bits: int) -> int:
     if not (-(1 << (bits - 1)) <= truncated < (1 << (bits - 1))):
         return indefinite
     return truncated
+
+
+def _cast_trunc(inst: Cast, value):
+    return wrap_signed(value, inst.type.bits)  # type: ignore[attr-defined]
+
+
+def _cast_zext(inst: Cast, value):
+    src_bits = inst.value.type.bits  # type: ignore[attr-defined]
+    return value & ((1 << src_bits) - 1)
+
+
+def _cast_sext(inst: Cast, value):
+    return value  # already signed
+
+
+def _cast_fptosi(inst: Cast, value):
+    return _fptosi(value, inst.type.bits)  # type: ignore[attr-defined]
+
+
+def _cast_fptoui(inst: Cast, value):
+    bits = inst.type.bits  # type: ignore[attr-defined]
+    try:
+        result = int(value)
+    except (OverflowError, ValueError):
+        return wrap_signed(1 << (bits - 1), bits)
+    return wrap_signed(result & ((1 << bits) - 1), bits)
+
+
+def _cast_sitofp(inst: Cast, value):
+    return float(value)
+
+
+def _cast_uitofp(inst: Cast, value):
+    src_bits = inst.value.type.bits  # type: ignore[attr-defined]
+    return float(value & ((1 << src_bits) - 1))
+
+
+def _cast_bitcast(inst: Cast, value):
+    return value
+
+
+def _cast_ptrtoint(inst: Cast, value):
+    return wrap_signed(value, 64)
+
+
+def _cast_inttoptr(inst: Cast, value):
+    return value & MASK64
+
+
+#: opcode -> (inst, operand value) -> result; per-opcode cast dispatch.
+_CAST_OPS: Dict[str, Callable] = {
+    "trunc": _cast_trunc, "zext": _cast_zext, "sext": _cast_sext,
+    "fptosi": _cast_fptosi, "fptoui": _cast_fptoui,
+    "sitofp": _cast_sitofp, "uitofp": _cast_uitofp,
+    "bitcast": _cast_bitcast,
+    "ptrtoint": _cast_ptrtoint, "inttoptr": _cast_inttoptr,
+}

@@ -175,3 +175,11 @@ class BumpAllocator:
     def free(self, addr: int) -> None:
         # Intentionally a no-op; see class docstring.
         del addr
+
+    # -- snapshot support ---------------------------------------------------
+    def checkpoint(self) -> Tuple[int, int]:
+        """Frozen cursor state for :mod:`repro.vm.snapshot`."""
+        return (self._next, self.allocations)
+
+    def restore(self, state: Tuple[int, int]) -> None:
+        self._next, self.allocations = state

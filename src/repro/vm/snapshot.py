@@ -1,0 +1,166 @@
+"""Snapshot/restore of simulated machine state, shared by both engines.
+
+A :class:`MachineSnapshot` freezes everything one run needs to continue
+from an instruction boundary: register file (or SSA frame stack), mapped
+memory, heap-allocator cursor, call stack/location, output buffer and the
+executed-instruction count.  The engines expose ``capture()``/``restore()``
+built on it; the fault injectors use it to skip the fault-free prefix of
+every injection run (see :mod:`repro.fi.llfi` / :mod:`repro.fi.pinfi`).
+
+The contract that makes this a pure accelerator: a run restored from a
+snapshot retires the exact instruction stream the cold run would have
+retired from that boundary on — same memory bytes, same output, same
+``executed`` count, same traps.  Checkpoints are recorded during the
+(deterministic, hook-free-in-effect) golden run only, so they never embed
+fault state.
+
+Snapshots are in-process objects: frame states reference live IR/machine
+objects and are only valid for engines built over the same module/program
+instance (which is how the injectors use them — forked campaign workers
+inherit both the objects and the checkpoints).
+
+Memory is stored as the non-zero span of each region rather than a full
+copy: the 4 MiB heap and 1 MiB stack are almost entirely zero at any
+checkpoint, and a restore is then a memset plus a small memcpy instead of
+a multi-megabyte copy per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RegionImage:
+    """The bytes of one mapped region, trimmed to its non-zero span."""
+
+    name: str
+    base: int
+    size: int
+    #: Offset of the first non-zero byte (0 when the region is all zero).
+    start: int
+    #: Bytes from ``start`` to the last non-zero byte (b"" when all zero).
+    payload: bytes
+
+
+def capture_memory(memory) -> Tuple[RegionImage, ...]:
+    """Freeze every mapped region of a :class:`repro.vm.memory.Memory`."""
+    images = []
+    for region in memory.regions():
+        data = bytes(region.data)
+        end = len(data.rstrip(b"\x00"))
+        if end == 0:
+            images.append(RegionImage(region.name, region.base, region.size,
+                                      0, b""))
+            continue
+        start = len(data) - len(data.lstrip(b"\x00"))
+        images.append(RegionImage(region.name, region.base, region.size,
+                                  start, data[start:end]))
+    return tuple(images)
+
+
+def restore_memory(memory, images: Sequence[RegionImage]) -> None:
+    """Write captured region images back; bytes outside each payload span
+    are zeroed, so the result is bit-identical to the captured state."""
+    regions = memory.regions()
+    if len(regions) != len(images):
+        raise ReproError("snapshot does not match memory layout "
+                         f"({len(images)} regions vs {len(regions)})")
+    for region, image in zip(regions, images):
+        if (region.name, region.base, region.size) != \
+                (image.name, image.base, image.size):
+            raise ReproError(
+                f"snapshot region {image.name}@{image.base:#x} does not "
+                f"match mapped region {region.name}@{region.base:#x}")
+        data = region.data
+        end = image.start + len(image.payload)
+        if image.start:
+            data[:image.start] = bytes(image.start)
+        if image.payload:
+            data[image.start:end] = image.payload
+        if end < region.size:
+            data[end:] = bytes(region.size - end)
+
+
+@dataclass(frozen=True)
+class FrameState:
+    """One suspended IR-interpreter frame: where it resumes and its SSA
+    values.  For the innermost frame ``index`` is the next instruction to
+    execute; for every outer frame it is the pending ``call`` instruction
+    whose result the inner frame will produce."""
+
+    function: object
+    block: object
+    index: int
+    values: Dict[int, object]
+    saved_sp: int
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Machine state at one instruction boundary of a run."""
+
+    #: Instructions retired before this boundary.
+    executed: int
+    #: Simulated call depth at the boundary.
+    call_depth: int
+    #: Every mapped memory region (globals, heap, stack).
+    memory: Tuple[RegionImage, ...]
+    #: Heap-allocator cursor: (next free address, allocation count).
+    heap: Tuple[int, int]
+    #: Output buffer: (text emitted so far, size, truncated flag).
+    output: Tuple[str, int, bool]
+    #: Engine-specific payload: registers/xmm/flags/location for the
+    #: SimX86 simulator, the frame stack for the IR interpreter.
+    state: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A golden-run snapshot annotated with the per-category dynamic
+    candidate counts reached at its boundary, so an injector resuming here
+    can keep counting and still hit dynamic instance k exactly."""
+
+    snapshot: MachineSnapshot
+    counts: Dict[str, int]
+
+
+class CheckpointStore:
+    """Ordered golden-run checkpoints for one injector.
+
+    Checkpoints are appended in execution order, so both ``executed`` and
+    every per-category count are non-decreasing across the list — which is
+    what makes :meth:`best_for` a simple suffix scan.
+    """
+
+    def __init__(self, stride: int) -> None:
+        if stride <= 0:
+            raise ReproError(f"checkpoint stride must be positive: {stride}")
+        #: Resolved recording stride in instructions.
+        self.stride = stride
+        self._checkpoints: List[Checkpoint] = []
+
+    def record(self, snapshot: MachineSnapshot, counts: Dict[str, int]) -> None:
+        if self._checkpoints and \
+                snapshot.executed < self._checkpoints[-1].snapshot.executed:
+            raise ReproError("checkpoints must be recorded in execution order")
+        self._checkpoints.append(Checkpoint(snapshot, dict(counts)))
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    @property
+    def checkpoints(self) -> List[Checkpoint]:
+        return list(self._checkpoints)
+
+    def best_for(self, category: str, k: int) -> Optional[Checkpoint]:
+        """Latest checkpoint strictly before the k-th dynamic candidate of
+        ``category`` (i.e. with fewer than k candidates retired), or None
+        when even the first checkpoint is past it."""
+        for checkpoint in reversed(self._checkpoints):
+            if checkpoint.counts[category] < k:
+                return checkpoint
+        return None

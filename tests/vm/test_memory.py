@@ -61,6 +61,71 @@ class TestRegions:
         assert unmapped >= 40  # most single-bit flips escape the islands
 
 
+class TestRegionBoundaries:
+    """Edge cases around region boundaries and the hot-path region cache."""
+
+    @pytest.fixture
+    def mem(self):
+        m = Memory()
+        # Two adjacent regions plus one across a gap.
+        m.map_region("lo", 0x1000, 0x100)
+        m.map_region("hi", 0x1100, 0x100)
+        m.map_region("far", 0x9000, 0x100)
+        return m
+
+    def test_access_straddling_two_regions_traps(self, mem):
+        # Both halves are mapped, but no single region contains the access:
+        # region semantics require the *whole* access inside one region.
+        mem.write_int(0x10FC, 4, 1)  # last word of "lo"
+        mem.write_int(0x1100, 4, 2)  # first word of "hi"
+        with pytest.raises(Trap) as exc:
+            mem.read_int(0x10FE, 4)
+        assert exc.value.kind is TrapKind.SEGV
+        with pytest.raises(Trap):
+            mem.write_int(0x10FD, 8, 0)
+        # Byte accesses on either side still succeed.
+        assert mem.read_int(0x10FF, 1, signed=False) is not None
+        assert mem.read_int(0x1100, 1, signed=False) is not None
+
+    def test_unmapped_gap_between_regions_traps(self, mem):
+        with pytest.raises(Trap) as exc:
+            mem.read_int(0x1300, 4)  # between "hi" and "far"
+        assert exc.value.kind is TrapKind.SEGV
+        with pytest.raises(Trap):
+            mem.write_int(0x8FFF, 1, 1)  # one byte before "far"
+        assert not mem.is_mapped(0x1200)
+        assert mem.is_mapped(0x9000)
+
+    def test_last_region_cache_correct_after_miss(self, mem):
+        # Warm the cache on "lo", then miss to "far", then come back: every
+        # access must hit the region that actually contains the address,
+        # not the cached one.
+        mem.write_int(0x1000, 4, 0x11111111)
+        mem.write_int(0x9000, 4, 0x22222222)
+        assert mem.read_int(0x1000, 4, signed=False) == 0x11111111  # cache=lo
+        assert mem.read_int(0x9000, 4, signed=False) == 0x22222222  # miss->far
+        assert mem.read_int(0x1000, 4, signed=False) == 0x11111111  # miss->lo
+        # A failed lookup must not disturb the cache's correctness.
+        with pytest.raises(Trap):
+            mem.read_int(0x5000, 4)
+        assert mem.read_int(0x9000, 4, signed=False) == 0x22222222
+
+    def test_cache_does_not_leak_across_adjacent_regions(self, mem):
+        # An address in "hi" must never be served from a cached "lo" (offset
+        # arithmetic would silently read the wrong bytes if it were).
+        mem.write_bytes(0x10F0, b"\xAA" * 16)
+        mem.write_bytes(0x1100, b"\xBB" * 16)
+        assert mem.read_int(0x10F0, 1, signed=False) == 0xAA  # cache=lo
+        assert mem.read_int(0x1100, 1, signed=False) == 0xBB  # adjacent hit
+        assert mem.read_bytes(0x1108, 8) == b"\xBB" * 8
+
+    def test_cache_spanning_check_uses_region_bounds(self, mem):
+        # Cached region "lo" contains 0x10FC but not a 8-byte access there.
+        mem.read_int(0x1000, 4)  # cache=lo
+        with pytest.raises(Trap):
+            mem.read_int(0x10FC, 8)
+
+
 class TestAccessWidths:
     @pytest.fixture
     def mem(self):

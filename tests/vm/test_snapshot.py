@@ -1,0 +1,217 @@
+"""Tests for the snapshot/restore layer (vm/snapshot.py) on both engines.
+
+The load-bearing property: a run restored from any checkpoint must finish
+bit-identically to the cold run — same status, output, instruction count
+and exit value — on both the IR interpreter and the SimX86 simulator.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.vm.asmsim import AsmSimulator
+from repro.vm.irinterp import IRInterpreter
+from repro.vm.memory import Memory
+from repro.vm.snapshot import (
+    Checkpoint, CheckpointStore, MachineSnapshot, capture_memory,
+    restore_memory,
+)
+from tests.conftest import compile_both
+
+#: Exercises recursion (suspended frames), heap allocation, doubles,
+#: globals and mixed int/double arithmetic — everything a snapshot must
+#: carry across the capture/restore boundary.
+SRC = """
+double acc;
+int calls;
+
+int fib(int n) {
+    calls = calls + 1;
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+    long *buf = (long*)malloc(10 * sizeof(long));
+    int i;
+    for (i = 0; i < 10; i++) buf[i] = (long)fib(i % 7) * (i + 1);
+    acc = 0.0;
+    for (i = 0; i < 10; i++) acc = acc + (double)buf[i] * 0.5;
+    print_double(acc); print_char(10);
+    print_int(calls); print_char(10);
+    print_long(buf[9]);
+    return (int)acc % 97;
+}
+"""
+
+
+def _result_tuple(result):
+    return (result.status, result.output, result.instructions,
+            result.exit_value)
+
+
+class TestMemoryImages:
+    def test_roundtrip_bit_identical(self):
+        mem = Memory()
+        mem.map_region("a", 0x1000, 0x100)
+        mem.map_region("b", 0x4000, 0x1000)
+        mem.write_bytes(0x1010, b"\x01\x02\x00\x03")
+        mem.write_bytes(0x4FF0, b"tail")
+        images = capture_memory(mem)
+        before = [bytes(r.data) for r in mem.regions()]
+        # Scribble, then restore: every byte must come back.
+        mem.write_bytes(0x1000, b"\xFF" * 0x100)
+        mem.write_bytes(0x4000, b"\xEE" * 0x1000)
+        restore_memory(mem, images)
+        assert [bytes(r.data) for r in mem.regions()] == before
+
+    def test_images_trim_zero_span(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x1000)
+        mem.write_bytes(0x1400, b"x")
+        (image,) = capture_memory(mem)
+        assert image.start == 0x400
+        assert image.payload == b"x"
+
+    def test_all_zero_region(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x100)
+        (image,) = capture_memory(mem)
+        assert image.payload == b""
+        mem.write_bytes(0x1000, b"junk")
+        restore_memory(mem, (image,))
+        assert bytes(mem.regions()[0].data) == bytes(0x100)
+
+    def test_layout_mismatch_rejected(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x100)
+        images = capture_memory(mem)
+        other = Memory()
+        other.map_region("other", 0x1000, 0x100)
+        with pytest.raises(ReproError):
+            restore_memory(other, images)
+        third = Memory()
+        with pytest.raises(ReproError):
+            restore_memory(third, images)
+
+
+class TestCheckpointStore:
+    def _snap(self, executed):
+        return MachineSnapshot(executed=executed, call_depth=1, memory=(),
+                               heap=(0, 0), output=("", 0, False))
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ReproError):
+            CheckpointStore(0)
+        with pytest.raises(ReproError):
+            CheckpointStore(-5)
+
+    def test_records_in_order_only(self):
+        store = CheckpointStore(10)
+        store.record(self._snap(10), {"all": 3})
+        store.record(self._snap(20), {"all": 7})
+        with pytest.raises(ReproError):
+            store.record(self._snap(15), {"all": 5})
+        assert len(store) == 2
+
+    def test_best_for_picks_last_before_kth_candidate(self):
+        store = CheckpointStore(10)
+        store.record(self._snap(10), {"all": 3, "load": 0})
+        store.record(self._snap(20), {"all": 7, "load": 2})
+        store.record(self._snap(30), {"all": 12, "load": 2})
+        # k=8: the checkpoint at executed=20 has seen 7 < 8 candidates.
+        assert store.best_for("all", 8).snapshot.executed == 20
+        # k=13 is past every checkpoint: latest one still qualifies.
+        assert store.best_for("all", 13).snapshot.executed == 30
+        # k=1: no checkpoint has fewer than 1 "all" candidate.
+        assert store.best_for("all", 1) is None
+        # Ties on the count pick the latest eligible checkpoint.
+        assert store.best_for("load", 3).snapshot.executed == 30
+
+    def test_counts_are_copied(self):
+        store = CheckpointStore(10)
+        counts = {"all": 1}
+        store.record(self._snap(10), counts)
+        counts["all"] = 99
+        assert store.checkpoints[0].counts == {"all": 1}
+
+
+@pytest.fixture(scope="module")
+def built():
+    return compile_both(SRC)
+
+
+def _record_ir(module, stride):
+    snaps = []
+    interp = IRInterpreter(module, checkpoint_stride=stride,
+                           checkpoint_sink=snaps.append)
+    return interp.run(), snaps
+
+
+def _record_asm(program, stride):
+    snaps = []
+    sim = AsmSimulator(program, checkpoint_stride=stride,
+                       checkpoint_sink=snaps.append)
+    return sim.run(), snaps
+
+
+class TestResumeEquivalence:
+    """Resume from *every* checkpoint and require the cold run's result."""
+
+    def test_ir_resume_matches_cold_from_every_checkpoint(self, built):
+        module, _ = built
+        cold = IRInterpreter(module).run()
+        assert cold.completed
+        recorded, snaps = _record_ir(module, max(1, cold.instructions // 13))
+        assert _result_tuple(recorded) == _result_tuple(cold)
+        assert len(snaps) >= 5
+        for snap in snaps:
+            interp = IRInterpreter(module)
+            interp.restore(snap)
+            assert _result_tuple(interp.run()) == _result_tuple(cold), \
+                f"diverged resuming at executed={snap.executed}"
+
+    def test_asm_resume_matches_cold_from_every_checkpoint(self, built):
+        _, program = built
+        cold = AsmSimulator(program).run()
+        assert cold.completed
+        recorded, snaps = _record_asm(program,
+                                      max(1, cold.instructions // 13))
+        assert _result_tuple(recorded) == _result_tuple(cold)
+        assert len(snaps) >= 5
+        for snap in snaps:
+            sim = AsmSimulator(program)
+            sim.restore(snap)
+            assert _result_tuple(sim.run()) == _result_tuple(cold), \
+                f"diverged resuming at executed={snap.executed}"
+
+    def test_snapshot_reusable_across_restores(self, built):
+        # Snapshots are shared across trials: restoring twice from the
+        # same snapshot must give the same result both times (the first
+        # resumed run must not mutate the snapshot).
+        module, program = built
+        for cold, snaps, engine in [
+            (*_record_ir(module, 200), lambda: IRInterpreter(module)),
+            (*_record_asm(program, 200), lambda: AsmSimulator(program)),
+        ]:
+            snap = snaps[len(snaps) // 2]
+            first = engine()
+            first.restore(snap)
+            r1 = first.run()
+            second = engine()
+            second.restore(snap)
+            r2 = second.run()
+            assert _result_tuple(r1) == _result_tuple(r2) \
+                == _result_tuple(cold)
+
+    def test_checkpoints_cover_run_at_stride(self, built):
+        module, _ = built
+        cold = IRInterpreter(module).run()
+        stride = max(1, cold.instructions // 10)
+        _, snaps = _record_ir(module, stride)
+        executed = [s.executed for s in snaps]
+        assert executed == sorted(executed)
+        # Consecutive checkpoints are at least one stride apart and the
+        # whole run is covered with no gap much larger than a stride.
+        for a, b in zip(executed, executed[1:]):
+            assert b - a >= stride
+        assert executed[0] <= stride + cold.instructions // 10
