@@ -50,8 +50,11 @@ IMM32_MAX = (1 << 31) - 1
 _ICMP_COND = {"eq": "e", "ne": "ne", "slt": "l", "sle": "le", "sgt": "g",
               "sge": "ge", "ult": "b", "ule": "be", "ugt": "a", "uge": "ae"}
 
-#: fcmp predicate -> (swap operands?, condition code)
-_FCMP_COND = {"oeq": (False, "eq_o"), "one": (False, "ne_uo"),
+#: fcmp predicate -> (swap operands?, condition code). After ucomisd,
+#: unordered sets ZF=PF=CF=1, so ``ne_uo`` (ZF=0 or PF=1) is true on NaN
+#: while ``ne_o`` (ZF=0 and PF=0) is false — matching une vs one.
+_FCMP_COND = {"oeq": (False, "eq_o"), "one": (False, "ne_o"),
+              "une": (False, "ne_uo"),
               "ogt": (False, "a"), "oge": (False, "ae"),
               "olt": (True, "a"), "ole": (True, "ae")}
 

@@ -9,10 +9,21 @@ establish that:
   source has multiple successors and whose target has multiple predecessors;
 * ``remove_single_pred_phis`` — a phi in a single-predecessor block is just
   a rename; replace it with its unique incoming value.
+
+A third pass, ``order_blocks_rpo``, reorders each function's block list
+into reverse post-order. Instruction selection walks ``func.blocks`` in
+list order and requires every non-phi operand to have been selected
+already; codegen emits blocks in *creation* order, which differs from a
+dominance-compatible order whenever a loop's exit block (created early as
+the ``break`` target) ends up listed before blocks created for later
+statements of the loop body. In RPO a dominator always precedes the
+blocks it dominates, which is exactly the def-before-use guarantee isel
+needs (phis are exempt: their destinations are pre-created).
 """
 
 from __future__ import annotations
 
+from repro.ir.analysis import reachable_blocks
 from repro.ir.instructions import Branch
 from repro.ir.module import Function, Module
 from repro.ir.verifier import verify_module
@@ -65,9 +76,28 @@ def remove_single_pred_phis(module: Module) -> int:
     return count
 
 
+def order_blocks_rpo(module: Module) -> int:
+    """Reorder every function's block list into reverse post-order from
+    the entry. Unreachable blocks are removed (they have no dominance
+    relation to the rest of the CFG, so their operands may legitimately
+    be "used" before any def isel will ever see). Returns the number of
+    functions whose block list changed."""
+    changed = 0
+    for func in module.defined_functions():
+        rpo = reachable_blocks(func)
+        live = {id(b) for b in rpo}
+        for block in [b for b in func.blocks if id(b) not in live]:
+            func.remove_block(block)
+        if func.blocks != rpo:
+            func.blocks = list(rpo)
+            changed += 1
+    return changed
+
+
 def prepare_for_backend(module: Module, verify: bool = True) -> None:
-    """Run both preparation passes (idempotent)."""
+    """Run all preparation passes (idempotent)."""
     remove_single_pred_phis(module)
     split_critical_edges(module)
+    order_blocks_rpo(module)
     if verify:
         verify_module(module)

@@ -63,9 +63,9 @@ CONDITION_FLAGS: Dict[str, Tuple[str, ...]] = {
     "b": ("CF",), "ae": ("CF",),
     "be": ("CF", "ZF"), "a": ("CF", "ZF"),
     "p": ("PF",), "np": ("PF",),
-    # synthetic ordered-equality conditions used for fcmp oeq/one
+    # synthetic (un)ordered-equality conditions used for fcmp oeq/one/une
     # (real compilers emit jp+je pairs; one fused jcc keeps blocks simple)
-    "eq_o": ("ZF", "PF"), "ne_uo": ("ZF", "PF"),
+    "eq_o": ("ZF", "PF"), "ne_uo": ("ZF", "PF"), "ne_o": ("ZF", "PF"),
 }
 
 
@@ -100,6 +100,8 @@ def evaluate_condition(cond: str, flags: Dict[str, int]) -> bool:
         return zf == 1 and pf == 0
     if cond == "ne_uo":
         return zf == 0 or pf == 1
+    if cond == "ne_o":
+        return zf == 0 and pf == 0
     raise BackendError(f"unknown condition {cond}")
 
 

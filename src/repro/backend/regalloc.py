@@ -141,8 +141,10 @@ def compute_intervals(mfunc: MFunction) -> Tuple[List[Interval], List[int]]:
                 touch(v, pos)
             pos += 1
 
+    # Inclusive endpoints: a call first-in-block sits exactly at a live-in
+    # touch position when the defining block is laid out after it.
     for iv in ivals.values():
-        iv.crosses_call = any(iv.start < c < iv.end for c in call_positions)
+        iv.crosses_call = any(iv.start <= c <= iv.end for c in call_positions)
     out = sorted(ivals.values(), key=lambda iv: (iv.start, iv.end))
     return out, call_positions
 
@@ -256,7 +258,7 @@ def linear_scan(mfunc: MFunction, intervals: List[Interval],
         order = (_POOLS[cls]["caller"] + _POOLS[cls]["callee"]
                  if not interval.crosses_call else _POOLS[cls]["callee"])
         for name in order:
-            if name in free[cls]:
+            if name in free[cls] and usable(interval, name):
                 return name, None
         return None, None
 

@@ -76,6 +76,22 @@ def injector_for_spec(spec: InjectorSpec) -> Injector:
     return injector
 
 
+def forget_workload(workload: str) -> None:
+    """Evict every cached injector for a workload (parent process only).
+
+    Needed when a workload name is reused with different source — e.g.
+    the differential fuzzer registers each generated program under a
+    temporary name. The pool warm-set is reset too, so a later parallel
+    campaign re-forks rather than trusting stale inherited caches."""
+    stale = [key for key, inj in _INJECTORS.items()
+             if getattr(inj, "workload_name", None) == workload
+             or f"workload={workload!r}" in key]
+    for key in stale:
+        del _INJECTORS[key]
+    if stale and _POOL is not None:
+        shutdown_pool()
+
+
 def _run_chunk(task: Tuple[InjectorSpec, str, CampaignConfig, List[int]]
                ) -> List[SlotResult]:
     """Worker entry point: execute one chunk of pre-assigned slot indices."""

@@ -36,7 +36,10 @@ FLOAT_BINARY_OPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
 BINARY_OPS = INT_BINARY_OPS + FLOAT_BINARY_OPS
 
 ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
-FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge")
+#: Ordered predicates are false when either operand is NaN; ``une`` is
+#: the one unordered predicate (true on NaN) — it is what C's ``!=`` and
+#: floating-point truthiness lower to.
+FCMP_PREDICATES = ("oeq", "one", "une", "olt", "ole", "ogt", "oge")
 
 CAST_OPS = (
     "trunc", "zext", "sext", "fptosi", "fptoui", "sitofp", "uitofp",

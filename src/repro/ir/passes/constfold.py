@@ -139,9 +139,9 @@ def _icmp(pred: str, lhs: ConstantInt, rhs: ConstantInt) -> bool:
 
 
 def _fcmp(pred: str, a: float, b: float) -> bool:
-    if a != a or b != b:  # NaN: ordered predicates are all false
-        return False
+    if a != a or b != b:  # NaN: only the unordered predicate holds
+        return pred == "une"
     return {
-        "oeq": a == b, "one": a != b,
+        "oeq": a == b, "one": a != b, "une": a != b,
         "olt": a < b, "ole": a <= b, "ogt": a > b, "oge": a >= b,
     }[pred]

@@ -491,7 +491,9 @@ class CodeGenerator:
 
     _ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
              ">": "sgt", ">=": "sge"}
-    _FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole",
+    # C's != compares unequal when unordered (NaN != x is true), so it
+    # lowers to the unordered predicate; every other comparison is ordered.
+    _FCMP = {"==": "oeq", "!=": "une", "<": "olt", "<=": "ole",
              ">": "ogt", ">=": "oge"}
 
     def _gen_comparison(self, expr: ast.Binary) -> Value:
@@ -551,7 +553,8 @@ class CodeGenerator:
         value = self._gen_expr(expr)
         ct = decay(expr.ctype)
         if isinstance(ct, CDouble):
-            return self.builder.fcmp("one", value, ConstantDouble(0.0))
+            # NaN is truthy in C (NaN != 0.0), hence unordered not-equal.
+            return self.builder.fcmp("une", value, ConstantDouble(0.0))
         if isinstance(ct, CPointer):
             null = ConstantNull(value.type)  # type: ignore[arg-type]
             return self.builder.icmp("ne", value, null)

@@ -1,0 +1,39 @@
+"""Differential fuzzing harness for the fault-injection reproduction.
+
+The accuracy comparison between LLFI (IR level) and PINFI (assembly
+level) is only meaningful if the two execution engines are semantically
+equivalent on fault-free runs, if the optimization pipeline preserves
+behaviour, and if the perf machinery (checkpoint-resume, the parallel
+campaign engine) is a pure accelerator. This package turns those
+invariants into a generative test:
+
+* :mod:`repro.testing.progen` — seeded random well-typed MiniC programs
+  exercising every construct the accuracy gap comes from;
+* :mod:`repro.testing.oracle` — a multi-way differential oracle over one
+  program: IR interpreter vs SimX86, full pass pipeline vs -O0,
+  checkpoint-restore vs cold start, campaign jobs=1 vs jobs=N;
+* :mod:`repro.testing.shrink` — delta debugging on the MiniC AST,
+  reducing a diverging program to a minimal repro;
+* :mod:`repro.testing.corpus` — persistence/replay of shrunken repros as
+  permanent regression cases (``tests/corpus/``);
+* :mod:`repro.testing.fuzz` — the ``python -m repro.testing.fuzz`` CLI
+  tying it all together.
+"""
+
+from repro.testing.progen import GenConfig, generate_program
+from repro.testing.oracle import Divergence, OracleConfig, check_program
+from repro.testing.shrink import shrink_source
+from repro.testing.unparse import unparse
+from repro.testing.corpus import load_corpus, save_divergence
+
+__all__ = [
+    "GenConfig",
+    "generate_program",
+    "Divergence",
+    "OracleConfig",
+    "check_program",
+    "shrink_source",
+    "unparse",
+    "load_corpus",
+    "save_divergence",
+]

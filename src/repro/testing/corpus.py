@@ -1,0 +1,75 @@
+"""Persistence and replay of shrunken divergence repros.
+
+Every divergence the fuzzer finds is shrunk and written to
+``tests/corpus/`` as a ``.c`` file with a structured header comment, so
+a bug found once becomes a permanent regression case: the corpus is
+replayed through the full oracle by ``tests/testing/test_corpus.py`` on
+every test run, with no fuzzing involved.
+
+File names are content-addressed (``<check>-<digest>.c``), so re-finding
+a known bug is a no-op rather than a duplicate file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.testing.oracle import Divergence
+
+_HEADER_RE = re.compile(r"^// (check|seed|detail): ?(.*)$")
+
+
+def default_corpus_dir(start: Optional[Path] = None) -> Path:
+    """``tests/corpus/`` relative to the repository root (found by walking
+    up from this file past ``src/``)."""
+    here = start or Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "tests").is_dir() and (parent / "src").is_dir():
+            return parent / "tests" / "corpus"
+    raise FileNotFoundError("could not locate the repository root")
+
+
+def corpus_name(divergence: Divergence) -> str:
+    digest = hashlib.sha256(divergence.source.encode()).hexdigest()[:12]
+    check = re.sub(r"[^a-z0-9]+", "-", divergence.check.lower()).strip("-")
+    return f"{check}-{digest}.c"
+
+
+def save_divergence(divergence: Divergence,
+                    corpus_dir: Optional[Path] = None) -> Path:
+    """Write one (already shrunken) divergence; returns the file path.
+    Idempotent: identical source for the same check reuses the file."""
+    corpus_dir = corpus_dir or default_corpus_dir()
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / corpus_name(divergence)
+    header = [f"// check: {divergence.check}"]
+    if divergence.seed is not None:
+        header.append(f"// seed: {divergence.seed}")
+    for line in divergence.detail.splitlines():
+        header.append(f"// detail: {line}")
+    path.write_text("\n".join(header) + "\n" + divergence.source)
+    return path
+
+
+def load_corpus(corpus_dir: Optional[Path] = None
+                ) -> List[Tuple[Path, str, str]]:
+    """All corpus entries as (path, check, source). The header comment is
+    part of the source (MiniC comments are skipped by the lexer), so the
+    source replays as stored."""
+    corpus_dir = corpus_dir or default_corpus_dir()
+    if not corpus_dir.is_dir():
+        return []
+    entries = []
+    for path in sorted(corpus_dir.glob("*.c")):
+        source = path.read_text()
+        check = "unknown"
+        for line in source.splitlines():
+            m = _HEADER_RE.match(line)
+            if m and m.group(1) == "check":
+                check = m.group(2).strip()
+                break
+        entries.append((path, check, source))
+    return entries

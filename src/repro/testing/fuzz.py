@@ -1,0 +1,127 @@
+"""``python -m repro.testing.fuzz`` — the differential fuzzing CLI.
+
+Generates ``--count`` seeded MiniC programs, runs each through the
+multi-way oracle, shrinks any divergence to a minimal repro, and writes
+the repro to the corpus directory. Exit status is the number of
+divergent seeds (0 = all layers agree on every program), so CI can run
+this directly as a smoke job::
+
+    PYTHONPATH=src python -m repro.testing.fuzz --seed 20140623 --count 200
+
+Campaign-determinism checks re-run the whole program hundreds of times,
+so they are sampled (every ``--campaign-every``-th seed) rather than run
+on all of them; ``--campaign-every 0`` disables them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.testing.corpus import default_corpus_dir, save_divergence
+from repro.testing.oracle import (
+    Divergence, OracleConfig, check_program, parity_predicate,
+)
+from repro.testing.progen import GenConfig, generate_program
+from repro.testing.shrink import shrink_source
+
+
+def fuzz_one(seed: int, config: OracleConfig,
+             gen_config: Optional[GenConfig] = None) -> List[Divergence]:
+    """Generate program ``seed``, run the oracle, return its divergences."""
+    source = generate_program(seed, gen_config)
+    try:
+        return check_program(source, config, seed=seed)
+    except Exception as exc:  # oracle crash: report, don't kill the run
+        return [Divergence(check="oracle-crash",
+                           detail=f"{type(exc).__name__}: {exc}",
+                           source=source, seed=seed)]
+
+
+def shrink_divergence(divergence: Divergence,
+                      config: OracleConfig,
+                      max_attempts: int = 800) -> Divergence:
+    """Shrink a divergence's program while *some* check still fails.
+
+    The predicate accepts any divergence (not only the original check):
+    a smaller program that trips a different layer is still a minimal
+    repro worth keeping, and holding out for the exact same check makes
+    many reductions spuriously "invalid"."""
+    reduced = shrink_source(divergence.source, parity_predicate(config),
+                            max_attempts=max_attempts)
+    if reduced == divergence.source:
+        return divergence
+    after = check_program(reduced, config, seed=divergence.seed)
+    if after:
+        return after[0]
+    return divergence
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.fuzz",
+        description="differential fuzzing of the fault-injection stack")
+    parser.add_argument("--seed", type=int, default=20140623,
+                        help="base seed; program i uses seed+i")
+    parser.add_argument("--count", type=int, default=200,
+                        help="number of programs to generate")
+    parser.add_argument("--max-seconds", type=float, default=0,
+                        help="stop early after this wall-clock budget "
+                             "(0 = no limit)")
+    parser.add_argument("--campaign-every", type=int, default=0,
+                        help="run campaign-determinism checks on every "
+                             "N-th seed (0 = never)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without minimizing them")
+    parser.add_argument("--corpus-dir", type=Path, default=None,
+                        help="where to write shrunken repros "
+                             "(default: tests/corpus/)")
+    parser.add_argument("--shrink-attempts", type=int, default=800)
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    base_config = OracleConfig()
+    campaign_config = OracleConfig(check_campaigns=True)
+    corpus_dir = args.corpus_dir or default_corpus_dir()
+
+    start = time.monotonic()
+    checked = 0
+    divergent_seeds = []
+    for i in range(args.count):
+        if args.max_seconds and time.monotonic() - start > args.max_seconds:
+            print(f"time budget reached after {checked} programs",
+                  file=sys.stderr)
+            break
+        seed = args.seed + i
+        with_campaign = (args.campaign_every > 0
+                         and i % args.campaign_every == 0)
+        config = campaign_config if with_campaign else base_config
+        divergences = fuzz_one(seed, config)
+        checked += 1
+        if not divergences:
+            if not args.quiet and checked % 50 == 0:
+                print(f"{checked}/{args.count} ok", file=sys.stderr)
+            continue
+        divergent_seeds.append(seed)
+        for divergence in divergences:
+            print(f"DIVERGENCE {divergence.describe()}", file=sys.stderr)
+        keep = divergences[0]
+        if not args.no_shrink:
+            keep = shrink_divergence(keep, base_config,
+                                     max_attempts=args.shrink_attempts)
+        path = save_divergence(keep, corpus_dir)
+        print(f"  repro ({len(keep.source.splitlines())} lines) -> {path}",
+              file=sys.stderr)
+
+    elapsed = time.monotonic() - start
+    print(f"checked {checked} programs in {elapsed:.1f}s: "
+          f"{len(divergent_seeds)} divergent"
+          + (f" (seeds {divergent_seeds})" if divergent_seeds else ""))
+    return len(divergent_seeds)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,652 @@
+"""Seeded random MiniC program generator.
+
+``generate_program(seed)`` emits a self-contained, well-typed MiniC
+program that is deterministic per seed, always passes semantic analysis,
+always terminates, and never traps on a fault-free run. Programs
+exercise the constructs the paper's LLFI-vs-PINFI accuracy gap comes
+from — array indexing / GEP address arithmetic, int<->float casts,
+phi-producing control flow (if/else, loops, ternaries), recursion,
+double-precision arithmetic, globals, struct + heap access — so the
+differential oracle (:mod:`repro.testing.oracle`) can compare every
+execution layer on inputs no hand-written test anticipated.
+
+Safety is structural, not checked after the fact:
+
+* every loop has a dedicated counter no other statement may write and a
+  constant trip count;
+* recursive helpers take an explicit depth driver ``n`` that only ever
+  decreases, with literal call depths <= 8;
+* integer divisors/shift counts are masked into safe ranges at emission
+  (``((e & 15) + 1)``, ``(e & 7)``);
+* array indices are masked to the (power-of-two) array size;
+* local arrays are filled before first read; global arrays start zeroed.
+
+Double-precision division is left unguarded on purpose: inf/NaN
+propagation is deterministic and must agree across engines (the parity
+suite pins that down), so it is exactly the kind of input worth fuzzing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Scalar MiniC types the generator draws from, weighted: char arithmetic
+#: wraps at 8 bits and is interesting but noisy, so it is rarer.
+_SCALAR_TYPES = ("int", "int", "int", "long", "long", "double", "double",
+                 "char")
+_INT_TYPES = ("int", "long", "char")
+
+_INT_BINOPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%")
+_DOUBLE_BINOPS = ("+", "-", "*", "/")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+#: Power-of-two array sizes (mask = size - 1 keeps indices in bounds).
+_ARRAY_SIZES = (4, 8, 16)
+
+
+@dataclass
+class GenConfig:
+    """Knobs for program size/shape. Defaults give ~30-80 line programs
+    that run in well under a million simulated instructions."""
+
+    max_expr_depth: int = 3
+    main_statements: Tuple[int, int] = (5, 12)
+    loop_bound: Tuple[int, int] = (2, 12)
+    max_loop_depth: int = 2
+    max_helpers: int = 2
+    recursion_depth: Tuple[int, int] = (2, 8)
+    #: Probability of appending one of the feature templates (heap
+    #: structs, 2D stencil) to main.
+    template_prob: float = 0.35
+
+
+@dataclass
+class _Func:
+    """A generated helper function callable from expressions."""
+
+    name: str
+    ret: str
+    params: List[Tuple[str, str]]  # (type, name)
+    #: Recursive helpers' first param is a depth driver that must be a
+    #: small literal at call sites.
+    recursive: bool = False
+
+
+@dataclass
+class _Scope:
+    """Variables visible to the expression generator."""
+
+    scalars: Dict[str, str] = field(default_factory=dict)   # name -> type
+    arrays: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: 2D arrays: name -> (elem type, rows, cols).
+    arrays2d: Dict[str, Tuple[str, int, int]] = field(default_factory=dict)
+    #: Loop counters are readable but never assignment targets.
+    counters: List[str] = field(default_factory=list)
+
+    def mutable(self) -> List[str]:
+        return [n for n in self.scalars if n not in self.counters]
+
+
+class ProgramGenerator:
+    def __init__(self, seed: int, config: Optional[GenConfig] = None) -> None:
+        self.rng = random.Random(seed)
+        self.config = config or GenConfig()
+        self.seed = seed
+        self._uid = 0
+        self.funcs: List[_Func] = []
+        self.lines: List[str] = []
+        self.indent = 0
+
+    # -- emission helpers ---------------------------------------------------
+    def name(self, prefix: str) -> str:
+        self._uid += 1
+        return f"{prefix}{self._uid}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # -- literals -----------------------------------------------------------
+    def int_literal(self) -> str:
+        rng = self.rng
+        pick = rng.random()
+        if pick < 0.15:
+            return str(rng.choice((0, 1, 2)))
+        value = rng.randint(-999, 999)
+        return str(value) if value >= 0 else f"(-{-value})"
+
+    def double_literal(self) -> str:
+        rng = self.rng
+        if rng.random() < 0.2:
+            return rng.choice(("0.0", "1.0", "0.5", "2.0", "1e3", "0.001"))
+        value = round(rng.uniform(-100.0, 100.0), 3)
+        text = repr(abs(value))
+        if "." not in text and "e" not in text:
+            text += ".0"
+        return text if value >= 0 else f"(-{text})"
+
+    def literal(self, ctype: str) -> str:
+        if ctype == "double":
+            return self.double_literal()
+        if ctype == "char":
+            value = self.rng.randint(-128, 127)
+            return str(value) if value >= 0 else f"(-{-value})"
+        return self.int_literal()
+
+    # -- expressions --------------------------------------------------------
+    def expr(self, ctype: str, scope: _Scope, depth: int = 0) -> str:
+        """A side-effect-free expression of (convertible-to) ``ctype``."""
+        rng = self.rng
+        if depth >= self.config.max_expr_depth or rng.random() < 0.25:
+            return self._leaf(ctype, scope)
+        roll = rng.random()
+        if roll < 0.55:
+            return self._binary(ctype, scope, depth)
+        if roll < 0.67:
+            op = "~" if ctype != "double" and rng.random() < 0.5 else "-"
+            return f"({op}{self.expr(ctype, scope, depth + 1)})"
+        if roll < 0.79:
+            return self._cast(ctype, scope, depth)
+        if roll < 0.9:
+            cond = self.condition(scope, depth + 1)
+            a = self.expr(ctype, scope, depth + 1)
+            b = self.expr(ctype, scope, depth + 1)
+            return f"({cond} ? {a} : {b})"
+        call = self._call(ctype, scope, depth)
+        return call if call is not None else self._binary(ctype, scope, depth)
+
+    def _leaf(self, ctype: str, scope: _Scope) -> str:
+        rng = self.rng
+        choices: List[str] = [self.literal(ctype)]
+        same_type = [n for n, t in scope.scalars.items() if t == ctype]
+        if same_type:
+            choices.extend(rng.choice(same_type) for _ in range(3))
+        other = [n for n, t in scope.scalars.items()
+                 if t != ctype and (t == "double") == (ctype == "double")]
+        if other:
+            choices.append(rng.choice(other))
+        reads = self._array_reads(ctype, scope)
+        if reads:
+            choices.append(rng.choice(reads))
+        return rng.choice(choices)
+
+    def _array_reads(self, ctype: str, scope: _Scope) -> List[str]:
+        reads = []
+        for name, (elem, size) in scope.arrays.items():
+            if elem == ctype:
+                reads.append(f"{name}[{self._index(scope, size)}]")
+        for name, (elem, rows, cols) in scope.arrays2d.items():
+            if elem == ctype:
+                reads.append(f"{name}[{self._index(scope, rows)}]"
+                             f"[{self._index(scope, cols)}]")
+        return reads
+
+    def _index(self, scope: _Scope, size: int) -> str:
+        """An always-in-bounds index expression (& with a pow2 mask is
+        non-negative even for negative operands)."""
+        rng = self.rng
+        ints = [n for n, t in scope.scalars.items() if t in _INT_TYPES]
+        if ints and rng.random() < 0.8:
+            base = rng.choice(ints)
+            if rng.random() < 0.4:
+                base = f"({base} + {rng.randint(0, size)})"
+        else:
+            base = str(rng.randint(0, size - 1))
+        return f"({base} & {size - 1})"
+
+    def _binary(self, ctype: str, scope: _Scope, depth: int) -> str:
+        rng = self.rng
+        if ctype == "double":
+            op = rng.choice(_DOUBLE_BINOPS)
+            lhs = self.expr("double", scope, depth + 1)
+            rhs = self.expr("double", scope, depth + 1)
+            return f"({lhs} {op} {rhs})"
+        op = rng.choice(_INT_BINOPS)
+        lhs = self.expr(ctype, scope, depth + 1)
+        if op in ("/", "%"):
+            rhs = f"(({self.expr(ctype, scope, depth + 1)} & 15) + 1)"
+        elif op in ("<<", ">>"):
+            rhs = f"({self.expr(ctype, scope, depth + 1)} & 7)"
+        else:
+            rhs = self.expr(ctype, scope, depth + 1)
+        return f"({lhs} {op} {rhs})"
+
+    def _cast(self, ctype: str, scope: _Scope, depth: int) -> str:
+        src = self.rng.choice(
+            _SCALAR_TYPES if ctype != "double"
+            else ("int", "long", "char", "double"))
+        inner = self.expr(src, scope, depth + 1)
+        return f"(({ctype})({inner}))"
+
+    def _call(self, ctype: str, scope: _Scope, depth: int) -> Optional[str]:
+        rng = self.rng
+        usable = [f for f in self.funcs if f.ret == ctype]
+        if not usable:
+            return None
+        func = rng.choice(usable)
+        args = []
+        for i, (ptype, _pname) in enumerate(func.params):
+            if func.recursive and i == 0:
+                args.append(str(rng.randint(0, self.config.recursion_depth[1])))
+            else:
+                args.append(self.expr(ptype, scope, depth + 1))
+        return f"{func.name}({', '.join(args)})"
+
+    def condition(self, scope: _Scope, depth: int = 0) -> str:
+        rng = self.rng
+        if rng.random() < 0.75:
+            ctype = rng.choice(("int", "int", "long", "double"))
+            op = rng.choice(_CMP_OPS)
+            lhs = self.expr(ctype, scope, depth + 1)
+            rhs = self.expr(ctype, scope, depth + 1)
+            return f"({lhs} {op} {rhs})"
+        inner = self.expr("int", scope, depth + 1)
+        return f"(({inner}) & 1)" if rng.random() < 0.5 else f"({inner})"
+
+    # -- statements ---------------------------------------------------------
+    def gen_statement(self, scope: _Scope, loop_depth: int,
+                      in_loop: bool) -> None:
+        rng = self.rng
+        weights = [
+            (0.24, self._stmt_assign),
+            (0.14, self._stmt_compound_assign),
+            (0.10, self._stmt_incdec),
+            (0.14, self._stmt_array_store),
+            (0.10, self._stmt_decl),
+            (0.08, self._stmt_print),
+        ]
+        if loop_depth < self.config.max_loop_depth:
+            weights.append((0.12, self._stmt_loop))
+        weights.append((0.12, self._stmt_if))
+        if in_loop:
+            weights.append((0.04, self._stmt_break_continue))
+        total = sum(w for w, _ in weights)
+        roll = rng.random() * total
+        for weight, fn in weights:
+            roll -= weight
+            if roll <= 0:
+                fn(scope, loop_depth, in_loop)
+                return
+        weights[-1][1](scope, loop_depth, in_loop)
+
+    def _stmt_assign(self, scope: _Scope, loop_depth: int,
+                     in_loop: bool) -> None:
+        targets = scope.mutable()
+        if not targets:
+            return self._stmt_decl(scope, loop_depth, in_loop)
+        name = self.rng.choice(targets)
+        self.emit(f"{name} = {self.expr(scope.scalars[name], scope)};")
+
+    def _stmt_compound_assign(self, scope: _Scope, loop_depth: int,
+                              in_loop: bool) -> None:
+        targets = scope.mutable()
+        if not targets:
+            return self._stmt_decl(scope, loop_depth, in_loop)
+        rng = self.rng
+        name = rng.choice(targets)
+        ctype = scope.scalars[name]
+        if ctype == "double":
+            op = rng.choice(("+=", "-=", "*="))
+            self.emit(f"{name} {op} {self.expr('double', scope)};")
+            return
+        op = rng.choice(("+=", "-=", "*=", "&=", "|=", "^=", "<<=", ">>="))
+        if op in ("<<=", ">>="):
+            value = f"({self.expr(ctype, scope)} & 7)"
+        else:
+            value = self.expr(ctype, scope)
+        self.emit(f"{name} {op} {value};")
+
+    def _stmt_incdec(self, scope: _Scope, loop_depth: int,
+                     in_loop: bool) -> None:
+        targets = [n for n in scope.mutable()
+                   if scope.scalars[n] != "double"]
+        if not targets:
+            return self._stmt_assign(scope, loop_depth, in_loop)
+        rng = self.rng
+        name = rng.choice(targets)
+        op = rng.choice(("++", "--"))
+        if rng.random() < 0.5:
+            self.emit(f"{name}{op};")
+        else:
+            self.emit(f"{op}{name};")
+
+    def _stmt_array_store(self, scope: _Scope, loop_depth: int,
+                          in_loop: bool) -> None:
+        rng = self.rng
+        stores = []
+        for name, (elem, size) in scope.arrays.items():
+            stores.append((f"{name}[{self._index(scope, size)}]", elem))
+        for name, (elem, rows, cols) in scope.arrays2d.items():
+            stores.append((f"{name}[{self._index(scope, rows)}]"
+                           f"[{self._index(scope, cols)}]", elem))
+        if not stores:
+            return self._stmt_assign(scope, loop_depth, in_loop)
+        target, elem = rng.choice(stores)
+        if rng.random() < 0.3:
+            op = "+=" if elem == "double" else rng.choice(("+=", "^=", "-="))
+            self.emit(f"{target} {op} {self.expr(elem, scope)};")
+        else:
+            self.emit(f"{target} = {self.expr(elem, scope)};")
+
+    def _stmt_decl(self, scope: _Scope, loop_depth: int,
+                   in_loop: bool) -> None:
+        rng = self.rng
+        if loop_depth == 0 and rng.random() < 0.25:
+            # Local array + fill loop (alloca contents are not read before
+            # being written).
+            elem = rng.choice(("int", "long", "double"))
+            size = rng.choice(_ARRAY_SIZES)
+            name = self.name("a")
+            counter = self.name("i")
+            self.emit(f"{elem} {name}[{size}];")
+            self.emit(f"int {counter};")
+            self.emit(f"for ({counter} = 0; {counter} < {size}; "
+                      f"{counter}++) {{")
+            self.indent += 1
+            fill = self.expr(elem, scope, depth=self.config.max_expr_depth - 1)
+            if elem == "double":
+                self.emit(f"{name}[{counter}] = {fill} + "
+                          f"(double){counter};")
+            else:
+                self.emit(f"{name}[{counter}] = {fill} + {counter};")
+            self.indent -= 1
+            self.emit("}")
+            scope.arrays[name] = (elem, size)
+            scope.scalars[counter] = "int"
+            return
+        ctype = rng.choice(_SCALAR_TYPES)
+        name = self.name("v")
+        self.emit(f"{ctype} {name} = {self.expr(ctype, scope)};")
+        scope.scalars[name] = ctype
+
+    def _stmt_print(self, scope: _Scope, loop_depth: int,
+                    in_loop: bool) -> None:
+        self.emit(self._print_of(self.rng.choice(_SCALAR_TYPES), scope))
+
+    def _print_of(self, ctype: str, scope: _Scope) -> str:
+        value = self.expr(ctype, scope)
+        if ctype == "double":
+            return f"print_double({value}); print_char(10);"
+        if ctype == "long":
+            return f"print_long({value}); print_char(10);"
+        return f"print_int({value}); print_char(10);"
+
+    def _stmt_loop(self, scope: _Scope, loop_depth: int,
+                   in_loop: bool) -> None:
+        rng = self.rng
+        bound = rng.randint(*self.config.loop_bound)
+        counter = self.name("i")
+        body_scope = _Scope(dict(scope.scalars), dict(scope.arrays),
+                            dict(scope.arrays2d), list(scope.counters))
+        body_scope.scalars[counter] = "int"
+        body_scope.counters.append(counter)
+        kind = rng.random()
+        if kind < 0.6:
+            step = rng.choice(("++", " += 1", " += 2"))
+            self.emit(f"int {counter};")
+            self.emit(f"for ({counter} = 0; {counter} < {bound}; "
+                      f"{counter}{step.strip() if step == '++' else step}) {{")
+        elif kind < 0.85:
+            self.emit(f"int {counter} = {bound};")
+            self.emit(f"while ({counter} > 0) {{")
+        else:
+            self.emit(f"int {counter} = {rng.randint(1, bound)};")
+            self.emit("do {")
+        self.indent += 1
+        # break/continue are only safe where the loop step still runs (a
+        # `continue` in a while/do-while body would skip the decrement
+        # below and hang), so only for-loop bodies allow them.
+        body_in_loop = kind < 0.6
+        for _ in range(rng.randint(1, 3)):
+            self.gen_statement(body_scope, loop_depth + 1, body_in_loop)
+        if kind >= 0.6:
+            self.emit(f"{counter} = {counter} - 1;")
+        self.indent -= 1
+        if kind < 0.85:
+            self.emit("}")
+        else:
+            self.emit(f"}} while ({counter} > 0);")
+        # Declarations from inside the loop body are out of scope now;
+        # only the counter survives for for/while (declared outside).
+        scope.scalars[counter] = "int"
+
+    def _stmt_if(self, scope: _Scope, loop_depth: int,
+                 in_loop: bool) -> None:
+        rng = self.rng
+        cond = self.condition(scope)
+        self.emit(f"if {cond} {{")
+        self.indent += 1
+        inner = _Scope(dict(scope.scalars), dict(scope.arrays),
+                       dict(scope.arrays2d), list(scope.counters))
+        for _ in range(rng.randint(1, 2)):
+            self.gen_statement(inner, loop_depth, in_loop)
+        self.indent -= 1
+        if rng.random() < 0.5:
+            self.emit("} else {")
+            self.indent += 1
+            inner = _Scope(dict(scope.scalars), dict(scope.arrays),
+                           dict(scope.arrays2d), list(scope.counters))
+            for _ in range(rng.randint(1, 2)):
+                self.gen_statement(inner, loop_depth, in_loop)
+            self.indent -= 1
+        self.emit("}")
+
+    def _stmt_break_continue(self, scope: _Scope, loop_depth: int,
+                             in_loop: bool) -> None:
+        word = self.rng.choice(("break", "continue"))
+        self.emit(f"if {self.condition(scope)} {{ {word}; }}")
+
+    # -- helper functions ----------------------------------------------------
+    def gen_helper(self, global_scope: _Scope) -> None:
+        rng = self.rng
+        recursive = rng.random() < 0.5
+        ret = rng.choice(("int", "long", "double"))
+        name = self.name("f")
+        if recursive:
+            xtype = rng.choice(("int", "long", "double"))
+            params = [("int", "n"), (xtype, "x")]
+            func = _Func(name, ret, params, recursive=True)
+            scope = _Scope(dict(global_scope.scalars),
+                           dict(global_scope.arrays),
+                           dict(global_scope.arrays2d))
+            scope.scalars.update({"n": "int", "x": xtype})
+            scope.counters.append("n")
+            self.emit(f"{ret} {name}(int n, {xtype} x) {{")
+            self.indent += 1
+            base = self.expr(ret, scope, depth=1)
+            self.emit(f"if (n <= 0) {{ return {base}; }}")
+            if rng.random() < 0.5:
+                self.gen_statement(scope, self.config.max_loop_depth, False)
+            rec_arg = self.expr(xtype, scope, depth=2)
+            rec_call = f"{name}(n - 1, {rec_arg})"
+            other = self.expr(ret, scope, depth=2)
+            if ret == "double":
+                op = rng.choice(_DOUBLE_BINOPS[:3])
+                combined = f"(({ret})({rec_call}) {op} ({ret})({other}))"
+            else:
+                op = rng.choice(("+", "-", "*", "^"))
+                combined = f"(({ret})({rec_call}) {op} ({ret})({other}))"
+            self.emit(f"return {combined};")
+            self.indent -= 1
+            self.emit("}")
+        else:
+            nparams = rng.randint(1, 3)
+            params = [(rng.choice(("int", "long", "double")), f"p{i}")
+                      for i in range(nparams)]
+            func = _Func(name, ret, params)
+            scope = _Scope(dict(global_scope.scalars),
+                           dict(global_scope.arrays),
+                           dict(global_scope.arrays2d))
+            scope.scalars.update({pname: ptype for ptype, pname in params})
+            sig = ", ".join(f"{t} {n}" for t, n in params)
+            self.emit(f"{ret} {name}({sig}) {{")
+            self.indent += 1
+            for _ in range(rng.randint(0, 2)):
+                self.gen_statement(scope, self.config.max_loop_depth - 1,
+                                   False)
+            self.emit(f"return {self.expr(ret, scope)};")
+            self.indent -= 1
+            self.emit("}")
+        self.emit("")
+        self.funcs.append(func)
+
+    # -- feature templates ---------------------------------------------------
+    def template_heap_structs(self, scope: _Scope) -> None:
+        """malloc'd struct array: GEP with struct strides + heap loads."""
+        rng = self.rng
+        count = rng.randint(2, 8)
+        sname = self.name("S")
+        ptr = self.name("ps")
+        counter = self.name("i")
+        self.struct_lines.append(
+            f"struct {sname} {{ int a; double b; long c; }};")
+        self.emit(f"struct {sname} *{ptr} = (struct {sname}*)"
+                  f"malloc({count} * sizeof(struct {sname}));")
+        self.emit(f"int {counter};")
+        self.emit(f"for ({counter} = 0; {counter} < {count}; {counter}++) {{")
+        self.indent += 1
+        self.emit(f"{ptr}[{counter}].a = {self.expr('int', scope, 2)} "
+                  f"+ {counter};")
+        self.emit(f"{ptr}[{counter}].b = {self.expr('double', scope, 2)};")
+        self.emit(f"{ptr}[{counter}].c = (long){counter} * "
+                  f"{rng.randint(1, 99)};")
+        self.indent -= 1
+        self.emit("}")
+        sa, sb, sc = self.name("v"), self.name("v"), self.name("v")
+        self.emit(f"int {sa} = 0; double {sb} = 0.0; long {sc} = 0;")
+        self.emit(f"for ({counter} = 0; {counter} < {count}; {counter}++) {{")
+        self.indent += 1
+        self.emit(f"{sa} += {ptr}[{counter}].a;")
+        self.emit(f"{sb} += {ptr}[{counter}].b;")
+        self.emit(f"{sc} += {ptr}[{counter}].c;")
+        self.indent -= 1
+        self.emit("}")
+        self.emit(f"print_int({sa}); print_char(32); "
+                  f"print_double({sb}); print_char(32); print_long({sc}); "
+                  f"print_char(10);")
+        self.emit(f"free((char*){ptr});")
+        scope.scalars.update({sa: "int", sb: "double", sc: "long",
+                              counter: "int"})
+
+    def template_stencil(self, scope: _Scope) -> None:
+        """2D global-array stencil: nested loops + 2D GEP."""
+        rng = self.rng
+        size = rng.choice((4, 8))
+        grid = self.name("m")
+        self.global_lines.append(f"int {grid}[{size}][{size}];")
+        i, j = self.name("i"), self.name("j")
+        total = self.name("v")
+        self.emit(f"int {i}; int {j}; int {total} = 0;")
+        self.emit(f"for ({i} = 0; {i} < {size}; {i}++) {{")
+        self.indent += 1
+        self.emit(f"for ({j} = 0; {j} < {size}; {j}++) {{")
+        self.indent += 1
+        self.emit(f"{grid}[{i}][{j}] = ({i} * {size} + {j}) ^ "
+                  f"{rng.randint(0, 255)};")
+        self.indent -= 1
+        self.emit("}")
+        self.indent -= 1
+        self.emit("}")
+        self.emit(f"for ({i} = 1; {i} < {size - 1}; {i}++) {{")
+        self.indent += 1
+        self.emit(f"for ({j} = 1; {j} < {size - 1}; {j}++) {{")
+        self.indent += 1
+        self.emit(f"{total} += {grid}[{i}-1][{j}] + {grid}[{i}+1][{j}] "
+                  f"+ {grid}[{i}][{j}-1] + {grid}[{i}][{j}+1] "
+                  f"- 4 * {grid}[{i}][{j}];")
+        self.indent -= 1
+        self.emit("}")
+        self.indent -= 1
+        self.emit("}")
+        self.emit(f"print_int({total}); print_char(10);")
+        scope.scalars.update({i: "int", j: "int", total: "int"})
+        scope.arrays2d[grid] = ("int", size, size)
+
+    # -- program assembly ----------------------------------------------------
+    def generate(self) -> str:
+        rng = self.rng
+        self.struct_lines: List[str] = []
+        self.global_lines: List[str] = []
+        global_scope = _Scope()
+
+        # Globals: zero or literal-initialized scalars + zeroed arrays.
+        for _ in range(rng.randint(0, 3)):
+            ctype = rng.choice(_SCALAR_TYPES)
+            name = self.name("g")
+            if rng.random() < 0.6:
+                init = (self.double_literal() if ctype == "double"
+                        else str(rng.randint(0, 999)))
+                if init.startswith("("):  # no unary minus in global inits
+                    init = init[2:-1]
+                self.global_lines.append(f"{ctype} {name} = {init};")
+            else:
+                self.global_lines.append(f"{ctype} {name};")
+            global_scope.scalars[name] = ctype
+        for _ in range(rng.randint(0, 2)):
+            elem = rng.choice(("int", "long", "double"))
+            size = rng.choice(_ARRAY_SIZES)
+            name = self.name("ga")
+            self.global_lines.append(f"{elem} {name}[{size}];")
+            global_scope.arrays[name] = (elem, size)
+
+        # Helper functions (emitted into self.lines first, spliced later).
+        for _ in range(rng.randint(0, self.config.max_helpers)):
+            self.gen_helper(global_scope)
+        helper_lines, self.lines = self.lines, []
+
+        # main
+        self.emit("int main() {")
+        self.indent += 1
+        scope = _Scope(dict(global_scope.scalars), dict(global_scope.arrays),
+                       dict(global_scope.arrays2d))
+        for _ in range(rng.randint(2, 4)):
+            self._stmt_decl(scope, self.config.max_loop_depth, False)
+        for _ in range(rng.randint(*self.config.main_statements)):
+            self.gen_statement(scope, 0, False)
+        if rng.random() < self.config.template_prob:
+            template = rng.choice((self.template_heap_structs,
+                                   self.template_stencil))
+            template(scope)
+
+        # Checksum epilogue: print every scalar and an accumulated digest
+        # of every array, so any state difference becomes an output
+        # difference the oracle can see.
+        for name in sorted(scope.scalars):
+            ctype = scope.scalars[name]
+            fn = {"double": "print_double", "long": "print_long"}.get(
+                ctype, "print_int")
+            self.emit(f"{fn}({name}); print_char(32);")
+        for name in sorted(scope.arrays):
+            elem, size = scope.arrays[name]
+            acc = self.name("v")
+            counter = self.name("i")
+            acc_t = "double" if elem == "double" else "long"
+            self.emit(f"{acc_t} {acc} = 0; int {counter};")
+            self.emit(f"for ({counter} = 0; {counter} < {size}; "
+                      f"{counter}++) {{")
+            self.indent += 1
+            if elem == "double":
+                self.emit(f"{acc} += {name}[{counter}] * "
+                          f"(double)({counter} + 1);")
+            else:
+                self.emit(f"{acc} += ({acc_t}){name}[{counter}] * "
+                          f"({counter} + 1);")
+            self.indent -= 1
+            self.emit("}")
+            fn = "print_double" if elem == "double" else "print_long"
+            self.emit(f"{fn}({acc}); print_char(32);")
+        self.emit("print_char(10);")
+        self.emit("return 0;")
+        self.indent -= 1
+        self.emit("}")
+
+        header = [f"// progen seed={self.seed}", ""]
+        parts = (header + self.struct_lines + self.global_lines + [""]
+                 + helper_lines + self.lines)
+        return "\n".join(parts) + "\n"
+
+
+def generate_program(seed: int, config: Optional[GenConfig] = None) -> str:
+    """Generate one deterministic, well-typed, terminating MiniC program."""
+    return ProgramGenerator(seed, config).generate()

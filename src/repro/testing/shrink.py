@@ -1,0 +1,214 @@
+"""Delta debugging on the MiniC AST.
+
+``shrink_source(source, still_fails)`` reduces a diverging program to a
+(locally) minimal repro: it parses the program, repeatedly applies the
+smallest AST edit that keeps the caller's failure predicate true, and
+returns the reduced source. Candidate edits are tried from coarse to
+fine — drop whole functions/globals/structs, drop statements, unwrap
+control flow (``if``/loops replaced by a taken body), then simplify
+expressions (binary -> operand, call -> literal, cast -> operand...).
+Every candidate is validated through the real parser and semantic
+analyzer before the predicate runs, so the shrinker can propose
+type-unsafe edits freely and let sema veto them.
+
+The predicate receives candidate *source text* and must return True when
+the candidate still exhibits the original failure (e.g. "the oracle
+still reports an engine-parity divergence"). Predicates should be
+deterministic; the shrinker memoises them per candidate text.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+from repro.testing.unparse import unparse
+
+#: A path from the Program root to a node: ('attr', name) / ('item', i).
+Path = Tuple[Tuple[str, object], ...]
+
+#: (field name,) attributes that hold child statements/expressions.
+_STMT_FIELDS = {
+    ast.Block: ("statements",),
+    ast.If: ("cond", "then", "otherwise"),
+    ast.While: ("cond", "body"),
+    ast.DoWhile: ("body", "cond"),
+    ast.For: ("init", "cond", "step", "body"),
+    ast.Return: ("value",),
+    ast.ExprStmt: ("expr",),
+    ast.VarDecl: ("init",),
+}
+
+_EXPR_FIELDS = {
+    ast.Unary: ("operand",),
+    ast.Binary: ("lhs", "rhs"),
+    ast.Assign: ("target", "value"),
+    ast.IncDec: ("target",),
+    ast.Conditional: ("cond", "then", "otherwise"),
+    ast.Call: ("args",),
+    ast.Index: ("base", "index"),
+    ast.Member: ("base",),
+    ast.CastExpr: ("operand",),
+}
+
+
+def _resolve(root: object, path: Path) -> object:
+    node = root
+    for kind, key in path:
+        node = getattr(node, key) if kind == "attr" else node[key]  # type: ignore[index]
+    return node
+
+
+def _replace(root: object, path: Path, value: object) -> None:
+    parent = _resolve(root, path[:-1])
+    kind, key = path[-1]
+    if kind == "attr":
+        setattr(parent, key, value)
+    else:
+        parent[key] = value  # type: ignore[index]
+
+
+def _delete(root: object, path: Path) -> None:
+    parent = _resolve(root, path[:-1])
+    kind, key = path[-1]
+    assert kind == "item"
+    del parent[key]  # type: ignore[arg-type]
+
+
+def _walk(node: object, path: Path) -> Iterator[Tuple[Path, object]]:
+    """Yield (path, node) for every statement/expression under ``node``."""
+    if isinstance(node, list):
+        for i, item in enumerate(node):
+            yield from _walk(item, path + (("item", i),))
+        return
+    if node is None:
+        return
+    yield path, node
+    fields = _STMT_FIELDS.get(type(node)) or _EXPR_FIELDS.get(type(node))
+    if fields:
+        for name in fields:
+            yield from _walk(getattr(node, name),
+                             path + (("attr", name),))
+
+
+# -- candidate edits -----------------------------------------------------------
+
+def _candidate_edits(program: ast.Program
+                     ) -> List[Tuple[int, Path, Optional[object], str]]:
+    """All single edits to try, as (priority, path, replacement, label).
+    ``replacement is None`` means delete (path must end in a list item).
+    Lower priority = coarser reduction, tried first."""
+    edits: List[Tuple[int, Path, Optional[object], str]] = []
+    for i, func in enumerate(program.functions):
+        if func.name != "main":
+            edits.append((0, (("attr", "functions"), ("item", i)), None,
+                          f"drop function {func.name}"))
+    for i, g in enumerate(program.globals):
+        edits.append((0, (("attr", "globals"), ("item", i)), None,
+                      f"drop global {g.name}"))
+    for i, struct in enumerate(program.structs):
+        edits.append((0, (("attr", "structs"), ("item", i)), None,
+                      f"drop struct {struct.name}"))
+
+    for func in program.functions:
+        if func.body is None:
+            continue
+        fidx = program.functions.index(func)
+        base: Path = (("attr", "functions"), ("item", fidx), ("attr", "body"))
+        for path, node in _walk(func.body, base):
+            if isinstance(node, ast.Stmt):
+                if path[-1][0] == "item":
+                    edits.append((1, path, None, "drop statement"))
+                if isinstance(node, ast.If):
+                    edits.append((2, path, node.then, "if -> then"))
+                    if node.otherwise is not None:
+                        edits.append((2, path, node.otherwise, "if -> else"))
+                elif isinstance(node, (ast.While, ast.DoWhile)):
+                    edits.append((2, path, node.body, "loop -> body"))
+                elif isinstance(node, ast.For):
+                    edits.append((2, path, node.body, "loop -> body"))
+            elif isinstance(node, ast.Expr):
+                if isinstance(node, ast.Binary):
+                    edits.append((3, path, node.lhs, "binary -> lhs"))
+                    edits.append((3, path, node.rhs, "binary -> rhs"))
+                elif isinstance(node, ast.Conditional):
+                    edits.append((3, path, node.then, "?: -> then"))
+                    edits.append((3, path, node.otherwise, "?: -> else"))
+                elif isinstance(node, ast.CastExpr):
+                    edits.append((3, path, node.operand, "cast -> operand"))
+                elif isinstance(node, ast.Unary):
+                    edits.append((3, path, node.operand, "unary -> operand"))
+                elif isinstance(node, ast.Call):
+                    edits.append((3, path, ast.IntLiteral(1), "call -> 1"))
+                elif isinstance(node, ast.IncDec):
+                    edits.append((3, path, node.target, "incdec -> target"))
+                elif isinstance(node, ast.Index):
+                    edits.append((4, path, ast.IntLiteral(0), "index -> 0"))
+                elif isinstance(node, ast.IntLiteral) and node.value not in (0, 1):
+                    edits.append((5, path, ast.IntLiteral(1), "int -> 1"))
+                elif isinstance(node, ast.FloatLiteral) \
+                        and node.value not in (0.0, 1.0):
+                    edits.append((5, path, ast.FloatLiteral(1.0),
+                                  "float -> 1.0"))
+    edits.sort(key=lambda e: e[0])
+    return edits
+
+
+def _apply_edit(program: ast.Program, path: Path,
+                replacement: Optional[object]) -> ast.Program:
+    reduced = copy.deepcopy(program)
+    if replacement is None:
+        _delete(reduced, path)
+    else:
+        _replace(reduced, path, copy.deepcopy(replacement))
+    return reduced
+
+
+def is_valid(source: str) -> bool:
+    """Does the candidate still lex/parse/type-check?"""
+    try:
+        analyze(parse(source))
+        return True
+    except Exception:
+        return False
+
+
+def shrink_source(source: str,
+                  still_fails: Callable[[str], bool],
+                  max_attempts: int = 800) -> str:
+    """Greedy AST delta debugging: repeatedly apply the first candidate
+    edit that keeps ``still_fails(source)`` true, until no edit applies
+    or the attempt budget is exhausted. Returns the reduced source (the
+    original if nothing could be removed)."""
+    best_src = source
+    try:
+        best = parse(source)
+    except Exception:
+        return source
+    tried = {source}
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for _prio, path, replacement, _label in _candidate_edits(best):
+            if attempts >= max_attempts:
+                break
+            try:
+                candidate = _apply_edit(best, path, replacement)
+                cand_src = unparse(candidate)
+            except Exception:
+                continue
+            if cand_src in tried:
+                continue
+            tried.add(cand_src)
+            if not is_valid(cand_src):
+                continue
+            attempts += 1
+            if still_fails(cand_src):
+                best, best_src = candidate, cand_src
+                progress = True
+                break
+    return best_src

@@ -1,0 +1,162 @@
+"""MiniC AST -> source text.
+
+The inverse of :mod:`repro.minic.parser`, used by the shrinker to render
+reduced ASTs back into compilable programs. Expressions are fully
+parenthesized, so operator precedence can never change meaning across a
+round trip; every control-flow body is braced, so there is no dangling
+else. ``parse(unparse(parse(s)))`` is structurally identical to
+``parse(s)`` for any program the parser accepts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast_nodes as ast
+
+_STRING_ESCAPES = {"\n": "\\n", "\t": "\\t", "\r": "\\r", "\0": "\\0",
+                   "\\": "\\\\", '"': '\\"'}
+
+
+def type_and_dims(t: ast.CType) -> "tuple[str, List[int]]":
+    """Split a declaration type into its base-type spelling and the array
+    dimensions, outermost first (``int x[2][3]`` -> ("int", [2, 3]))."""
+    dims: List[int] = []
+    while isinstance(t, ast.CArray):
+        dims.append(t.count)
+        t = t.element
+    return str(t), dims
+
+
+def format_decl(t: ast.CType, name: str) -> str:
+    base, dims = type_and_dims(t)
+    return f"{base} {name}" + "".join(f"[{d}]" for d in dims)
+
+
+def format_expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.IntLiteral):
+        if e.value < 0:
+            return f"(-{-e.value})"
+        return str(e.value)
+    if isinstance(e, ast.FloatLiteral):
+        value = e.value
+        text = repr(abs(value))
+        if "." not in text and "e" not in text and "E" not in text:
+            text += ".0"
+        return f"(-{text})" if value < 0 else text
+    if isinstance(e, ast.StringLiteral):
+        body = "".join(_STRING_ESCAPES.get(c, c) for c in e.value)
+        return f'"{body}"'
+    if isinstance(e, ast.NameRef):
+        return e.name
+    if isinstance(e, ast.Unary):
+        return f"({e.op}{format_expr(e.operand)})"
+    if isinstance(e, ast.Binary):
+        return f"({format_expr(e.lhs)} {e.op} {format_expr(e.rhs)})"
+    if isinstance(e, ast.Assign):
+        return f"{format_expr(e.target)} {e.op} {format_expr(e.value)}"
+    if isinstance(e, ast.IncDec):
+        if e.is_prefix:
+            return f"({e.op}{format_expr(e.target)})"
+        return f"({format_expr(e.target)}{e.op})"
+    if isinstance(e, ast.Conditional):
+        return (f"({format_expr(e.cond)} ? {format_expr(e.then)}"
+                f" : {format_expr(e.otherwise)})")
+    if isinstance(e, ast.Call):
+        return f"{e.name}({', '.join(format_expr(a) for a in e.args)})"
+    if isinstance(e, ast.Index):
+        return f"{format_expr(e.base)}[{format_expr(e.index)}]"
+    if isinstance(e, ast.Member):
+        op = "->" if e.arrow else "."
+        return f"{format_expr(e.base)}{op}{e.field_name}"
+    if isinstance(e, ast.CastExpr):
+        return f"(({e.target_type})({format_expr(e.operand)}))"
+    if isinstance(e, ast.SizeOf):
+        base, dims = type_and_dims(e.target_type)
+        return f"sizeof({base}{''.join(f'[{d}]' for d in dims)})"
+    raise TypeError(f"cannot unparse expression {type(e).__name__}")
+
+
+def _format_stmt(s: ast.Stmt, out: List[str], indent: int) -> None:
+    pad = "    " * indent
+    if isinstance(s, ast.Block):
+        out.append(pad + "{")
+        for inner in s.statements:
+            _format_stmt(inner, out, indent + 1)
+        out.append(pad + "}")
+    elif isinstance(s, ast.ExprStmt):
+        out.append(f"{pad}{format_expr(s.expr)};")
+    elif isinstance(s, ast.VarDecl):
+        init = f" = {format_expr(s.init)}" if s.init is not None else ""
+        out.append(f"{pad}{format_decl(s.var_type, s.name)}{init};")
+    elif isinstance(s, ast.If):
+        out.append(f"{pad}if ({format_expr(s.cond)})")
+        _format_body(s.then, out, indent)
+        if s.otherwise is not None:
+            out.append(pad + "else")
+            _format_body(s.otherwise, out, indent)
+    elif isinstance(s, ast.While):
+        out.append(f"{pad}while ({format_expr(s.cond)})")
+        _format_body(s.body, out, indent)
+    elif isinstance(s, ast.DoWhile):
+        out.append(pad + "do")
+        _format_body(s.body, out, indent)
+        out.append(f"{pad}while ({format_expr(s.cond)});")
+    elif isinstance(s, ast.For):
+        if s.init is None:
+            init = ""
+        elif isinstance(s.init, ast.VarDecl):
+            init_txt = f" = {format_expr(s.init.init)}" \
+                if s.init.init is not None else ""
+            init = format_decl(s.init.var_type, s.init.name) + init_txt
+        else:
+            assert isinstance(s.init, ast.ExprStmt)
+            init = format_expr(s.init.expr)
+        cond = format_expr(s.cond) if s.cond is not None else ""
+        step = format_expr(s.step) if s.step is not None else ""
+        out.append(f"{pad}for ({init}; {cond}; {step})")
+        _format_body(s.body, out, indent)
+    elif isinstance(s, ast.Return):
+        if s.value is None:
+            out.append(pad + "return;")
+        else:
+            out.append(f"{pad}return {format_expr(s.value)};")
+    elif isinstance(s, ast.Break):
+        out.append(pad + "break;")
+    elif isinstance(s, ast.Continue):
+        out.append(pad + "continue;")
+    else:
+        raise TypeError(f"cannot unparse statement {type(s).__name__}")
+
+
+def _format_body(s: ast.Stmt, out: List[str], indent: int) -> None:
+    """Render a control-flow body, always braced."""
+    if isinstance(s, ast.Block):
+        _format_stmt(s, out, indent)
+    else:
+        pad = "    " * indent
+        out.append(pad + "{")
+        _format_stmt(s, out, indent + 1)
+        out.append(pad + "}")
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a (parsed or reduced) program back to MiniC source."""
+    out: List[str] = []
+    for struct in program.structs:
+        out.append(f"struct {struct.name} {{")
+        for ftype, fname in struct.fields:
+            out.append(f"    {format_decl(ftype, fname)};")
+        out.append("};")
+    for g in program.globals:
+        init = f" = {format_expr(g.init)}" if g.init is not None else ""
+        out.append(f"{format_decl(g.var_type, g.name)}{init};")
+    for func in program.functions:
+        params = ", ".join(format_decl(p.ptype, p.name) for p in func.params)
+        header = f"{func.return_type} {func.name}({params})"
+        if func.body is None:
+            out.append(f"{header};")
+            continue
+        out.append(header)
+        _format_stmt(func.body, out, 0)
+    return "\n".join(out) + "\n"

@@ -428,9 +428,10 @@ class IRInterpreter:
         a = self._value_of(inst.lhs, frame)
         b = self._value_of(inst.rhs, frame)
         if a != a or b != b:
-            return 0  # ordered predicates are false on NaN
+            # Unordered: only ``une`` holds; ordered predicates are false.
+            return int(inst.predicate == "une")
         return int({
-            "oeq": a == b, "one": a != b,
+            "oeq": a == b, "one": a != b, "une": a != b,
             "olt": a < b, "ole": a <= b, "ogt": a > b, "oge": a >= b,
         }[inst.predicate])
 

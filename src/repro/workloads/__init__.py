@@ -26,7 +26,8 @@ both injectors; results are cached per process.
 """
 
 from repro.workloads.registry import (
-    BuiltWorkload, Workload, all_workloads, build, get, workload_names,
+    BuiltWorkload, Workload, all_workloads, build, get, temporary_workload,
+    unregister, workload_names,
 )
 
 __all__ = [
@@ -35,5 +36,7 @@ __all__ = [
     "all_workloads",
     "build",
     "get",
+    "temporary_workload",
+    "unregister",
     "workload_names",
 ]

@@ -36,6 +36,7 @@ class BuiltWorkload:
 
 _REGISTRY: Dict[str, Workload] = {}
 _BUILD_CACHE: Dict[str, BuiltWorkload] = {}
+_LOADED = False
 
 
 def register(workload: Workload) -> Workload:
@@ -45,9 +46,37 @@ def register(workload: Workload) -> Workload:
     return workload
 
 
+def unregister(name: str) -> None:
+    """Remove a dynamically registered workload and its build cache entry."""
+    _REGISTRY.pop(name, None)
+    _BUILD_CACHE.pop(name, None)
+
+
+def temporary_workload(workload: Workload):
+    """Context manager registering ``workload`` for the duration of a
+    ``with`` block. Used by the differential fuzzer to run generated
+    programs through the real campaign machinery."""
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _ctx():
+        register(workload)
+        try:
+            yield workload
+        finally:
+            unregister(workload.name)
+
+    return _ctx()
+
+
 def _ensure_loaded() -> None:
-    if _REGISTRY:
+    # A plain truthiness check on _REGISTRY would be wrong here: a
+    # dynamically registered workload (e.g. a fuzzer temporary) arriving
+    # before the first lookup would mask the six built-in workloads.
+    global _LOADED
+    if _LOADED:
         return
+    _LOADED = True
     # Importing the modules registers the workloads.
     from repro.workloads import (  # noqa: F401
         bzip2m, hmmerm, libquantumm, mcfm, oceanm, raytracem,

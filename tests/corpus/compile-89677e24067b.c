@@ -1,0 +1,21 @@
+// check: compile
+// seed: 0
+// detail: isel 'use of unselected value': a do-while whose body ends in an if/else emitted blocks in creation order, placing the loop's exit block before later body blocks; fixed by the order_blocks_rpo preparation pass
+int ga4[4];
+int main()
+{
+    int v7 = 0;
+    int i13 = 1;
+    do
+    {
+        if (ga4[v7])
+        {
+        }
+        else
+        {
+        }
+        i13 = (i13 - 1);
+    }
+    while (i13);
+    print_int(i13);
+}

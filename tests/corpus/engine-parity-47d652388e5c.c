@@ -1,0 +1,18 @@
+// check: engine-parity
+// seed: 8
+// detail: if(NaN) took different arms: MiniC '!=' and fp truthiness lowered to fcmp 'one' (false on NaN in the IR interpreter) while SimX86 evaluated it as unordered-ne (true on NaN); fixed by adding the 'une' predicate and lowering to it
+double g1;
+int main()
+{
+    int v2 = 1;
+    double v3 = (g1 / g1);
+    int v4 = v2;
+    long v5 = 45;
+    if (v3)
+    {
+        {
+            v5 = v4;
+        }
+    }
+    print_long(v5);
+}

@@ -1,0 +1,27 @@
+// check: engine-parity
+// seed: 2057
+// detail: linear-scan fallback register scan skipped the usable() window check, handing rdi to an interval live across a call-setup sequence (fixed in backend/regalloc.py pick_free)
+long g1;
+int g3 = 803;
+long ga5[8];
+int f6(int n, long x)
+{
+    if ((n <= 0))
+    {
+        return x;
+    }
+    return f6((n - 1), g3);
+}
+int main()
+{
+    long v7 = g1;
+    {
+        ga5[v7] = f6(1, v7);
+    }
+    long v26 = 0;
+    int i27;
+    {
+        v26 += ga5[i27];
+    }
+    print_long(v26);
+}

@@ -1,0 +1,14 @@
+// check: engine-parity
+// detail: explicit NaN comparisons: '!=' must be unordered (true on NaN), '==' '<' ordered (false on NaN); expected output 1001
+double zero;
+int main()
+{
+    double n = (zero / zero);
+    int t = 0;
+    if (n != 0.0) t = t + 1;
+    if (n == n) t = t + 10;
+    if (n < 1.0) t = t + 100;
+    if (n) t = t + 1000;
+    print_int(t);
+    return 0;
+}

@@ -1,0 +1,32 @@
+"""Replay the divergence corpus (tests/corpus/) through the full oracle.
+
+Every file in the corpus is a shrunken program that once exposed a real
+cross-layer disagreement (its header comment says which, and what the
+fix was). Replaying them through every differential check on every test
+run turns each fuzzer-found bug into a permanent regression case —
+no fuzzing, fully deterministic.
+"""
+
+import pytest
+
+from repro.testing.corpus import default_corpus_dir, load_corpus
+from repro.testing.oracle import OracleConfig, check_program
+
+ENTRIES = load_corpus()
+
+#: Dense strides so even 15-line repros get several checkpoints.
+CONFIG = OracleConfig(checkpoint_strides=(7, 23))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries in {default_corpus_dir()}"
+
+
+@pytest.mark.parametrize(
+    "path,check,source", ENTRIES,
+    ids=[path.stem for path, _, _ in ENTRIES])
+def test_corpus_entry_replays_green(path, check, source):
+    divergences = check_program(source, CONFIG)
+    assert divergences == [], (
+        f"{path.name} (historical {check} bug) diverges again:\n"
+        + "\n".join(d.describe() for d in divergences))

@@ -1,0 +1,174 @@
+"""Tests for the differential oracle (repro.testing.oracle).
+
+Two obligations: a clean program produces zero divergences across every
+enabled check, and a deliberately broken layer is actually flagged — an
+oracle that can't detect a planted bug proves nothing about real ones.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.testing.oracle as oracle_mod
+from repro.testing.corpus import (
+    corpus_name, load_corpus, save_divergence,
+)
+from repro.testing.oracle import (
+    Divergence, OracleConfig, check_program, parity_predicate,
+)
+from repro.vm.asmsim import AsmSimulator
+
+#: Small but multi-layer: globals, a loop, doubles, a call — enough for
+#: every check (passes change it, checkpoints land inside the loop).
+CLEAN = """
+int total;
+double scale;
+
+int bump(int x) { return x * 3 + 1; }
+
+int main() {
+    int i;
+    scale = 0.5;
+    for (i = 0; i < 40; i++) {
+        total = total + bump(i);
+        scale = scale + (double)i * 0.25;
+    }
+    print_int(total); print_char(10);
+    print_double(scale);
+    return total % 101;
+}
+"""
+
+FAST_CONFIG = OracleConfig(checkpoint_strides=(13,))
+
+
+class TestCleanProgram:
+    def test_no_divergences(self):
+        assert check_program(CLEAN, FAST_CONFIG) == []
+
+    def test_seed_is_threaded_through(self):
+        broken = "int main() { return undefined_fn(); }"
+        divergences = check_program(broken, FAST_CONFIG, seed=99)
+        assert divergences and divergences[0].seed == 99
+        assert divergences[0].check == "compile"
+
+
+class TestInstructionCap:
+    def test_infinite_loop_is_bounded_and_not_a_divergence(self):
+        # Shrink candidates can lose a loop decrement and spin forever;
+        # the oracle must cut them off quickly, and a mutual cap hit is
+        # a cap artifact, not a layer disagreement.
+        config = OracleConfig(checkpoint_strides=(), max_instructions=5000)
+        source = "int main() { int i = 1; while (i) { i = i | 1; } return 0; }"
+        assert check_program(source, config) == []
+
+
+class TestPlantedEngineBug:
+    def test_output_corruption_is_flagged(self, monkeypatch):
+        class LyingSimulator(AsmSimulator):
+            def run(self, *a, **kw):
+                result = super().run(*a, **kw)
+                return dataclasses.replace(result,
+                                           output=result.output + "X")
+
+        monkeypatch.setattr(oracle_mod, "AsmSimulator", LyingSimulator)
+        config = OracleConfig(check_passes=False, check_checkpoints=False)
+        divergences = check_program(CLEAN, config)
+        assert [d.check for d in divergences] == ["engine-parity"]
+        assert "output" in divergences[0].detail
+
+    def test_exit_value_corruption_is_flagged(self, monkeypatch):
+        class LyingSimulator(AsmSimulator):
+            def run(self, *a, **kw):
+                result = super().run(*a, **kw)
+                return dataclasses.replace(result, exit_value=424242)
+
+        monkeypatch.setattr(oracle_mod, "AsmSimulator", LyingSimulator)
+        config = OracleConfig(check_passes=False, check_checkpoints=False)
+        divergences = check_program(CLEAN, config)
+        assert [d.check for d in divergences] == ["engine-parity"]
+        assert "424242" in divergences[0].detail
+
+
+class TestPlantedCheckpointBug:
+    def test_corrupt_snapshot_is_flagged(self, monkeypatch):
+        from repro.vm.irinterp import IRInterpreter
+
+        real_capture = IRInterpreter.capture
+
+        def corrupt_capture(self):
+            snap = real_capture(self)
+            text, flushed, closed = snap.output
+            return dataclasses.replace(snap,
+                                       output=(text + "?", flushed, closed))
+
+        monkeypatch.setattr(IRInterpreter, "capture", corrupt_capture)
+        config = OracleConfig(check_engines=False, check_passes=False,
+                              checkpoint_strides=(13,))
+        divergences = check_program(CLEAN, config)
+        assert divergences
+        assert all(d.check == "checkpoint" for d in divergences)
+        assert any("IRInterpreter" in d.detail for d in divergences)
+
+
+class TestCampaignCheck:
+    def test_clean_program_campaigns_agree(self):
+        config = OracleConfig(check_engines=False, check_passes=False,
+                              check_checkpoints=False,
+                              check_campaigns=True, campaign_trials=3)
+        assert check_program(CLEAN, config) == []
+
+    def test_temporary_workload_does_not_mask_builtins(self):
+        # Regression for the registry loading bug: a dynamic registration
+        # arriving before the first lookup must not hide the six
+        # built-in workloads.
+        from repro.workloads import workload_names
+        assert len(workload_names()) == 6
+
+
+class TestParityPredicate:
+    def test_predicate_tracks_divergence(self, monkeypatch):
+        config = OracleConfig(check_passes=False, check_checkpoints=False)
+        predicate = parity_predicate(config)
+        assert predicate(CLEAN) is False
+
+        class LyingSimulator(AsmSimulator):
+            def run(self, *a, **kw):
+                result = super().run(*a, **kw)
+                return dataclasses.replace(result, exit_value=-1)
+
+        monkeypatch.setattr(oracle_mod, "AsmSimulator", LyingSimulator)
+        assert parity_predicate(config)(CLEAN) is True
+
+
+class TestCorpus:
+    def _divergence(self, detail="IR vs asm: output 'a' != 'b'"):
+        return Divergence(check="engine-parity", detail=detail,
+                          source="int main() { return 7; }\n", seed=3)
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        divergence = self._divergence()
+        path = save_divergence(divergence, tmp_path)
+        entries = load_corpus(tmp_path)
+        assert [(p, check) for p, check, _ in entries] == \
+            [(path, "engine-parity")]
+        # Header is MiniC comments, so the stored file still compiles.
+        _, _, source = entries[0]
+        assert check_program(source, FAST_CONFIG) == []
+        assert "// seed: 3" in source
+
+    def test_content_addressed_idempotent(self, tmp_path):
+        save_divergence(self._divergence(), tmp_path)
+        save_divergence(self._divergence(detail="same source, new run"),
+                        tmp_path)
+        assert len(load_corpus(tmp_path)) == 1
+
+    def test_name_is_filesystem_safe(self):
+        divergence = Divergence(check="pass:mem2reg", detail="d",
+                                source="int main() { return 0; }")
+        name = corpus_name(divergence)
+        assert name.startswith("pass-mem2reg-")
+        assert name.endswith(".c")
+
+    def test_missing_corpus_dir_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []

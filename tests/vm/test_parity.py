@@ -1,20 +1,14 @@
 """Cross-engine parity: the IR interpreter and SimX86 simulator must agree
 on fault-free runs — the baseline of the whole LLFI-vs-PINFI comparison.
 
-Includes a property-based generator of small arithmetic programs.
+Property-based cases draw from the shared MiniC expression strategies in
+``tests/conftest.py`` (the same structural-safety rules the differential
+fuzzer's generator uses); directed cases pin known-tricky corners.
 """
 
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from tests.conftest import run_both
-
-
-def assert_parity(source):
-    ir, asm = run_both(source)
-    assert ir.status == asm.status, (ir.status, asm.status, ir.output,
-                                     asm.output)
-    assert ir.output == asm.output
+from tests.conftest import assert_parity, int_values, minic_int_expr, run_both
 
 
 class TestDirectedParity:
@@ -114,27 +108,9 @@ class TestDirectedParity:
 
 # -- property-based parity ------------------------------------------------------
 
-_INT_VALUES = st.integers(min_value=-1000, max_value=1000)
-
-
-@st.composite
-def arith_expr(draw, depth=0):
-    """A MiniC integer expression over variables a, b, c (non-crashing:
-    divisors are made nonzero by construction)."""
-    if depth >= 3 or draw(st.booleans()):
-        choice = draw(st.integers(0, 3))
-        if choice == 0:
-            return str(draw(_INT_VALUES))
-        return draw(st.sampled_from(["a", "b", "c"]))
-    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
-    lhs = draw(arith_expr(depth=depth + 1))
-    rhs = draw(arith_expr(depth=depth + 1))
-    return f"({lhs} {op} {rhs})"
-
 
 class TestPropertyParity:
-    @settings(max_examples=25, deadline=None)
-    @given(arith_expr(), _INT_VALUES, _INT_VALUES, _INT_VALUES)
+    @given(minic_int_expr(), int_values, int_values, int_values)
     def test_random_expression_parity(self, expr, a, b, c):
         source = f"""
         int main() {{
@@ -146,8 +122,23 @@ class TestPropertyParity:
         """
         assert_parity(source)
 
-    @settings(max_examples=15, deadline=None)
-    @given(st.lists(_INT_VALUES, min_size=1, max_size=12))
+    @given(minic_int_expr(names=("a", "b")),
+           minic_int_expr(names=("a", "b")), int_values, int_values)
+    def test_random_branch_parity(self, cond, body, a, b):
+        # Expressions in branch position exercise the compare/branch
+        # fusion paths in isel rather than the setcc materialization.
+        source = f"""
+        int main() {{
+            int a = {a}; int b = {b}; int r = 0;
+            if ({cond}) r = {body}; else r = r - 1;
+            while (r > 100) r = r / 2;
+            print_int(r);
+            return 0;
+        }}
+        """
+        assert_parity(source)
+
+    @given(st.lists(int_values, min_size=1, max_size=12))
     def test_array_sum_parity(self, values):
         decl = " ".join(f"v[{i}] = {x};" for i, x in enumerate(values))
         source = f"""
@@ -162,7 +153,6 @@ class TestPropertyParity:
         """
         assert_parity(source)
 
-    @settings(max_examples=15, deadline=None)
     @given(st.integers(min_value=0, max_value=40),
            st.integers(min_value=1, max_value=9))
     def test_loop_parity(self, n, step):

@@ -1,27 +1,20 @@
 """Property-based floating-point parity between the two engines.
 
-Double-precision behaviour (rounding, conversions, compares) must match
-bit-for-bit across the IR interpreter and the SimX86 simulator, or SDC
-classification would disagree between LLFI and PINFI by construction.
+Double-precision behaviour (rounding, conversions, compares — including
+NaN ordering) must match bit-for-bit across the IR interpreter and the
+SimX86 simulator, or SDC classification would disagree between LLFI and
+PINFI by construction. Strategies come from ``tests/conftest.py``.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from tests.conftest import run_both
-
-_FINITE = st.floats(min_value=-1e6, max_value=1e6,
-                    allow_nan=False, allow_infinity=False)
-
-
-def assert_parity(source):
-    ir, asm = run_both(source)
-    assert ir.status == asm.status
-    assert ir.output == asm.output
+from tests.conftest import (
+    assert_parity, finite_doubles, minic_double_expr, run_both,
+)
 
 
 class TestFPParity:
-    @settings(max_examples=20, deadline=None)
-    @given(_FINITE, _FINITE)
+    @given(finite_doubles, finite_doubles)
     def test_basic_ops(self, a, b):
         assert_parity(f"""
         int main() {{
@@ -33,8 +26,19 @@ class TestFPParity:
         }}
         """)
 
-    @settings(max_examples=20, deadline=None)
-    @given(_FINITE, st.floats(min_value=0.001, max_value=1e6))
+    @given(minic_double_expr(), finite_doubles, finite_doubles)
+    def test_random_expression_parity(self, expr, x, y):
+        # Unguarded division means inf and NaN flow through freely; the
+        # engines must agree on their propagation and printing.
+        assert_parity(f"""
+        int main() {{
+            double x = {x!r}; double y = {y!r};
+            print_double({expr});
+            return 0;
+        }}
+        """)
+
+    @given(finite_doubles, st.floats(min_value=0.001, max_value=1e6))
     def test_division_and_compare(self, a, b):
         assert_parity(f"""
         int main() {{
@@ -46,7 +50,6 @@ class TestFPParity:
         }}
         """)
 
-    @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
     def test_int_double_roundtrip(self, n):
         assert_parity(f"""
@@ -59,7 +62,6 @@ class TestFPParity:
         }}
         """)
 
-    @settings(max_examples=15, deadline=None)
     @given(st.floats(min_value=-1e18, max_value=1e18,
                      allow_nan=False, allow_infinity=False))
     def test_out_of_range_fptosi_agrees(self, x):
@@ -83,3 +85,47 @@ class TestFPParity:
             return 0;
         }
         """)
+
+
+class TestNaNOrdering:
+    """Regression family for the fcmp one/une bug (tests/corpus/ holds
+    the original fuzzer repro): C comparisons on NaN are ordered except
+    '!=', and NaN itself is truthy."""
+
+    @given(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+    def test_nan_comparisons_agree(self, op):
+        assert_parity(f"""
+        double zero;
+        int main() {{
+            double n = zero / zero;
+            if (n {op} 1.0) print_int(1); else print_int(0);
+            if (n {op} n) print_int(1); else print_int(0);
+            return 0;
+        }}
+        """)
+
+    def test_nan_comparison_truth_table(self):
+        # Not just parity: pin the C-correct values themselves.
+        ir, _ = run_both("""
+        double zero;
+        int main() {
+            double n = zero / zero;
+            print_int(n != n); print_int(n == n);
+            print_int(n < n); print_int(n <= n);
+            print_int(n > n); print_int(n >= n);
+            return 0;
+        }
+        """)
+        assert ir.output == "100000"
+
+    def test_nan_is_truthy(self):
+        ir, asm = run_both("""
+        double zero;
+        int main() {
+            double n = zero / zero;
+            if (n) print_int(7); else print_int(0);
+            if (!n) print_int(1); else print_int(2);
+            return 0;
+        }
+        """)
+        assert ir.output == asm.output == "72"
