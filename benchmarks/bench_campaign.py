@@ -12,6 +12,13 @@ Injector build, golden run and profiling pass are warmed outside the timed
 region — the benchmark isolates trial throughput, which is what dominates
 paper-scale (1000-trial) campaigns.  Pool startup is left *inside* the
 parallel timing: it is real engine overhead.
+
+The benchmark also runs the same campaign with observability tracing
+enabled (``repro.obs``) and proves the tracing contract: bit-identical
+results and bounded overhead (``trace_overhead`` in the summary; the
+instrumentation's disabled path is a no-op call per whole-program run,
+and its enabled path must stay within a few percent).  With
+``--trace-dir`` the traced run also writes its JSONL run manifest there.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ def measure(spec: InjectorSpec, category: str, config: CampaignConfig,
     runs = result.activated + result.not_activated
     return {
         "jobs": jobs,
+        "traced": config.tracing,
         "seconds": round(seconds, 4),
         "trials": result.trials,
         "injection_runs": runs,
@@ -57,11 +65,15 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                         help="parallel job count to compare against jobs=1")
     parser.add_argument("--output", default="BENCH_campaign.json")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write the traced run's JSONL manifest here")
     args = parser.parse_args()
 
     jobs = resolve_jobs(args.jobs)
     spec = InjectorSpec(args.workload, args.tool)
     config = CampaignConfig(trials=args.trials, seed=args.seed)
+    traced_config = CampaignConfig(trials=args.trials, seed=args.seed,
+                                   trace=True, trace_dir=args.trace_dir)
 
     # Warm build + golden + profiling so both timings measure trials only.
     injector = injector_for_spec(spec)
@@ -70,11 +82,14 @@ def main() -> None:
     prep_executions = injector.executions - executions_before
 
     serial = measure(spec, args.category, config, jobs=1)
+    traced = measure(spec, args.category, traced_config, jobs=1)
     parallel = measure(spec, args.category, config, jobs=jobs)
     shutdown_pool()
 
-    identical = (serial["counts"] == parallel["counts"]
-                 and serial["not_activated"] == parallel["not_activated"])
+    identical = all(
+        m["counts"] == serial["counts"]
+        and m["not_activated"] == serial["not_activated"]
+        for m in (traced, parallel))
     summary = {
         "benchmark": "campaign_throughput",
         "workload": args.workload,
@@ -84,8 +99,13 @@ def main() -> None:
         "seed": args.seed,
         "cpu_count": os.cpu_count(),
         "serial": serial,
+        "traced": traced,
         "parallel": parallel,
         "speedup": round(serial["seconds"] / parallel["seconds"], 3),
+        # Enabled-tracing cost relative to the untraced serial run; the
+        # tracing contract keeps this within a few percent.
+        "trace_overhead": round(
+            traced["seconds"] / serial["seconds"] - 1.0, 4),
         "identical_results": identical,
         # golden + one shared profiling pass, amortised over every campaign
         # on this injector (previously 2 extra whole-program runs per cell).
@@ -97,7 +117,7 @@ def main() -> None:
     print(json.dumps(summary, indent=1))
     print(f"(written to {args.output})")
     if not identical:
-        raise SystemExit("determinism violation: jobs=1 and "
+        raise SystemExit("determinism violation: traced / jobs=1 / "
                          f"jobs={jobs} results differ")
 
 

@@ -15,6 +15,13 @@ Writes a machine-readable summary (default ``BENCH_checkpoint.json``) with
 per-configuration simulated-instruction counts, wall-clock, and the
 instruction reduction vs cold, so the perf trajectory of the trial hot
 path can be tracked across PRs.
+
+With ``--trace-dir`` every configuration also writes its JSONL run
+manifest (``repro.obs``) and the benchmark cross-checks the manifest
+accounting identity: setup ``prep_instructions`` plus the per-trial
+``instructions`` sum must equal the fresh injector's
+``instructions_simulated`` — i.e. the manifest re-derives exactly the
+number this benchmark reports.  Any mismatch exits non-zero.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ import json
 import time
 
 from repro.fi import CampaignConfig, LLFIInjector, PINFIInjector, run_campaign
+from repro.obs.manifest import manifest_filename, read_manifest
 from repro.workloads import build
 
 
@@ -47,15 +55,17 @@ def _fingerprint(result) -> dict:
 
 
 def measure(tool: str, built, category: str, trials: int, seed: int,
-            stride: int, label: str) -> dict:
+            stride: int, label: str, workload: str,
+            trace_dir: str = None) -> dict:
     injector = _fresh_injector(tool, built)
+    injector.workload_name = workload
     config = CampaignConfig(trials=trials, seed=seed,
-                            checkpoint_stride=stride)
+                            checkpoint_stride=stride, trace_dir=trace_dir)
     t0 = time.perf_counter()
     result = run_campaign(injector, category, config)
     seconds = time.perf_counter() - t0
     store = injector.ensure_checkpoints()
-    return {
+    cell = {
         "label": label,
         "stride": stride,
         "seconds": round(seconds, 4),
@@ -64,17 +74,33 @@ def measure(tool: str, built, category: str, trials: int, seed: int,
         "checkpoints": len(store) if store is not None else 0,
         "fingerprint": _fingerprint(result),
     }
+    if trace_dir:
+        import os
+
+        path = os.path.join(trace_dir, manifest_filename(
+            workload, tool, category, trials, seed, stride))
+        manifest = read_manifest(path)
+        # The manifest must re-derive this benchmark's headline number:
+        # prep + per-trial simulated instructions == the injector total.
+        cell["manifest"] = path
+        cell["manifest_instructions"] = manifest.total_instructions()
+        cell["manifest_matches"] = (
+            manifest.total_instructions() == injector.instructions_simulated)
+    return cell
 
 
 def bench_pair(workload: str, tool: str, category: str, trials: int,
-               seed: int) -> dict:
+               seed: int, trace_dir: str = None) -> dict:
     built = build(workload)
     golden = _fresh_injector(tool, built).golden_cached()
     n = golden.instructions
     configs = [
-        measure(tool, built, category, trials, seed, 0, "cold"),
-        measure(tool, built, category, trials, seed, max(1, n // 5), "N/5"),
-        measure(tool, built, category, trials, seed, max(1, n // 20), "N/20"),
+        measure(tool, built, category, trials, seed, 0, "cold",
+                workload, trace_dir),
+        measure(tool, built, category, trials, seed, max(1, n // 5), "N/5",
+                workload, trace_dir),
+        measure(tool, built, category, trials, seed, max(1, n // 20), "N/20",
+                workload, trace_dir),
     ]
     cold = configs[0]
     identical = all(c["fingerprint"] == cold["fingerprint"]
@@ -88,6 +114,8 @@ def bench_pair(workload: str, tool: str, category: str, trials: int,
         "golden_instructions": n,
         "configs": configs,
         "bit_identical": identical,
+        "manifests_match": all(c.get("manifest_matches", True)
+                               for c in configs),
         "reduction_at_default": configs[2]["instruction_reduction_vs_cold"],
     }
 
@@ -102,18 +130,23 @@ def main() -> None:
     parser.add_argument("--trials", type=int, default=32)
     parser.add_argument("--seed", type=int, default=20140623)
     parser.add_argument("--output", default="BENCH_checkpoint.json")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write per-configuration JSONL run manifests "
+                             "here and cross-check their instruction totals")
     args = parser.parse_args()
 
     workloads = {}
     all_identical = True
+    manifests_match = True
     reductions = []
     for workload in args.benchmarks:
         workloads[workload] = {}
         for tool in args.tools:
             cell = bench_pair(workload, tool, args.category, args.trials,
-                              args.seed)
+                              args.seed, args.trace_dir)
             workloads[workload][tool] = cell
             all_identical = all_identical and cell["bit_identical"]
+            manifests_match = manifests_match and cell["manifests_match"]
             reductions.append(cell["reduction_at_default"])
             print(f"{workload}/{tool}: golden={cell['golden_instructions']} "
                   f"reduction@N/20={cell['reduction_at_default']}x "
@@ -126,6 +159,7 @@ def main() -> None:
         "seed": args.seed,
         "workloads": workloads,
         "bit_identical": all_identical,
+        "manifests_match": manifests_match,
         "min_reduction_at_default": min(reductions),
     }
     with open(args.output, "w") as f:
@@ -136,6 +170,10 @@ def main() -> None:
     if not all_identical:
         raise SystemExit("bit-identity violation: checkpointed campaign "
                          "results differ from cold-start results")
+    if not manifests_match:
+        raise SystemExit("manifest accounting violation: per-trial "
+                         "instruction sums do not reproduce the injector "
+                         "totals")
 
 
 if __name__ == "__main__":

@@ -7,5 +7,12 @@
 * ``fig4``   — SDC% per category with 95% CIs (paper Figure 4)
 * ``table5`` — crash% per category (paper Table V)
 * ``ablation`` — §IV heuristic and §VII fix ablations
-* ``runner`` — everything, with caching (``python -m repro.experiments.runner``)
+* ``runner`` — everything, with caching
+
+Unified entrypoint (see :mod:`repro.experiments.cli`)::
+
+    python -m repro.experiments run <target>   # table1|table2|table4|
+                                               # table5|fig3|fig4|ablation|all
+
+``python -m repro.experiments.<target>`` still works as a deprecation shim.
 """

@@ -112,9 +112,9 @@ def generate_heuristic_ablation(flag_benchmarks, config: CampaignConfig,
               "(dependent flag bits; XMM low-64)")
 
 
-def main() -> None:
+def main(argv=None) -> None:
     parser = experiment_argparser(__doc__ or "ablation")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     config = config_from_args(args)
     # Defaults chosen where the effects are most visible.
     gep_benchmarks = args.benchmarks or ["bzip2m", "mcfm", "hmmerm"]
@@ -131,4 +131,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
+    from repro.experiments.cli import warn_deprecated_entrypoint
+    warn_deprecated_entrypoint("ablation")
     main()

@@ -13,7 +13,10 @@ part of the cache key.  The same holds for ``--checkpoint-stride``: trials
 resumed from a golden checkpoint are bit-identical to cold-start trials
 (the differential tests in ``tests/fi/test_checkpoint.py`` prove it), so
 the stride is a pure accelerator and must never enter the cache key —
-cached results stay valid whatever stride produced them.
+cached results stay valid whatever stride produced them.  ``--trace`` /
+``--trace-dir`` (run manifests, see ``repro.obs``) are likewise inert and
+excluded; note a cache hit skips the campaign and therefore writes no
+manifest.
 """
 
 from __future__ import annotations
@@ -25,9 +28,10 @@ from dataclasses import dataclass
 
 from typing import Optional
 
+from repro.errors import FaultInjectionError
 from repro.fi import (
     CampaignConfig, CampaignResult, InjectorSpec, LLFIInjector, LLFIOptions,
-    Outcome, PINFIInjector, PINFIOptions, run_parallel_campaign,
+    PINFIInjector, PINFIOptions, run_parallel_campaign,
 )
 from repro.fi.engine import injector_for_spec
 from repro.fi.fault import SingleBitFlip
@@ -37,8 +41,9 @@ DEFAULT_RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
 
 #: Bump when the cache key schema or the campaign procedure changes in a
 #: result-affecting way (v2: per-trial RNG streams; key gained hang/attempt
-#: factors and the fault model).
-CACHE_FORMAT_VERSION = 2
+#: factors and the fault model.  v3: entries hold the schema-versioned
+#: ``CampaignResult.to_json`` form).
+CACHE_FORMAT_VERSION = 3
 
 
 @dataclass
@@ -79,26 +84,15 @@ def cache_key(workload: str, tool: str, category: str,
     return key
 
 
-def _result_to_dict(result: CampaignResult) -> dict:
-    return {
-        "tool": result.tool,
-        "category": result.category,
-        "trials": result.trials,
-        "dynamic_candidates": result.dynamic_candidates,
-        "golden_instructions": result.golden_instructions,
-        "counts": {o.value: n for o, n in result.counts.items()},
-        "not_activated": result.not_activated,
-    }
-
-
-def _result_from_dict(data: dict) -> CampaignResult:
-    result = CampaignResult(
-        tool=data["tool"], category=data["category"], trials=data["trials"],
-        dynamic_candidates=data["dynamic_candidates"],
-        golden_instructions=data["golden_instructions"],
-        not_activated=data["not_activated"])
-    result.counts = {Outcome(k): v for k, v in data["counts"].items()}
-    return result
+def _load_cached_result(path: str) -> CampaignResult:
+    """Read one cache entry; unknown schemas are rejected with the path so
+    the user knows which stale file to delete."""
+    with open(path) as f:
+        data = json.load(f)
+    try:
+        return CampaignResult.from_json(data)
+    except FaultInjectionError as exc:
+        raise FaultInjectionError(f"{path}: {exc}") from None
 
 
 def cached_campaign(workload: str, tool: str, category: str,
@@ -112,14 +106,13 @@ def cached_campaign(workload: str, tool: str, category: str,
     key = cache_key(workload, tool, category, config, variant)
     path = _cache_path(results_dir, key)
     if os.path.exists(path):
-        with open(path) as f:
-            return _result_from_dict(json.load(f))
+        return _load_cached_result(path)
     spec = InjectorSpec(workload, tool, llfi_options=llfi_options,
                         pinfi_options=pinfi_options)
     result = run_parallel_campaign(spec, category, config)
     os.makedirs(results_dir, exist_ok=True)
     with open(path, "w") as f:
-        json.dump(_result_to_dict(result), f, indent=1)
+        json.dump(result.to_json(), f, indent=1)
     return result
 
 
@@ -142,6 +135,14 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                              "~1/20 of the golden run (default; results are "
                              "identical for any value)")
     parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    parser.add_argument("--trace", action="store_true",
+                        help="collect per-trial observability statistics "
+                             "and write JSONL run manifests under "
+                             "<results-dir>/obs/ (inert: results are "
+                             "bit-identical with tracing on or off)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="directory for run manifests (implies --trace; "
+                             "default: <results-dir>/obs)")
     return parser
 
 
@@ -155,8 +156,22 @@ def selected_benchmarks(args) -> list:
     return names
 
 
+def trace_dir_from_args(args) -> Optional[str]:
+    """Resolve the manifest directory: --trace-dir wins; bare --trace puts
+    manifests next to the results cache."""
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir:
+        return trace_dir
+    if getattr(args, "trace", False):
+        results_dir = getattr(args, "results_dir", DEFAULT_RESULTS_DIR)
+        return os.path.join(results_dir, "obs")
+    return None
+
+
 def config_from_args(args) -> CampaignConfig:
     return CampaignConfig(trials=args.trials, seed=args.seed,
                           jobs=getattr(args, "jobs", 1),
                           checkpoint_stride=getattr(args, "checkpoint_stride",
-                                                    -1))
+                                                    -1),
+                          trace=getattr(args, "trace", False),
+                          trace_dir=trace_dir_from_args(args))

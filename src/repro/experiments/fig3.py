@@ -62,11 +62,13 @@ def generate(benchmarks, config: CampaignConfig,
         title="Figure 3: Aggregated fault injection results (category=all)")
 
 
-def main() -> None:
-    args = experiment_argparser(__doc__ or "fig3").parse_args()
+def main(argv=None) -> None:
+    args = experiment_argparser(__doc__ or "fig3").parse_args(argv)
     print(generate(selected_benchmarks(args), config_from_args(args),
                    args.results_dir))
 
 
 if __name__ == "__main__":
+    from repro.experiments.cli import warn_deprecated_entrypoint
+    warn_deprecated_entrypoint("fig3")
     main()

@@ -63,11 +63,13 @@ def generate(benchmarks, config: CampaignConfig,
     return "\n\n".join(sections)
 
 
-def main() -> None:
-    args = experiment_argparser(__doc__ or "fig4").parse_args()
+def main(argv=None) -> None:
+    args = experiment_argparser(__doc__ or "fig4").parse_args(argv)
     print(generate(selected_benchmarks(args), config_from_args(args),
                    args.results_dir))
 
 
 if __name__ == "__main__":
+    from repro.experiments.cli import warn_deprecated_entrypoint
+    warn_deprecated_entrypoint("fig4")
     main()

@@ -59,8 +59,8 @@ def run_all(benchmarks, config, results_dir: str) -> str:
     return "\n\n\n".join(sections) + "\n"
 
 
-def main() -> None:
-    args = experiment_argparser(__doc__ or "runner").parse_args()
+def main(argv=None) -> None:
+    args = experiment_argparser(__doc__ or "runner").parse_args(argv)
     benchmarks = selected_benchmarks(args)
     config = config_from_args(args)
     report = run_all(benchmarks, config, args.results_dir)

@@ -101,10 +101,12 @@ def generate(benchmarks) -> str:
               "(static counts)")
 
 
-def main() -> None:
-    args = experiment_argparser(__doc__ or "table1").parse_args()
+def main(argv=None) -> None:
+    args = experiment_argparser(__doc__ or "table1").parse_args(argv)
     print(generate(selected_benchmarks(args)))
 
 
 if __name__ == "__main__":
+    from repro.experiments.cli import warn_deprecated_entrypoint
+    warn_deprecated_entrypoint("table1")
     main()

@@ -17,9 +17,12 @@ def generate() -> str:
         title="Table II: Characteristics of Benchmark Programs")
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    del argv  # no options
     print(generate())
 
 
 if __name__ == "__main__":
+    from repro.experiments.cli import warn_deprecated_entrypoint
+    warn_deprecated_entrypoint("table2")
     main()

@@ -44,11 +44,13 @@ def generate(benchmarks, config: CampaignConfig,
     return table + "\n" + "\n".join(notes)
 
 
-def main() -> None:
-    args = experiment_argparser(__doc__ or "table5").parse_args()
+def main(argv=None) -> None:
+    args = experiment_argparser(__doc__ or "table5").parse_args(argv)
     print(generate(selected_benchmarks(args), config_from_args(args),
                    args.results_dir))
 
 
 if __name__ == "__main__":
+    from repro.experiments.cli import warn_deprecated_entrypoint
+    warn_deprecated_entrypoint("table5")
     main()

@@ -14,9 +14,10 @@ Typical use::
     print(run_campaign(pinfi, "all").summary())
 """
 
+from repro.fi.base import BaseInjector
 from repro.fi.campaign import (
-    CampaignConfig, CampaignResult, Trial, derive_trial_seed, run_campaign,
-    run_grid, trial_stream,
+    CampaignConfig, CampaignResult, Trial, TrialStats, derive_trial_seed,
+    run_campaign, run_grid, trial_stream,
 )
 from repro.fi.categories import CATEGORIES, llfi_candidates, pinfi_candidates
 from repro.fi.engine import (
@@ -33,10 +34,12 @@ from repro.fi.stats import Proportion, two_proportion_z, wilson_interval
 from repro.fi.trace import PropagationTrace, trace_propagation
 
 __all__ = [
+    "BaseInjector",
     "CATEGORIES",
     "CampaignConfig",
     "CampaignResult",
     "Trial",
+    "TrialStats",
     "run_campaign",
     "run_grid",
     "run_parallel_campaign",

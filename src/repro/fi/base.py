@@ -1,0 +1,203 @@
+"""BaseInjector: the shared injector surface and memoization.
+
+Both fault injectors — LLFI over the IR interpreter and PINFI over the
+SimX86 simulator — follow the paper's three-step workflow (select,
+profile, inject) and share everything that is not engine-specific:
+
+* the memoised **golden run** (``golden_cached``) and **per-category
+  profiling pass** (``dynamic_counts``), so a grid of campaigns performs
+  one of each per injector instead of one per (tool, category) cell;
+* the **checkpoint policy** (``configure_checkpoints`` /
+  ``ensure_checkpoints``): the recording run doubles as golden + profiling
+  pass and its :class:`~repro.vm.snapshot.CheckpointStore` lets every
+  injection run skip its fault-free prefix;
+* **run accounting** (``executions``, ``instructions_simulated``,
+  ``ckpt_restores``, ``ckpt_instructions_skipped``), mirrored into the
+  active :mod:`repro.obs` recorder.
+
+Subclasses provide the engine plumbing: :meth:`_execute` (one run of the
+underlying simulator), :meth:`_counted_run` (one run with the
+multi-category counting hook, optionally recording checkpoints) and
+:meth:`run_with_fault` (one injection run).  Campaign, engine and
+experiment code type against this ABC only.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.fi.fault import FaultModel, FaultRecord
+from repro.obs import get_recorder
+from repro.vm.result import ExecutionResult
+from repro.vm.snapshot import CheckpointStore
+
+
+class BaseInjector(ABC):
+    """Common machinery of the LLFI and PINFI injectors."""
+
+    #: Tool name as it appears in campaign results ("LLFI" / "PINFI").
+    name: str = "?"
+    #: Per-engine default instruction budget for preparation runs.
+    default_max_instructions: int = 50_000_000
+
+    def __init__(self) -> None:
+        #: Whole-program executions performed through this injector
+        #: (golden + profiling + injection runs); campaign perf accounting.
+        self.executions = 0
+        #: Instructions actually simulated in this process (a resumed run
+        #: contributes only what it executed past its checkpoint).
+        self.instructions_simulated = 0
+        #: Injection runs that resumed from a golden checkpoint.
+        self.ckpt_restores = 0
+        #: Golden-prefix instructions skipped via checkpoint restores.
+        self.ckpt_instructions_skipped = 0
+        #: Requested checkpoint stride: 0 = off, <0 = auto (~N/20 of the
+        #: golden instruction count), >0 = explicit instruction stride.
+        self.checkpoint_request = 0
+        #: Workload registry name, when built from an ``InjectorSpec``.
+        self.workload_name: Optional[str] = None
+        self._checkpoints: Optional[CheckpointStore] = None
+        self._checkpoints_request = 0
+        self._golden_result: Optional[ExecutionResult] = None
+        self._dynamic_counts: Optional[Dict[str, int]] = None
+
+    @property
+    def tool_name(self) -> str:
+        """The tool this injector models (alias of :attr:`name`)."""
+        return self.name
+
+    # -- engine plumbing (subclass responsibility) ---------------------------
+    @abstractmethod
+    def _execute(self, hook, max_instructions: int,
+                 hook_filter=None) -> ExecutionResult:
+        """One run of the underlying engine with ``hook`` installed."""
+
+    @abstractmethod
+    def _counted_run(self, max_instructions: int,
+                     store: Optional[CheckpointStore] = None,
+                     ) -> Tuple[ExecutionResult, Dict[str, int]]:
+        """One run with the multi-category counting hook; when ``store``
+        is given, record checkpoints (annotated with the live counts)
+        into it at its stride."""
+
+    @abstractmethod
+    def static_candidate_count(self, category: str) -> int:
+        """Number of static injection candidates for a category."""
+
+    @abstractmethod
+    def run_with_fault(self, category: str, k: int, rng: random.Random,
+                       model: Optional[FaultModel] = None,
+                       max_instructions: Optional[int] = None,
+                       ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
+        """One injection run at dynamic instance ``k``; returns
+        (result, fault record, activated?)."""
+
+    # -- run accounting ------------------------------------------------------
+    def _account_run(self, result: ExecutionResult, skipped: int = 0) -> None:
+        """Book one whole-program run: local counters plus the active
+        observability recorder (a no-op singleton unless tracing)."""
+        self.executions += 1
+        simulated = result.instructions - skipped
+        self.instructions_simulated += simulated
+        if skipped:
+            self.ckpt_restores += 1
+            self.ckpt_instructions_skipped += skipped
+        rec = get_recorder()
+        if rec.enabled:
+            rec.incr(f"injector.{self.name}.runs")
+            rec.incr(f"injector.{self.name}.instructions", simulated)
+            if skipped:
+                rec.incr(f"injector.{self.name}.ckpt_restores")
+                rec.incr(f"injector.{self.name}.ckpt_skipped", skipped)
+
+    # -- golden + profiling (memoised) ---------------------------------------
+    def golden(self, max_instructions: Optional[int] = None
+               ) -> ExecutionResult:
+        """Fault-free reference run."""
+        result = self._execute(
+            None, max_instructions or self.default_max_instructions)
+        self._account_run(result)
+        return result
+
+    def golden_cached(self) -> ExecutionResult:
+        """Memoised golden run: one per injector, not one per campaign."""
+        if self._golden_result is None:
+            self._golden_result = self.golden()
+        return self._golden_result
+
+    def dynamic_counts(self) -> Dict[str, int]:
+        """Memoised per-category dynamic counts from one shared profiling
+        pass (replaces a ``count_dynamic_candidates`` run per category)."""
+        if self._dynamic_counts is None:
+            self._dynamic_counts = self.count_all_categories()
+        return self._dynamic_counts
+
+    def count_all_categories(self, max_instructions: Optional[int] = None
+                             ) -> Dict[str, int]:
+        """Dynamic candidate counts for every category in one run
+        (each tool's side of the paper's Table IV)."""
+        result, counts = self._counted_run(
+            max_instructions or self.default_max_instructions)
+        self._account_run(result)
+        if not result.completed:
+            raise FaultInjectionError(
+                f"profiling run did not complete: {result.status}")
+        return counts
+
+    # -- checkpoints ---------------------------------------------------------
+    def configure_checkpoints(self, stride: int) -> None:
+        """Set the checkpoint policy: 0 disables resume-from-checkpoint,
+        <0 picks a stride of ~1/20 of the golden instruction count, >0 is
+        an explicit instruction stride."""
+        self.checkpoint_request = stride
+
+    def ensure_checkpoints(self, max_instructions: Optional[int] = None
+                           ) -> Optional[CheckpointStore]:
+        """Record golden-run checkpoints (memoised per requested policy).
+
+        The recording run executes the whole program once with the shared
+        multi-category counting hook, so it doubles as the golden run and
+        the profiling pass: with an explicit stride a fresh injector makes
+        one preparation run instead of two.
+        """
+        request = self.checkpoint_request
+        if request == 0:
+            return None
+        if self._checkpoints is not None \
+                and self._checkpoints_request == request:
+            return self._checkpoints
+        stride = request
+        if stride < 0:
+            stride = max(1, self.golden_cached().instructions // 20)
+        store = CheckpointStore(stride)
+        result, counts = self._counted_run(
+            max_instructions or self.default_max_instructions, store)
+        self._account_run(result)
+        if not result.completed:
+            raise FaultInjectionError(
+                f"checkpoint recording run did not complete: {result.status}")
+        if self._golden_result is None:
+            self._golden_result = result
+        if self._dynamic_counts is None:
+            self._dynamic_counts = counts
+        self._checkpoints = store
+        self._checkpoints_request = request
+        return store
+
+    def _resume_from_checkpoint(self, engine, hook, category: str,
+                                k: int) -> int:
+        """Restore the latest golden checkpoint strictly before dynamic
+        instance ``k`` into ``engine`` (if any), sync the injection hook's
+        candidate count, and return the skipped instruction count."""
+        store = self.ensure_checkpoints()
+        if store is None:
+            return 0
+        checkpoint = store.best_for(category, k)
+        if checkpoint is None:
+            return 0
+        engine.restore(checkpoint.snapshot)
+        hook.count = checkpoint.counts[category]
+        return checkpoint.snapshot.executed

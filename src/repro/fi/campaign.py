@@ -32,24 +32,47 @@ The golden run and the per-category profiling counts are memoised on the
 injector (``golden_cached`` / ``dynamic_counts``), so a grid of campaigns
 over several categories performs one golden run and one profiling pass per
 injector instead of one of each per (tool, category) cell.
+
+Observability
+-------------
+
+With ``CampaignConfig.trace`` (or a ``trace_dir``) set, every trial slot
+additionally captures a :class:`TrialStats` — wall time, simulated
+instructions, checkpoint restores and skipped prefix length — and the
+campaign writes a JSONL run manifest (see :mod:`repro.obs.manifest`).
+Tracing is *inert*: it never touches the per-slot RNG streams, so campaign
+results are bit-identical with tracing on or off (proven by
+``tests/obs/test_parity.py``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional
 
 from repro.errors import FaultInjectionError
+from repro.fi.base import BaseInjector
 from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
 from repro.fi.llfi import LLFIInjector
 from repro.fi.outcome import Outcome, classify
 from repro.fi.pinfi import PINFIInjector
 from repro.fi.stats import Proportion
+from repro.obs import recording
+from repro.obs.manifest import (
+    RunManifest, manifest_filename, merge_counters, write_manifest,
+)
 from repro.vm.result import ExecutionResult
 
-Injector = Union[LLFIInjector, PINFIInjector]
+#: Deprecated alias — campaign/engine/experiment code types against the
+#: :class:`~repro.fi.base.BaseInjector` ABC.
+Injector = BaseInjector
+
+#: Schema version of ``CampaignResult.to_json``; bump on any field change.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -106,6 +129,55 @@ class CampaignResult:
                 f"hang={self.hang.percent()} benign={self.benign.percent()} "
                 f"(activation {self.activation_rate.percent()})")
 
+    # -- schema-versioned serialization -------------------------------------
+    def to_json(self, include_records: bool = False) -> dict:
+        """Serializable form (the results cache, manifests, reports).
+
+        Versioned by ``schema`` = :data:`RESULT_SCHEMA_VERSION`;
+        :meth:`from_json` rejects anything else with a clear message."""
+        data = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "tool": self.tool,
+            "category": self.category,
+            "trials": self.trials,
+            "dynamic_candidates": self.dynamic_candidates,
+            "golden_instructions": self.golden_instructions,
+            "counts": {o.value: n for o, n in self.counts.items()},
+            "not_activated": self.not_activated,
+        }
+        if include_records:
+            data["records"] = [
+                {"k": t.k, "outcome": t.outcome.value,
+                 "dynamic_index": t.record.dynamic_index,
+                 "bit_positions": list(t.record.bit_positions),
+                 "target": t.record.target, "width": t.record.width}
+                for t in self.records]
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignResult":
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise FaultInjectionError(
+                f"unsupported CampaignResult schema {schema!r}: this build "
+                f"reads schema {RESULT_SCHEMA_VERSION}. If this came from "
+                f"the results cache, delete the stale entry and re-run the "
+                f"campaign.")
+        result = cls(
+            tool=data["tool"], category=data["category"],
+            trials=data["trials"],
+            dynamic_candidates=data["dynamic_candidates"],
+            golden_instructions=data["golden_instructions"],
+            not_activated=data["not_activated"])
+        result.counts = {Outcome(k): v for k, v in data["counts"].items()}
+        for r in data.get("records", []):
+            result.records.append(Trial(
+                k=r["k"], outcome=Outcome(r["outcome"]),
+                record=FaultRecord(dynamic_index=r["dynamic_index"],
+                                   bit_positions=list(r["bit_positions"]),
+                                   target=r["target"], width=r["width"])))
+        return result
+
 
 @dataclass
 class CampaignConfig:
@@ -129,6 +201,16 @@ class CampaignConfig:
     #: counting from the checkpoint's per-category candidate count).
     #: Results are independent of this value, like ``jobs``.
     checkpoint_stride: int = 0
+    #: Collect per-trial statistics (wall time, simulated instructions,
+    #: checkpoint restores) through :mod:`repro.obs`. Inert: results are
+    #: bit-identical with tracing on or off.
+    trace: bool = False
+    #: Directory to write the JSONL run manifest into (implies ``trace``).
+    trace_dir: Optional[str] = None
+
+    @property
+    def tracing(self) -> bool:
+        return self.trace or self.trace_dir is not None
 
 
 # -- deterministic per-trial RNG streams ---------------------------------------
@@ -163,7 +245,7 @@ class CampaignSetup:
     model: FaultModel
 
 
-def prepare_campaign(injector: Injector, category: str,
+def prepare_campaign(injector: BaseInjector, category: str,
                      config: CampaignConfig) -> CampaignSetup:
     """Golden + profiling phase. Both are memoised on the injector, so
     repeated campaigns over the same injector (different categories,
@@ -189,21 +271,49 @@ def prepare_campaign(injector: Injector, category: str,
 # -- trial slots ---------------------------------------------------------------
 
 @dataclass
+class TrialStats:
+    """Observability sidecar of one trial slot (collected only when the
+    campaign traces; never consulted by the campaign procedure itself)."""
+
+    #: Wall-clock seconds the slot took (all redraw attempts included).
+    wall_s: float
+    #: Injection runs executed (1 + redraws, or just the redraws when the
+    #: slot gave up).
+    runs: int
+    #: Instructions actually simulated (post-checkpoint suffixes only).
+    instructions: int
+    #: Runs that resumed from a golden checkpoint.
+    ckpt_restores: int
+    #: Golden-prefix instructions skipped via those restores.
+    ckpt_skipped: int
+
+
+@dataclass
 class SlotResult:
     """What one trial slot produced: an activated trial (or None if every
-    redraw failed to activate) plus its non-activated attempt count."""
+    redraw failed to activate) plus its non-activated attempt count and,
+    when tracing, its :class:`TrialStats`."""
 
     index: int
     trial: Optional[Trial]
     not_activated: int
+    stats: Optional[TrialStats] = None
 
 
-def run_trial_slot(injector: Injector, category: str, setup: CampaignSetup,
-                   config: CampaignConfig, index: int) -> SlotResult:
+def run_trial_slot(injector: BaseInjector, category: str,
+                   setup: CampaignSetup, config: CampaignConfig,
+                   index: int) -> SlotResult:
     """Execute one trial slot: draw k from the slot's own RNG stream,
     inject, classify; redraw on non-activation (same stream)."""
+    tracing = config.tracing
+    if tracing:
+        t0 = time.perf_counter()
+        instr0 = injector.instructions_simulated
+        restores0 = injector.ckpt_restores
+        skipped0 = injector.ckpt_instructions_skipped
     rng = trial_stream(config.seed, injector.name, category, index)
     not_activated = 0
+    trial: Optional[Trial] = None
     for _attempt in range(config.max_attempts_factor):
         k = rng.randint(1, setup.candidates)
         run, record, activated = injector.run_with_fault(
@@ -219,8 +329,17 @@ def run_trial_slot(injector: Injector, category: str, setup: CampaignSetup,
         if outcome is Outcome.NOT_ACTIVATED:
             not_activated += 1
             continue
-        return SlotResult(index, Trial(k, record, outcome), not_activated)
-    return SlotResult(index, None, not_activated)
+        trial = Trial(k, record, outcome)
+        break
+    stats = None
+    if tracing:
+        stats = TrialStats(
+            wall_s=time.perf_counter() - t0,
+            runs=not_activated + (1 if trial is not None else 0),
+            instructions=injector.instructions_simulated - instr0,
+            ckpt_restores=injector.ckpt_restores - restores0,
+            ckpt_skipped=injector.ckpt_instructions_skipped - skipped0)
+    return SlotResult(index, trial, not_activated, stats)
 
 
 def aggregate_slots(tool: str, category: str, config: CampaignConfig,
@@ -243,7 +362,104 @@ def aggregate_slots(tool: str, category: str, config: CampaignConfig,
     return result
 
 
-def run_campaign(injector: Injector, category: str,
+# -- run manifests -------------------------------------------------------------
+
+@dataclass
+class PrepStats:
+    """What campaign preparation cost on *this* injector in *this*
+    campaign (0/0 when the memoised golden/profiling runs were reused)."""
+
+    executions: int
+    instructions: int
+
+
+def snapshot_prep(injector: BaseInjector) -> Dict[str, int]:
+    """Baseline for :func:`prep_delta`."""
+    return {"executions": injector.executions,
+            "instructions": injector.instructions_simulated}
+
+
+def prep_delta(injector: BaseInjector, baseline: Dict[str, int]) -> PrepStats:
+    return PrepStats(
+        executions=injector.executions - baseline["executions"],
+        instructions=injector.instructions_simulated
+        - baseline["instructions"])
+
+
+def _trial_record(slot: SlotResult) -> dict:
+    stats = slot.stats or TrialStats(0.0, 0, 0, 0, 0)
+    trial = slot.trial
+    return {
+        "index": slot.index,
+        "outcome": trial.outcome.value if trial is not None else "gave_up",
+        "k": trial.k if trial is not None else None,
+        "runs": stats.runs,
+        "redraws": slot.not_activated,
+        "wall_s": round(stats.wall_s, 6),
+        "instructions": stats.instructions,
+        "ckpt_restores": stats.ckpt_restores,
+        "ckpt_skipped": stats.ckpt_skipped,
+    }
+
+
+def build_run_manifest(injector: BaseInjector, category: str,
+                       config: CampaignConfig, setup: CampaignSetup,
+                       slots: List[SlotResult], result: CampaignResult,
+                       prep: PrepStats, wall_s: float,
+                       chunks: Optional[List[dict]] = None,
+                       counters: Optional[List[Dict[str, int]]] = None,
+                       ) -> RunManifest:
+    """Assemble the JSONL run manifest of one campaign (see
+    :mod:`repro.obs.manifest` for the schema and the accounting identity
+    it guarantees)."""
+    store = injector.ensure_checkpoints()
+    trials = [_trial_record(slot)
+              for slot in sorted(slots, key=lambda s: s.index)]
+    header = {
+        "schema": 1,
+        "workload": injector.workload_name or "adhoc",
+        "tool": injector.name,
+        "category": category,
+        "trials": config.trials,
+        "seed": config.seed,
+        "jobs": config.jobs,
+        "hang_factor": config.hang_factor,
+        "max_attempts_factor": config.max_attempts_factor,
+        "model": (config.model or SingleBitFlip()).name,
+        "checkpoint_stride": config.checkpoint_stride,
+    }
+    setup_record = {
+        "golden_instructions": setup.golden.instructions,
+        "dynamic_candidates": setup.candidates,
+        "checkpoints": len(store) if store is not None else 0,
+        "prep_executions": prep.executions,
+        "prep_instructions": prep.instructions,
+    }
+    summary = {
+        "wall_s": round(wall_s, 6),
+        "activated": result.activated,
+        "not_activated": result.not_activated,
+        "counts": {o.value: n for o, n in result.counts.items()},
+        "instructions": sum(t["instructions"] for t in trials),
+        "ckpt_restores": sum(t["ckpt_restores"] for t in trials),
+        "ckpt_skipped": sum(t["ckpt_skipped"] for t in trials),
+        "counters": merge_counters(counters or []),
+    }
+    return RunManifest(header=header, setup=setup_record, trials=trials,
+                       chunks=chunks or [], summary=summary)
+
+
+def write_campaign_manifest(manifest: RunManifest, trace_dir: str) -> str:
+    """Write a campaign manifest under ``trace_dir`` with its canonical
+    name; returns the path."""
+    h = manifest.header
+    path = os.path.join(trace_dir, manifest_filename(
+        h["workload"], h["tool"], h["category"], h["trials"], h["seed"],
+        h["checkpoint_stride"]))
+    return write_manifest(path, manifest)
+
+
+def run_campaign(injector: BaseInjector, category: str,
                  config: Optional[CampaignConfig] = None) -> CampaignResult:
     """Run one (tool, category) fault-injection campaign in-process.
 
@@ -251,10 +467,26 @@ def run_campaign(injector: Injector, category: str,
     execute the same per-slot streams and aggregate with
     :func:`aggregate_slots`."""
     config = config or CampaignConfig()
-    setup = prepare_campaign(injector, category, config)
-    slots = [run_trial_slot(injector, category, setup, config, index)
-             for index in range(config.trials)]
-    return aggregate_slots(injector.name, category, config, setup, slots)
+    if not config.tracing:
+        setup = prepare_campaign(injector, category, config)
+        slots = [run_trial_slot(injector, category, setup, config, index)
+                 for index in range(config.trials)]
+        return aggregate_slots(injector.name, category, config, setup, slots)
+    t0 = time.perf_counter()
+    baseline = snapshot_prep(injector)
+    with recording() as rec:
+        setup = prepare_campaign(injector, category, config)
+        prep = prep_delta(injector, baseline)
+        slots = [run_trial_slot(injector, category, setup, config, index)
+                 for index in range(config.trials)]
+    result = aggregate_slots(injector.name, category, config, setup, slots)
+    if config.trace_dir:
+        manifest = build_run_manifest(
+            injector, category, config, setup, slots, result, prep,
+            wall_s=time.perf_counter() - t0,
+            counters=[rec.counters_snapshot()])
+        write_campaign_manifest(manifest, config.trace_dir)
+    return result
 
 
 def run_grid(llfi: LLFIInjector, pinfi: PINFIInjector,

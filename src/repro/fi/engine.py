@@ -24,20 +24,31 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import FaultInjectionError
+from repro.fi.base import BaseInjector
 from repro.fi.campaign import (
-    CampaignConfig, CampaignResult, Injector, SlotResult, aggregate_slots,
-    prepare_campaign, run_trial_slot,
+    CampaignConfig, CampaignResult, SlotResult, aggregate_slots,
+    build_run_manifest, prep_delta, prepare_campaign, run_trial_slot,
+    snapshot_prep, write_campaign_manifest,
 )
 from repro.fi.llfi import LLFIInjector, LLFIOptions
 from repro.fi.pinfi import PINFIInjector, PINFIOptions
+from repro.obs import NULL_RECORDER, recording
 
 #: Chunks handed out per worker; >1 smooths load imbalance between chunks
 #: (individual injection runs vary in length — crashes are short).
 _CHUNKS_PER_JOB = 4
+
+
+@contextmanager
+def _no_recording():
+    """Placeholder for ``recording()`` when the campaign does not trace."""
+    yield NULL_RECORDER
 
 
 @dataclass(frozen=True)
@@ -52,22 +63,26 @@ class InjectorSpec:
     def key(self) -> str:
         return repr(self)
 
-    def build(self) -> Injector:
+    def build(self) -> BaseInjector:
         from repro.workloads import build
         built = build(self.workload)
         if self.tool == "LLFI":
-            return LLFIInjector(built.module, self.llfi_options)
-        if self.tool == "PINFI":
-            return PINFIInjector(built.program, self.pinfi_options)
-        raise FaultInjectionError(f"unknown tool {self.tool!r}")
+            injector: BaseInjector = LLFIInjector(built.module,
+                                                  self.llfi_options)
+        elif self.tool == "PINFI":
+            injector = PINFIInjector(built.program, self.pinfi_options)
+        else:
+            raise FaultInjectionError(f"unknown tool {self.tool!r}")
+        injector.workload_name = self.workload
+        return injector
 
 
 #: Per-process injector cache (parent and workers alike). With a forked
 #: pool, entries built in the parent before the fork are inherited.
-_INJECTORS: Dict[str, Injector] = {}
+_INJECTORS: Dict[str, BaseInjector] = {}
 
 
-def injector_for_spec(spec: InjectorSpec) -> Injector:
+def injector_for_spec(spec: InjectorSpec) -> BaseInjector:
     key = spec.key()
     injector = _INJECTORS.get(key)
     if injector is None:
@@ -84,7 +99,7 @@ def forget_workload(workload: str) -> None:
     temporary name. The pool warm-set is reset too, so a later parallel
     campaign re-forks rather than trusting stale inherited caches."""
     stale = [key for key, inj in _INJECTORS.items()
-             if getattr(inj, "workload_name", None) == workload
+             if inj.workload_name == workload
              or f"workload={workload!r}" in key]
     for key in stale:
         del _INJECTORS[key]
@@ -93,16 +108,31 @@ def forget_workload(workload: str) -> None:
 
 
 def _run_chunk(task: Tuple[InjectorSpec, str, CampaignConfig, List[int]]
-               ) -> List[SlotResult]:
-    """Worker entry point: execute one chunk of pre-assigned slot indices."""
+               ) -> Tuple[List[SlotResult], Optional[dict]]:
+    """Worker entry point: execute one chunk of pre-assigned slot indices.
+
+    Returns the slot results plus, when the campaign traces, a chunk
+    record (worker PID, slot indices, wall time, recorder counters) for
+    the run manifest.  Workers never write manifests themselves — the
+    parent merges chunk records deterministically."""
     spec, category, config, indices = task
     injector = injector_for_spec(spec)
-    setup = prepare_campaign(injector, category, config)
-    return [run_trial_slot(injector, category, setup, config, index)
-            for index in indices]
+    if not config.tracing:
+        setup = prepare_campaign(injector, category, config)
+        return [run_trial_slot(injector, category, setup, config, index)
+                for index in indices], None
+    t0 = time.perf_counter()
+    with recording() as rec:
+        setup = prepare_campaign(injector, category, config)
+        slots = [run_trial_slot(injector, category, setup, config, index)
+                 for index in indices]
+    info = {"worker": os.getpid(), "slots": list(indices),
+            "wall_s": round(time.perf_counter() - t0, 6),
+            "counters": rec.counters_snapshot()}
+    return slots, info
 
 
-def _warm_key(spec_key: str, injector: Injector) -> str:
+def _warm_key(spec_key: str, injector: BaseInjector) -> str:
     """What a forked worker must have inherited to skip redundant work:
     the built injector (with its golden/profiling memos) *and* its
     checkpoint store for the requested stride policy."""
@@ -179,14 +209,35 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
     # the result needs N and the golden instruction count anyway, and a
     # forked pool inherits these caches so workers skip them entirely.
     injector = injector_for_spec(spec)
-    setup = prepare_campaign(injector, category, config)
-    if jobs <= 1 or config.trials <= 1:
-        slots = [run_trial_slot(injector, category, setup, config, index)
-                 for index in range(config.trials)]
-    else:
-        pool = _get_pool(jobs, _warm_key(spec.key(), injector))
-        tasks = [(spec, category, config, chunk)
-                 for chunk in _chunk_indices(config.trials, jobs)]
-        slots = [slot for chunk in pool.map(_run_chunk, tasks)
-                 for slot in chunk]
-    return aggregate_slots(injector.name, category, config, setup, slots)
+    tracing = config.tracing
+    t0 = time.perf_counter()
+    baseline = snapshot_prep(injector)
+    chunks: List[dict] = []
+    counters: List[Dict[str, int]] = []
+    with recording() if tracing else _no_recording() as rec:
+        setup = prepare_campaign(injector, category, config)
+        prep = prep_delta(injector, baseline)
+        if jobs <= 1 or config.trials <= 1:
+            slots = [run_trial_slot(injector, category, setup, config, index)
+                     for index in range(config.trials)]
+        else:
+            pool = _get_pool(jobs, _warm_key(spec.key(), injector))
+            tasks = [(spec, category, config, chunk)
+                     for chunk in _chunk_indices(config.trials, jobs)]
+            slots = []
+            for chunk_id, (chunk_slots, info) in enumerate(
+                    pool.map(_run_chunk, tasks)):
+                slots.extend(chunk_slots)
+                if info is not None:
+                    counters.append(info.pop("counters"))
+                    info["chunk"] = chunk_id
+                    chunks.append(info)
+    result = aggregate_slots(injector.name, category, config, setup, slots)
+    if config.trace_dir:
+        counters.append(rec.counters_snapshot())
+        manifest = build_run_manifest(
+            injector, category, config, setup, slots, result, prep,
+            wall_s=time.perf_counter() - t0, chunks=chunks,
+            counters=counters)
+        write_campaign_manifest(manifest, config.trace_dir)
+    return result

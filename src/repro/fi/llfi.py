@@ -14,17 +14,22 @@ Workflow, mirroring the paper's Figure 1:
 
 Options expose the paper's §VII accuracy fixes as ablations:
 ``gep_as_arithmetic`` and ``include_pointer_casts``.
+
+Golden-run memoization, profiling, checkpoint policy and run accounting
+live on :class:`repro.fi.base.BaseInjector`; this module provides the
+IR-interpreter plumbing and the injection hook.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import FaultInjectionError
 from repro.ir.instructions import Instruction
 from repro.ir.module import Module
+from repro.fi.base import BaseInjector
 from repro.fi.categories import CATEGORIES, llfi_is_candidate
 from repro.fi.fault import (
     FaultModel, FaultRecord, SingleBitFlip, corrupt_double, corrupt_int,
@@ -120,28 +125,17 @@ class _InjectionHook(InterpHook):
         return corrupt_int(value, bits, self.model, positions), positions, bits
 
 
-class LLFIInjector:
+class LLFIInjector(BaseInjector):
     """High-level injector over a compiled IR module."""
 
     name = "LLFI"
+    default_max_instructions = 50_000_000
 
     def __init__(self, module: Module,
                  options: Optional[LLFIOptions] = None) -> None:
+        super().__init__()
         self.module = module
         self.options = options or LLFIOptions()
-        #: Whole-program executions performed through this injector
-        #: (golden + profiling + injection runs); campaign perf accounting.
-        self.executions = 0
-        #: Instructions actually simulated in this process (a resumed run
-        #: contributes only what it executed past its checkpoint).
-        self.instructions_simulated = 0
-        #: Requested checkpoint stride: 0 = off, <0 = auto (~N/20 of the
-        #: golden instruction count), >0 = explicit instruction stride.
-        self.checkpoint_request = 0
-        self._checkpoints: Optional[CheckpointStore] = None
-        self._checkpoints_request = 0
-        self._golden_result: Optional[ExecutionResult] = None
-        self._dynamic_counts: Optional[Dict[str, int]] = None
         self._candidate_ids: Dict[str, Set[int]] = {}
         self._static_counts: Dict[str, int] = {}
         for category in CATEGORIES:
@@ -157,114 +151,46 @@ class LLFIInjector:
     def static_candidate_count(self, category: str) -> int:
         return self._static_counts[category]
 
-    def _interp(self, hook, max_instructions: int,
-                hook_filter=None) -> IRInterpreter:
+    def _interp(self, hook, max_instructions: int, hook_filter=None,
+                **kwargs) -> IRInterpreter:
         return IRInterpreter(self.module, max_instructions=max_instructions,
                              max_call_depth=self.options.max_call_depth,
-                             hook=hook, hook_filter=hook_filter)
+                             hook=hook, hook_filter=hook_filter, **kwargs)
 
-    def golden(self, max_instructions: int = 50_000_000) -> ExecutionResult:
-        """Fault-free reference run."""
-        self.executions += 1
-        result = self._interp(None, max_instructions).run()
-        self.instructions_simulated += result.instructions
-        return result
+    def _execute(self, hook, max_instructions: int,
+                 hook_filter=None) -> ExecutionResult:
+        return self._interp(hook, max_instructions, hook_filter).run()
 
-    def golden_cached(self) -> ExecutionResult:
-        """Memoised golden run: one per injector, not one per campaign."""
-        if self._golden_result is None:
-            self._golden_result = self.golden()
-        return self._golden_result
+    def _counted_run(self, max_instructions: int,
+                     store: Optional[CheckpointStore] = None,
+                     ) -> Tuple[ExecutionResult, Dict[str, int]]:
+        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
+        multi = _MultiCountingHook(hooks)
+        union = frozenset().union(*self._candidate_ids.values())
+        kwargs = {}
+        if store is not None:
+            kwargs = dict(
+                checkpoint_stride=store.stride,
+                checkpoint_sink=lambda snap: store.record(snap,
+                                                          multi.counts()))
+        interp = self._interp(multi, max_instructions, union, **kwargs)
+        return interp.run(), multi.counts()
 
     def count_dynamic_candidates(self, category: str,
                                  max_instructions: int = 50_000_000) -> int:
         """Profiling run: N, the dynamic candidate-instance count."""
-        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _CountingHook(ids)
-        result = self._interp(hook, max_instructions, hook_filter=ids).run()
-        self.instructions_simulated += result.instructions
+        result = self._execute(hook, max_instructions, hook_filter=ids)
+        self._account_run(result)
         if not result.completed:
             raise FaultInjectionError(
                 f"profiling run did not complete: {result.status}")
         return hook.count
 
-    def dynamic_counts(self) -> Dict[str, int]:
-        """Memoised per-category dynamic counts from one shared profiling
-        pass (replaces a ``count_dynamic_candidates`` run per category)."""
-        if self._dynamic_counts is None:
-            self._dynamic_counts = self.count_all_categories()
-        return self._dynamic_counts
-
-    def count_all_categories(self, max_instructions: int = 50_000_000
-                             ) -> Dict[str, int]:
-        """Dynamic candidate counts for every category in one run
-        (the LLFI side of the paper's Table IV)."""
-        self.executions += 1
-        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
-        union = frozenset().union(*self._candidate_ids.values())
-        multi = _MultiCountingHook(hooks)
-        result = self._interp(multi, max_instructions,
-                              hook_filter=union).run()
-        self.instructions_simulated += result.instructions
-        if not result.completed:
-            raise FaultInjectionError(
-                f"profiling run did not complete: {result.status}")
-        return multi.counts()
-
-    # -- checkpoints --------------------------------------------------------
-    def configure_checkpoints(self, stride: int) -> None:
-        """Set the checkpoint policy: 0 disables resume-from-checkpoint,
-        <0 picks a stride of ~1/20 of the golden instruction count, >0 is
-        an explicit instruction stride."""
-        self.checkpoint_request = stride
-
-    def ensure_checkpoints(self,
-                           max_instructions: int = 50_000_000
-                           ) -> Optional[CheckpointStore]:
-        """Record golden-run checkpoints (memoised per requested policy).
-
-        The recording run executes the whole program once with the shared
-        multi-category counting hook, so it doubles as the golden run and
-        the profiling pass: with an explicit stride a fresh injector makes
-        one preparation run instead of two.
-        """
-        request = self.checkpoint_request
-        if request == 0:
-            return None
-        if self._checkpoints is not None \
-                and self._checkpoints_request == request:
-            return self._checkpoints
-        stride = request
-        if stride < 0:
-            stride = max(1, self.golden_cached().instructions // 20)
-        self.executions += 1
-        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
-        multi = _MultiCountingHook(hooks)
-        union = frozenset().union(*self._candidate_ids.values())
-        store = CheckpointStore(stride)
-        interp = IRInterpreter(
-            self.module, max_instructions=max_instructions,
-            max_call_depth=self.options.max_call_depth,
-            hook=multi, hook_filter=union,
-            checkpoint_stride=stride,
-            checkpoint_sink=lambda snap: store.record(snap, multi.counts()))
-        result = interp.run()
-        self.instructions_simulated += result.instructions
-        if not result.completed:
-            raise FaultInjectionError(
-                f"checkpoint recording run did not complete: {result.status}")
-        if self._golden_result is None:
-            self._golden_result = result
-        if self._dynamic_counts is None:
-            self._dynamic_counts = multi.counts()
-        self._checkpoints = store
-        self._checkpoints_request = request
-        return store
-
     def run_with_fault(self, category: str, k: int, rng: random.Random,
                        model: Optional[FaultModel] = None,
-                       max_instructions: int = 50_000_000,
+                       max_instructions: Optional[int] = None,
                        ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
         """One injection run: flip a bit in the result of the k-th dynamic
         candidate. Returns (result, fault record, activated?).
@@ -275,20 +201,15 @@ class LLFIInjector:
         matches a cold-start trial exactly (the RNG is only consumed at the
         injection point, and the hook resumes counting from the
         checkpoint's candidate count)."""
-        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _InjectionHook(ids, k, model or SingleBitFlip(), rng)
-        interp = self._interp(hook, max_instructions, hook_filter=ids)
-        skipped = 0
-        store = self.ensure_checkpoints()
-        if store is not None:
-            checkpoint = store.best_for(category, k)
-            if checkpoint is not None:
-                interp.restore(checkpoint.snapshot)
-                hook.count = checkpoint.counts[category]
-                skipped = checkpoint.snapshot.executed
+        interp = self._interp(hook,
+                              max_instructions or
+                              self.default_max_instructions,
+                              hook_filter=ids)
+        skipped = self._resume_from_checkpoint(interp, hook, category, k)
         result = interp.run()
-        self.instructions_simulated += result.instructions - skipped
+        self._account_run(result, skipped)
         if hook.record is None:
             raise FaultInjectionError(
                 f"dynamic instance {k} was never reached "

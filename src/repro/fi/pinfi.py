@@ -10,18 +10,23 @@ activation heuristics from the paper's §IV:
 
 Both heuristics can be disabled (``PINFIOptions``) to measure how much
 activation they buy — the §IV ablation.
+
+Golden-run memoization, profiling, checkpoint policy and run accounting
+live on :class:`repro.fi.base.BaseInjector`; this module provides the
+SimX86 plumbing and the injection hook.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import FaultInjectionError
 from repro.backend.machine import (
     CONDITION_FLAGS, FLAG_BITS, FLAG_NAMES, MInst, MProgram, Reg,
 )
+from repro.fi.base import BaseInjector
 from repro.fi.categories import CATEGORIES, pinfi_is_candidate
 from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
 from repro.vm.asmsim import AsmHook, AsmSimulator
@@ -168,28 +173,17 @@ class _InjectionHook(AsmHook):
                                   target=desc, width=width)
 
 
-class PINFIInjector:
+class PINFIInjector(BaseInjector):
     """Low-level injector over a compiled SimX86 program."""
 
     name = "PINFI"
+    default_max_instructions = 100_000_000
 
     def __init__(self, program: MProgram,
                  options: Optional[PINFIOptions] = None) -> None:
+        super().__init__()
         self.program = program
         self.options = options or PINFIOptions()
-        #: Whole-program executions performed through this injector
-        #: (golden + profiling + injection runs); campaign perf accounting.
-        self.executions = 0
-        #: Instructions actually simulated in this process (a resumed run
-        #: contributes only what it executed past its checkpoint).
-        self.instructions_simulated = 0
-        #: Requested checkpoint stride: 0 = off, <0 = auto (~N/20 of the
-        #: golden instruction count), >0 = explicit instruction stride.
-        self.checkpoint_request = 0
-        self._checkpoints: Optional[CheckpointStore] = None
-        self._checkpoints_request = 0
-        self._golden_result: Optional[ExecutionResult] = None
-        self._dynamic_counts: Optional[Dict[str, int]] = None
         self._candidate_ids: Dict[str, Set[int]] = {c: set() for c in CATEGORIES}
         self._targets: Dict[int, _Target] = {}
         for mfunc in program.functions.values():
@@ -212,131 +206,60 @@ class PINFIInjector:
     def static_candidate_count(self, category: str) -> int:
         return len(self._candidate_ids[category])
 
-    def _sim(self, hook, max_instructions: int,
-             hook_filter=None) -> AsmSimulator:
+    def _sim(self, hook, max_instructions: int, hook_filter=None,
+             **kwargs) -> AsmSimulator:
         return AsmSimulator(self.program, max_instructions=max_instructions,
                             max_call_depth=self.options.max_call_depth,
-                            hook=hook, hook_filter=hook_filter)
+                            hook=hook, hook_filter=hook_filter, **kwargs)
 
-    def golden(self, max_instructions: int = 100_000_000) -> ExecutionResult:
-        self.executions += 1
-        result = self._sim(None, max_instructions).run()
-        self.instructions_simulated += result.instructions
-        return result
+    def _execute(self, hook, max_instructions: int,
+                 hook_filter=None) -> ExecutionResult:
+        return self._sim(hook, max_instructions, hook_filter).run()
 
-    def golden_cached(self) -> ExecutionResult:
-        """Memoised golden run: one per injector, not one per campaign."""
-        if self._golden_result is None:
-            self._golden_result = self.golden()
-        return self._golden_result
+    def _counted_run(self, max_instructions: int,
+                     store: Optional[CheckpointStore] = None,
+                     ) -> Tuple[ExecutionResult, Dict[str, int]]:
+        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
+        multi = _MultiCountingHook(hooks)
+        union = frozenset().union(*self._candidate_ids.values())
+        kwargs = {}
+        if store is not None:
+            kwargs = dict(
+                checkpoint_stride=store.stride,
+                checkpoint_sink=lambda snap: store.record(snap,
+                                                          multi.counts()))
+        sim = self._sim(multi, max_instructions, union, **kwargs)
+        return sim.run(), multi.counts()
 
     def count_dynamic_candidates(self, category: str,
                                  max_instructions: int = 100_000_000) -> int:
-        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _CountingHook(ids)
-        result = self._sim(hook, max_instructions, hook_filter=ids).run()
-        self.instructions_simulated += result.instructions
+        result = self._execute(hook, max_instructions, hook_filter=ids)
+        self._account_run(result)
         if not result.completed:
             raise FaultInjectionError(
                 f"profiling run did not complete: {result.status}")
         return hook.count
 
-    def dynamic_counts(self) -> Dict[str, int]:
-        """Memoised per-category dynamic counts from one shared profiling
-        pass (replaces a ``count_dynamic_candidates`` run per category)."""
-        if self._dynamic_counts is None:
-            self._dynamic_counts = self.count_all_categories()
-        return self._dynamic_counts
-
-    def count_all_categories(self, max_instructions: int = 100_000_000
-                             ) -> Dict[str, int]:
-        self.executions += 1
-        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
-        union = frozenset().union(*self._candidate_ids.values())
-        multi = _MultiCountingHook(hooks)
-        result = self._sim(multi, max_instructions,
-                           hook_filter=union).run()
-        self.instructions_simulated += result.instructions
-        if not result.completed:
-            raise FaultInjectionError(
-                f"profiling run did not complete: {result.status}")
-        return multi.counts()
-
-    # -- checkpoints --------------------------------------------------------
-    def configure_checkpoints(self, stride: int) -> None:
-        """Set the checkpoint policy: 0 disables resume-from-checkpoint,
-        <0 picks a stride of ~1/20 of the golden instruction count, >0 is
-        an explicit instruction stride."""
-        self.checkpoint_request = stride
-
-    def ensure_checkpoints(self,
-                           max_instructions: int = 100_000_000
-                           ) -> Optional[CheckpointStore]:
-        """Record golden-run checkpoints (memoised per requested policy).
-
-        The recording run executes the whole program once with the shared
-        multi-category counting hook, so it doubles as the golden run and
-        the profiling pass: with an explicit stride a fresh injector makes
-        one preparation run instead of two.
-        """
-        request = self.checkpoint_request
-        if request == 0:
-            return None
-        if self._checkpoints is not None \
-                and self._checkpoints_request == request:
-            return self._checkpoints
-        stride = request
-        if stride < 0:
-            stride = max(1, self.golden_cached().instructions // 20)
-        self.executions += 1
-        hooks = {c: _CountingHook(self._candidate_ids[c]) for c in CATEGORIES}
-        multi = _MultiCountingHook(hooks)
-        union = frozenset().union(*self._candidate_ids.values())
-        store = CheckpointStore(stride)
-        sim = AsmSimulator(
-            self.program, max_instructions=max_instructions,
-            max_call_depth=self.options.max_call_depth,
-            hook=multi, hook_filter=union,
-            checkpoint_stride=stride,
-            checkpoint_sink=lambda snap: store.record(snap, multi.counts()))
-        result = sim.run()
-        self.instructions_simulated += result.instructions
-        if not result.completed:
-            raise FaultInjectionError(
-                f"checkpoint recording run did not complete: {result.status}")
-        if self._golden_result is None:
-            self._golden_result = result
-        if self._dynamic_counts is None:
-            self._dynamic_counts = multi.counts()
-        self._checkpoints = store
-        self._checkpoints_request = request
-        return store
-
     def run_with_fault(self, category: str, k: int, rng: random.Random,
                        model: Optional[FaultModel] = None,
-                       max_instructions: int = 100_000_000,
+                       max_instructions: Optional[int] = None,
                        ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
         """One injection run; with checkpoints enabled it resumes from the
         last golden checkpoint before the k-th dynamic candidate (the hook
         resumes counting from the checkpoint's candidate count, and the RNG
         is only consumed at the injection point, so the resumed trial is
         bit-identical to a cold start)."""
-        self.executions += 1
         ids = frozenset(self._candidate_ids[category])
         hook = _InjectionHook(ids, self._targets,
                               k, model or SingleBitFlip(), rng, self.options)
-        sim = self._sim(hook, max_instructions, hook_filter=ids)
-        skipped = 0
-        store = self.ensure_checkpoints()
-        if store is not None:
-            checkpoint = store.best_for(category, k)
-            if checkpoint is not None:
-                sim.restore(checkpoint.snapshot)
-                hook.count = checkpoint.counts[category]
-                skipped = checkpoint.snapshot.executed
+        sim = self._sim(hook,
+                        max_instructions or self.default_max_instructions,
+                        hook_filter=ids)
+        skipped = self._resume_from_checkpoint(sim, hook, category, k)
         result = sim.run()
-        self.instructions_simulated += result.instructions - skipped
+        self._account_run(result, skipped)
         if hook.record is None:
             raise FaultInjectionError(
                 f"dynamic instance {k} was never reached")

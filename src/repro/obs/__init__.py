@@ -1,0 +1,48 @@
+"""Campaign observability: structured metrics, event tracing, run manifests.
+
+The paper's credibility rests on 1000-trial campaigns whose internals
+(activation redraws, hang-budget trips, checkpoint restores, worker
+utilization) would otherwise be invisible.  This package makes campaign
+mechanics cheaply measurable without ever perturbing campaign *results*:
+
+* :mod:`repro.obs.recorder` — a near-zero-overhead :class:`Recorder`
+  (counters, timers, events) that is a no-op singleton when disabled;
+  the VM engines, both injectors and the campaign runner record into
+  whatever recorder is active in the process.
+* :mod:`repro.obs.manifest` — the per-campaign JSONL **run manifest**:
+  per-trial wall time, simulated-instruction counts, checkpoint restore
+  hits and skipped prefixes, redraw statistics and per-worker chunk
+  utilization, merged deterministically from workers by the engine.
+* :mod:`repro.obs.report` — ``python -m repro.obs.report`` summarizes one
+  or more manifests (per-cell timing tables, checkpoint savings, worker
+  balance).
+
+Tracing is inert by construction: it never touches the per-trial RNG
+streams, so campaign outcomes are bit-identical with tracing enabled or
+disabled, at any job count (proven by ``tests/obs/test_parity.py``).
+
+See ``OBSERVABILITY.md`` for the full schema and CLI reference.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION, RunManifest, manifest_filename, read_manifest,
+    write_manifest,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER, NullRecorder, Recorder, get_recorder, recording,
+    set_recorder,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RunManifest",
+    "get_recorder",
+    "manifest_filename",
+    "read_manifest",
+    "recording",
+    "set_recorder",
+    "write_manifest",
+]

@@ -1,0 +1,172 @@
+"""Per-campaign JSONL run manifests.
+
+A manifest is the auditable record of one (tool, category) campaign: what
+was configured, what the preparation phase cost, what every trial did, how
+the work was spread over workers, and what the totals were.  Every
+``BENCH_*.json`` perf claim can be re-derived from the manifest alone.
+
+One manifest is one JSONL file.  Line kinds, in file order:
+
+``manifest``
+    Header: ``schema`` (see :data:`MANIFEST_SCHEMA_VERSION`), ``workload``,
+    ``tool``, ``category``, ``trials``, ``seed``, ``jobs``,
+    ``hang_factor``, ``max_attempts_factor``, ``model``,
+    ``checkpoint_stride``.
+``setup``
+    Preparation phase: ``golden_instructions``, ``dynamic_candidates``,
+    ``checkpoints`` (recorded golden checkpoints), ``prep_executions`` /
+    ``prep_instructions`` (whole-program runs and instructions this
+    campaign's preparation actually executed — 0 when the injector's
+    memoised golden/profiling runs were reused).
+``trial``
+    One per trial slot, ordered by ``index``: ``outcome`` (an
+    ``Outcome.value``, or ``"gave_up"`` when every redraw failed to
+    activate), ``k`` (injected dynamic instance, None when gave up),
+    ``runs`` (injection runs including redraws), ``redraws``, ``wall_s``,
+    ``instructions`` (simulated, i.e. post-checkpoint suffix only),
+    ``ckpt_restores`` and ``ckpt_skipped`` (golden-prefix instructions
+    skipped via checkpoint restore).
+``chunk``
+    One per engine work chunk (parallel campaigns), ordered by ``chunk``:
+    ``worker`` (PID), ``slots`` (slot indices), ``wall_s``.
+``summary``
+    Totals: ``wall_s``, ``activated``, ``not_activated``, ``counts``
+    (outcome histogram), ``instructions`` (sum of trial instructions),
+    ``ckpt_restores``, ``ckpt_skipped``, plus the merged recorder
+    ``counters``.
+
+The accounting identity that makes manifests auditable: for a fresh
+injector, ``setup.prep_instructions`` plus the sum of per-trial
+``instructions`` equals the injector's ``instructions_simulated`` total —
+the number ``benchmarks/bench_checkpoint.py`` reports.
+
+Workers never write manifests; they return per-slot statistics to the
+engine, which merges them **deterministically** (trials sorted by slot
+index, chunks by chunk index) so two runs of the same campaign produce
+manifests that differ only in wall-clock fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+#: Bump when a line kind gains/loses required fields or changes meaning.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """In-memory form of one campaign manifest."""
+
+    header: dict
+    setup: dict
+    trials: List[dict] = field(default_factory=list)
+    chunks: List[dict] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def schema(self) -> int:
+        return self.header.get("schema", 0)
+
+    def lines(self) -> List[dict]:
+        """The manifest as ordered JSONL records (deterministic order:
+        header, setup, trials by index, chunks by chunk id, summary)."""
+        out = [dict(self.header, kind="manifest"),
+               dict(self.setup, kind="setup")]
+        out += [dict(t, kind="trial")
+                for t in sorted(self.trials, key=lambda t: t["index"])]
+        out += [dict(c, kind="chunk")
+                for c in sorted(self.chunks, key=lambda c: c["chunk"])]
+        out.append(dict(self.summary, kind="summary"))
+        return out
+
+    # -- derived views used by the report CLI -------------------------------
+    def total_trial_instructions(self) -> int:
+        return sum(t["instructions"] for t in self.trials)
+
+    def total_instructions(self) -> int:
+        """Preparation + trial instructions: the injector's
+        ``instructions_simulated`` for a fresh injector."""
+        return self.setup.get("prep_instructions", 0) + \
+            self.total_trial_instructions()
+
+    def total_skipped(self) -> int:
+        return sum(t["ckpt_skipped"] for t in self.trials)
+
+
+def manifest_filename(workload: str, tool: str, category: str,
+                      trials: int, seed: int,
+                      checkpoint_stride: int = 0) -> str:
+    """Canonical manifest name for one campaign cell.  The checkpoint
+    stride is part of the name so the same cell measured under different
+    strides (e.g. by ``bench_checkpoint``) never overwrites itself."""
+    return (f"manifest-{workload}-{tool}-{category}"
+            f"-t{trials}-s{seed}-c{checkpoint_stride}.jsonl")
+
+
+def write_manifest(path: str, manifest: RunManifest) -> str:
+    """Write one manifest as JSONL; creates parent directories."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as f:
+        for line in manifest.lines():
+            f.write(json.dumps(line, sort_keys=True))
+            f.write("\n")
+    return path
+
+
+def read_manifest(path: str) -> RunManifest:
+    """Parse one JSONL manifest, validating structure and schema version."""
+    header: Optional[dict] = None
+    setup: dict = {}
+    trials: List[dict] = []
+    chunks: List[dict] = []
+    summary: dict = {}
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: not valid JSON: {exc}") from None
+            kind = record.pop("kind", None)
+            if kind == "manifest":
+                if record.get("schema") != MANIFEST_SCHEMA_VERSION:
+                    raise ReproError(
+                        f"{path}: unsupported manifest schema "
+                        f"{record.get('schema')!r} (this build reads "
+                        f"schema {MANIFEST_SCHEMA_VERSION})")
+                header = record
+            elif kind == "setup":
+                setup = record
+            elif kind == "trial":
+                trials.append(record)
+            elif kind == "chunk":
+                chunks.append(record)
+            elif kind == "summary":
+                summary = record
+            else:
+                raise ReproError(
+                    f"{path}:{lineno}: unknown record kind {kind!r}")
+    if header is None:
+        raise ReproError(f"{path}: no manifest header record")
+    return RunManifest(header=header, setup=setup, trials=trials,
+                       chunks=chunks, summary=summary)
+
+
+def merge_counters(dicts: List[Dict[str, int]]) -> Dict[str, int]:
+    """Sum recorder counter snapshots from several workers."""
+    merged: Dict[str, int] = {}
+    for d in dicts:
+        for name, value in d.items():
+            merged[name] = merged.get(name, 0) + value
+    return merged

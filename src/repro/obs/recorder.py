@@ -1,0 +1,151 @@
+"""The Recorder: process-local counters, timers and events.
+
+Design constraints, in order:
+
+1. **Inert.**  Recording must never change campaign results.  The recorder
+   only *observes* (integer counters, wall-clock timers, event dicts); it
+   never touches RNG streams, simulator state or control flow.
+2. **Near-zero overhead when disabled.**  The hot paths (one call per
+   whole-program run, a handful per trial) go through the module-level
+   :data:`NULL_RECORDER` singleton whose methods are empty; the cost of
+   the disabled path is one global load, one attribute check and one
+   no-op call per instrumentation site.  Nothing is recorded per
+   simulated instruction.
+3. **Process-local.**  Each campaign worker owns its recorder; the engine
+   merges worker statistics into the run manifest deterministically (by
+   slot/chunk index), never by shared mutable state.
+
+Usage::
+
+    from repro.obs import get_recorder, recording
+
+    with recording() as rec:
+        ...                      # instrumented code runs
+    rec.counters["injector.runs"]
+
+Instrumentation sites call ``get_recorder()`` and may guard bulk work with
+``rec.enabled``::
+
+    rec = get_recorder()
+    if rec.enabled:
+        rec.incr("vm.ir.instructions", result.instructions)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    Also the base class of :class:`Recorder`, so instrumentation sites can
+    call any recorder method unconditionally.
+    """
+
+    enabled = False
+
+    def incr(self, name: str, n: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        yield
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return {}
+
+
+class Recorder(NullRecorder):
+    """The enabled recorder: accumulates counters, timings and events.
+
+    * ``counters`` — name -> integer sum (:meth:`incr`);
+    * ``timings`` — name -> ``[count, total_seconds, max_seconds]``
+      (:meth:`observe` / :meth:`timer`);
+    * ``events`` — append-only list of dicts (:meth:`event`), capped at
+      ``max_events`` so a long campaign cannot grow without bound.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timings: Dict[str, List[float]] = {}
+        self.events: List[dict] = []
+        self.max_events = max_events
+        self.dropped_events = 0
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        slot = self.timings.get(name)
+        if slot is None:
+            self.timings[name] = [1, value, value]
+        else:
+            slot[0] += 1
+            slot[1] += value
+            if value > slot[2]:
+                slot[2] = value
+
+    def event(self, name: str, **fields) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append({"event": name, **fields})
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+
+#: The disabled singleton every process starts with.
+NULL_RECORDER = NullRecorder()
+
+_active: NullRecorder = NULL_RECORDER
+
+
+def get_recorder() -> NullRecorder:
+    """The process's active recorder (the no-op singleton by default)."""
+    return _active
+
+
+def set_recorder(recorder: Optional[NullRecorder]) -> NullRecorder:
+    """Install ``recorder`` (None reinstalls the no-op singleton); returns
+    the previously active recorder so callers can restore it."""
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Install a live recorder for the duration of a ``with`` block."""
+    rec = recorder if recorder is not None else Recorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)

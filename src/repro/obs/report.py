@@ -1,0 +1,148 @@
+"""Summarize campaign run manifests.
+
+    python -m repro.obs.report results/obs/*.jsonl
+    python -m repro.obs.report manifest.jsonl --json
+
+Reads one or more JSONL manifests (see :mod:`repro.obs.manifest`) and
+prints three tables: per-cell timing, checkpoint savings, and worker
+balance.  ``--json`` emits the same numbers machine-readably.  Exits
+non-zero if any manifest is missing or unparsable, so CI can gate on
+manifest health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.report import format_table
+from repro.obs.manifest import RunManifest, read_manifest
+
+
+def _cell(manifest: RunManifest) -> str:
+    h = manifest.header
+    return f"{h.get('workload', '?')}/{h['tool']}/{h['category']}"
+
+
+def summarize(manifest: RunManifest) -> dict:
+    """Flatten one manifest into the report's numbers."""
+    h = manifest.header
+    s = manifest.summary
+    trials = manifest.trials
+    n = len(trials) or 1
+    wall = s.get("wall_s", 0.0)
+    runs = sum(t["runs"] for t in trials)
+    trial_instr = manifest.total_trial_instructions()
+    skipped = manifest.total_skipped()
+    restores = sum(t["ckpt_restores"] for t in trials)
+    workers = {}
+    for chunk in manifest.chunks:
+        w = workers.setdefault(chunk["worker"], {"chunks": 0, "slots": 0,
+                                                 "busy_s": 0.0})
+        w["chunks"] += 1
+        w["slots"] += len(chunk["slots"])
+        w["busy_s"] += chunk["wall_s"]
+    busy = [w["busy_s"] for w in workers.values()]
+    return {
+        "cell": _cell(manifest),
+        "trials": h["trials"],
+        "seed": h["seed"],
+        "activated": s.get("activated", 0),
+        "not_activated": s.get("not_activated", 0),
+        "injection_runs": runs,
+        "wall_s": wall,
+        "trials_per_sec": (h["trials"] / wall) if wall else 0.0,
+        "mean_trial_ms": 1000.0 * sum(t["wall_s"] for t in trials) / n,
+        "golden_instructions": manifest.setup.get("golden_instructions", 0),
+        "prep_instructions": manifest.setup.get("prep_instructions", 0),
+        "trial_instructions": trial_instr,
+        "total_instructions": manifest.total_instructions(),
+        "ckpt_restores": restores,
+        "ckpt_skipped": skipped,
+        # What the same trials would have simulated without checkpoint
+        # resume, over what they actually simulated.
+        "ckpt_reduction": ((trial_instr + skipped) / trial_instr
+                           if trial_instr else 1.0),
+        "workers": {str(pid): w for pid, w in sorted(workers.items())},
+        "worker_balance": (min(busy) / max(busy)
+                           if busy and max(busy) > 0 else 1.0),
+    }
+
+
+def render(summaries: List[dict]) -> str:
+    timing_rows = [[
+        s["cell"], s["trials"], s["activated"], s["injection_runs"],
+        f"{s['wall_s']:.2f}s", f"{s['trials_per_sec']:.1f}",
+        f"{s['mean_trial_ms']:.1f}ms",
+    ] for s in summaries]
+    sections = [format_table(
+        ["Cell", "Trials", "Activated", "Runs", "Wall", "Trials/s",
+         "Mean trial"],
+        timing_rows, title="Campaign timing")]
+
+    ckpt_rows = [[
+        s["cell"], s["golden_instructions"], s["trial_instructions"],
+        s["ckpt_restores"], s["ckpt_skipped"],
+        f"{s['ckpt_reduction']:.2f}x",
+    ] for s in summaries]
+    sections.append(format_table(
+        ["Cell", "Golden instr", "Trial instr", "Restores", "Skipped",
+         "Reduction"],
+        ckpt_rows,
+        title="Checkpoint savings (simulated instructions)"))
+
+    balance_rows = []
+    for s in summaries:
+        workers = s["workers"]
+        if not workers:
+            balance_rows.append([s["cell"], "in-process", "-", "-", "-"])
+            continue
+        busiest = max(workers.values(), key=lambda w: w["busy_s"])
+        balance_rows.append([
+            s["cell"], len(workers),
+            sum(w["chunks"] for w in workers.values()),
+            f"{busiest['busy_s']:.2f}s",
+            f"{s['worker_balance']:.2f}",
+        ])
+    sections.append(format_table(
+        ["Cell", "Workers", "Chunks", "Busiest", "Balance (min/max)"],
+        balance_rows,
+        title="Worker utilization"))
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("manifests", nargs="+",
+                        help="JSONL run manifest(s) to summarize")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+    args = parser.parse_args(argv)
+
+    summaries = []
+    for path in args.manifests:
+        try:
+            summaries.append(summarize(read_manifest(path)))
+        except (OSError, ReproError, KeyError) as exc:
+            print(f"error: cannot read manifest {path}: {exc}",
+                  file=sys.stderr)
+            return 1
+    try:
+        if args.json:
+            print(json.dumps(summaries, indent=1, sort_keys=True))
+        else:
+            print(render(summaries))
+    except BrokenPipeError:  # e.g. `... | head`: silence the shutdown flush
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.backend.machine import (
     Mem, MProgram, Reg, evaluate_condition,
 )
 from repro.ir.values import bits_to_double, double_to_bits
+from repro.obs import get_recorder
 from repro.vm.image import build_global_image
 from repro.vm.io import OutputBuffer
 from repro.vm.memory import BumpAllocator, STACK_TOP
@@ -236,14 +237,28 @@ class AsmSimulator:
     def run(self, entry: str = "main") -> ExecutionResult:
         try:
             exit_value = self._execute(entry)
-            return ExecutionResult("ok", None, self.output.text(),
-                                   self.executed, exit_value)
+            outcome = ExecutionResult("ok", None, self.output.text(),
+                                      self.executed, exit_value)
         except Trap as trap:
-            return ExecutionResult("trap", trap, self.output.text(),
-                                   self.executed)
+            outcome = ExecutionResult("trap", trap, self.output.text(),
+                                      self.executed)
         except HangTimeout:
-            return ExecutionResult("hang", None, self.output.text(),
-                                   self.executed)
+            outcome = ExecutionResult("hang", None, self.output.text(),
+                                      self.executed)
+        return self._record_run(outcome)
+
+    def _record_run(self, outcome: ExecutionResult) -> ExecutionResult:
+        # Observability: one recorder call per whole-program run — never
+        # per instruction — so the disabled path costs a no-op call.
+        rec = get_recorder()
+        if rec.enabled:
+            rec.incr("vm.asm.runs")
+            rec.incr("vm.asm.instructions", outcome.instructions)
+            if outcome.hung:
+                rec.incr("vm.asm.hang_budget_trips")
+            elif outcome.crashed:
+                rec.incr("vm.asm.traps")
+        return outcome
 
     def _execute(self, entry: str) -> int:
         if self._resume_loc is not None:

@@ -47,6 +47,7 @@ from repro.ir.values import (
     Argument, ConstantDouble, ConstantInt, ConstantNull, ConstantUndef,
     GlobalVariable, Value, wrap_signed,
 )
+from repro.obs import get_recorder
 from repro.vm.io import OutputBuffer
 from repro.vm.memory import BumpAllocator, STACK_TOP
 from repro.vm.result import ExecutionResult
@@ -189,14 +190,28 @@ class IRInterpreter:
             else:
                 func = self.module.get_function(entry)
                 result = self._call_function(func, [])
-            return ExecutionResult("ok", None, self.output.text(),
-                                   self.executed, result)
+            outcome = ExecutionResult("ok", None, self.output.text(),
+                                      self.executed, result)
         except Trap as trap:
-            return ExecutionResult("trap", trap, self.output.text(),
-                                   self.executed)
+            outcome = ExecutionResult("trap", trap, self.output.text(),
+                                      self.executed)
         except HangTimeout:
-            return ExecutionResult("hang", None, self.output.text(),
-                                   self.executed)
+            outcome = ExecutionResult("hang", None, self.output.text(),
+                                      self.executed)
+        return self._record_run(outcome)
+
+    def _record_run(self, outcome: ExecutionResult) -> ExecutionResult:
+        # Observability: one recorder call per whole-program run — never
+        # per instruction — so the disabled path costs a no-op call.
+        rec = get_recorder()
+        if rec.enabled:
+            rec.incr("vm.ir.runs")
+            rec.incr("vm.ir.instructions", outcome.instructions)
+            if outcome.hung:
+                rec.incr("vm.ir.hang_budget_trips")
+            elif outcome.crashed:
+                rec.incr("vm.ir.traps")
+        return outcome
 
     def _resume_depth(self, frames: Sequence[FrameState], depth: int):
         """Rebuild the captured recursion from ``depth`` inward and continue

@@ -91,7 +91,7 @@ class TestCachedCampaign(object):
                              results_dir=str(tmp_path))
         assert r2.counts == r1.counts
         assert (tmp_path /
-                "v2-libquantumm-LLFI-cmp-t5-s123-h20-a10-mbitflip.json"
+                "v3-libquantumm-LLFI-cmp-t5-s123-h20-a10-mbitflip.json"
                 ).exists()
 
     def test_cache_key_covers_all_result_affecting_fields(self):
@@ -102,7 +102,7 @@ class TestCachedCampaign(object):
 
         base = CampaignConfig(trials=5, seed=123)
         key = cache_key("libquantumm", "LLFI", "cmp", base)
-        assert key.startswith("v2-")
+        assert key.startswith("v3-")
         variants = [
             CampaignConfig(trials=5, seed=123, hang_factor=7),
             CampaignConfig(trials=5, seed=123, max_attempts_factor=3),
@@ -123,3 +123,34 @@ class TestCachedCampaign(object):
         b = cache_key("libquantumm", "LLFI", "cmp",
                       CampaignConfig(trials=5, seed=123, jobs=4))
         assert a == b
+
+    def test_cache_key_ignores_tracing(self):
+        """Tracing is inert, so traced and untraced runs must share one
+        cache entry."""
+        from repro.experiments.common import cache_key
+
+        a = cache_key("libquantumm", "LLFI", "cmp",
+                      CampaignConfig(trials=5, seed=123))
+        b = cache_key("libquantumm", "LLFI", "cmp",
+                      CampaignConfig(trials=5, seed=123, trace=True,
+                                     trace_dir="/tmp/obs"))
+        assert a == b
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        """A cache entry from a future (or pre-schema) build is rejected
+        with a message naming the offending file."""
+        import json
+
+        import pytest
+
+        from repro.errors import FaultInjectionError
+        from repro.experiments.common import cache_key, cached_campaign
+
+        config = CampaignConfig(trials=5, seed=123)
+        key = cache_key("libquantumm", "LLFI", "cmp", config)
+        path = tmp_path / f"{key}.json"
+        path.write_text(json.dumps({"tool": "LLFI", "schema": 99}))
+        with pytest.raises(FaultInjectionError) as err:
+            cached_campaign("libquantumm", "LLFI", "cmp", config,
+                            results_dir=str(tmp_path))
+        assert "schema" in str(err.value) and str(path) in str(err.value)

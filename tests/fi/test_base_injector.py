@@ -1,0 +1,118 @@
+"""Tests for the BaseInjector ABC: the unified injector surface that
+campaign, engine and experiment code type against."""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.fi import BaseInjector, InjectorSpec, LLFIInjector, PINFIInjector
+from repro.minic import compile_source
+from repro.obs import recording
+
+SRC = """
+int main() {
+    int s = 0;
+    int i;
+    for (i = 1; i <= 10; i++) s += i * i;
+    print_int(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def injectors():
+    module = compile_source(SRC)
+    program = compile_module(module)
+    return LLFIInjector(module), PINFIInjector(program)
+
+
+class TestAbcSurface:
+    def test_both_injectors_subclass_the_abc(self, injectors):
+        llfi, pinfi = injectors
+        assert isinstance(llfi, BaseInjector)
+        assert isinstance(pinfi, BaseInjector)
+
+    def test_abc_is_not_instantiable(self):
+        with pytest.raises(TypeError):
+            BaseInjector()
+
+    def test_tool_name_aliases_name(self, injectors):
+        llfi, pinfi = injectors
+        assert llfi.tool_name == llfi.name == "LLFI"
+        assert pinfi.tool_name == pinfi.name == "PINFI"
+
+    def test_common_counters_start_at_zero(self, injectors):
+        for injector in injectors:
+            assert injector.executions == 0
+            assert injector.instructions_simulated == 0
+            assert injector.ckpt_restores == 0
+            assert injector.ckpt_instructions_skipped == 0
+            assert injector.workload_name is None
+
+
+class TestSharedMemoization:
+    @pytest.mark.parametrize("tool", [0, 1])
+    def test_golden_cached_runs_once(self, injectors, tool):
+        injector = injectors[tool]
+        first = injector.golden_cached()
+        executions = injector.executions
+        second = injector.golden_cached()
+        assert second is first
+        assert injector.executions == executions
+
+    @pytest.mark.parametrize("tool", [0, 1])
+    def test_dynamic_counts_memoised(self, injectors, tool):
+        injector = injectors[tool]
+        counts = injector.dynamic_counts()
+        executions = injector.executions
+        assert injector.dynamic_counts() is counts
+        assert injector.executions == executions
+        assert counts["all"] > 0
+
+    def test_accounting_tracks_runs(self, injectors):
+        llfi, _ = injectors
+        llfi.golden_cached()
+        llfi.dynamic_counts()
+        assert llfi.executions == 2
+        assert llfi.instructions_simulated == \
+            2 * llfi.golden_cached().instructions
+
+
+class TestRecorderMirroring:
+    def test_runs_mirrored_into_active_recorder(self, injectors):
+        llfi, _ = injectors
+        with recording() as rec:
+            llfi.golden_cached()
+        assert rec.counter("injector.LLFI.runs") == 1
+        assert rec.counter("injector.LLFI.instructions") == \
+            llfi.golden_cached().instructions
+        assert rec.counter("vm.ir.runs") == 1
+
+    def test_nothing_recorded_when_disabled(self, injectors):
+        _, pinfi = injectors
+        pinfi.golden_cached()  # no active recorder: must not blow up
+        with recording() as rec:
+            pass
+        assert rec.counters_snapshot() == {}
+
+
+class TestSpecBuild:
+    def test_build_sets_workload_name(self, built_workloads):
+        for tool in ("LLFI", "PINFI"):
+            injector = InjectorSpec("libquantumm", tool).build()
+            assert injector.workload_name == "libquantumm"
+            assert isinstance(injector, BaseInjector)
+
+    def test_account_run_error_path_still_counts(self, injectors):
+        """run_with_fault accounts the run even when the dynamic instance
+        is never reached (the FaultInjectionError path)."""
+        import random
+
+        from repro.errors import FaultInjectionError
+
+        llfi, _ = injectors
+        n = llfi.dynamic_counts()["all"]
+        executions = llfi.executions
+        with pytest.raises(FaultInjectionError):
+            llfi.run_with_fault("all", n + 10_000, random.Random(0))
+        assert llfi.executions == executions + 1

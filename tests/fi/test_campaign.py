@@ -90,3 +90,41 @@ class TestCampaign:
         llfi = LLFIInjector(module)
         with pytest.raises(FaultInjectionError):
             run_campaign(llfi, "cast", CampaignConfig(trials=2))
+
+
+class TestResultSerialization:
+    def test_round_trip_without_records(self, injectors):
+        from repro.fi import CampaignResult
+
+        llfi, _ = injectors
+        result = run_campaign(llfi, "all", CampaignConfig(trials=15, seed=4))
+        loaded = CampaignResult.from_json(result.to_json())
+        assert loaded.counts == result.counts
+        assert loaded.not_activated == result.not_activated
+        assert loaded.tool == result.tool
+        assert loaded.dynamic_candidates == result.dynamic_candidates
+        assert loaded.records == []
+
+    def test_round_trip_with_records(self, injectors):
+        from repro.fi import CampaignResult
+
+        llfi, _ = injectors
+        result = run_campaign(llfi, "all", CampaignConfig(trials=10, seed=4))
+        loaded = CampaignResult.from_json(
+            result.to_json(include_records=True))
+        assert loaded.records == result.records
+        assert loaded.to_json(include_records=True) == \
+            result.to_json(include_records=True)
+
+    def test_unknown_schema_rejected(self):
+        from repro.fi import CampaignResult
+
+        with pytest.raises(FaultInjectionError, match="schema"):
+            CampaignResult.from_json({"schema": 99, "tool": "LLFI"})
+
+    def test_missing_schema_rejected(self):
+        """Pre-versioning cache entries have no schema field at all."""
+        from repro.fi import CampaignResult
+
+        with pytest.raises(FaultInjectionError, match="schema"):
+            CampaignResult.from_json({"tool": "LLFI", "category": "all"})

@@ -1,0 +1,108 @@
+"""Tests for JSONL run manifests (repro.obs.manifest)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION, RunManifest, manifest_filename, merge_counters,
+    read_manifest, write_manifest,
+)
+
+
+def sample_manifest() -> RunManifest:
+    return RunManifest(
+        header={"schema": MANIFEST_SCHEMA_VERSION, "workload": "w",
+                "tool": "LLFI", "category": "cmp", "trials": 2, "seed": 1,
+                "jobs": 1, "hang_factor": 20, "max_attempts_factor": 10,
+                "model": "bitflip", "checkpoint_stride": 0},
+        setup={"golden_instructions": 100, "dynamic_candidates": 9,
+               "checkpoints": 0, "prep_executions": 2,
+               "prep_instructions": 200},
+        trials=[
+            {"index": 1, "outcome": "sdc", "k": 3, "runs": 1, "redraws": 0,
+             "wall_s": 0.25, "instructions": 40, "ckpt_restores": 0,
+             "ckpt_skipped": 0},
+            {"index": 0, "outcome": "crash", "k": 5, "runs": 2, "redraws": 1,
+             "wall_s": 0.5, "instructions": 110, "ckpt_restores": 1,
+             "ckpt_skipped": 60},
+        ],
+        chunks=[{"chunk": 1, "worker": 11, "slots": [1], "wall_s": 0.3},
+                {"chunk": 0, "worker": 10, "slots": [0], "wall_s": 0.6}],
+        summary={"wall_s": 1.0, "activated": 2, "not_activated": 1,
+                 "counts": {"crash": 1, "sdc": 1}, "instructions": 150,
+                 "ckpt_restores": 1, "ckpt_skipped": 60, "counters": {}})
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        manifest = sample_manifest()
+        path = write_manifest(str(tmp_path / "m.jsonl"), manifest)
+        loaded = read_manifest(path)
+        assert loaded.header == manifest.header
+        assert loaded.setup == manifest.setup
+        assert loaded.summary == manifest.summary
+        # trials/chunks come back in the deterministic (sorted) order
+        assert [t["index"] for t in loaded.trials] == [0, 1]
+        assert [c["chunk"] for c in loaded.chunks] == [0, 1]
+        assert sorted(loaded.trials, key=lambda t: t["index"]) == \
+            sorted(manifest.trials, key=lambda t: t["index"])
+
+    def test_lines_are_deterministically_ordered(self):
+        kinds = [line["kind"] for line in sample_manifest().lines()]
+        assert kinds == ["manifest", "setup", "trial", "trial", "chunk",
+                        "chunk", "summary"]
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_manifest(str(tmp_path / "a" / "b" / "m.jsonl"),
+                              sample_manifest())
+        assert read_manifest(path).header["tool"] == "LLFI"
+
+    def test_derived_totals(self):
+        manifest = sample_manifest()
+        assert manifest.total_trial_instructions() == 150
+        assert manifest.total_instructions() == 350  # + prep
+        assert manifest.total_skipped() == 60
+
+
+class TestValidation:
+    def test_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            read_manifest(str(path))
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps({"kind": "manifest", "schema": 99}) + "\n")
+        with pytest.raises(ReproError, match="unsupported manifest schema"):
+            read_manifest(str(path))
+
+    def test_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "manifest",
+                        "schema": MANIFEST_SCHEMA_VERSION}) + "\n"
+            + json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ReproError, match="unknown record kind"):
+            read_manifest(str(path))
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps({"kind": "summary"}) + "\n")
+        with pytest.raises(ReproError, match="no manifest header"):
+            read_manifest(str(path))
+
+
+class TestHelpers:
+    def test_manifest_filename_includes_stride(self):
+        a = manifest_filename("w", "LLFI", "cmp", 100, 1)
+        b = manifest_filename("w", "LLFI", "cmp", 100, 1,
+                              checkpoint_stride=500)
+        assert a != b
+        assert a.endswith(".jsonl")
+
+    def test_merge_counters_sums(self):
+        merged = merge_counters([{"a": 1, "b": 2}, {"a": 3}, {}])
+        assert merged == {"a": 4, "b": 2}

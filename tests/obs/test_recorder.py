@@ -1,0 +1,99 @@
+"""Tests for the Recorder API (repro.obs.recorder)."""
+
+import time
+
+from repro.obs import (
+    NULL_RECORDER, NullRecorder, Recorder, get_recorder, recording,
+    set_recorder,
+)
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        rec = NullRecorder()
+        assert rec.enabled is False
+        rec.incr("x")
+        rec.observe("t", 1.0)
+        rec.event("e", detail=1)
+        with rec.timer("t"):
+            pass
+        assert rec.counter("x") == 0
+        assert rec.counters_snapshot() == {}
+
+    def test_default_recorder_is_null_singleton(self):
+        assert get_recorder() is NULL_RECORDER
+
+
+class TestRecorder:
+    def test_counters_accumulate(self):
+        rec = Recorder()
+        rec.incr("runs")
+        rec.incr("runs")
+        rec.incr("instructions", 100)
+        assert rec.counter("runs") == 2
+        assert rec.counter("instructions") == 100
+        assert rec.counters_snapshot() == {"runs": 2, "instructions": 100}
+
+    def test_snapshot_is_a_copy(self):
+        rec = Recorder()
+        rec.incr("x")
+        snap = rec.counters_snapshot()
+        rec.incr("x")
+        assert snap == {"x": 1}
+
+    def test_observe_tracks_count_total_max(self):
+        rec = Recorder()
+        rec.observe("t", 1.0)
+        rec.observe("t", 3.0)
+        rec.observe("t", 2.0)
+        count, total, biggest = rec.timings["t"]
+        assert count == 3
+        assert total == 6.0
+        assert biggest == 3.0
+
+    def test_timer_measures_wall_time(self):
+        rec = Recorder()
+        with rec.timer("sleep"):
+            time.sleep(0.01)
+        count, total, _ = rec.timings["sleep"]
+        assert count == 1
+        assert total >= 0.005
+
+    def test_events_capped(self):
+        rec = Recorder(max_events=3)
+        for i in range(5):
+            rec.event("e", i=i)
+        assert len(rec.events) == 3
+        assert rec.dropped_events == 2
+
+
+class TestInstallation:
+    def test_recording_installs_and_restores(self):
+        before = get_recorder()
+        with recording() as rec:
+            assert get_recorder() is rec
+            assert rec.enabled
+        assert get_recorder() is before
+
+    def test_recording_restores_on_exception(self):
+        before = get_recorder()
+        try:
+            with recording():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_recorder() is before
+
+    def test_nested_recording_restores_outer(self):
+        with recording() as outer:
+            with recording() as inner:
+                assert get_recorder() is inner
+            assert get_recorder() is outer
+
+    def test_set_recorder_none_reinstalls_null(self):
+        previous = set_recorder(Recorder())
+        try:
+            set_recorder(None)
+            assert get_recorder() is NULL_RECORDER
+        finally:
+            set_recorder(previous)

@@ -1,0 +1,49 @@
+"""Smoke tests for the manifest report CLI (python -m repro.obs.report)."""
+
+import json
+
+from repro.obs.manifest import write_manifest
+from repro.obs.report import main, summarize
+
+from tests.obs.test_manifest import sample_manifest
+
+
+class TestSummarize:
+    def test_numbers(self):
+        summary = summarize(sample_manifest())
+        assert summary["cell"] == "w/LLFI/cmp"
+        assert summary["injection_runs"] == 3
+        assert summary["trial_instructions"] == 150
+        assert summary["total_instructions"] == 350
+        assert summary["ckpt_restores"] == 1
+        # (150 + 60 skipped) / 150 simulated
+        assert summary["ckpt_reduction"] == (150 + 60) / 150
+        assert set(summary["workers"]) == {"10", "11"}
+        assert summary["worker_balance"] == 0.3 / 0.6
+
+
+class TestCli:
+    def test_renders_tables(self, tmp_path, capsys):
+        path = write_manifest(str(tmp_path / "m.jsonl"), sample_manifest())
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign timing" in out
+        assert "Checkpoint savings" in out
+        assert "Worker utilization" in out
+        assert "w/LLFI/cmp" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = write_manifest(str(tmp_path / "m.jsonl"), sample_manifest())
+        assert main([path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["cell"] == "w/LLFI/cmp"
+
+    def test_missing_manifest_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_unparsable_manifest_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        assert main([str(path)]) == 1
+        assert "cannot read manifest" in capsys.readouterr().err
