@@ -17,6 +17,13 @@ cached results stay valid whatever stride produced them.  ``--trace`` /
 ``--trace-dir`` (run manifests, see ``repro.obs``) are likewise inert and
 excluded; note a cache hit skips the campaign and therefore writes no
 manifest.
+
+``--ci-margin`` (Wilson-CI early stopping) is the exception: it decides
+how many trial slots actually run, so it — and the resolved
+``--round-size``, which sets where stop decisions can fall — **is** part
+of the key whenever it is nonzero.  A stopped cell's cached entry is
+exactly the ``trials = n_stop`` campaign's (prefix identity), but a
+different margin may stop at a different prefix, hence the key.
 """
 
 from __future__ import annotations
@@ -30,8 +37,9 @@ from typing import Optional
 
 from repro.errors import FaultInjectionError
 from repro.fi import (
-    CampaignConfig, CampaignResult, InjectorSpec, LLFIInjector, LLFIOptions,
-    PINFIInjector, PINFIOptions, run_parallel_campaign,
+    DEFAULT_ROUND_SIZE, CampaignConfig, CampaignResult, InjectorSpec,
+    LLFIInjector, LLFIOptions, PINFIInjector, PINFIOptions,
+    run_parallel_campaign,
 )
 from repro.fi.engine import injector_for_spec
 from repro.fi.fault import SingleBitFlip
@@ -42,8 +50,10 @@ DEFAULT_RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
 #: Bump when the cache key schema or the campaign procedure changes in a
 #: result-affecting way (v2: per-trial RNG streams; key gained hang/attempt
 #: factors and the fault model.  v3: entries hold the schema-versioned
-#: ``CampaignResult.to_json`` form).
-CACHE_FORMAT_VERSION = 3
+#: ``CampaignResult.to_json`` form.  v4: adaptive early stopping — the key
+#: gained the ci-margin/round-size component, and ``CampaignResult.trials``
+#: now records executed rather than requested trials).
+CACHE_FORMAT_VERSION = 4
 
 
 @dataclass
@@ -79,6 +89,11 @@ def cache_key(workload: str, tool: str, category: str,
     key = (f"v{CACHE_FORMAT_VERSION}-{workload}-{tool}-{category}"
            f"-t{config.trials}-s{config.seed}-h{config.hang_factor}"
            f"-a{config.max_attempts_factor}-m{model.name}")
+    if config.adaptive:
+        # Early stopping changes how many slots run; the round size moves
+        # the boundaries a stop can land on. Off (the default), the key is
+        # byte-identical to a non-adaptive v4 key.
+        key += f"-ci{config.ci_margin:g}-r{config.resolved_round_size()}"
     if variant:
         key += f"-{variant}"
     return key
@@ -134,6 +149,17 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                              "0 disables checkpoint resume, negative picks "
                              "~1/20 of the golden run (default; results are "
                              "identical for any value)")
+    parser.add_argument("--ci-margin", type=float, default=0.0,
+                        help="Wilson-CI early stopping: stop a cell once "
+                             "every outcome proportion's 95%% CI margin is "
+                             "below this (e.g. 0.03). 0 (default) disables "
+                             "it and runs the full trial budget; a stopped "
+                             "cell equals the trials=n_stop run exactly")
+    parser.add_argument("--round-size", type=int, default=0,
+                        help="trials per scheduling round for early "
+                             "stopping (0 picks the default of "
+                             f"{DEFAULT_ROUND_SIZE}; ignored unless "
+                             "--ci-margin is set)")
     parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
     parser.add_argument("--trace", action="store_true",
                         help="collect per-trial observability statistics "
@@ -173,5 +199,7 @@ def config_from_args(args) -> CampaignConfig:
                           jobs=getattr(args, "jobs", 1),
                           checkpoint_stride=getattr(args, "checkpoint_stride",
                                                     -1),
+                          ci_margin=getattr(args, "ci_margin", 0.0),
+                          round_size=getattr(args, "round_size", 0),
                           trace=getattr(args, "trace", False),
                           trace_dir=trace_dir_from_args(args))

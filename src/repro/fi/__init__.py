@@ -16,8 +16,9 @@ Typical use::
 
 from repro.fi.base import BaseInjector
 from repro.fi.campaign import (
-    CampaignConfig, CampaignResult, Trial, TrialStats, derive_trial_seed,
-    run_campaign, run_grid, trial_stream,
+    DEFAULT_ROUND_SIZE, CampaignConfig, CampaignResult, StopDecision, Trial,
+    TrialStats, derive_trial_seed, evaluate_stop, plan_rounds, run_campaign,
+    run_grid, trial_stream,
 )
 from repro.fi.categories import CATEGORIES, llfi_candidates, pinfi_candidates
 from repro.fi.engine import (
@@ -30,7 +31,9 @@ from repro.fi.fault import (
 from repro.fi.llfi import LLFIInjector, LLFIOptions
 from repro.fi.outcome import Outcome, classify
 from repro.fi.pinfi import PINFIInjector, PINFIOptions
-from repro.fi.stats import Proportion, two_proportion_z, wilson_interval
+from repro.fi.stats import (
+    Proportion, outcome_margins, two_proportion_z, wilson_interval,
+)
 from repro.fi.trace import PropagationTrace, trace_propagation
 
 __all__ = [
@@ -38,8 +41,12 @@ __all__ = [
     "CATEGORIES",
     "CampaignConfig",
     "CampaignResult",
+    "DEFAULT_ROUND_SIZE",
+    "StopDecision",
     "Trial",
     "TrialStats",
+    "evaluate_stop",
+    "plan_rounds",
     "run_campaign",
     "run_grid",
     "run_parallel_campaign",
@@ -63,6 +70,7 @@ __all__ = [
     "PINFIInjector",
     "PINFIOptions",
     "Proportion",
+    "outcome_margins",
     "two_proportion_z",
     "wilson_interval",
     "PropagationTrace",

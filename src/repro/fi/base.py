@@ -191,13 +191,19 @@ class BaseInjector(ABC):
                                 k: int) -> int:
         """Restore the latest golden checkpoint strictly before dynamic
         instance ``k`` into ``engine`` (if any), sync the injection hook's
-        candidate count, and return the skipped instruction count."""
+        candidate count, and return the skipped instruction count.
+
+        Memory is restored from the store's shared decoded image of the
+        snapshot: the store expands each snapshot once and every trial in
+        its (category, checkpoint) bucket copies from that decode instead
+        of re-deriving the full region contents per trial."""
         store = self.ensure_checkpoints()
         if store is None:
             return 0
         checkpoint = store.best_for(category, k)
         if checkpoint is None:
             return 0
-        engine.restore(checkpoint.snapshot)
+        engine.restore(checkpoint.snapshot,
+                       memory_images=store.decoded_memory(checkpoint))
         hook.count = checkpoint.counts[category]
         return checkpoint.snapshot.executed

@@ -33,6 +33,30 @@ injector (``golden_cached`` / ``dynamic_counts``), so a grid of campaigns
 over several categories performs one golden run and one profiling pass per
 injector instead of one of each per (tool, category) cell.
 
+Adaptive execution
+------------------
+
+Slots are dispatched in deterministic **rounds** (:func:`plan_rounds`).
+With ``CampaignConfig.ci_margin`` set, the campaign checks convergence at
+every round boundary (:func:`evaluate_stop`): once every outcome
+proportion's Wilson CI margin over the activated trials so far is below
+the target, the remaining rounds are skipped.  Because slots are
+independent streams and stop decisions are functions of the slot prefix
+``0..round end`` only, a stopped campaign is *exactly* the
+``trials = n_stop`` campaign — same per-slot results, same aggregate,
+same cache entry — and is still independent of ``jobs``.  With
+``ci_margin = 0`` (the default) the campaign is a single round over all
+``trials`` slots: today's behavior, bit for bit.
+
+Within a round, slots are executed in **checkpoint-bucket order**
+(:func:`order_round`): grouped by the golden checkpoint their first
+attempt restores from, so consecutive trials share one decoded snapshot
+image (see :meth:`repro.vm.snapshot.CheckpointStore.decoded_memory`)
+instead of re-expanding it per trial.  The bucket key is computed from a
+fresh copy of each slot's stream without consuming the one the trial
+uses, so bucketing is pure scheduling: it never changes any slot's
+randomness, and the aggregate sorts by slot index anyway.
+
 Observability
 -------------
 
@@ -52,7 +76,7 @@ import os
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultInjectionError
 from repro.fi.base import BaseInjector
@@ -60,19 +84,22 @@ from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
 from repro.fi.llfi import LLFIInjector
 from repro.fi.outcome import Outcome, classify
 from repro.fi.pinfi import PINFIInjector
-from repro.fi.stats import Proportion
+from repro.fi.stats import Proportion, outcome_margins
 from repro.obs import recording
 from repro.obs.manifest import (
-    RunManifest, manifest_filename, merge_counters, write_manifest,
+    MANIFEST_SCHEMA_VERSION, RunManifest, manifest_filename, merge_counters,
+    write_manifest,
 )
 from repro.vm.result import ExecutionResult
 
-#: Deprecated alias — campaign/engine/experiment code types against the
-#: :class:`~repro.fi.base.BaseInjector` ABC.
-Injector = BaseInjector
-
 #: Schema version of ``CampaignResult.to_json``; bump on any field change.
 RESULT_SCHEMA_VERSION = 1
+
+#: Trials per scheduling round when early stopping is on and no explicit
+#: ``round_size`` is configured.  Small enough that a converged cell stops
+#: within ~5% of its minimum budget, large enough that the stop check and
+#: round dispatch are negligible against whole-program injection runs.
+DEFAULT_ROUND_SIZE = 50
 
 
 @dataclass
@@ -201,6 +228,19 @@ class CampaignConfig:
     #: counting from the checkpoint's per-category candidate count).
     #: Results are independent of this value, like ``jobs``.
     checkpoint_stride: int = 0
+    #: Early-stopping target: stop at the first round boundary where every
+    #: outcome proportion's Wilson CI margin (half-width, over activated
+    #: trials) is below this. 0 disables early stopping and runs all
+    #: ``trials`` slots — bit-identical to pre-adaptive campaigns. Unlike
+    #: ``jobs``/``checkpoint_stride`` this **does** affect the result (it
+    #: decides how many slots run), so it is part of the results cache key;
+    #: a stopped campaign equals the ``trials = n_stop`` campaign exactly.
+    ci_margin: float = 0.0
+    #: Trials per scheduling round; 0 picks :data:`DEFAULT_ROUND_SIZE`.
+    #: Only consulted when ``ci_margin`` > 0 (otherwise the campaign is a
+    #: single round). Round boundaries depend on this config alone — never
+    #: on ``jobs`` — so stop decisions are identical at any job count.
+    round_size: int = 0
     #: Collect per-trial statistics (wall time, simulated instructions,
     #: checkpoint restores) through :mod:`repro.obs`. Inert: results are
     #: bit-identical with tracing on or off.
@@ -211,6 +251,15 @@ class CampaignConfig:
     @property
     def tracing(self) -> bool:
         return self.trace or self.trace_dir is not None
+
+    @property
+    def adaptive(self) -> bool:
+        """Is Wilson-CI early stopping on?"""
+        return self.ci_margin > 0
+
+    def resolved_round_size(self) -> int:
+        """The round size campaigns actually schedule with (0 = default)."""
+        return self.round_size if self.round_size > 0 else DEFAULT_ROUND_SIZE
 
 
 # -- deterministic per-trial RNG streams ---------------------------------------
@@ -342,13 +391,150 @@ def run_trial_slot(injector: BaseInjector, category: str,
     return SlotResult(index, trial, not_activated, stats)
 
 
+# -- adaptive rounds + checkpoint-bucketed scheduling --------------------------
+
+@dataclass(frozen=True)
+class StopDecision:
+    """Convergence check at one round boundary: Wilson CI margins of every
+    outcome proportion over the slots executed so far."""
+
+    #: Slots executed (the candidate ``n_stop``).
+    executed: int
+    #: Activated trials among them (the CI sample size).
+    activated: int
+    #: Outcome value -> CI margin (half-width).
+    margins: Dict[str, float]
+    #: The widest margin — what the target is compared against.
+    max_margin: float
+    #: Converged under the configured ``ci_margin``?
+    stop: bool
+
+    def to_record(self, round_no: int) -> dict:
+        """Manifest ``round`` record of this decision."""
+        return {"round": round_no, "executed": self.executed,
+                "activated": self.activated,
+                "margins": {k: round(v, 6)
+                            for k, v in sorted(self.margins.items())},
+                "max_margin": round(self.max_margin, 6),
+                "stop": self.stop}
+
+
+def evaluate_stop(slots: List[SlotResult],
+                  config: CampaignConfig) -> StopDecision:
+    """Stop decision over the slots executed so far.
+
+    Evaluated only at round boundaries, on every slot below the boundary,
+    so the decision is a pure function of (config, slot prefix) — never of
+    scheduling order or job count.  An all-gave-up prefix has ``activated
+    = 0`` and margins of 0.5 (see :func:`repro.fi.stats.outcome_margins`),
+    so it never reads as converged."""
+    counts = {o.value: 0 for o in Outcome if o is not Outcome.NOT_ACTIVATED}
+    activated = 0
+    for slot in slots:
+        if slot.trial is not None:
+            counts[slot.trial.outcome.value] += 1
+            activated += 1
+    margins = outcome_margins(counts, activated)
+    max_margin = max(margins.values())
+    return StopDecision(executed=len(slots), activated=activated,
+                        margins=margins, max_margin=max_margin,
+                        stop=config.adaptive and max_margin < config.ci_margin)
+
+
+def plan_rounds(config: CampaignConfig) -> List[Tuple[int, int]]:
+    """Deterministic ``[start, end)`` round boundaries over slot indices.
+
+    Without early stopping the whole campaign is one round (no stop checks
+    to schedule around); with it, rounds of ``resolved_round_size()``.
+    Boundaries are derived from the config alone, which is what keeps
+    ``jobs=1`` and ``jobs=N`` (and sequential vs parallel paths) executing
+    identical slot prefixes."""
+    if not config.adaptive:
+        return [(0, config.trials)]
+    size = config.resolved_round_size()
+    return [(start, min(start + size, config.trials))
+            for start in range(0, config.trials, size)]
+
+
+def slot_checkpoint_bucket(injector: BaseInjector, category: str,
+                           setup: CampaignSetup, config: CampaignConfig,
+                           index: int) -> int:
+    """Checkpoint bucket of one trial slot: the index of the golden
+    checkpoint its *first* attempt resumes from, -1 for a cold start.
+
+    The first draw is re-derived from a fresh copy of the slot's stream
+    (streams are pure functions of the seed), so the stream the trial
+    itself consumes is untouched — bucketing is a scheduling hint, not
+    part of the procedure.  Redraws may resolve to other checkpoints;
+    that only costs decode-cache hits, never correctness."""
+    store = injector.ensure_checkpoints()
+    if store is None:
+        return -1
+    k = trial_stream(config.seed, injector.name, category,
+                     index).randint(1, setup.candidates)
+    i = store.index_before(category, k)
+    return -1 if i is None else i
+
+
+def order_round(injector: BaseInjector, category: str, setup: CampaignSetup,
+                config: CampaignConfig, round_no: int, start: int, end: int,
+                ) -> Tuple[List[int], List[dict]]:
+    """Bucket one round's slot indices by shared checkpoint.
+
+    Returns the round's indices reordered bucket by bucket (cold starts
+    first, then ascending checkpoint index; ascending slot index within a
+    bucket — fully deterministic) plus one manifest ``bucket`` record per
+    non-empty bucket.  Restores within a bucket then hit one shared
+    decoded snapshot image instead of expanding it per trial."""
+    buckets: Dict[int, List[int]] = {}
+    for index in range(start, end):
+        bucket = slot_checkpoint_bucket(injector, category, setup, config,
+                                        index)
+        buckets.setdefault(bucket, []).append(index)
+    ordered: List[int] = []
+    records: List[dict] = []
+    for bucket in sorted(buckets):
+        indices = buckets[bucket]
+        ordered.extend(indices)
+        records.append({"round": round_no, "checkpoint": bucket,
+                        "slots": len(indices)})
+    return ordered, records
+
+
+def run_rounds(injector: BaseInjector, category: str, setup: CampaignSetup,
+               config: CampaignConfig,
+               ) -> Tuple[List[SlotResult], List[dict], List[dict]]:
+    """Execute trial slots in-process, round by round and bucket-ordered,
+    stopping early once converged.  Returns (slots, round records, bucket
+    records); the parallel engine implements the same loop with each
+    round's ordered indices fanned out over the pool."""
+    slots: List[SlotResult] = []
+    rounds: List[dict] = []
+    bucket_records: List[dict] = []
+    for round_no, (start, end) in enumerate(plan_rounds(config)):
+        ordered, buckets = order_round(injector, category, setup, config,
+                                       round_no, start, end)
+        bucket_records.extend(buckets)
+        slots.extend(run_trial_slot(injector, category, setup, config, index)
+                     for index in ordered)
+        decision = evaluate_stop(slots, config)
+        rounds.append(decision.to_record(round_no))
+        if decision.stop:
+            break
+    return slots, rounds, bucket_records
+
+
 def aggregate_slots(tool: str, category: str, config: CampaignConfig,
                     setup: CampaignSetup,
                     slots: List[SlotResult]) -> CampaignResult:
     """Fold slot results into a CampaignResult. Slots are sorted by index,
-    so the aggregate is identical however the slots were scheduled."""
+    so the aggregate is identical however the slots were scheduled.
+
+    ``trials`` is the number of slots actually executed — for an
+    early-stopped campaign that is ``n_stop``, making the result equal in
+    every field to the ``trials = n_stop`` campaign's."""
     result = CampaignResult(tool=tool, category=category,
-                            trials=config.trials,
+                            trials=len(slots),
                             dynamic_candidates=setup.candidates,
                             golden_instructions=setup.golden.instructions)
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome
@@ -408,6 +594,8 @@ def build_run_manifest(injector: BaseInjector, category: str,
                        prep: PrepStats, wall_s: float,
                        chunks: Optional[List[dict]] = None,
                        counters: Optional[List[Dict[str, int]]] = None,
+                       rounds: Optional[List[dict]] = None,
+                       buckets: Optional[List[dict]] = None,
                        ) -> RunManifest:
     """Assemble the JSONL run manifest of one campaign (see
     :mod:`repro.obs.manifest` for the schema and the accounting identity
@@ -415,8 +603,9 @@ def build_run_manifest(injector: BaseInjector, category: str,
     store = injector.ensure_checkpoints()
     trials = [_trial_record(slot)
               for slot in sorted(slots, key=lambda s: s.index)]
+    rounds = rounds or []
     header = {
-        "schema": 1,
+        "schema": MANIFEST_SCHEMA_VERSION,
         "workload": injector.workload_name or "adhoc",
         "tool": injector.name,
         "category": category,
@@ -427,6 +616,8 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "max_attempts_factor": config.max_attempts_factor,
         "model": (config.model or SingleBitFlip()).name,
         "checkpoint_stride": config.checkpoint_stride,
+        "ci_margin": config.ci_margin,
+        "round_size": config.resolved_round_size() if config.adaptive else 0,
     }
     setup_record = {
         "golden_instructions": setup.golden.instructions,
@@ -435,6 +626,7 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "prep_executions": prep.executions,
         "prep_instructions": prep.instructions,
     }
+    n_stop = len(trials)
     summary = {
         "wall_s": round(wall_s, 6),
         "activated": result.activated,
@@ -443,10 +635,17 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "instructions": sum(t["instructions"] for t in trials),
         "ckpt_restores": sum(t["ckpt_restores"] for t in trials),
         "ckpt_skipped": sum(t["ckpt_skipped"] for t in trials),
+        "trials_requested": config.trials,
+        "n_stop": n_stop,
+        "stopped": n_stop < config.trials,
+        "trials_saved": config.trials - n_stop,
+        "margin_at_stop": rounds[-1]["max_margin"] if rounds else None,
+        "rounds": len(rounds),
         "counters": merge_counters(counters or []),
     }
     return RunManifest(header=header, setup=setup_record, trials=trials,
-                       chunks=chunks or [], summary=summary)
+                       chunks=chunks or [], summary=summary,
+                       rounds=rounds, buckets=buckets or [])
 
 
 def write_campaign_manifest(manifest: RunManifest, trace_dir: str) -> str:
@@ -455,7 +654,7 @@ def write_campaign_manifest(manifest: RunManifest, trace_dir: str) -> str:
     h = manifest.header
     path = os.path.join(trace_dir, manifest_filename(
         h["workload"], h["tool"], h["category"], h["trials"], h["seed"],
-        h["checkpoint_stride"]))
+        h["checkpoint_stride"], h.get("ci_margin", 0.0)))
     return write_manifest(path, manifest)
 
 
@@ -464,27 +663,26 @@ def run_campaign(injector: BaseInjector, category: str,
     """Run one (tool, category) fault-injection campaign in-process.
 
     Bit-identical to ``run_parallel_campaign`` at any job count: both paths
-    execute the same per-slot streams and aggregate with
+    execute the same per-slot streams round by round and aggregate with
     :func:`aggregate_slots`."""
     config = config or CampaignConfig()
     if not config.tracing:
         setup = prepare_campaign(injector, category, config)
-        slots = [run_trial_slot(injector, category, setup, config, index)
-                 for index in range(config.trials)]
+        slots, _, _ = run_rounds(injector, category, setup, config)
         return aggregate_slots(injector.name, category, config, setup, slots)
     t0 = time.perf_counter()
     baseline = snapshot_prep(injector)
     with recording() as rec:
         setup = prepare_campaign(injector, category, config)
         prep = prep_delta(injector, baseline)
-        slots = [run_trial_slot(injector, category, setup, config, index)
-                 for index in range(config.trials)]
+        slots, rounds, buckets = run_rounds(injector, category, setup, config)
     result = aggregate_slots(injector.name, category, config, setup, slots)
     if config.trace_dir:
         manifest = build_run_manifest(
             injector, category, config, setup, slots, result, prep,
             wall_s=time.perf_counter() - t0,
-            counters=[rec.counters_snapshot()])
+            counters=[rec.counters_snapshot()],
+            rounds=rounds, buckets=buckets)
         write_campaign_manifest(manifest, config.trace_dir)
     return result
 

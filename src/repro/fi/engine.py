@@ -33,8 +33,9 @@ from repro.errors import FaultInjectionError
 from repro.fi.base import BaseInjector
 from repro.fi.campaign import (
     CampaignConfig, CampaignResult, SlotResult, aggregate_slots,
-    build_run_manifest, prep_delta, prepare_campaign, run_trial_slot,
-    snapshot_prep, write_campaign_manifest,
+    build_run_manifest, evaluate_stop, order_round, plan_rounds, prep_delta,
+    prepare_campaign, run_rounds, run_trial_slot, snapshot_prep,
+    write_campaign_manifest,
 )
 from repro.fi.llfi import LLFIInjector, LLFIOptions
 from repro.fi.pinfi import PINFIInjector, PINFIOptions
@@ -189,11 +190,19 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _chunk_list(indices: List[int], jobs: int) -> List[List[int]]:
+    """Split pre-ordered slot indices into contiguous chunks.  Contiguity
+    matters: the indices arrive bucket-ordered, so a contiguous chunk
+    spans few checkpoint buckets and its worker reuses few snapshot
+    decodes."""
+    n = len(indices)
+    nchunks = max(1, min(n, jobs * _CHUNKS_PER_JOB))
+    size = -(-n // nchunks)  # ceil
+    return [indices[i:i + size] for i in range(0, n, size)]
+
+
 def _chunk_indices(trials: int, jobs: int) -> List[List[int]]:
-    indices = list(range(trials))
-    nchunks = max(1, min(trials, jobs * _CHUNKS_PER_JOB))
-    size = -(-trials // nchunks)  # ceil
-    return [indices[i:i + size] for i in range(0, trials, size)]
+    return _chunk_list(list(range(trials)), jobs)
 
 
 def run_parallel_campaign(spec: InjectorSpec, category: str,
@@ -202,7 +211,11 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
     """Run one (tool, category) campaign, fanned out over ``jobs`` workers.
 
     ``jobs`` defaults to ``config.jobs``; 1 runs in-process (no pool).
-    The result is bit-identical for every job count."""
+    The result is bit-identical for every job count: rounds, stop
+    decisions and per-slot streams are all functions of the config alone.
+    Each round's bucket-ordered indices are chunked contiguously over the
+    pool; the stop decision is evaluated in the parent on the full slot
+    prefix after every round, exactly like the in-process path."""
     config = config or CampaignConfig()
     jobs = resolve_jobs(config.jobs if jobs is None else jobs)
     # Build + golden + profile (+ record checkpoints) in the parent first:
@@ -214,30 +227,41 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
     baseline = snapshot_prep(injector)
     chunks: List[dict] = []
     counters: List[Dict[str, int]] = []
+    rounds: List[dict] = []
+    buckets: List[dict] = []
     with recording() if tracing else _no_recording() as rec:
         setup = prepare_campaign(injector, category, config)
         prep = prep_delta(injector, baseline)
         if jobs <= 1 or config.trials <= 1:
-            slots = [run_trial_slot(injector, category, setup, config, index)
-                     for index in range(config.trials)]
+            slots, rounds, buckets = run_rounds(injector, category, setup,
+                                                config)
         else:
             pool = _get_pool(jobs, _warm_key(spec.key(), injector))
-            tasks = [(spec, category, config, chunk)
-                     for chunk in _chunk_indices(config.trials, jobs)]
-            slots = []
-            for chunk_id, (chunk_slots, info) in enumerate(
-                    pool.map(_run_chunk, tasks)):
-                slots.extend(chunk_slots)
-                if info is not None:
-                    counters.append(info.pop("counters"))
-                    info["chunk"] = chunk_id
-                    chunks.append(info)
+            slots: List[SlotResult] = []
+            chunk_id = 0
+            for round_no, (start, end) in enumerate(plan_rounds(config)):
+                ordered, bucket_records = order_round(
+                    injector, category, setup, config, round_no, start, end)
+                buckets.extend(bucket_records)
+                tasks = [(spec, category, config, chunk)
+                         for chunk in _chunk_list(ordered, jobs)]
+                for chunk_slots, info in pool.map(_run_chunk, tasks):
+                    slots.extend(chunk_slots)
+                    if info is not None:
+                        counters.append(info.pop("counters"))
+                        info["chunk"] = chunk_id
+                        chunks.append(info)
+                    chunk_id += 1
+                decision = evaluate_stop(slots, config)
+                rounds.append(decision.to_record(round_no))
+                if decision.stop:
+                    break
     result = aggregate_slots(injector.name, category, config, setup, slots)
     if config.trace_dir:
         counters.append(rec.counters_snapshot())
         manifest = build_run_manifest(
             injector, category, config, setup, slots, result, prep,
             wall_s=time.perf_counter() - t0, chunks=chunks,
-            counters=counters)
+            counters=counters, rounds=rounds, buckets=buckets)
         write_campaign_manifest(manifest, config.trace_dir)
     return result

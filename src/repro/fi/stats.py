@@ -4,13 +4,21 @@ The paper reports outcome percentages among activated faults with 95%
 confidence error bars for 1000 injections. We use the Wilson score
 interval, which behaves well at the small proportions (SDC ~10%) and
 moderate sample sizes involved.
+
+Adaptive campaigns (``CampaignConfig.ci_margin``) stop a cell as soon as
+every outcome proportion's interval is narrow enough, so these functions
+are now evaluated on *intermediate* counts too — including the degenerate
+``n = 0`` cell a round of all-non-activated trials produces.  An empty
+cell must never look converged: its interval is the uninformative
+``(0, 1)`` (margin 0.5), and :func:`two_proportion_z` treats it as
+indistinguishable from anything (z = 0).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Mapping, Tuple
 
 #: z for a 95% two-sided interval.
 Z95 = 1.959963984540054
@@ -20,7 +28,9 @@ def wilson_interval(successes: int, n: int, z: float = Z95
                     ) -> Tuple[float, float]:
     """Wilson score confidence interval for a binomial proportion."""
     if n <= 0:
-        return (0.0, 0.0)
+        # No observations carry no information: the full unit interval,
+        # not the empty one — early stopping relies on its 0.5 margin.
+        return (0.0, 1.0)
     if not 0 <= successes <= n:
         raise ValueError(f"successes={successes} out of range for n={n}")
     phat = successes / n
@@ -69,10 +79,27 @@ class Proportion:
         return f"{100 * self.value:.1f}% ±{100 * self.margin:.1f}"
 
 
+def outcome_margins(counts: Mapping, n: int) -> Dict:
+    """Wilson CI margin (half-width) of each outcome proportion in
+    ``counts`` over ``n`` activated trials.
+
+    The convergence measure behind adaptive early stopping: a campaign
+    cell is resolved once ``max(outcome_margins(...).values())`` falls
+    under the configured target.  With ``n = 0`` every margin is the
+    uninformative 0.5, so an empty cell never reads as converged."""
+    return {key: Proportion(successes, n).margin
+            for key, successes in counts.items()}
+
+
 def two_proportion_z(a_successes: int, a_n: int,
                      b_successes: int, b_n: int) -> float:
     """Two-proportion z statistic (pooled); used to test whether LLFI and
-    PINFI rates differ significantly."""
+    PINFI rates differ significantly.
+
+    Degenerate samples (either ``n`` zero, or pooled rates of exactly 0
+    or 1, where the standard error vanishes) return 0.0 — "no evidence of
+    a difference" — rather than dividing by zero; early-stopped cells can
+    legitimately present such counts."""
     if a_n == 0 or b_n == 0:
         return 0.0
     p1, p2 = a_successes / a_n, b_successes / b_n

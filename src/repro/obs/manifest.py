@@ -9,9 +9,10 @@ One manifest is one JSONL file.  Line kinds, in file order:
 
 ``manifest``
     Header: ``schema`` (see :data:`MANIFEST_SCHEMA_VERSION`), ``workload``,
-    ``tool``, ``category``, ``trials``, ``seed``, ``jobs``,
-    ``hang_factor``, ``max_attempts_factor``, ``model``,
-    ``checkpoint_stride``.
+    ``tool``, ``category``, ``trials`` (the *requested* budget), ``seed``,
+    ``jobs``, ``hang_factor``, ``max_attempts_factor``, ``model``,
+    ``checkpoint_stride``, ``ci_margin`` (early-stopping target, 0 = off)
+    and ``round_size`` (resolved scheduling round, 0 when not adaptive).
 ``setup``
     Preparation phase: ``golden_instructions``, ``dynamic_candidates``,
     ``checkpoints`` (recorded golden checkpoints), ``prep_executions`` /
@@ -26,13 +27,23 @@ One manifest is one JSONL file.  Line kinds, in file order:
     ``instructions`` (simulated, i.e. post-checkpoint suffix only),
     ``ckpt_restores`` and ``ckpt_skipped`` (golden-prefix instructions
     skipped via checkpoint restore).
+``round``
+    One per scheduling round, ordered by ``round``: the stop decision at
+    its boundary — ``executed`` (slots so far), ``activated``, ``margins``
+    (outcome -> Wilson CI half-width), ``max_margin``, ``stop``.
+``bucket``
+    One per non-empty (round, checkpoint) scheduling bucket: ``round``,
+    ``checkpoint`` (golden checkpoint index, -1 = cold start) and
+    ``slots`` (trials that restore from that shared snapshot).
 ``chunk``
     One per engine work chunk (parallel campaigns), ordered by ``chunk``:
     ``worker`` (PID), ``slots`` (slot indices), ``wall_s``.
 ``summary``
     Totals: ``wall_s``, ``activated``, ``not_activated``, ``counts``
     (outcome histogram), ``instructions`` (sum of trial instructions),
-    ``ckpt_restores``, ``ckpt_skipped``, plus the merged recorder
+    ``ckpt_restores``, ``ckpt_skipped``, the early-stopping verdict
+    (``trials_requested``, ``n_stop``, ``stopped``, ``trials_saved``,
+    ``margin_at_stop``, ``rounds``), plus the merged recorder
     ``counters``.
 
 The accounting identity that makes manifests auditable: for a fresh
@@ -56,7 +67,10 @@ from typing import Dict, List, Optional
 from repro.errors import ReproError
 
 #: Bump when a line kind gains/loses required fields or changes meaning.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: adaptive campaigns — ``round``/``bucket`` record kinds, header
+#: gained ``ci_margin``/``round_size``, summary gained the early-stopping
+#: verdict fields.
+MANIFEST_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -68,6 +82,8 @@ class RunManifest:
     trials: List[dict] = field(default_factory=list)
     chunks: List[dict] = field(default_factory=list)
     summary: dict = field(default_factory=dict)
+    rounds: List[dict] = field(default_factory=list)
+    buckets: List[dict] = field(default_factory=list)
 
     @property
     def schema(self) -> int:
@@ -75,11 +91,17 @@ class RunManifest:
 
     def lines(self) -> List[dict]:
         """The manifest as ordered JSONL records (deterministic order:
-        header, setup, trials by index, chunks by chunk id, summary)."""
+        header, setup, trials by index, rounds by round id, buckets by
+        (round, checkpoint), chunks by chunk id, summary)."""
         out = [dict(self.header, kind="manifest"),
                dict(self.setup, kind="setup")]
         out += [dict(t, kind="trial")
                 for t in sorted(self.trials, key=lambda t: t["index"])]
+        out += [dict(r, kind="round")
+                for r in sorted(self.rounds, key=lambda r: r["round"])]
+        out += [dict(b, kind="bucket")
+                for b in sorted(self.buckets,
+                                key=lambda b: (b["round"], b["checkpoint"]))]
         out += [dict(c, kind="chunk")
                 for c in sorted(self.chunks, key=lambda c: c["chunk"])]
         out.append(dict(self.summary, kind="summary"))
@@ -100,13 +122,18 @@ class RunManifest:
 
 
 def manifest_filename(workload: str, tool: str, category: str,
-                      trials: int, seed: int,
-                      checkpoint_stride: int = 0) -> str:
+                      trials: int, seed: int, checkpoint_stride: int = 0,
+                      ci_margin: float = 0.0) -> str:
     """Canonical manifest name for one campaign cell.  The checkpoint
     stride is part of the name so the same cell measured under different
-    strides (e.g. by ``bench_checkpoint``) never overwrites itself."""
-    return (f"manifest-{workload}-{tool}-{category}"
-            f"-t{trials}-s{seed}-c{checkpoint_stride}.jsonl")
+    strides (e.g. by ``bench_checkpoint``) never overwrites itself; the
+    early-stopping margin likewise, appended only when nonzero so
+    non-adaptive names are unchanged."""
+    name = (f"manifest-{workload}-{tool}-{category}"
+            f"-t{trials}-s{seed}-c{checkpoint_stride}")
+    if ci_margin:
+        name += f"-ci{ci_margin:g}"
+    return name + ".jsonl"
 
 
 def write_manifest(path: str, manifest: RunManifest) -> str:
@@ -128,6 +155,8 @@ def read_manifest(path: str) -> RunManifest:
     trials: List[dict] = []
     chunks: List[dict] = []
     summary: dict = {}
+    rounds: List[dict] = []
+    buckets: List[dict] = []
     with open(path) as f:
         for lineno, raw in enumerate(f, 1):
             raw = raw.strip()
@@ -150,6 +179,10 @@ def read_manifest(path: str) -> RunManifest:
                 setup = record
             elif kind == "trial":
                 trials.append(record)
+            elif kind == "round":
+                rounds.append(record)
+            elif kind == "bucket":
+                buckets.append(record)
             elif kind == "chunk":
                 chunks.append(record)
             elif kind == "summary":
@@ -160,7 +193,8 @@ def read_manifest(path: str) -> RunManifest:
     if header is None:
         raise ReproError(f"{path}: no manifest header record")
     return RunManifest(header=header, setup=setup, trials=trials,
-                       chunks=chunks, summary=summary)
+                       chunks=chunks, summary=summary, rounds=rounds,
+                       buckets=buckets)
 
 
 def merge_counters(dicts: List[Dict[str, int]]) -> Dict[str, int]:

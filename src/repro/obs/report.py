@@ -4,10 +4,12 @@
     python -m repro.obs.report manifest.jsonl --json
 
 Reads one or more JSONL manifests (see :mod:`repro.obs.manifest`) and
-prints three tables: per-cell timing, checkpoint savings, and worker
-balance.  ``--json`` emits the same numbers machine-readably.  Exits
-non-zero if any manifest is missing or unparsable, so CI can gate on
-manifest health.
+prints four tables: per-cell timing, early stopping, checkpoint savings,
+and worker balance.  ``--json`` emits the same numbers machine-readably.
+Exits non-zero if any manifest is missing or unparsable — or claims an
+early stop its own round records do not justify (a stop whose final
+margin is not below the configured target), so CI can gate on manifest
+health.
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ def summarize(manifest: RunManifest) -> dict:
     trial_instr = manifest.total_trial_instructions()
     skipped = manifest.total_skipped()
     restores = sum(t["ckpt_restores"] for t in trials)
+    counters = s.get("counters") or {}
     workers = {}
     for chunk in manifest.chunks:
         w = workers.setdefault(chunk["worker"], {"chunks": 0, "slots": 0,
@@ -70,7 +73,45 @@ def summarize(manifest: RunManifest) -> dict:
         "workers": {str(pid): w for pid, w in sorted(workers.items())},
         "worker_balance": (min(busy) / max(busy)
                            if busy and max(busy) > 0 else 1.0),
+        # Early stopping (schema v2; absent fields default to "not
+        # adaptive" so the report keeps working on minimal manifests).
+        "ci_margin": h.get("ci_margin", 0.0),
+        "trials_requested": s.get("trials_requested", h["trials"]),
+        "n_stop": s.get("n_stop", len(trials)),
+        "stopped": s.get("stopped", False),
+        "trials_saved": s.get("trials_saved", 0),
+        "margin_at_stop": s.get("margin_at_stop"),
+        "rounds": s.get("rounds", 0),
+        "snapshot_decodes": counters.get("snapshot.decodes", 0),
+        "snapshot_decoded_hits": counters.get("snapshot.decoded_hits", 0),
     }
+
+
+def validate_stop_claims(manifest: RunManifest) -> List[str]:
+    """Cross-check a manifest's early-stopping claim.
+
+    A summary that says ``stopped`` must be backed by a nonzero target,
+    a recorded ``margin_at_stop`` strictly below it, and a final round
+    record that agrees.  Returns problem strings (empty = healthy)."""
+    h, s = manifest.header, manifest.summary
+    if not s.get("stopped"):
+        return []
+    problems = []
+    target = h.get("ci_margin", 0.0)
+    margin = s.get("margin_at_stop")
+    if not target:
+        problems.append("claims an early stop but ci_margin is 0")
+    elif margin is None:
+        problems.append("claims an early stop without a margin_at_stop")
+    elif margin >= target:
+        problems.append(f"claims an early stop at margin {margin} "
+                        f">= target {target}")
+    if manifest.rounds:
+        final = max(manifest.rounds, key=lambda r: r.get("round", 0))
+        if not final.get("stop"):
+            problems.append("summary claims a stop but the final round "
+                            "record does not")
+    return problems
 
 
 def render(summaries: List[dict]) -> str:
@@ -83,6 +124,24 @@ def render(summaries: List[dict]) -> str:
         ["Cell", "Trials", "Activated", "Runs", "Wall", "Trials/s",
          "Mean trial"],
         timing_rows, title="Campaign timing")]
+
+    stop_rows = []
+    for s in summaries:
+        adaptive = s["ci_margin"] > 0
+        margin = s["margin_at_stop"]
+        stop_rows.append([
+            s["cell"],
+            f"{s['ci_margin']:g}" if adaptive else "off",
+            s["trials_requested"], s["n_stop"],
+            s["trials_saved"] if adaptive else "-",
+            f"{margin:.4f}" if margin is not None else "-",
+            s["rounds"] or "-",
+            "yes" if s["stopped"] else "no",
+        ])
+    sections.append(format_table(
+        ["Cell", "Target", "Requested", "n_stop", "Saved", "Margin@stop",
+         "Rounds", "Stopped"],
+        stop_rows, title="Early stopping (Wilson-CI margin)"))
 
     ckpt_rows = [[
         s["cell"], s["golden_instructions"], s["trial_instructions"],
@@ -126,13 +185,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     summaries = []
+    unhealthy = False
     for path in args.manifests:
         try:
-            summaries.append(summarize(read_manifest(path)))
+            manifest = read_manifest(path)
+            summaries.append(summarize(manifest))
         except (OSError, ReproError, KeyError) as exc:
             print(f"error: cannot read manifest {path}: {exc}",
                   file=sys.stderr)
             return 1
+        for problem in validate_stop_claims(manifest):
+            print(f"error: {path}: {problem}", file=sys.stderr)
+            unhealthy = True
     try:
         if args.json:
             print(json.dumps(summaries, indent=1, sort_keys=True))
@@ -140,8 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(render(summaries))
     except BrokenPipeError:  # e.g. `... | head`: silence the shutdown flush
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
-    return 0
+        return 1 if unhealthy else 0
+    return 1 if unhealthy else 0
 
 
 if __name__ == "__main__":

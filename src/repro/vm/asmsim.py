@@ -36,7 +36,9 @@ from repro.vm.image import build_global_image
 from repro.vm.io import OutputBuffer
 from repro.vm.memory import BumpAllocator, STACK_TOP
 from repro.vm.result import ExecutionResult
-from repro.vm.snapshot import MachineSnapshot, capture_memory, restore_memory
+from repro.vm.snapshot import (
+    MachineSnapshot, capture_memory, restore_memory, restore_memory_decoded,
+)
 from repro.vm.traps import HangTimeout, Trap, TrapKind
 
 MASK64 = (1 << 64) - 1
@@ -210,12 +212,22 @@ class AsmSimulator:
                 "site_tokens": dict(self._site_tokens),
             })
 
-    def restore(self, snapshot: MachineSnapshot) -> None:
+    def restore(self, snapshot: MachineSnapshot,
+                memory_images=None) -> None:
         """Load a snapshot; the next run() continues from its boundary
         instead of entering ``main``.  The snapshot is not consumed — any
-        number of simulators may restore from the same one."""
+        number of simulators may restore from the same one.
+
+        ``memory_images`` — pre-expanded full-size region bytes (from
+        :meth:`repro.vm.snapshot.CheckpointStore.decoded_memory`) shared
+        across restores of this snapshot; bit-identical to the span-wise
+        restore, just cheaper."""
         state = snapshot.state
-        restore_memory(self.memory, snapshot.memory)
+        if memory_images is not None:
+            restore_memory_decoded(self.memory, snapshot.memory,
+                                   memory_images)
+        else:
+            restore_memory(self.memory, snapshot.memory)
         self.heap.restore(snapshot.heap)
         self.output.restore(snapshot.output)
         self.executed = snapshot.executed

@@ -53,6 +53,7 @@ from repro.vm.memory import BumpAllocator, STACK_TOP
 from repro.vm.result import ExecutionResult
 from repro.vm.snapshot import (
     FrameState, MachineSnapshot, capture_memory, restore_memory,
+    restore_memory_decoded,
 )
 from repro.vm.traps import HangTimeout, Trap, TrapKind
 
@@ -163,12 +164,22 @@ class IRInterpreter:
             output=self.output.checkpoint(),
             state={"frames": frames, "stack_sp": self._stack_sp})
 
-    def restore(self, snapshot: MachineSnapshot) -> None:
+    def restore(self, snapshot: MachineSnapshot,
+                memory_images: Optional[Sequence[bytes]] = None) -> None:
         """Load a snapshot; the next run() rebuilds the captured call stack
         and continues from its boundary instead of entering ``main``.  The
         snapshot is not consumed — any number of interpreters (over the
-        same module instance) may restore from the same one."""
-        restore_memory(self.memory, snapshot.memory)
+        same module instance) may restore from the same one.
+
+        ``memory_images`` — pre-expanded full-size region bytes (from
+        :meth:`repro.vm.snapshot.CheckpointStore.decoded_memory`) shared
+        across restores of this snapshot; bit-identical to the span-wise
+        restore, just cheaper."""
+        if memory_images is not None:
+            restore_memory_decoded(self.memory, snapshot.memory,
+                                   memory_images)
+        else:
+            restore_memory(self.memory, snapshot.memory)
         self.heap.restore(snapshot.heap)
         self.output.restore(snapshot.output)
         self.executed = snapshot.executed

@@ -91,7 +91,7 @@ class TestCachedCampaign(object):
                              results_dir=str(tmp_path))
         assert r2.counts == r1.counts
         assert (tmp_path /
-                "v3-libquantumm-LLFI-cmp-t5-s123-h20-a10-mbitflip.json"
+                "v4-libquantumm-LLFI-cmp-t5-s123-h20-a10-mbitflip.json"
                 ).exists()
 
     def test_cache_key_covers_all_result_affecting_fields(self):
@@ -102,13 +102,20 @@ class TestCachedCampaign(object):
 
         base = CampaignConfig(trials=5, seed=123)
         key = cache_key("libquantumm", "LLFI", "cmp", base)
-        assert key.startswith("v3-")
+        assert key.startswith("v4-")
         variants = [
             CampaignConfig(trials=5, seed=123, hang_factor=7),
             CampaignConfig(trials=5, seed=123, max_attempts_factor=3),
             CampaignConfig(trials=5, seed=123, model=MultiBitFlip(2)),
             CampaignConfig(trials=6, seed=123),
             CampaignConfig(trials=5, seed=124),
+            # Early stopping changes how many slots run, so the margin —
+            # and the round size that places its stop boundaries — are
+            # result-affecting too.
+            CampaignConfig(trials=5, seed=123, ci_margin=0.05),
+            CampaignConfig(trials=5, seed=123, ci_margin=0.03),
+            CampaignConfig(trials=5, seed=123, ci_margin=0.05,
+                           round_size=25),
         ]
         keys = [cache_key("libquantumm", "LLFI", "cmp", c) for c in variants]
         assert len(set(keys + [key])) == len(variants) + 1

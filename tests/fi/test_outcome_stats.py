@@ -52,7 +52,9 @@ class TestWilson:
         assert 0.95 < low < 1.0 and high == 1.0
 
     def test_empty_sample(self):
-        assert wilson_interval(0, 0) == (0.0, 0.0)
+        # Uninformative, not degenerate: margin 0.5 so an n=0 cell never
+        # satisfies an early-stopping target.
+        assert wilson_interval(0, 0) == (0.0, 1.0)
 
     def test_invalid_successes(self):
         with pytest.raises(ValueError):

@@ -14,7 +14,9 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.fi.stats import Proportion, Z95, two_proportion_z, wilson_interval
+from repro.fi.stats import (
+    Proportion, Z95, outcome_margins, two_proportion_z, wilson_interval,
+)
 
 counts = st.integers(min_value=0, max_value=400)
 
@@ -62,7 +64,31 @@ class TestWilsonDefiningEquation:
     def test_exact_boundary_values(self):
         assert wilson_interval(0, 50)[0] == 0.0
         assert wilson_interval(50, 50)[1] == 1.0
-        assert wilson_interval(0, 0) == (0.0, 0.0)
+
+    def test_empty_cell_is_uninformative(self):
+        # n = 0 carries no information: the full unit interval, whose 0.5
+        # margin keeps early stopping from declaring an empty cell
+        # converged (see repro.fi.campaign.evaluate_stop).
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        empty = Proportion(0, 0)
+        assert empty.interval == (0.0, 1.0)
+        assert empty.margin == 0.5
+        assert empty.value == 0.0
+        # Uninformative means compatible with anything, including an
+        # exact proportion.
+        assert empty.overlaps(Proportion(50, 50))
+        assert empty.overlaps(Proportion(0, 50))
+
+    def test_empty_cell_margins_never_converge(self):
+        margins = outcome_margins({"crash": 0, "sdc": 0, "hang": 0}, 0)
+        assert set(margins.values()) == {0.5}
+        assert max(margins.values()) == 0.5
+
+    def test_outcome_margins_match_proportions(self):
+        counts = {"crash": 12, "sdc": 3, "benign": 85}
+        margins = outcome_margins(counts, 100)
+        for key, successes in counts.items():
+            assert margins[key] == Proportion(successes, 100).margin
 
     def test_rejects_out_of_range(self):
         with pytest.raises(ValueError):

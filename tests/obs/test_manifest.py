@@ -35,6 +35,30 @@ def sample_manifest() -> RunManifest:
                  "ckpt_restores": 1, "ckpt_skipped": 60, "counters": {}})
 
 
+def adaptive_manifest() -> RunManifest:
+    """An early-stopped campaign's manifest: 100 requested, stopped at 50."""
+    manifest = sample_manifest()
+    manifest.header.update({"trials": 100, "ci_margin": 0.2,
+                            "round_size": 25})
+    manifest.rounds = [
+        {"round": 1, "executed": 50, "activated": 48,
+         "margins": {"crash": 0.11, "sdc": 0.15}, "max_margin": 0.15,
+         "stop": True},
+        {"round": 0, "executed": 25, "activated": 24,
+         "margins": {"crash": 0.17, "sdc": 0.22}, "max_margin": 0.22,
+         "stop": False},
+    ]
+    manifest.buckets = [
+        {"round": 0, "checkpoint": 2, "slots": 15},
+        {"round": 0, "checkpoint": -1, "slots": 10},
+        {"round": 1, "checkpoint": 0, "slots": 25},
+    ]
+    manifest.summary.update({"trials_requested": 100, "n_stop": 50,
+                             "stopped": True, "trials_saved": 50,
+                             "margin_at_stop": 0.15, "rounds": 2})
+    return manifest
+
+
 class TestRoundTrip:
     def test_write_read_round_trip(self, tmp_path):
         manifest = sample_manifest()
@@ -64,6 +88,26 @@ class TestRoundTrip:
         assert manifest.total_trial_instructions() == 150
         assert manifest.total_instructions() == 350  # + prep
         assert manifest.total_skipped() == 60
+
+    def test_round_and_bucket_records_round_trip(self, tmp_path):
+        manifest = adaptive_manifest()
+        path = write_manifest(str(tmp_path / "m.jsonl"), manifest)
+        loaded = read_manifest(path)
+        # Rounds come back ordered by round id, buckets by
+        # (round, checkpoint) — cold starts (-1) first.
+        assert [r["round"] for r in loaded.rounds] == [0, 1]
+        assert loaded.rounds[1]["stop"] is True
+        assert loaded.rounds[1]["margins"] == {"crash": 0.11, "sdc": 0.15}
+        assert [(b["round"], b["checkpoint"]) for b in loaded.buckets] == \
+            [(0, -1), (0, 2), (1, 0)]
+        assert loaded.summary["n_stop"] == 50
+        assert loaded.summary["stopped"] is True
+
+    def test_lines_order_with_rounds_and_buckets(self):
+        kinds = [line["kind"] for line in adaptive_manifest().lines()]
+        assert kinds == ["manifest", "setup", "trial", "trial", "round",
+                         "round", "bucket", "bucket", "bucket", "chunk",
+                         "chunk", "summary"]
 
 
 class TestValidation:
@@ -102,6 +146,14 @@ class TestHelpers:
                               checkpoint_stride=500)
         assert a != b
         assert a.endswith(".jsonl")
+
+    def test_manifest_filename_includes_nonzero_margin_only(self):
+        plain = manifest_filename("w", "LLFI", "cmp", 100, 1)
+        off = manifest_filename("w", "LLFI", "cmp", 100, 1, ci_margin=0.0)
+        on = manifest_filename("w", "LLFI", "cmp", 100, 1, ci_margin=0.03)
+        assert off == plain  # non-adaptive names are unchanged
+        assert on != plain
+        assert "ci0.03" in on
 
     def test_merge_counters_sums(self):
         merged = merge_counters([{"a": 1, "b": 2}, {"a": 3}, {}])

@@ -12,8 +12,8 @@ from repro.vm.asmsim import AsmSimulator
 from repro.vm.irinterp import IRInterpreter
 from repro.vm.memory import Memory
 from repro.vm.snapshot import (
-    Checkpoint, CheckpointStore, MachineSnapshot, capture_memory,
-    restore_memory,
+    DECODED_CACHE_SNAPSHOTS, Checkpoint, CheckpointStore, MachineSnapshot,
+    capture_memory, expand_image, restore_memory, restore_memory_decoded,
 )
 from tests.conftest import compile_both
 
@@ -93,6 +93,46 @@ class TestMemoryImages:
         with pytest.raises(ReproError):
             restore_memory(third, images)
 
+    def test_expand_image_inverts_the_trim(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x200)
+        mem.write_bytes(0x1040, b"\x01\x00\x02")
+        (image,) = capture_memory(mem)
+        full = expand_image(image)
+        assert len(full) == 0x200
+        assert full == bytes(mem.regions()[0].data)
+
+    def test_decoded_restore_matches_span_restore(self):
+        # The shared-decode path and the per-trial span path must leave
+        # memory bit-identical — this is what lets bucketed trials share
+        # one decode.
+        mem = Memory()
+        mem.map_region("a", 0x1000, 0x100)
+        mem.map_region("b", 0x4000, 0x1000)
+        mem.write_bytes(0x1010, b"\x01\x02\x00\x03")
+        mem.write_bytes(0x4FF0, b"tail")
+        images = capture_memory(mem)
+        decoded = tuple(expand_image(i) for i in images)
+
+        mem.write_bytes(0x1000, b"\xFF" * 0x100)
+        restore_memory(mem, images)
+        via_spans = [bytes(r.data) for r in mem.regions()]
+
+        mem.write_bytes(0x4000, b"\xEE" * 0x1000)
+        restore_memory_decoded(mem, images, decoded)
+        via_decode = [bytes(r.data) for r in mem.regions()]
+        assert via_decode == via_spans
+
+    def test_decoded_restore_checks_layout(self):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x100)
+        images = capture_memory(mem)
+        decoded = tuple(expand_image(i) for i in images)
+        other = Memory()
+        other.map_region("other", 0x1000, 0x100)
+        with pytest.raises(ReproError):
+            restore_memory_decoded(other, images, decoded)
+
 
 class TestCheckpointStore:
     def _snap(self, executed):
@@ -133,6 +173,68 @@ class TestCheckpointStore:
         store.record(self._snap(10), counts)
         counts["all"] = 99
         assert store.checkpoints[0].counts == {"all": 1}
+
+    def test_index_before_matches_best_for(self):
+        store = CheckpointStore(10)
+        store.record(self._snap(10), {"all": 3})
+        store.record(self._snap(20), {"all": 7})
+        store.record(self._snap(30), {"all": 12})
+        for k in range(1, 15):
+            i = store.index_before("all", k)
+            best = store.best_for("all", k)
+            if i is None:
+                assert best is None
+            else:
+                assert store.checkpoints[i] is not None
+                assert best.snapshot.executed == \
+                    store.checkpoints[i].snapshot.executed
+
+    def test_index_before_invalidated_by_record(self):
+        store = CheckpointStore(10)
+        store.record(self._snap(10), {"all": 3})
+        assert store.index_before("all", 5) == 0
+        store.record(self._snap(20), {"all": 4})
+        assert store.index_before("all", 5) == 1
+
+
+class TestDecodedMemoryCache:
+    def _checkpoint(self, executed, payload):
+        mem = Memory()
+        mem.map_region("r", 0x1000, 0x100)
+        mem.write_bytes(0x1000, payload)
+        snap = MachineSnapshot(executed=executed, call_depth=1,
+                               memory=capture_memory(mem),
+                               heap=(0, 0), output=("", 0, False))
+        return Checkpoint(snap, {"all": executed})
+
+    def test_decode_is_cached_per_snapshot(self):
+        store = CheckpointStore(10)
+        cp = self._checkpoint(10, b"abc")
+        store.record(cp.snapshot, cp.counts)
+        cp = store.checkpoints[0]
+        first = store.decoded_memory(cp)
+        second = store.decoded_memory(cp)
+        assert first is second
+        assert store.decode_count == 1
+        assert store.decoded_restores == 2
+        assert first[0] == expand_image(cp.snapshot.memory[0])
+
+    def test_lru_is_bounded(self):
+        store = CheckpointStore(10)
+        n = DECODED_CACHE_SNAPSHOTS + 3
+        for i in range(n):
+            cp = self._checkpoint(10 * (i + 1), bytes([i + 1]))
+            store.record(cp.snapshot, cp.counts)
+        for cp in store.checkpoints:
+            store.decoded_memory(cp)
+        assert store.decode_count == n
+        assert len(store._decoded) == DECODED_CACHE_SNAPSHOTS
+        # The oldest decode was evicted: touching it again is a miss...
+        store.decoded_memory(store.checkpoints[0])
+        assert store.decode_count == n + 1
+        # ...while the most recent is still a hit.
+        store.decoded_memory(store.checkpoints[-1])
+        assert store.decode_count == n + 1
 
 
 @pytest.fixture(scope="module")
@@ -202,6 +304,25 @@ class TestResumeEquivalence:
             r2 = second.run()
             assert _result_tuple(r1) == _result_tuple(r2) \
                 == _result_tuple(cold)
+
+    def test_restore_from_decoded_images_matches_plain(self, built):
+        # Engines accept pre-expanded memory images (the bucket-shared
+        # decode); the resumed run must be bit-identical to a plain
+        # restore from the same snapshot.
+        module, program = built
+        for _, snaps, engine in [
+            (*_record_ir(module, 200), lambda: IRInterpreter(module)),
+            (*_record_asm(program, 200), lambda: AsmSimulator(program)),
+        ]:
+            for snap in (snaps[0], snaps[len(snaps) // 2], snaps[-1]):
+                decoded = tuple(expand_image(i) for i in snap.memory)
+                plain = engine()
+                plain.restore(snap)
+                shared = engine()
+                shared.restore(snap, memory_images=decoded)
+                assert _result_tuple(shared.run()) == \
+                    _result_tuple(plain.run()), \
+                    f"diverged at executed={snap.executed}"
 
     def test_checkpoints_cover_run_at_stride(self, built):
         module, _ = built
