@@ -1,0 +1,198 @@
+"""Batched suffix execution: wall speedup, shared-sweep savings, identity.
+
+    PYTHONPATH=src python benchmarks/bench_batch.py --trials 24
+
+For each (workload, tool, category) cell the same campaign runs twice
+with fresh injectors: **scalar** (``batch=0``, today's path) and
+**batched** (``batch=N``: each checkpoint bucket's trials fork from one
+shared sweep, see ``repro.vm.batch``).  The benchmark verifies the
+contracts the optimisation rests on and exits non-zero on any violation:
+
+* **bit identity** — the batched campaign's full serialized result
+  (``CampaignResult.to_json(include_records=True)``) must equal the
+  scalar one's, per cell;
+* **manifest accounting** — prep + per-trial instructions + shared-sweep
+  instructions must re-derive the batched injector's
+  ``instructions_simulated`` total;
+* **sharing** — batched cells must simulate strictly fewer instructions
+  than scalar ones (the sweep pays each bucket's prefix once).
+
+Writes ``BENCH_batch.json`` with per-cell wall times, shared/lane
+instruction counts, a lane-divergence histogram (lane outcome statuses
+and per-group fork counts), and the aggregate wall speedup.  The default
+configuration (checkpoints off, so every trial's golden prefix is
+otherwise replayed from a cold start) is the headline: the aggregate
+``wall_speedup`` is expected to clear 1.3x on the smoke scale.
+``--checkpoint-stride -1`` measures the composed mode instead, where
+batching's savings are the COW fork replacing per-trial decoded-image
+restores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from collections import Counter
+
+from repro.fi import CampaignConfig, LLFIInjector, PINFIInjector, run_campaign
+from repro.obs.manifest import manifest_filename, read_manifest
+from repro.workloads import build
+
+
+def _fresh_injector(tool: str, built):
+    if tool == "LLFI":
+        return LLFIInjector(built.module)
+    return PINFIInjector(built.program)
+
+
+def run_cell(tool: str, built, workload: str, category: str,
+             config: CampaignConfig) -> dict:
+    injector = _fresh_injector(tool, built)
+    injector.workload_name = workload
+    t0 = time.perf_counter()
+    result = run_campaign(injector, category, config)
+    return {
+        "result": result,
+        "injector": injector,
+        "seconds": time.perf_counter() - t0,
+        "instructions_simulated": injector.instructions_simulated,
+    }
+
+
+def bench_cell(workload: str, tool: str, built, category: str, args,
+               trace_dir: str) -> dict:
+    """Scalar vs batched for one (workload, tool, category)."""
+    scalar = run_cell(tool, built, workload, category,
+                      CampaignConfig(trials=args.trials, seed=args.seed,
+                                     checkpoint_stride=args.checkpoint_stride))
+    batched = run_cell(tool, built, workload, category,
+                       CampaignConfig(trials=args.trials, seed=args.seed,
+                                      checkpoint_stride=args.checkpoint_stride,
+                                      batch=args.batch,
+                                      trace_dir=trace_dir))
+    identical = (scalar["result"].to_json(include_records=True)
+                 == batched["result"].to_json(include_records=True))
+
+    manifest = read_manifest(trace_dir + "/" + manifest_filename(
+        workload, tool, category, args.trials, args.seed,
+        args.checkpoint_stride))
+    injector = batched["injector"]
+    accounting_ok = (manifest.total_instructions()
+                     == batched["instructions_simulated"])
+
+    # Lane-divergence histogram: how the batch's lanes fell off the
+    # golden path (their trial outcomes), and how the groups split into
+    # forked vs detached lanes.
+    outcomes = Counter(t["outcome"] for t in manifest.trials)
+    group_forks = Counter(b["forked"] for b in manifest.batches)
+    return {
+        "seconds_scalar": round(scalar["seconds"], 4),
+        "seconds_batched": round(batched["seconds"], 4),
+        "instructions_scalar": scalar["instructions_simulated"],
+        "instructions_batched": batched["instructions_simulated"],
+        "batch_groups": len(manifest.batches),
+        "shared_instructions": manifest.total_batch_shared(),
+        "lane_instructions": manifest.total_trial_instructions(),
+        "lanes_forked": injector.batch_lanes,
+        "lanes_detached": injector.batch_detached,
+        "cow_pages_shared": sum(b["pages_shared"]
+                                for b in manifest.batches),
+        "cow_pages_cow": sum(b["pages_cow"] for b in manifest.batches),
+        "divergence_histogram": dict(sorted(outcomes.items())),
+        "group_fork_histogram": {str(k): v for k, v
+                                 in sorted(group_forks.items())},
+        "identical": identical,
+        "manifest_accounting_ok": accounting_ok,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", nargs="*", default=["libquantumm"],
+                        help="workloads to measure")
+    parser.add_argument("--categories", nargs="*",
+                        default=["arithmetic", "all"],
+                        help="injection categories")
+    parser.add_argument("--trials", type=int, default=24,
+                        help="trials per cell (paper scale: 1000)")
+    parser.add_argument("--seed", type=int, default=20140623)
+    parser.add_argument("--batch", type=int, default=-1,
+                        help="lanes per batch group (negative: default)")
+    parser.add_argument("--checkpoint-stride", type=int, default=0,
+                        help="0 (default) measures cold-start batching — "
+                             "the headline; -1 measures batching composed "
+                             "with checkpoint resume")
+    parser.add_argument("--output", default="BENCH_batch.json")
+    parser.add_argument("--trace-dir", default="results/obs-batch",
+                        help="directory for the batched runs' manifests")
+    args = parser.parse_args()
+
+    workloads = {}
+    violations = []
+    scalar_seconds = batched_seconds = 0.0
+    scalar_instr = batched_instr = 0
+
+    for workload in args.benchmarks:
+        built = build(workload)
+        workloads[workload] = {}
+        for category in args.categories:
+            cells = {}
+            for tool in ("LLFI", "PINFI"):
+                cell = bench_cell(workload, tool, built, category, args,
+                                  args.trace_dir)
+                cells[tool] = cell
+                name = f"{workload}/{tool}/{category}"
+                scalar_seconds += cell["seconds_scalar"]
+                batched_seconds += cell["seconds_batched"]
+                scalar_instr += cell["instructions_scalar"]
+                batched_instr += cell["instructions_batched"]
+                if not cell["identical"]:
+                    violations.append(f"{name}: batched result is not "
+                                      f"bit-identical to scalar")
+                if not cell["manifest_accounting_ok"]:
+                    violations.append(f"{name}: manifest instruction totals "
+                                      f"do not reproduce the injector's")
+                if cell["instructions_batched"] >= \
+                        cell["instructions_scalar"]:
+                    violations.append(f"{name}: batching simulated no fewer "
+                                      f"instructions than scalar "
+                                      f"({cell['instructions_batched']} vs "
+                                      f"{cell['instructions_scalar']})")
+            workloads[workload][category] = cells
+            print(f"{workload}/{category}: "
+                  + " ".join(f"{t}={cells[t]['seconds_scalar']:.2f}s->"
+                             f"{cells[t]['seconds_batched']:.2f}s"
+                             for t in cells))
+
+    summary = {
+        "benchmark": "batch",
+        "trials": args.trials,
+        "batch": args.batch,
+        "checkpoint_stride": args.checkpoint_stride,
+        "seed": args.seed,
+        "categories": args.categories,
+        "workloads": workloads,
+        "scalar_seconds": round(scalar_seconds, 3),
+        "batched_seconds": round(batched_seconds, 3),
+        "wall_speedup": round(scalar_seconds / batched_seconds, 3)
+        if batched_seconds else None,
+        "scalar_instructions": scalar_instr,
+        "batched_instructions": batched_instr,
+        "instruction_reduction": round(scalar_instr / batched_instr, 3)
+        if batched_instr else None,
+        "violations": violations,
+    }
+    with open(args.output, "w") as f:
+        json.dump(summary, f, indent=1)
+        f.write("\n")
+    print(json.dumps({k: v for k, v in summary.items()
+                      if k != "workloads"}, indent=1))
+    print(f"(written to {args.output})")
+    if violations:
+        raise SystemExit("batched-execution contract violations:\n  "
+                         + "\n  ".join(violations))
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,13 @@ part of the cache key.  The same holds for ``--checkpoint-stride``: trials
 resumed from a golden checkpoint are bit-identical to cold-start trials
 (the differential tests in ``tests/fi/test_checkpoint.py`` prove it), so
 the stride is a pure accelerator and must never enter the cache key —
-cached results stay valid whatever stride produced them.  ``--trace`` /
-``--trace-dir`` (run manifests, see ``repro.obs``) are likewise inert and
-excluded; note a cache hit skips the campaign and therefore writes no
+cached results stay valid whatever stride produced them.  ``--batch``
+(batched suffix execution, see ``repro.vm.batch``) and
+``--decoded-cache`` (snapshot LRU sizing) are accelerators of the same
+kind — batched lanes are bit-identical to scalar trials
+(``tests/fi/test_batch_campaign.py``) — and are likewise excluded.
+``--trace`` / ``--trace-dir`` (run manifests, see ``repro.obs``) are
+inert too; note a cache hit skips the campaign and therefore writes no
 manifest.
 
 ``--ci-margin`` (Wilson-CI early stopping) is the exception: it decides
@@ -160,6 +164,16 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                              "stopping (0 picks the default of "
                              f"{DEFAULT_ROUND_SIZE}; ignored unless "
                              "--ci-margin is set)")
+    parser.add_argument("--batch", type=int, default=0,
+                        help="batched suffix execution: fork up to this "
+                             "many trials per checkpoint bucket from one "
+                             "shared sweep (0 disables, negative picks the "
+                             "default lane count; results are identical "
+                             "for any value)")
+    parser.add_argument("--decoded-cache", type=int, default=0,
+                        help="decoded-snapshot LRU capacity of the "
+                             "checkpoint store (0 picks the default; "
+                             "sizing only, never affects results)")
     parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
     parser.add_argument("--trace", action="store_true",
                         help="collect per-trial observability statistics "
@@ -201,5 +215,7 @@ def config_from_args(args) -> CampaignConfig:
                                                     -1),
                           ci_margin=getattr(args, "ci_margin", 0.0),
                           round_size=getattr(args, "round_size", 0),
+                          batch=getattr(args, "batch", 0),
+                          decoded_cache=getattr(args, "decoded_cache", 0),
                           trace=getattr(args, "trace", False),
                           trace_dir=trace_dir_from_args(args))

@@ -25,14 +25,48 @@ experiment code type against this ABC only.
 from __future__ import annotations
 
 import random
+import time
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import FaultInjectionError
 from repro.fi.fault import FaultModel, FaultRecord
 from repro.obs import get_recorder
+from repro.vm.batch import BatchStats
 from repro.vm.result import ExecutionResult
 from repro.vm.snapshot import CheckpointStore
+
+
+@dataclass
+class BatchRequest:
+    """One trial slot's first injection attempt, as a batch lane: its
+    campaign slot index, the first-draw dynamic instance ``k``, and the
+    slot's live RNG stream (already past the ``k`` draw; the injection
+    hook consumes it next, then any redraws continue on it — exactly the
+    scalar consumption order)."""
+
+    index: int
+    k: int
+    rng: random.Random
+
+
+@dataclass
+class FirstAttempt:
+    """The completed first attempt of a batched trial slot, with the
+    accounting the scalar path would have observed for it."""
+
+    k: int
+    result: ExecutionResult
+    record: Optional[FaultRecord]
+    activated: bool
+    #: Instructions this attempt actually simulated (suffix only).
+    instructions: int
+    #: Checkpoint/fork restores it performed (0 or 1).
+    restores: int
+    #: Prefix instructions it skipped (checkpoint or fork boundary).
+    skipped: int
+    wall_s: float
 
 
 class BaseInjector(ABC):
@@ -57,10 +91,18 @@ class BaseInjector(ABC):
         #: Requested checkpoint stride: 0 = off, <0 = auto (~N/20 of the
         #: golden instruction count), >0 = explicit instruction stride.
         self.checkpoint_request = 0
+        #: Requested decoded-snapshot LRU capacity (0 = default).
+        self.decoded_cache_request = 0
+        #: Batched-execution accounting: sweeps run, shared (sweep)
+        #: instructions, forked lanes, detached lanes.
+        self.batch_sweeps = 0
+        self.batch_shared_instructions = 0
+        self.batch_lanes = 0
+        self.batch_detached = 0
         #: Workload registry name, when built from an ``InjectorSpec``.
         self.workload_name: Optional[str] = None
         self._checkpoints: Optional[CheckpointStore] = None
-        self._checkpoints_request = 0
+        self._checkpoints_request: Tuple[int, int] = (0, 0)
         self._golden_result: Optional[ExecutionResult] = None
         self._dynamic_counts: Optional[Dict[str, int]] = None
 
@@ -113,6 +155,69 @@ class BaseInjector(ABC):
                 rec.incr(f"injector.{self.name}.ckpt_restores")
                 rec.incr(f"injector.{self.name}.ckpt_skipped", skipped)
 
+    def _account_batch_sweep(self, instructions: int) -> None:
+        """Book one batch sweep: its instructions are simulated once on
+        behalf of every lane in the group (they belong to no single
+        trial; manifests carry them in per-group batch records)."""
+        self.batch_sweeps += 1
+        self.batch_shared_instructions += instructions
+        self.instructions_simulated += instructions
+        rec = get_recorder()
+        if rec.enabled:
+            rec.incr(f"injector.{self.name}.batch_sweeps")
+            rec.incr(f"injector.{self.name}.batch_shared", instructions)
+
+    def _account_batch_lane(self, result: ExecutionResult,
+                            fork_skipped: int) -> None:
+        """Book one forked lane: an ordinary run whose skipped prefix is
+        its fork boundary (a restore from the sweep instead of from a
+        recorded checkpoint)."""
+        self._account_run(result, skipped=fork_skipped)
+        self.batch_lanes += 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.incr(f"injector.{self.name}.batch_lanes")
+
+    # -- batched execution ---------------------------------------------------
+    def _scalar_first(self, category: str, request: BatchRequest,
+                      model: Optional[FaultModel],
+                      max_instructions: Optional[int]) -> FirstAttempt:
+        """One scalar first attempt, with the counter deltas it caused
+        (the detach path of batched execution — byte-identical to what
+        ``run_trial_slot`` would have done itself)."""
+        t0 = time.perf_counter()
+        instructions0 = self.instructions_simulated
+        restores0 = self.ckpt_restores
+        skipped0 = self.ckpt_instructions_skipped
+        result, record, activated = self.run_with_fault(
+            category, request.k, request.rng, model=model,
+            max_instructions=max_instructions)
+        return FirstAttempt(
+            k=request.k, result=result, record=record, activated=activated,
+            instructions=self.instructions_simulated - instructions0,
+            restores=self.ckpt_restores - restores0,
+            skipped=self.ckpt_instructions_skipped - skipped0,
+            wall_s=time.perf_counter() - t0)
+
+    def run_batch(self, category: str, requests: Sequence[BatchRequest],
+                  model: Optional[FaultModel] = None,
+                  max_instructions: Optional[int] = None,
+                  ) -> Tuple[Dict[int, FirstAttempt], BatchStats]:
+        """Run one (category, checkpoint-bucket) group's first attempts.
+
+        Engine-specific subclasses fork the lanes from a shared sweep
+        (:mod:`repro.vm.batch`); this base implementation is the fully
+        detached case — every lane runs the scalar path — so batching is
+        safe on any injector."""
+        firsts = {r.index: self._scalar_first(category, r, model,
+                                              max_instructions)
+                  for r in requests}
+        self.batch_detached += len(requests)
+        stats = BatchStats(lanes=len(requests), detached=len(requests))
+        stats.lane_instructions = sum(f.instructions
+                                      for f in firsts.values())
+        return firsts, stats
+
     # -- golden + profiling (memoised) ---------------------------------------
     def golden(self, max_instructions: Optional[int] = None
                ) -> ExecutionResult:
@@ -148,11 +253,14 @@ class BaseInjector(ABC):
         return counts
 
     # -- checkpoints ---------------------------------------------------------
-    def configure_checkpoints(self, stride: int) -> None:
+    def configure_checkpoints(self, stride: int,
+                              decoded_cache: int = 0) -> None:
         """Set the checkpoint policy: 0 disables resume-from-checkpoint,
         <0 picks a stride of ~1/20 of the golden instruction count, >0 is
-        an explicit instruction stride."""
+        an explicit instruction stride.  ``decoded_cache`` sizes the
+        store's decoded-snapshot LRU (0 = default)."""
         self.checkpoint_request = stride
+        self.decoded_cache_request = decoded_cache
 
     def ensure_checkpoints(self, max_instructions: Optional[int] = None
                            ) -> Optional[CheckpointStore]:
@@ -163,16 +271,16 @@ class BaseInjector(ABC):
         the profiling pass: with an explicit stride a fresh injector makes
         one preparation run instead of two.
         """
-        request = self.checkpoint_request
-        if request == 0:
+        request = (self.checkpoint_request, self.decoded_cache_request)
+        if request[0] == 0:
             return None
         if self._checkpoints is not None \
                 and self._checkpoints_request == request:
             return self._checkpoints
-        stride = request
+        stride = request[0]
         if stride < 0:
             stride = max(1, self.golden_cached().instructions // 20)
-        store = CheckpointStore(stride)
+        store = CheckpointStore(stride, decoded_cache=request[1])
         result, counts = self._counted_run(
             max_instructions or self.default_max_instructions, store)
         self._account_run(result)

@@ -79,7 +79,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultInjectionError
-from repro.fi.base import BaseInjector
+from repro.fi.base import BaseInjector, BatchRequest, FirstAttempt
 from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
 from repro.fi.llfi import LLFIInjector
 from repro.fi.outcome import Outcome, classify
@@ -90,6 +90,7 @@ from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION, RunManifest, manifest_filename, merge_counters,
     write_manifest,
 )
+from repro.vm.batch import DEFAULT_BATCH_LANES
 from repro.vm.result import ExecutionResult
 
 #: Schema version of ``CampaignResult.to_json``; bump on any field change.
@@ -241,6 +242,20 @@ class CampaignConfig:
     #: single round). Round boundaries depend on this config alone — never
     #: on ``jobs`` — so stop decisions are identical at any job count.
     round_size: int = 0
+    #: Batched suffix execution: maximum trial slots forked from one
+    #: shared sweep per (category, checkpoint) bucket. 0 disables it (the
+    #: scalar path runs, untouched), <0 picks
+    #: :data:`repro.vm.batch.DEFAULT_BATCH_LANES`. A pure accelerator
+    #: like ``jobs``/``checkpoint_stride``: lanes are bit-identical to
+    #: scalar trials by construction (they fork from a golden sweep at
+    #: their injection boundary and re-execute the scalar main loop), so
+    #: results are independent of this value and it is **not** part of
+    #: the results cache key.
+    batch: int = 0
+    #: Decoded-snapshot LRU capacity of the checkpoint store (0 = the
+    #: default, :data:`repro.vm.snapshot.DECODED_CACHE_SNAPSHOTS`).
+    #: Accelerator sizing only — never part of the cache key.
+    decoded_cache: int = 0
     #: Collect per-trial statistics (wall time, simulated instructions,
     #: checkpoint restores) through :mod:`repro.obs`. Inert: results are
     #: bit-identical with tracing on or off.
@@ -260,6 +275,12 @@ class CampaignConfig:
     def resolved_round_size(self) -> int:
         """The round size campaigns actually schedule with (0 = default)."""
         return self.round_size if self.round_size > 0 else DEFAULT_ROUND_SIZE
+
+    def resolved_batch(self) -> int:
+        """Lanes per batch group (0 = batching off, <0 = default size)."""
+        if self.batch == 0:
+            return 0
+        return self.batch if self.batch > 0 else DEFAULT_BATCH_LANES
 
 
 # -- deterministic per-trial RNG streams ---------------------------------------
@@ -299,7 +320,8 @@ def prepare_campaign(injector: BaseInjector, category: str,
     """Golden + profiling phase. Both are memoised on the injector, so
     repeated campaigns over the same injector (different categories,
     seeds or trial counts) re-use one golden run and one profiling pass."""
-    injector.configure_checkpoints(config.checkpoint_stride)
+    injector.configure_checkpoints(config.checkpoint_stride,
+                                   config.decoded_cache)
     # With an explicit stride the recording run doubles as the golden run
     # and the profiling pass, so this adds no whole-program executions.
     injector.ensure_checkpoints()
@@ -351,23 +373,43 @@ class SlotResult:
 
 def run_trial_slot(injector: BaseInjector, category: str,
                    setup: CampaignSetup, config: CampaignConfig,
-                   index: int) -> SlotResult:
+                   index: int, rng: Optional[random.Random] = None,
+                   first: Optional[FirstAttempt] = None) -> SlotResult:
     """Execute one trial slot: draw k from the slot's own RNG stream,
-    inject, classify; redraw on non-activation (same stream)."""
+    inject, classify; redraw on non-activation (same stream).
+
+    Batched dispatch passes the slot's *live* stream as ``rng`` together
+    with the pre-executed ``first`` attempt (the k was already drawn from
+    that stream and run as a batch lane); the slot then consumes ``first``
+    as attempt 0 and redraws on the same stream exactly as the scalar path
+    would, so the slot's randomness — and therefore its result — is
+    bit-identical either way."""
     tracing = config.tracing
+    # Cost of the batched first attempt (already executed inside
+    # run_batch, before this slot's counter baseline is taken).
+    first_wall = first.wall_s if first is not None else 0.0
+    first_instr = first.instructions if first is not None else 0
+    first_restores = first.restores if first is not None else 0
+    first_skipped = first.skipped if first is not None else 0
     if tracing:
         t0 = time.perf_counter()
         instr0 = injector.instructions_simulated
         restores0 = injector.ckpt_restores
         skipped0 = injector.ckpt_instructions_skipped
-    rng = trial_stream(config.seed, injector.name, category, index)
+    if rng is None:
+        rng = trial_stream(config.seed, injector.name, category, index)
     not_activated = 0
     trial: Optional[Trial] = None
     for _attempt in range(config.max_attempts_factor):
-        k = rng.randint(1, setup.candidates)
-        run, record, activated = injector.run_with_fault(
-            category, k, rng, model=setup.model,
-            max_instructions=setup.budget)
+        if first is not None:
+            k, run, record, activated = (first.k, first.result,
+                                         first.record, first.activated)
+            first = None
+        else:
+            k = rng.randint(1, setup.candidates)
+            run, record, activated = injector.run_with_fault(
+                category, k, rng, model=setup.model,
+                max_instructions=setup.budget)
         if record is None:
             # Not an assert: asserts vanish under ``python -O`` and a
             # missing record would silently misclassify the trial.
@@ -383,11 +425,14 @@ def run_trial_slot(injector: BaseInjector, category: str,
     stats = None
     if tracing:
         stats = TrialStats(
-            wall_s=time.perf_counter() - t0,
+            wall_s=time.perf_counter() - t0 + first_wall,
             runs=not_activated + (1 if trial is not None else 0),
-            instructions=injector.instructions_simulated - instr0,
-            ckpt_restores=injector.ckpt_restores - restores0,
-            ckpt_skipped=injector.ckpt_instructions_skipped - skipped0)
+            instructions=injector.instructions_simulated - instr0
+            + first_instr,
+            ckpt_restores=injector.ckpt_restores - restores0
+            + first_restores,
+            ckpt_skipped=injector.ckpt_instructions_skipped - skipped0
+            + first_skipped)
     return SlotResult(index, trial, not_activated, stats)
 
 
@@ -501,27 +546,102 @@ def order_round(injector: BaseInjector, category: str, setup: CampaignSetup,
     return ordered, records
 
 
+def order_round_batches(injector: BaseInjector, category: str,
+                        setup: CampaignSetup, config: CampaignConfig,
+                        round_no: int, start: int, end: int,
+                        ) -> Tuple[List[Tuple[int, int, List[int]]],
+                                   List[dict]]:
+    """Split one round's slot indices into batch groups.
+
+    Same bucketing as :func:`order_round` (one bucket per shared golden
+    checkpoint, cold starts in bucket -1), then each bucket is cut into
+    groups of at most ``resolved_batch()`` slots.  Returns ``(group id,
+    checkpoint bucket, slot indices)`` triples in deterministic order plus
+    the same manifest ``bucket`` records the scalar scheduler emits —
+    batching refines the schedule, it never changes it."""
+    lanes = config.resolved_batch()
+    buckets: Dict[int, List[int]] = {}
+    for index in range(start, end):
+        bucket = slot_checkpoint_bucket(injector, category, setup, config,
+                                        index)
+        buckets.setdefault(bucket, []).append(index)
+    groups: List[Tuple[int, int, List[int]]] = []
+    records: List[dict] = []
+    group_id = 0
+    for bucket in sorted(buckets):
+        indices = buckets[bucket]
+        records.append({"round": round_no, "checkpoint": bucket,
+                        "slots": len(indices)})
+        for i in range(0, len(indices), lanes):
+            groups.append((group_id, bucket, indices[i:i + lanes]))
+            group_id += 1
+    return groups, records
+
+
+def run_batch_group(injector: BaseInjector, category: str,
+                    setup: CampaignSetup, config: CampaignConfig,
+                    indices: List[int]):
+    """Execute one batch group: every slot's first attempt is drawn from
+    its own stream, then all first attempts run as forked lanes of one
+    shared sweep (:meth:`BaseInjector.run_batch`).  Each slot then
+    finishes through :func:`run_trial_slot` with its live stream and its
+    pre-executed first attempt, so redraws — and every result — match the
+    scalar path bit for bit.  Returns (slot results, batch stats)."""
+    requests = []
+    for index in indices:
+        rng = trial_stream(config.seed, injector.name, category, index)
+        k = rng.randint(1, setup.candidates)
+        requests.append(BatchRequest(index=index, k=k, rng=rng))
+    firsts, stats = injector.run_batch(category, requests,
+                                       model=setup.model,
+                                       max_instructions=setup.budget)
+    slots = [run_trial_slot(injector, category, setup, config, r.index,
+                            rng=r.rng, first=firsts[r.index])
+             for r in requests]
+    return slots, stats
+
+
 def run_rounds(injector: BaseInjector, category: str, setup: CampaignSetup,
                config: CampaignConfig,
-               ) -> Tuple[List[SlotResult], List[dict], List[dict]]:
+               ) -> Tuple[List[SlotResult], List[dict], List[dict],
+                          List[dict]]:
     """Execute trial slots in-process, round by round and bucket-ordered,
     stopping early once converged.  Returns (slots, round records, bucket
-    records); the parallel engine implements the same loop with each
-    round's ordered indices fanned out over the pool."""
+    records, batch records); the parallel engine implements the same loop
+    with each round's ordered indices fanned out over the pool.
+
+    With ``config.resolved_batch() > 0`` each bucket's slots run as batch
+    groups (shared sweep + COW forks) instead of one by one; the slots
+    produced are bit-identical either way."""
     slots: List[SlotResult] = []
     rounds: List[dict] = []
     bucket_records: List[dict] = []
+    batch_records: List[dict] = []
+    batching = config.resolved_batch() > 0
     for round_no, (start, end) in enumerate(plan_rounds(config)):
-        ordered, buckets = order_round(injector, category, setup, config,
-                                       round_no, start, end)
-        bucket_records.extend(buckets)
-        slots.extend(run_trial_slot(injector, category, setup, config, index)
-                     for index in ordered)
+        if batching:
+            groups, buckets = order_round_batches(
+                injector, category, setup, config, round_no, start, end)
+            bucket_records.extend(buckets)
+            for group_id, bucket, indices in groups:
+                group_slots, stats = run_batch_group(
+                    injector, category, setup, config, indices)
+                slots.extend(group_slots)
+                if config.tracing:
+                    batch_records.append(
+                        stats.to_record(round_no, group_id, bucket))
+        else:
+            ordered, buckets = order_round(injector, category, setup,
+                                           config, round_no, start, end)
+            bucket_records.extend(buckets)
+            slots.extend(run_trial_slot(injector, category, setup, config,
+                                        index)
+                         for index in ordered)
         decision = evaluate_stop(slots, config)
         rounds.append(decision.to_record(round_no))
         if decision.stop:
             break
-    return slots, rounds, bucket_records
+    return slots, rounds, bucket_records, batch_records
 
 
 def aggregate_slots(tool: str, category: str, config: CampaignConfig,
@@ -596,6 +716,7 @@ def build_run_manifest(injector: BaseInjector, category: str,
                        counters: Optional[List[Dict[str, int]]] = None,
                        rounds: Optional[List[dict]] = None,
                        buckets: Optional[List[dict]] = None,
+                       batches: Optional[List[dict]] = None,
                        ) -> RunManifest:
     """Assemble the JSONL run manifest of one campaign (see
     :mod:`repro.obs.manifest` for the schema and the accounting identity
@@ -604,6 +725,7 @@ def build_run_manifest(injector: BaseInjector, category: str,
     trials = [_trial_record(slot)
               for slot in sorted(slots, key=lambda s: s.index)]
     rounds = rounds or []
+    batches = batches or []
     header = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "workload": injector.workload_name or "adhoc",
@@ -618,6 +740,7 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "checkpoint_stride": config.checkpoint_stride,
         "ci_margin": config.ci_margin,
         "round_size": config.resolved_round_size() if config.adaptive else 0,
+        "batch": config.resolved_batch(),
     }
     setup_record = {
         "golden_instructions": setup.golden.instructions,
@@ -641,11 +764,17 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "trials_saved": config.trials - n_stop,
         "margin_at_stop": rounds[-1]["max_margin"] if rounds else None,
         "rounds": len(rounds),
+        "batch_groups": len(batches),
+        "batch_shared_instructions": sum(b["shared_instructions"]
+                                         for b in batches),
+        "batch_lanes": sum(b["forked"] for b in batches),
+        "batch_detached": sum(b["detached"] for b in batches),
         "counters": merge_counters(counters or []),
     }
     return RunManifest(header=header, setup=setup_record, trials=trials,
                        chunks=chunks or [], summary=summary,
-                       rounds=rounds, buckets=buckets or [])
+                       rounds=rounds, buckets=buckets or [],
+                       batches=batches)
 
 
 def write_campaign_manifest(manifest: RunManifest, trace_dir: str) -> str:
@@ -668,21 +797,22 @@ def run_campaign(injector: BaseInjector, category: str,
     config = config or CampaignConfig()
     if not config.tracing:
         setup = prepare_campaign(injector, category, config)
-        slots, _, _ = run_rounds(injector, category, setup, config)
+        slots, _, _, _ = run_rounds(injector, category, setup, config)
         return aggregate_slots(injector.name, category, config, setup, slots)
     t0 = time.perf_counter()
     baseline = snapshot_prep(injector)
     with recording() as rec:
         setup = prepare_campaign(injector, category, config)
         prep = prep_delta(injector, baseline)
-        slots, rounds, buckets = run_rounds(injector, category, setup, config)
+        slots, rounds, buckets, batches = run_rounds(injector, category,
+                                                     setup, config)
     result = aggregate_slots(injector.name, category, config, setup, slots)
     if config.trace_dir:
         manifest = build_run_manifest(
             injector, category, config, setup, slots, result, prep,
             wall_s=time.perf_counter() - t0,
             counters=[rec.counters_snapshot()],
-            rounds=rounds, buckets=buckets)
+            rounds=rounds, buckets=buckets, batches=batches)
         write_campaign_manifest(manifest, config.trace_dir)
     return result
 

@@ -33,9 +33,9 @@ from repro.errors import FaultInjectionError
 from repro.fi.base import BaseInjector
 from repro.fi.campaign import (
     CampaignConfig, CampaignResult, SlotResult, aggregate_slots,
-    build_run_manifest, evaluate_stop, order_round, plan_rounds, prep_delta,
-    prepare_campaign, run_rounds, run_trial_slot, snapshot_prep,
-    write_campaign_manifest,
+    build_run_manifest, evaluate_stop, order_round, order_round_batches,
+    plan_rounds, prep_delta, prepare_campaign, run_batch_group, run_rounds,
+    run_trial_slot, snapshot_prep, write_campaign_manifest,
 )
 from repro.fi.llfi import LLFIInjector, LLFIOptions
 from repro.fi.pinfi import PINFIInjector, PINFIOptions
@@ -133,11 +133,51 @@ def _run_chunk(task: Tuple[InjectorSpec, str, CampaignConfig, List[int]]
     return slots, info
 
 
+def _run_batch_chunk(task: Tuple[InjectorSpec, str, CampaignConfig, int,
+                                 List[Tuple[int, int, List[int]]]]
+                     ) -> Tuple[List[SlotResult], List[dict],
+                                Optional[dict]]:
+    """Worker entry point for batched dispatch: execute whole batch
+    groups.  Groups are atomic — every lane of a group forks from the one
+    sweep this worker runs — so chunking happens at group granularity and
+    results stay independent of the chunk layout."""
+    spec, category, config, round_no, groups = task
+    injector = injector_for_spec(spec)
+    batch_records: List[dict] = []
+
+    def run_groups(setup) -> List[SlotResult]:
+        slots: List[SlotResult] = []
+        for group_id, bucket, indices in groups:
+            group_slots, stats = run_batch_group(injector, category, setup,
+                                                 config, indices)
+            slots.extend(group_slots)
+            if config.tracing:
+                batch_records.append(
+                    stats.to_record(round_no, group_id, bucket))
+        return slots
+
+    if not config.tracing:
+        setup = prepare_campaign(injector, category, config)
+        return run_groups(setup), batch_records, None
+    t0 = time.perf_counter()
+    with recording() as rec:
+        setup = prepare_campaign(injector, category, config)
+        slots = run_groups(setup)
+    info = {"worker": os.getpid(),
+            "slots": [i for _, _, indices in groups for i in indices],
+            "batches": [group_id for group_id, _, _ in groups],
+            "wall_s": round(time.perf_counter() - t0, 6),
+            "counters": rec.counters_snapshot()}
+    return slots, batch_records, info
+
+
 def _warm_key(spec_key: str, injector: BaseInjector) -> str:
     """What a forked worker must have inherited to skip redundant work:
     the built injector (with its golden/profiling memos) *and* its
-    checkpoint store for the requested stride policy."""
-    return f"{spec_key}|ckpt={injector.checkpoint_request}"
+    checkpoint store for the requested stride policy (including the
+    decoded-cache sizing, which is part of the store memo)."""
+    return (f"{spec_key}|ckpt={injector.checkpoint_request}"
+            f"|dc={injector.decoded_cache_request}")
 
 
 # -- pool management -----------------------------------------------------------
@@ -205,6 +245,29 @@ def _chunk_indices(trials: int, jobs: int) -> List[List[int]]:
     return _chunk_list(list(range(trials)), jobs)
 
 
+def _chunk_groups(groups: List[Tuple[int, int, List[int]]], jobs: int,
+                  ) -> List[List[Tuple[int, int, List[int]]]]:
+    """Split batch groups into contiguous chunks, balancing by slot count
+    (groups vary in size: the last group of a bucket is a remainder).
+    Groups are never split — a group's lanes must share one sweep in one
+    worker process."""
+    total = sum(len(indices) for _, _, indices in groups)
+    nchunks = max(1, min(len(groups), jobs * _CHUNKS_PER_JOB))
+    target = -(-total // nchunks)  # ceil
+    chunks: List[List[Tuple[int, int, List[int]]]] = []
+    current: List[Tuple[int, int, List[int]]] = []
+    current_slots = 0
+    for group in groups:
+        if current and current_slots >= target:
+            chunks.append(current)
+            current, current_slots = [], 0
+        current.append(group)
+        current_slots += len(group[2])
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 def run_parallel_campaign(spec: InjectorSpec, category: str,
                           config: Optional[CampaignConfig] = None,
                           jobs: Optional[int] = None) -> CampaignResult:
@@ -229,29 +292,49 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
     counters: List[Dict[str, int]] = []
     rounds: List[dict] = []
     buckets: List[dict] = []
+    batches: List[dict] = []
+    batching = config.resolved_batch() > 0
     with recording() if tracing else _no_recording() as rec:
         setup = prepare_campaign(injector, category, config)
         prep = prep_delta(injector, baseline)
         if jobs <= 1 or config.trials <= 1:
-            slots, rounds, buckets = run_rounds(injector, category, setup,
-                                                config)
+            slots, rounds, buckets, batches = run_rounds(
+                injector, category, setup, config)
         else:
             pool = _get_pool(jobs, _warm_key(spec.key(), injector))
             slots: List[SlotResult] = []
             chunk_id = 0
             for round_no, (start, end) in enumerate(plan_rounds(config)):
-                ordered, bucket_records = order_round(
-                    injector, category, setup, config, round_no, start, end)
-                buckets.extend(bucket_records)
-                tasks = [(spec, category, config, chunk)
-                         for chunk in _chunk_list(ordered, jobs)]
-                for chunk_slots, info in pool.map(_run_chunk, tasks):
-                    slots.extend(chunk_slots)
-                    if info is not None:
-                        counters.append(info.pop("counters"))
-                        info["chunk"] = chunk_id
-                        chunks.append(info)
-                    chunk_id += 1
+                if batching:
+                    groups, bucket_records = order_round_batches(
+                        injector, category, setup, config, round_no,
+                        start, end)
+                    buckets.extend(bucket_records)
+                    tasks = [(spec, category, config, round_no, chunk)
+                             for chunk in _chunk_groups(groups, jobs)]
+                    for chunk_slots, records, info in pool.map(
+                            _run_batch_chunk, tasks):
+                        slots.extend(chunk_slots)
+                        batches.extend(records)
+                        if info is not None:
+                            counters.append(info.pop("counters"))
+                            info["chunk"] = chunk_id
+                            chunks.append(info)
+                        chunk_id += 1
+                else:
+                    ordered, bucket_records = order_round(
+                        injector, category, setup, config, round_no,
+                        start, end)
+                    buckets.extend(bucket_records)
+                    tasks = [(spec, category, config, chunk)
+                             for chunk in _chunk_list(ordered, jobs)]
+                    for chunk_slots, info in pool.map(_run_chunk, tasks):
+                        slots.extend(chunk_slots)
+                        if info is not None:
+                            counters.append(info.pop("counters"))
+                            info["chunk"] = chunk_id
+                            chunks.append(info)
+                        chunk_id += 1
                 decision = evaluate_stop(slots, config)
                 rounds.append(decision.to_record(round_no))
                 if decision.stop:
@@ -262,6 +345,7 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
         manifest = build_run_manifest(
             injector, category, config, setup, slots, result, prep,
             wall_s=time.perf_counter() - t0, chunks=chunks,
-            counters=counters, rounds=rounds, buckets=buckets)
+            counters=counters, rounds=rounds, buckets=buckets,
+            batches=batches)
         write_campaign_manifest(manifest, config.trace_dir)
     return result

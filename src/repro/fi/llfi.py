@@ -29,12 +29,13 @@ from typing import Dict, Optional, Set, Tuple
 from repro.errors import FaultInjectionError
 from repro.ir.instructions import Instruction
 from repro.ir.module import Module
-from repro.fi.base import BaseInjector
+from repro.fi.base import BaseInjector, BatchRequest, FirstAttempt
 from repro.fi.categories import CATEGORIES, llfi_is_candidate
 from repro.fi.fault import (
     FaultModel, FaultRecord, SingleBitFlip, corrupt_double, corrupt_int,
     corrupt_pointer,
 )
+from repro.vm.batch import pristine_image_of, run_ir_batch
 from repro.vm.irinterp import InterpHook, IRInterpreter
 from repro.vm.result import ExecutionResult
 from repro.vm.snapshot import CheckpointStore
@@ -147,6 +148,11 @@ class LLFIInjector(BaseInjector):
                         ids.add(id(inst))
             self._candidate_ids[category] = ids
             self._static_counts[category] = len(ids)
+        #: Lazily built batch-execution template: a never-run interpreter
+        #: whose global-address map and pristine memory image every sweep
+        #: and lane reuses (see run_batch).
+        self._template: Optional[IRInterpreter] = None
+        self._pristine = None
 
     def static_candidate_count(self, category: str) -> int:
         return self._static_counts[category]
@@ -215,3 +221,61 @@ class LLFIInjector(BaseInjector):
                 f"dynamic instance {k} was never reached "
                 f"(program behaviour diverged before injection?)")
         return result, hook.record, interp.fault_activated
+
+    # -- batched execution ----------------------------------------------------
+    def _batch_template(self) -> IRInterpreter:
+        """Never-run interpreter providing the shared global-address map
+        and the pristine cold-start memory image."""
+        if self._template is None:
+            interp = self._interp(None, self.default_max_instructions)
+            self._template = interp
+            self._pristine = pristine_image_of(interp)
+        return self._template
+
+    def run_batch(self, category, requests, model=None,
+                  max_instructions=None):
+        """One (category, checkpoint-bucket) group of first attempts as a
+        shared sweep + COW forks; lanes whose k retires between
+        instruction boundaries (phi batches, pending-call results) detach
+        to the scalar path (see :mod:`repro.vm.batch`)."""
+        ids = frozenset(self._candidate_ids[category])
+        model = model or SingleBitFlip()
+        budget = max_instructions or self.default_max_instructions
+        store = self.ensure_checkpoints()
+        checkpoint = images = None
+        base_count = 0
+        if store is not None:
+            checkpoint = store.best_for(category, requests[0].k)
+            if checkpoint is not None:
+                images = store.decoded_memory(checkpoint)
+                base_count = checkpoint.counts[category]
+        template = self._batch_template()
+        layout, pristine = self._pristine
+
+        def hook_for(request: BatchRequest) -> _InjectionHook:
+            return _InjectionHook(ids, request.k, model, request.rng)
+
+        lane_runs, detached, stats = run_ir_batch(
+            self.module, requests, candidate_ids=ids, hook_for=hook_for,
+            budget=budget, max_call_depth=self.options.max_call_depth,
+            template=template, pristine_layout=layout,
+            pristine_images=pristine, checkpoint=checkpoint,
+            decoded_images=images, base_count=base_count)
+
+        self._account_batch_sweep(stats.shared_instructions)
+        firsts = {}
+        for run in lane_runs:
+            self._account_batch_lane(run.result, run.fork_executed)
+            firsts[run.request.index] = FirstAttempt(
+                k=run.request.k, result=run.result, record=run.hook.record,
+                activated=run.machine.fault_activated,
+                instructions=run.result.instructions - run.fork_executed,
+                restores=1 if run.fork_executed else 0,
+                skipped=run.fork_executed, wall_s=run.wall_s)
+        self.batch_detached += len(detached)
+        for request in detached:
+            firsts[request.index] = self._scalar_first(category, request,
+                                                       model, budget)
+        stats.lane_instructions = sum(f.instructions
+                                      for f in firsts.values())
+        return firsts, stats

@@ -26,10 +26,11 @@ from repro.errors import FaultInjectionError
 from repro.backend.machine import (
     CONDITION_FLAGS, FLAG_BITS, FLAG_NAMES, MInst, MProgram, Reg,
 )
-from repro.fi.base import BaseInjector
+from repro.fi.base import BaseInjector, BatchRequest, FirstAttempt
 from repro.fi.categories import CATEGORIES, pinfi_is_candidate
 from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
 from repro.vm.asmsim import AsmHook, AsmSimulator
+from repro.vm.batch import pristine_image_of, run_asm_batch
 from repro.vm.result import ExecutionResult
 from repro.vm.snapshot import CheckpointStore
 
@@ -202,6 +203,11 @@ class PINFIInjector(BaseInjector):
                             raise FaultInjectionError(
                                 f"candidate without target: {inst!r}")
                         self._targets[id(inst)] = target
+        #: Lazily built batch-execution template: a never-run simulator
+        #: whose shared tables and pristine memory image every sweep and
+        #: lane reuses (see run_batch).
+        self._template: Optional[AsmSimulator] = None
+        self._pristine = None
 
     def static_candidate_count(self, category: str) -> int:
         return len(self._candidate_ids[category])
@@ -264,3 +270,61 @@ class PINFIInjector(BaseInjector):
             raise FaultInjectionError(
                 f"dynamic instance {k} was never reached")
         return result, hook.record, sim.fault_activated
+
+    # -- batched execution ----------------------------------------------------
+    def _batch_template(self) -> AsmSimulator:
+        """Never-run simulator providing the shared function records /
+        poison metadata and the pristine cold-start memory image."""
+        if self._template is None:
+            sim = self._sim(None, self.default_max_instructions)
+            self._template = sim
+            self._pristine = pristine_image_of(sim)
+        return self._template
+
+    def run_batch(self, category, requests, model=None,
+                  max_instructions=None):
+        """One (category, checkpoint-bucket) group of first attempts as a
+        shared sweep + COW forks; detached lanes fall back to the scalar
+        path (see :mod:`repro.vm.batch`)."""
+        ids = frozenset(self._candidate_ids[category])
+        model = model or SingleBitFlip()
+        budget = max_instructions or self.default_max_instructions
+        store = self.ensure_checkpoints()
+        checkpoint = images = None
+        base_count = 0
+        if store is not None:
+            checkpoint = store.best_for(category, requests[0].k)
+            if checkpoint is not None:
+                images = store.decoded_memory(checkpoint)
+                base_count = checkpoint.counts[category]
+        template = self._batch_template()
+        layout, pristine = self._pristine
+
+        def hook_for(request: BatchRequest) -> _InjectionHook:
+            return _InjectionHook(ids, self._targets, request.k, model,
+                                  request.rng, self.options)
+
+        lane_runs, detached, stats = run_asm_batch(
+            self.program, requests, candidate_ids=ids, hook_for=hook_for,
+            budget=budget, max_call_depth=self.options.max_call_depth,
+            template=template, pristine_layout=layout,
+            pristine_images=pristine, checkpoint=checkpoint,
+            decoded_images=images, base_count=base_count)
+
+        self._account_batch_sweep(stats.shared_instructions)
+        firsts = {}
+        for run in lane_runs:
+            self._account_batch_lane(run.result, run.fork_executed)
+            firsts[run.request.index] = FirstAttempt(
+                k=run.request.k, result=run.result, record=run.hook.record,
+                activated=run.machine.fault_activated,
+                instructions=run.result.instructions - run.fork_executed,
+                restores=1 if run.fork_executed else 0,
+                skipped=run.fork_executed, wall_s=run.wall_s)
+        self.batch_detached += len(detached)
+        for request in detached:
+            firsts[request.index] = self._scalar_first(category, request,
+                                                       model, budget)
+        stats.lane_instructions = sum(f.instructions
+                                      for f in firsts.values())
+        return firsts, stats

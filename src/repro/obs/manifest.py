@@ -35,26 +35,45 @@ One manifest is one JSONL file.  Line kinds, in file order:
     One per non-empty (round, checkpoint) scheduling bucket: ``round``,
     ``checkpoint`` (golden checkpoint index, -1 = cold start) and
     ``slots`` (trials that restore from that shared snapshot).
+``batch``
+    One per batch group (batched dispatch only, see
+    :mod:`repro.vm.batch`): ``round``, ``group`` (per-round ordinal),
+    ``checkpoint`` (the group's bucket, -1 = cold start), ``lanes``
+    (slots requested), ``forked`` (lanes served by a COW fork of the
+    shared sweep), ``detached`` (lanes that fell back to the scalar
+    path), ``shared_instructions`` (instructions the one shared sweep
+    executed for the whole group), ``lane_instructions`` (post-fork
+    suffix instructions across all lanes), ``sweep_wall_s``, plus the
+    COW memory counters ``forks`` / ``pages_shared`` / ``pages_cow``.
 ``chunk``
     One per engine work chunk (parallel campaigns), ordered by ``chunk``:
-    ``worker`` (PID), ``slots`` (slot indices), ``wall_s``.
+    ``worker`` (PID), ``slots`` (slot indices), ``wall_s``; batched
+    chunks also list their ``batches`` (group ids).
 ``summary``
     Totals: ``wall_s``, ``activated``, ``not_activated``, ``counts``
     (outcome histogram), ``instructions`` (sum of trial instructions),
     ``ckpt_restores``, ``ckpt_skipped``, the early-stopping verdict
     (``trials_requested``, ``n_stop``, ``stopped``, ``trials_saved``,
-    ``margin_at_stop``, ``rounds``), plus the merged recorder
-    ``counters``.
+    ``margin_at_stop``, ``rounds``), the batching totals
+    (``batch_groups``, ``batch_shared_instructions``, ``batch_lanes``,
+    ``batch_detached``), plus the merged recorder ``counters``.
 
 The accounting identity that makes manifests auditable: for a fresh
 injector, ``setup.prep_instructions`` plus the sum of per-trial
-``instructions`` equals the injector's ``instructions_simulated`` total —
-the number ``benchmarks/bench_checkpoint.py`` reports.
+``instructions`` plus the sum of per-batch ``shared_instructions``
+equals the injector's ``instructions_simulated`` total — the number
+``benchmarks/bench_checkpoint.py`` and ``benchmarks/bench_batch.py``
+report.  (Without batching the batch term is zero and the identity is
+the pre-v3 one.)
 
 Workers never write manifests; they return per-slot statistics to the
 engine, which merges them **deterministically** (trials sorted by slot
 index, chunks by chunk index) so two runs of the same campaign produce
 manifests that differ only in wall-clock fields.
+
+Forward compatibility: record kinds this build does not know are
+preserved verbatim in :attr:`RunManifest.extras` instead of rejected, so
+a newer writer's manifests stay readable by older report tooling.
 """
 
 from __future__ import annotations
@@ -70,7 +89,10 @@ from repro.errors import ReproError
 #: v2: adaptive campaigns — ``round``/``bucket`` record kinds, header
 #: gained ``ci_margin``/``round_size``, summary gained the early-stopping
 #: verdict fields.
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: batched suffix execution — ``batch`` record kind, header gained
+#: ``batch``, summary gained the batching totals; unknown record kinds
+#: are now preserved (``extras``) instead of rejected.
+MANIFEST_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -84,6 +106,10 @@ class RunManifest:
     summary: dict = field(default_factory=dict)
     rounds: List[dict] = field(default_factory=list)
     buckets: List[dict] = field(default_factory=list)
+    batches: List[dict] = field(default_factory=list)
+    #: Records of kinds this build does not know (newer writers); kept
+    #: verbatim, each as ``{"kind": ..., **fields}``, in file order.
+    extras: List[dict] = field(default_factory=list)
 
     @property
     def schema(self) -> int:
@@ -92,7 +118,8 @@ class RunManifest:
     def lines(self) -> List[dict]:
         """The manifest as ordered JSONL records (deterministic order:
         header, setup, trials by index, rounds by round id, buckets by
-        (round, checkpoint), chunks by chunk id, summary)."""
+        (round, checkpoint), batches by (round, group), chunks by chunk
+        id, extras in file order, summary)."""
         out = [dict(self.header, kind="manifest"),
                dict(self.setup, kind="setup")]
         out += [dict(t, kind="trial")
@@ -102,8 +129,12 @@ class RunManifest:
         out += [dict(b, kind="bucket")
                 for b in sorted(self.buckets,
                                 key=lambda b: (b["round"], b["checkpoint"]))]
+        out += [dict(b, kind="batch")
+                for b in sorted(self.batches,
+                                key=lambda b: (b["round"], b["group"]))]
         out += [dict(c, kind="chunk")
                 for c in sorted(self.chunks, key=lambda c: c["chunk"])]
+        out += [dict(e) for e in self.extras]
         out.append(dict(self.summary, kind="summary"))
         return out
 
@@ -111,11 +142,16 @@ class RunManifest:
     def total_trial_instructions(self) -> int:
         return sum(t["instructions"] for t in self.trials)
 
+    def total_batch_shared(self) -> int:
+        """Instructions executed by shared batch sweeps (0 when the
+        campaign did not batch)."""
+        return sum(b["shared_instructions"] for b in self.batches)
+
     def total_instructions(self) -> int:
-        """Preparation + trial instructions: the injector's
-        ``instructions_simulated`` for a fresh injector."""
+        """Preparation + trial + shared-sweep instructions: the
+        injector's ``instructions_simulated`` for a fresh injector."""
         return self.setup.get("prep_instructions", 0) + \
-            self.total_trial_instructions()
+            self.total_trial_instructions() + self.total_batch_shared()
 
     def total_skipped(self) -> int:
         return sum(t["ckpt_skipped"] for t in self.trials)
@@ -157,6 +193,8 @@ def read_manifest(path: str) -> RunManifest:
     summary: dict = {}
     rounds: List[dict] = []
     buckets: List[dict] = []
+    batches: List[dict] = []
+    extras: List[dict] = []
     with open(path) as f:
         for lineno, raw in enumerate(f, 1):
             raw = raw.strip()
@@ -183,18 +221,24 @@ def read_manifest(path: str) -> RunManifest:
                 rounds.append(record)
             elif kind == "bucket":
                 buckets.append(record)
+            elif kind == "batch":
+                batches.append(record)
             elif kind == "chunk":
                 chunks.append(record)
             elif kind == "summary":
                 summary = record
-            else:
+            elif kind is None:
                 raise ReproError(
-                    f"{path}:{lineno}: unknown record kind {kind!r}")
+                    f"{path}:{lineno}: record without a kind field")
+            else:
+                # Unknown kinds are a newer writer's records, not an
+                # error: keep them verbatim so re-serializing is lossless.
+                extras.append(dict(record, kind=kind))
     if header is None:
         raise ReproError(f"{path}: no manifest header record")
     return RunManifest(header=header, setup=setup, trials=trials,
                        chunks=chunks, summary=summary, rounds=rounds,
-                       buckets=buckets)
+                       buckets=buckets, batches=batches, extras=extras)
 
 
 def merge_counters(dicts: List[Dict[str, int]]) -> Dict[str, int]:

@@ -4,8 +4,9 @@
     python -m repro.obs.report manifest.jsonl --json
 
 Reads one or more JSONL manifests (see :mod:`repro.obs.manifest`) and
-prints four tables: per-cell timing, early stopping, checkpoint savings,
-and worker balance.  ``--json`` emits the same numbers machine-readably.
+prints five tables: per-cell timing, early stopping, checkpoint savings,
+batched execution, and worker balance.  ``--json`` emits the same numbers
+machine-readably.
 Exits non-zero if any manifest is missing or unparsable — or claims an
 early stop its own round records do not justify (a stop whose final
 margin is not below the configured target), so CI can gate on manifest
@@ -84,6 +85,17 @@ def summarize(manifest: RunManifest) -> dict:
         "rounds": s.get("rounds", 0),
         "snapshot_decodes": counters.get("snapshot.decodes", 0),
         "snapshot_decoded_hits": counters.get("snapshot.decoded_hits", 0),
+        # Batched execution (schema v3; zeros on non-batched manifests).
+        "batch": h.get("batch", 0),
+        "batch_groups": s.get("batch_groups", len(manifest.batches)),
+        "batch_lanes": s.get("batch_lanes", 0),
+        "batch_detached": s.get("batch_detached", 0),
+        "batch_shared_instructions": s.get("batch_shared_instructions",
+                                           manifest.total_batch_shared()),
+        "cow_pages_shared": sum(b.get("pages_shared", 0)
+                                for b in manifest.batches),
+        "cow_pages_cow": sum(b.get("pages_cow", 0)
+                             for b in manifest.batches),
     }
 
 
@@ -153,6 +165,27 @@ def render(summaries: List[dict]) -> str:
          "Reduction"],
         ckpt_rows,
         title="Checkpoint savings (simulated instructions)"))
+
+    batch_rows = []
+    for s in summaries:
+        if not s["batch"]:
+            batch_rows.append([s["cell"], "off", "-", "-", "-", "-", "-",
+                               "-"])
+            continue
+        lanes = s["batch_lanes"] + s["batch_detached"]
+        batch_rows.append([
+            s["cell"], s["batch"], s["batch_groups"], s["batch_lanes"],
+            s["batch_detached"],
+            f"{s['batch_lanes'] / lanes:.0%}" if lanes else "-",
+            s["batch_shared_instructions"],
+            (f"{s['cow_pages_cow'] / s['cow_pages_shared']:.0%}"
+             if s["cow_pages_shared"] else "-"),
+        ])
+    sections.append(format_table(
+        ["Cell", "Batch", "Groups", "Forked", "Detached", "Fork rate",
+         "Shared instr", "COW rate"],
+        batch_rows,
+        title="Batched execution (shared sweeps + COW forks)"))
 
     balance_rows = []
     for s in summaries:

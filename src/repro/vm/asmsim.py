@@ -118,9 +118,13 @@ class AsmSimulator:
                  hook_filter: Optional[frozenset] = None,
                  checkpoint_stride: int = 0,
                  checkpoint_sink: Optional[Callable[[MachineSnapshot], None]]
-                 = None) -> None:
+                 = None,
+                 template: Optional["AsmSimulator"] = None,
+                 memory=None) -> None:
         if program.ir_module is None:
             raise ReproError("program has no IR module attached")
+        if (template is None) != (memory is None):
+            raise ReproError("template and memory must be given together")
         self.program = program
         self.max_instructions = max_instructions
         self.max_call_depth = max_call_depth
@@ -144,21 +148,38 @@ class AsmSimulator:
         #: Set by restore(): where run() continues instead of ``main``.
         self._resume_loc: Optional[_Loc] = None
 
-        self.memory, addr_by_id = build_global_image(program.ir_module)
-        self.global_addr: Dict[str, int] = {
-            g.name: addr_by_id[id(g)]
-            for g in program.ir_module.globals.values()}
+        if template is not None:
+            # Share the immutable per-program structures (function records,
+            # poison metadata, intrinsic map, global addresses) and take the
+            # caller's memory — this is how batched lanes fork cheaply from
+            # one decoded image (see repro.vm.batch).
+            self.memory = memory
+            self.global_addr: Dict[str, int] = template.global_addr
+            self.funcs: Dict[str, _FuncRec] = template.funcs
+            self.intrinsics = template.intrinsics
+            self._meta: Dict[int, Tuple[Tuple, Tuple]] = template._meta
+        else:
+            self.memory, addr_by_id = build_global_image(program.ir_module)
+            self.global_addr = {
+                g.name: addr_by_id[id(g)]
+                for g in program.ir_module.globals.values()}
+            self.funcs = {
+                name: _FuncRec(mf) for name, mf in program.functions.items()}
+            self.intrinsics = {name: f.name for name, f in
+                               program.ir_module.functions.items()
+                               if f.is_intrinsic}
+            #: Static per-instruction metadata (uses/defs as poison targets).
+            self._meta = {}
+            for rec in self.funcs.values():
+                for insts in rec.blocks:
+                    for inst in insts:
+                        self._meta[id(inst)] = _poison_meta(inst)
         self.heap = BumpAllocator()
 
         self.regs: Dict[str, int] = {}
         self.xmm: Dict[str, int] = {}
         self.flags: Dict[str, int] = {n: 0 for n in FLAG_NAMES}
 
-        self.funcs: Dict[str, _FuncRec] = {
-            name: _FuncRec(mf) for name, mf in program.functions.items()}
-        self.intrinsics = {name: f.name for name, f in
-                           program.ir_module.functions.items()
-                           if f.is_intrinsic}
         #: call-site token <-> return location registry.
         self._site_tokens: Dict[Tuple[str, int, int], int] = {}
         self._token_sites: Dict[int, Tuple[str, int, int]] = {}
@@ -166,13 +187,6 @@ class AsmSimulator:
         self._ops: Dict[str, Callable[[MInst, _Loc], Optional[_Loc]]] = {
             op: getattr(self, meth) for op, meth in
             self._OPCODE_METHODS.items()}
-
-        #: Static per-instruction metadata (uses/defs as poison targets).
-        self._meta: Dict[int, Tuple[Tuple, Tuple]] = {}
-        for rec in self.funcs.values():
-            for insts in rec.blocks:
-                for inst in insts:
-                    self._meta[id(inst)] = _poison_meta(inst)
 
     # -- register access ------------------------------------------------------
     def get_gpr(self, name: str) -> int:
@@ -195,13 +209,17 @@ class AsmSimulator:
         self.xmm[name] = high | double_to_bits(value)
 
     # -- snapshot / restore ---------------------------------------------------
-    def capture(self, loc: _Loc) -> MachineSnapshot:
+    def capture(self, loc: _Loc,
+                include_memory: bool = True) -> MachineSnapshot:
         """Freeze complete machine state at the boundary *before* the
-        instruction at ``loc`` executes (``executed`` retired so far)."""
+        instruction at ``loc`` executes (``executed`` retired so far).
+
+        ``include_memory=False`` leaves the memory images empty — for
+        batched forks, which carry memory separately as a COW fork."""
         return MachineSnapshot(
             executed=self.executed,
             call_depth=self.call_depth,
-            memory=capture_memory(self.memory),
+            memory=capture_memory(self.memory) if include_memory else (),
             heap=self.heap.checkpoint(),
             output=self.output.checkpoint(),
             state={
@@ -213,7 +231,7 @@ class AsmSimulator:
             })
 
     def restore(self, snapshot: MachineSnapshot,
-                memory_images=None) -> None:
+                memory_images=None, skip_memory: bool = False) -> None:
         """Load a snapshot; the next run() continues from its boundary
         instead of entering ``main``.  The snapshot is not consumed — any
         number of simulators may restore from the same one.
@@ -221,9 +239,14 @@ class AsmSimulator:
         ``memory_images`` — pre-expanded full-size region bytes (from
         :meth:`repro.vm.snapshot.CheckpointStore.decoded_memory`) shared
         across restores of this snapshot; bit-identical to the span-wise
-        restore, just cheaper."""
+        restore, just cheaper.
+
+        ``skip_memory`` — leave ``self.memory`` untouched (batched lanes
+        already hold a COW fork of the right bytes)."""
         state = snapshot.state
-        if memory_images is not None:
+        if skip_memory:
+            pass
+        elif memory_images is not None:
             restore_memory_decoded(self.memory, snapshot.memory,
                                    memory_images)
         else:

@@ -92,7 +92,11 @@ class IRInterpreter:
                  hook_filter: Optional[frozenset] = None,
                  checkpoint_stride: int = 0,
                  checkpoint_sink: Optional[Callable[[MachineSnapshot], None]]
-                 = None) -> None:
+                 = None,
+                 template: Optional["IRInterpreter"] = None,
+                 memory=None) -> None:
+        if (template is None) != (memory is None):
+            raise ReproError("template and memory must be given together")
         self.module = module
         self.max_instructions = max_instructions
         self.max_call_depth = max_call_depth
@@ -125,7 +129,16 @@ class IRInterpreter:
         #: the entry function.
         self._resume: Optional[Sequence[FrameState]] = None
         self._global_addr: Dict[int, int] = {}
-        self.memory, self.heap, self._stack_sp = self._load_globals()
+        if template is not None:
+            # Share the immutable global-address map and take the caller's
+            # memory — this is how batched lanes fork cheaply from one
+            # decoded image (see repro.vm.batch).
+            self._global_addr = template._global_addr
+            self.memory = memory
+            self.heap = BumpAllocator()
+            self._stack_sp = STACK_TOP
+        else:
+            self.memory, self.heap, self._stack_sp = self._load_globals()
         self._dispatch: Dict[type, Callable] = {
             BinaryOp: self._exec_binop,
             ICmp: self._exec_icmp,
@@ -148,10 +161,13 @@ class IRInterpreter:
         return memory, BumpAllocator(), STACK_TOP
 
     # -- snapshot / restore -------------------------------------------------
-    def capture(self) -> MachineSnapshot:
+    def capture(self, include_memory: bool = True) -> MachineSnapshot:
         """Freeze complete interpreter state at the current instruction
         boundary (each live frame's ``resume_*`` position, maintained while
-        recording, names the instruction about to execute / pending)."""
+        recording, names the instruction about to execute / pending).
+
+        ``include_memory=False`` leaves the memory images empty — for
+        batched forks, which carry memory separately as a COW fork."""
         frames = tuple(
             FrameState(f.function, f.resume_block, f.resume_index,
                        dict(f.values), f.saved_sp)
@@ -159,13 +175,14 @@ class IRInterpreter:
         return MachineSnapshot(
             executed=self.executed,
             call_depth=self.call_depth,
-            memory=capture_memory(self.memory),
+            memory=capture_memory(self.memory) if include_memory else (),
             heap=self.heap.checkpoint(),
             output=self.output.checkpoint(),
             state={"frames": frames, "stack_sp": self._stack_sp})
 
     def restore(self, snapshot: MachineSnapshot,
-                memory_images: Optional[Sequence[bytes]] = None) -> None:
+                memory_images: Optional[Sequence[bytes]] = None,
+                skip_memory: bool = False) -> None:
         """Load a snapshot; the next run() rebuilds the captured call stack
         and continues from its boundary instead of entering ``main``.  The
         snapshot is not consumed — any number of interpreters (over the
@@ -174,8 +191,13 @@ class IRInterpreter:
         ``memory_images`` — pre-expanded full-size region bytes (from
         :meth:`repro.vm.snapshot.CheckpointStore.decoded_memory`) shared
         across restores of this snapshot; bit-identical to the span-wise
-        restore, just cheaper."""
-        if memory_images is not None:
+        restore, just cheaper.
+
+        ``skip_memory`` — leave ``self.memory`` untouched (batched lanes
+        already hold a COW fork of the right bytes)."""
+        if skip_memory:
+            pass
+        elif memory_images is not None:
             restore_memory_decoded(self.memory, snapshot.memory,
                                    memory_images)
         else:
@@ -232,9 +254,13 @@ class IRInterpreter:
         fs = frames[depth]
         self.call_depth += 1
         # Copy the values dict: the snapshot is shared across trials and a
-        # resumed frame mutates its values.
+        # resumed frame mutates its values.  Seed resume_block/resume_index
+        # from the frame state so a capture() during resumed execution (a
+        # batched fork) sees valid positions for still-suspended outer
+        # frames; _run_frame overwrites them once the frame is live again.
         frame = Frame(fs.function, values=dict(fs.values),
-                      saved_sp=fs.saved_sp)
+                      saved_sp=fs.saved_sp,
+                      resume_block=fs.block, resume_index=fs.index)
         prev_frame = self.current_frame
         self.current_frame = frame
         self._frames.append(frame)

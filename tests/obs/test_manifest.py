@@ -123,13 +123,24 @@ class TestValidation:
         with pytest.raises(ReproError, match="unsupported manifest schema"):
             read_manifest(str(path))
 
-    def test_rejects_unknown_kind(self, tmp_path):
+    def test_unknown_kind_lands_in_extras(self, tmp_path):
+        """Schema v3: unknown record kinds are forward-compatible — they
+        are preserved on ``extras`` instead of failing the parse."""
         path = tmp_path / "m.jsonl"
         path.write_text(
             json.dumps({"kind": "manifest",
                         "schema": MANIFEST_SCHEMA_VERSION}) + "\n"
-            + json.dumps({"kind": "mystery"}) + "\n")
-        with pytest.raises(ReproError, match="unknown record kind"):
+            + json.dumps({"kind": "mystery", "x": 1}) + "\n")
+        manifest = read_manifest(str(path))
+        assert manifest.extras == [{"kind": "mystery", "x": 1}]
+
+    def test_rejects_record_without_kind(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "manifest",
+                        "schema": MANIFEST_SCHEMA_VERSION}) + "\n"
+            + json.dumps({"x": 1}) + "\n")
+        with pytest.raises(ReproError, match="kind"):
             read_manifest(str(path))
 
     def test_rejects_missing_header(self, tmp_path):

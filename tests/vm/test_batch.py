@@ -1,0 +1,294 @@
+"""Tests for batched suffix execution (repro.vm.batch) and the COW
+memory that backs it (repro.vm.memory.COWMemory).
+
+The load-bearing contract: for every dynamic instance k, a lane forked
+from the shared sweep produces the *same execution* as a scalar
+``run_with_fault`` — same status, same output, same instruction count,
+same fault record — and a lane that cannot fork (its k retires between
+instruction boundaries) is detached, never silently mis-run.
+"""
+
+import random
+
+import pytest
+
+from repro.backend import compile_module
+from repro.fi.base import BatchRequest
+from repro.fi.llfi import LLFIInjector
+from repro.fi.pinfi import PINFIInjector
+from repro.minic import compile_source
+from repro.vm.memory import COWMemory, CowStats, Memory, PAGE_SIZE
+from repro.vm.traps import Trap, TrapKind
+
+# Mixed integer/double workload with calls and branches so LLFI's "all"
+# category contains call results (which retire between boundaries and
+# must detach) alongside ordinary forkable candidates.
+SRC = """
+double table[16];
+long acc(long s, double v) { return s + (long)(v * 4.0); }
+int main() {
+    int i;
+    long s = 0;
+    for (i = 0; i < 16; i++) {
+        table[i] = (double)(i * 3 + 1) * 0.25;
+        s = acc(s, table[i]);
+    }
+    double d = 0.0;
+    for (i = 0; i < 16; i++) { if (table[i] > 1.0) d = d + table[i]; }
+    print_long(s); print_char(10);
+    print_double(d);
+    return (int)s % 31;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def built():
+    module = compile_source(SRC)
+    program = compile_module(module)
+    return module, program
+
+
+def _fresh(tool, built):
+    module, program = built
+    return LLFIInjector(module) if tool == "LLFI" else PINFIInjector(program)
+
+
+# -- COW memory ----------------------------------------------------------------
+
+def _cow(layout_and_images=None, stats=None):
+    layout = [("r", 0x1000, 2 * PAGE_SIZE + 0x100)]
+    images = [bytes(2 * PAGE_SIZE + 0x100)]
+    if layout_and_images is not None:
+        layout, images = layout_and_images
+    return COWMemory.from_images(layout, images, stats)
+
+
+class TestCOWMemoryParity:
+    """Every access pattern reads/writes the same bytes as Memory."""
+
+    def _pair(self):
+        plain = Memory()
+        plain.map_region("r", 0x1000, PAGE_SIZE + 0x200)
+        cow = _cow(([("r", 0x1000, PAGE_SIZE + 0x200)],
+                    [bytes(PAGE_SIZE + 0x200)]))
+        return plain, cow
+
+    def test_int_double_bytes_roundtrip(self):
+        plain, cow = self._pair()
+        rng = random.Random(7)
+        for _ in range(200):
+            addr = 0x1000 + rng.randrange(PAGE_SIZE + 0x1F0)
+            op = rng.randrange(4)
+            if op == 0:
+                size = rng.choice([1, 2, 4, 8])
+                v = rng.getrandbits(8 * size)
+                for m in (plain, cow):
+                    m.write_int(addr, size, v)
+                assert plain.read_int(addr, size) == cow.read_int(addr, size)
+                assert plain.read_int(addr, size, signed=False) == \
+                    cow.read_int(addr, size, signed=False)
+            elif op == 1:
+                v = rng.uniform(-1e6, 1e6)
+                for m in (plain, cow):
+                    m.write_double(addr, v)
+                assert plain.read_double(addr) == cow.read_double(addr)
+            elif op == 2:
+                data = bytes(rng.getrandbits(8) for _ in range(rng.randrange(40)))
+                for m in (plain, cow):
+                    m.write_bytes(addr, data)
+                n = len(data)
+                assert plain.read_bytes(addr, n) == cow.read_bytes(addr, n)
+            else:
+                n = rng.randrange(1, 64)
+                assert plain.read_bytes(addr, n) == cow.read_bytes(addr, n)
+
+    def test_cstring(self):
+        plain, cow = self._pair()
+        for m in (plain, cow):
+            m.write_bytes(0x1010, b"hello\x00world")
+        assert cow.read_cstring(0x1010) == plain.read_cstring(0x1010) \
+            == "hello"
+
+    def test_write_straddling_page_boundary(self):
+        cow = _cow()
+        addr = 0x1000 + PAGE_SIZE - 4
+        cow.write_int(addr, 8, 0x1122334455667788)
+        assert cow.read_int(addr, 8, signed=False) == 0x1122334455667788
+        data = bytes(range(100))
+        cow.write_bytes(addr - 50, data)
+        assert cow.read_bytes(addr - 50, 100) == data
+
+    def test_unmapped_access_is_segv(self):
+        cow = _cow()
+        for access in (lambda: cow.read_int(0x10, 4),
+                       lambda: cow.write_int(0x999, 4, 1),
+                       lambda: cow.read_bytes(0x900000000, 8)):
+            with pytest.raises(Trap) as exc:
+                access()
+            assert exc.value.kind is TrapKind.SEGV
+
+    def test_from_images_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            COWMemory.from_images([("r", 0x1000, 64)], [bytes(32)])
+
+
+class TestCOWForkSemantics:
+    def test_construction_and_reads_copy_nothing(self):
+        stats = CowStats()
+        cow = _cow(stats=stats)
+        cow.read_int(0x1000, 8)
+        cow.read_bytes(0x1000 + PAGE_SIZE, 64)
+        assert stats.pages_cow == 0 and stats.forks == 0
+
+    def test_fork_isolation_both_directions(self):
+        parent = _cow()
+        parent.write_int(0x1000, 8, 111)
+        child = parent.fork()
+        parent.write_int(0x1000, 8, 222)   # parent writes after fork
+        child.write_int(0x1008, 8, 333)    # child writes its own page copy
+        assert child.read_int(0x1000, 8) == 111
+        assert parent.read_int(0x1000, 8) == 222
+        assert parent.read_int(0x1008, 8) == 0
+        assert child.read_int(0x1008, 8) == 333
+
+    def test_sibling_forks_are_independent(self):
+        parent = _cow()
+        a, b = parent.fork(), parent.fork()
+        a.write_int(0x1000, 4, 1)
+        b.write_int(0x1000, 4, 2)
+        assert (a.read_int(0x1000, 4), b.read_int(0x1000, 4),
+                parent.read_int(0x1000, 4)) == (1, 2, 0)
+
+    def test_stats_count_forks_sharing_and_cow(self):
+        stats = CowStats()
+        parent = _cow(stats=stats)
+        pages = -(-(2 * PAGE_SIZE + 0x100) // PAGE_SIZE)
+        child = parent.fork()
+        assert stats.forks == 1
+        assert stats.pages_shared == pages
+        assert stats.pages_cow == 0
+        child.write_int(0x1000, 4, 1)   # first write: one page copied
+        child.write_int(0x1004, 4, 2)   # same page: no further copy
+        assert stats.pages_cow == 1
+        child.write_int(0x1000 + PAGE_SIZE, 4, 3)
+        assert stats.pages_cow == 2
+
+
+# -- batched execution vs the scalar path --------------------------------------
+
+def _scalar_reference(inj, category, k, budget=None):
+    run, record, activated = inj.run_with_fault(
+        category, k, random.Random(k),
+        max_instructions=budget or inj.default_max_instructions)
+    return (run.status, run.output, run.instructions,
+            tuple(record.bit_positions), record.target, record.width,
+            activated)
+
+
+def _lane_key(first):
+    return (first.result.status, first.result.output,
+            first.result.instructions, tuple(first.record.bit_positions),
+            first.record.target, first.record.width, first.activated)
+
+
+class TestBatchBitIdentity:
+    """Every k, both tools: forked-lane execution == scalar execution."""
+
+    @pytest.mark.parametrize("tool", ["LLFI", "PINFI"])
+    @pytest.mark.parametrize("category", ["arithmetic", "all"])
+    def test_every_k_matches_scalar(self, tool, category, built):
+        inj = _fresh(tool, built)
+        n = inj.dynamic_counts()[category]
+        ks = list(range(1, n + 1))
+        refs = {k: _scalar_reference(inj, category, k) for k in ks}
+        requests = [BatchRequest(index=k, k=k, rng=random.Random(k))
+                    for k in ks]
+        firsts, stats = inj.run_batch(category, requests)
+        assert set(firsts) == set(ks)
+        for k in ks:
+            assert _lane_key(firsts[k]) == refs[k], f"k={k} diverged"
+        assert stats.forked + stats.detached == len(ks)
+        # Divergence happened mid-batch: injected lanes fall off the
+        # golden path within one shared sweep (different statuses or
+        # corrupted outputs).
+        assert len({(f.result.status, f.result.output)
+                    for f in firsts.values()}) > 1
+
+    def test_llfi_call_results_detach(self, built):
+        """IR call results retire between instruction boundaries; lanes
+        whose k lands on one must detach — and still match scalar (the
+        previous test already proved the match for every k)."""
+        inj = _fresh("LLFI", built)
+        n = inj.dynamic_counts()["all"]
+        requests = [BatchRequest(index=k, k=k, rng=random.Random(k))
+                    for k in range(1, n + 1)]
+        _, stats = inj.run_batch("all", requests)
+        assert stats.detached > 0
+        assert stats.forked > stats.detached
+
+    def test_pinfi_never_detaches(self, built):
+        """Every asm candidate is a boundary instruction, so every lane
+        forks."""
+        inj = _fresh("PINFI", built)
+        n = inj.dynamic_counts()["all"]
+        requests = [BatchRequest(index=k, k=k, rng=random.Random(k))
+                    for k in range(1, n + 1)]
+        _, stats = inj.run_batch("all", requests)
+        assert stats.detached == 0 and stats.forked == n
+
+    @pytest.mark.parametrize("tool", ["LLFI", "PINFI"])
+    def test_hang_budget_lanes_match_scalar(self, tool, built):
+        """A lane that overruns a tiny instruction budget times out in
+        its own fork exactly like the scalar run would."""
+        inj = _fresh(tool, built)
+        golden = inj.golden_cached()
+        budget = golden.instructions // 2  # some lanes cannot finish
+        ks = list(range(1, min(inj.dynamic_counts()["arithmetic"], 40) + 1))
+        refs = {k: _scalar_reference(inj, "arithmetic", k, budget)
+                for k in ks}
+        requests = [BatchRequest(index=k, k=k, rng=random.Random(k))
+                    for k in ks]
+        firsts, _ = inj.run_batch("arithmetic", requests,
+                                  max_instructions=budget)
+        for k in ks:
+            assert _lane_key(firsts[k]) == refs[k], f"k={k} diverged"
+
+    @pytest.mark.parametrize("tool", ["LLFI", "PINFI"])
+    def test_checkpointed_sweep_matches_scalar(self, tool, built):
+        """With checkpoints recorded, the sweep restores the bucket's
+        snapshot (skip_memory, COW over decoded images) and lanes still
+        match scalar cold-start runs."""
+        inj = _fresh(tool, built)
+        inj.configure_checkpoints(40)
+        inj.ensure_checkpoints()
+        n = inj.dynamic_counts()["arithmetic"]
+        ks = [n - i for i in range(min(12, n))]  # late ks: deep restores
+        cold = _fresh(tool, built)
+        refs = {k: _scalar_reference(cold, "arithmetic", k) for k in ks}
+        requests = [BatchRequest(index=k, k=k, rng=random.Random(k))
+                    for k in sorted(ks)]
+        firsts, stats = inj.run_batch("arithmetic", requests)
+        for k in ks:
+            assert _lane_key(firsts[k]) == refs[k], f"k={k} diverged"
+        # The sweep resumed mid-run: it retired fewer instructions than
+        # the full golden prefix of the latest lane.
+        assert stats.shared_instructions < max(
+            refs[k][2] for k in ks)
+
+    def test_sweep_instructions_shared_once(self, built):
+        """The whole point: one sweep's instructions replace every
+        lane's private golden prefix."""
+        inj = _fresh("PINFI", built)
+        ks = list(range(1, 9))
+        requests = [BatchRequest(index=k, k=k, rng=random.Random(k))
+                    for k in ks]
+        before = inj.instructions_simulated
+        firsts, stats = inj.run_batch("arithmetic", requests)
+        delta = inj.instructions_simulated - before
+        suffixes = sum(f.instructions for f in firsts.values())
+        assert delta == stats.shared_instructions + suffixes
+        # Scalar would replay the prefix per lane; batched pays it once.
+        prefixes = sum(f.result.instructions - f.instructions
+                       for f in firsts.values())
+        assert prefixes > stats.shared_instructions
