@@ -96,8 +96,13 @@ def order_blocks_rpo(module: Module) -> int:
 
 def prepare_for_backend(module: Module, verify: bool = True) -> None:
     """Run all preparation passes (idempotent)."""
+    from repro.vm.blockcache import invalidate_cache
+
     remove_single_pred_phis(module)
     split_critical_edges(module)
     order_blocks_rpo(module)
+    # The passes rewrite blocks and branch targets in place; compiled
+    # blocks from any earlier execution of this module are now stale.
+    invalidate_cache(module)
     if verify:
         verify_module(module)

@@ -17,7 +17,10 @@ cached results stay valid whatever stride produced them.  ``--batch``
 (batched suffix execution, see ``repro.vm.batch``) and
 ``--decoded-cache`` (snapshot LRU sizing) are accelerators of the same
 kind — batched lanes are bit-identical to scalar trials
-(``tests/fi/test_batch_campaign.py``) — and are likewise excluded.
+(``tests/fi/test_batch_campaign.py``) — and are likewise excluded, as is
+``--no-compile`` (block-compiled execution, see ``repro.vm.blockcache``:
+compiled runs are bit-identical to the scalar loop by construction,
+``tests/vm/test_blockcompile.py``).
 ``--trace`` / ``--trace-dir`` (run manifests, see ``repro.obs``) are
 inert too; note a cache hit skips the campaign and therefore writes no
 manifest.
@@ -174,6 +177,11 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                         help="decoded-snapshot LRU capacity of the "
                              "checkpoint store (0 picks the default; "
                              "sizing only, never affects results)")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="disable block-compiled execution and run "
+                             "every engine on the scalar per-instruction "
+                             "loop (escape hatch; results are identical "
+                             "either way)")
     parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
     parser.add_argument("--trace", action="store_true",
                         help="collect per-trial observability statistics "
@@ -217,5 +225,6 @@ def config_from_args(args) -> CampaignConfig:
                           round_size=getattr(args, "round_size", 0),
                           batch=getattr(args, "batch", 0),
                           decoded_cache=getattr(args, "decoded_cache", 0),
+                          no_compile=getattr(args, "no_compile", False),
                           trace=getattr(args, "trace", False),
                           trace_dir=trace_dir_from_args(args))

@@ -99,6 +99,13 @@ class BaseInjector(ABC):
         self.batch_shared_instructions = 0
         self.batch_lanes = 0
         self.batch_detached = 0
+        #: Block-compiled execution (repro.vm.blockcache): enabled unless
+        #: the campaign's ``--no-compile`` escape hatch turns it off.
+        self.compile_enabled = True
+        #: Basic blocks dispatched through compiled closures / through the
+        #: scalar fallback loop, summed over every engine run.
+        self.compiled_blocks = 0
+        self.fallback_blocks = 0
         #: Workload registry name, when built from an ``InjectorSpec``.
         self.workload_name: Optional[str] = None
         self._checkpoints: Optional[CheckpointStore] = None
@@ -136,6 +143,44 @@ class BaseInjector(ABC):
                        ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
         """One injection run at dynamic instance ``k``; returns
         (result, fault record, activated?)."""
+
+    # -- compiled execution --------------------------------------------------
+    def _compile_subject(self):
+        """The program object compiled blocks are cached against (the IR
+        module for LLFI, the machine program for PINFI); None when the
+        subclass has no compiled engine."""
+        return None
+
+    def _absorb_compile(self, engine) -> None:
+        """Fold one engine's compiled/fallback block counters into the
+        injector totals (and zero them, so a reused engine is not double
+        counted)."""
+        compiled = getattr(engine, "compiled_blocks", 0)
+        fallback = getattr(engine, "fallback_blocks", 0)
+        if compiled:
+            self.compiled_blocks += compiled
+            engine.compiled_blocks = 0
+        if fallback:
+            self.fallback_blocks += fallback
+            engine.fallback_blocks = 0
+
+    def compile_stats(self) -> Dict[str, object]:
+        """Compile-time + dispatch statistics for the run manifest."""
+        stats: Dict[str, object] = {
+            "enabled": bool(self.compile_enabled),
+            "blocks_compiled": 0,
+            "superinstructions": 0,
+            "compile_wall_s": 0.0,
+            "compiled_blocks": self.compiled_blocks,
+            "fallback_blocks": self.fallback_blocks,
+        }
+        subject = self._compile_subject()
+        if subject is not None:
+            from repro.vm.blockcache import peek_cache
+            cache = peek_cache(subject)
+            if cache is not None:
+                stats.update(cache.stats())
+        return stats
 
     # -- run accounting ------------------------------------------------------
     def _account_run(self, result: ExecutionResult, skipped: int = 0) -> None:

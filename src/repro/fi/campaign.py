@@ -256,6 +256,15 @@ class CampaignConfig:
     #: default, :data:`repro.vm.snapshot.DECODED_CACHE_SNAPSHOTS`).
     #: Accelerator sizing only — never part of the cache key.
     decoded_cache: int = 0
+    #: Escape hatch for block-compiled execution
+    #: (:mod:`repro.vm.blockcache`): True forces every engine run onto the
+    #: scalar per-instruction loop. A pure accelerator toggle like
+    #: ``jobs``/``checkpoint_stride``/``batch`` — compiled execution is
+    #: bit-identical by construction (a lane with a pending injection or
+    #: an armed boundary tap falls back to the scalar loop for that
+    #: block), so results are independent of this value and it is **not**
+    #: part of the results cache key.
+    no_compile: bool = False
     #: Collect per-trial statistics (wall time, simulated instructions,
     #: checkpoint restores) through :mod:`repro.obs`. Inert: results are
     #: bit-identical with tracing on or off.
@@ -320,6 +329,7 @@ def prepare_campaign(injector: BaseInjector, category: str,
     """Golden + profiling phase. Both are memoised on the injector, so
     repeated campaigns over the same injector (different categories,
     seeds or trial counts) re-use one golden run and one profiling pass."""
+    injector.compile_enabled = not config.no_compile
     injector.configure_checkpoints(config.checkpoint_stride,
                                    config.decoded_cache)
     # With an explicit stride the recording run doubles as the golden run
@@ -750,6 +760,28 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "prep_instructions": prep.instructions,
     }
     n_stop = len(trials)
+    merged = merge_counters(counters or [])
+    compile_stats = injector.compile_stats()
+    compile_records = [{
+        "tool": injector.name,
+        "enabled": compile_stats["enabled"],
+        "blocks_compiled": compile_stats["blocks_compiled"],
+        "superinstructions": compile_stats["superinstructions"],
+        "compile_wall_s": round(compile_stats["compile_wall_s"], 6),
+    }]
+    # Runtime dispatch counts come from the recorder (merged over worker
+    # chunks), not the injector: the injector's totals span its whole
+    # lifetime while the manifest covers this campaign only.
+    compile_summary = {
+        "enabled": compile_stats["enabled"],
+        "blocks_compiled": compile_stats["blocks_compiled"],
+        "superinstructions": compile_stats["superinstructions"],
+        "compile_wall_s": round(compile_stats["compile_wall_s"], 6),
+        "compiled_blocks": (merged.get("vm.ir.compiled_blocks", 0)
+                            + merged.get("vm.asm.compiled_blocks", 0)),
+        "fallback_blocks": (merged.get("vm.ir.fallback_blocks", 0)
+                            + merged.get("vm.asm.fallback_blocks", 0)),
+    }
     summary = {
         "wall_s": round(wall_s, 6),
         "activated": result.activated,
@@ -769,12 +801,13 @@ def build_run_manifest(injector: BaseInjector, category: str,
                                          for b in batches),
         "batch_lanes": sum(b["forked"] for b in batches),
         "batch_detached": sum(b["detached"] for b in batches),
-        "counters": merge_counters(counters or []),
+        "compile": compile_summary,
+        "counters": merged,
     }
     return RunManifest(header=header, setup=setup_record, trials=trials,
                        chunks=chunks or [], summary=summary,
                        rounds=rounds, buckets=buckets or [],
-                       batches=batches)
+                       batches=batches, compiles=compile_records)
 
 
 def write_campaign_manifest(manifest: RunManifest, trace_dir: str) -> str:

@@ -57,6 +57,8 @@ class LLFIOptions:
 class _CountingHook(InterpHook):
     """Profiling instrumentation: counts dynamic candidate instances."""
 
+    observer = True  # mutates only its own counter: any span is safe
+
     def __init__(self, candidate_ids: Set[int]) -> None:
         self.candidate_ids = candidate_ids
         self.count = 0
@@ -70,6 +72,8 @@ class _CountingHook(InterpHook):
 class _MultiCountingHook(InterpHook):
     """Fans one run out to several counting hooks (one per category); used
     by the shared profiling pass and by checkpoint recording."""
+
+    observer = True
 
     def __init__(self, hooks: Dict[str, _CountingHook]) -> None:
         self.hooks = hooks
@@ -95,6 +99,12 @@ class _InjectionHook(InterpHook):
         self.count = 0
         self.record: Optional[FaultRecord] = None
 
+    def compiled_span_ok(self, ncand: int) -> bool:
+        # Safe while the block's candidates cannot reach the trigger
+        # index: the k-th instance (and the poison write that must be
+        # tracked scalar) can only land on a fallback block.
+        return self.count + ncand < self.k
+
     def on_result(self, inst, value, interp):
         if id(inst) not in self.candidate_ids:
             return value
@@ -108,6 +118,8 @@ class _InjectionHook(InterpHook):
         self.record = FaultRecord(
             dynamic_index=self.k, bit_positions=positions,
             target=f"{inst.opcode} %{inst.name}", width=width)
+        # The fault has fired: the suffix may run block-compiled.
+        self.finished = True
         return corrupted
 
     def _corrupt(self, inst: Instruction, value):
@@ -157,15 +169,22 @@ class LLFIInjector(BaseInjector):
     def static_candidate_count(self, category: str) -> int:
         return self._static_counts[category]
 
+    def _compile_subject(self):
+        return self.module
+
     def _interp(self, hook, max_instructions: int, hook_filter=None,
                 **kwargs) -> IRInterpreter:
+        kwargs.setdefault("compile_blocks", self.compile_enabled)
         return IRInterpreter(self.module, max_instructions=max_instructions,
                              max_call_depth=self.options.max_call_depth,
                              hook=hook, hook_filter=hook_filter, **kwargs)
 
     def _execute(self, hook, max_instructions: int,
                  hook_filter=None) -> ExecutionResult:
-        return self._interp(hook, max_instructions, hook_filter).run()
+        interp = self._interp(hook, max_instructions, hook_filter)
+        result = interp.run()
+        self._absorb_compile(interp)
+        return result
 
     def _counted_run(self, max_instructions: int,
                      store: Optional[CheckpointStore] = None,
@@ -180,7 +199,9 @@ class LLFIInjector(BaseInjector):
                 checkpoint_sink=lambda snap: store.record(snap,
                                                           multi.counts()))
         interp = self._interp(multi, max_instructions, union, **kwargs)
-        return interp.run(), multi.counts()
+        result = interp.run()
+        self._absorb_compile(interp)
+        return result, multi.counts()
 
     def count_dynamic_candidates(self, category: str,
                                  max_instructions: int = 50_000_000) -> int:
@@ -215,6 +236,7 @@ class LLFIInjector(BaseInjector):
                               hook_filter=ids)
         skipped = self._resume_from_checkpoint(interp, hook, category, k)
         result = interp.run()
+        self._absorb_compile(interp)
         self._account_run(result, skipped)
         if hook.record is None:
             raise FaultInjectionError(
@@ -260,11 +282,13 @@ class LLFIInjector(BaseInjector):
             budget=budget, max_call_depth=self.options.max_call_depth,
             template=template, pristine_layout=layout,
             pristine_images=pristine, checkpoint=checkpoint,
-            decoded_images=images, base_count=base_count)
+            decoded_images=images, base_count=base_count,
+            compile_blocks=self.compile_enabled)
 
         self._account_batch_sweep(stats.shared_instructions)
         firsts = {}
         for run in lane_runs:
+            self._absorb_compile(run.machine)
             self._account_batch_lane(run.result, run.fork_executed)
             firsts[run.request.index] = FirstAttempt(
                 k=run.request.k, result=run.result, record=run.hook.record,

@@ -78,6 +78,8 @@ def _injection_target(inst: MInst, next_inst: Optional[MInst]) -> Optional[_Targ
 
 
 class _CountingHook(AsmHook):
+    observer = True  # mutates only its own counter: any span is safe
+
     def __init__(self, candidate_ids: Set[int]) -> None:
         self.candidate_ids = candidate_ids
         self.count = 0
@@ -90,6 +92,8 @@ class _CountingHook(AsmHook):
 class _MultiCountingHook(AsmHook):
     """Fans one run out to several counting hooks (one per category); used
     by the shared profiling pass and by checkpoint recording."""
+
+    observer = True
 
     def __init__(self, hooks: Dict[str, _CountingHook]) -> None:
         self.hooks = hooks
@@ -114,6 +118,12 @@ class _InjectionHook(AsmHook):
         self.options = options
         self.count = 0
         self.record: Optional[FaultRecord] = None
+
+    def compiled_span_ok(self, ncand: int) -> bool:
+        # Safe while the block's candidates cannot reach the trigger
+        # index: the injection (and the poison it plants, which must be
+        # tracked scalar) can only land on a fallback block.
+        return self.count + ncand < self.k
 
     def on_executed(self, inst, sim: AsmSimulator):
         if id(inst) not in self.candidate_ids:
@@ -172,6 +182,8 @@ class _InjectionHook(AsmHook):
         self.record = FaultRecord(dynamic_index=self.k,
                                   bit_positions=positions,
                                   target=desc, width=width)
+        # The fault has fired: the suffix may run block-compiled.
+        self.finished = True
 
 
 class PINFIInjector(BaseInjector):
@@ -212,15 +224,22 @@ class PINFIInjector(BaseInjector):
     def static_candidate_count(self, category: str) -> int:
         return len(self._candidate_ids[category])
 
+    def _compile_subject(self):
+        return self.program
+
     def _sim(self, hook, max_instructions: int, hook_filter=None,
              **kwargs) -> AsmSimulator:
+        kwargs.setdefault("compile_blocks", self.compile_enabled)
         return AsmSimulator(self.program, max_instructions=max_instructions,
                             max_call_depth=self.options.max_call_depth,
                             hook=hook, hook_filter=hook_filter, **kwargs)
 
     def _execute(self, hook, max_instructions: int,
                  hook_filter=None) -> ExecutionResult:
-        return self._sim(hook, max_instructions, hook_filter).run()
+        sim = self._sim(hook, max_instructions, hook_filter)
+        result = sim.run()
+        self._absorb_compile(sim)
+        return result
 
     def _counted_run(self, max_instructions: int,
                      store: Optional[CheckpointStore] = None,
@@ -235,7 +254,9 @@ class PINFIInjector(BaseInjector):
                 checkpoint_sink=lambda snap: store.record(snap,
                                                           multi.counts()))
         sim = self._sim(multi, max_instructions, union, **kwargs)
-        return sim.run(), multi.counts()
+        result = sim.run()
+        self._absorb_compile(sim)
+        return result, multi.counts()
 
     def count_dynamic_candidates(self, category: str,
                                  max_instructions: int = 100_000_000) -> int:
@@ -265,6 +286,7 @@ class PINFIInjector(BaseInjector):
                         hook_filter=ids)
         skipped = self._resume_from_checkpoint(sim, hook, category, k)
         result = sim.run()
+        self._absorb_compile(sim)
         self._account_run(result, skipped)
         if hook.record is None:
             raise FaultInjectionError(
@@ -309,11 +331,13 @@ class PINFIInjector(BaseInjector):
             budget=budget, max_call_depth=self.options.max_call_depth,
             template=template, pristine_layout=layout,
             pristine_images=pristine, checkpoint=checkpoint,
-            decoded_images=images, base_count=base_count)
+            decoded_images=images, base_count=base_count,
+            compile_blocks=self.compile_enabled)
 
         self._account_batch_sweep(stats.shared_instructions)
         firsts = {}
         for run in lane_runs:
+            self._absorb_compile(run.machine)
             self._account_batch_lane(run.result, run.fork_executed)
             firsts[run.request.index] = FirstAttempt(
                 k=run.request.k, result=run.result, record=run.hook.record,

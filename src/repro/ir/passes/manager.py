@@ -35,6 +35,11 @@ class PassManager:
             report[name] = pass_fn(module)
             if self.verify_each:
                 verify_module(module)
+        if self._passes:
+            # Passes rewrite instructions in place; compiled blocks from
+            # any earlier execution of this module are now stale.
+            from repro.vm.blockcache import invalidate_cache
+            invalidate_cache(module)
         return report
 
 

@@ -45,6 +45,13 @@ One manifest is one JSONL file.  Line kinds, in file order:
     executed for the whole group), ``lane_instructions`` (post-fork
     suffix instructions across all lanes), ``sweep_wall_s``, plus the
     COW memory counters ``forks`` / ``pages_shared`` / ``pages_cow``.
+``compile``
+    Per-program block-compilation statistics (one per compiled program):
+    ``tool``, ``enabled`` (False under ``--no-compile``),
+    ``blocks_compiled`` (distinct segments compiled into closure
+    sequences), ``superinstructions`` (fused compare+branch / load+binop
+    pairs among them) and ``compile_wall_s`` (one-time compilation cost,
+    shared by every run over the program).
 ``chunk``
     One per engine work chunk (parallel campaigns), ordered by ``chunk``:
     ``worker`` (PID), ``slots`` (slot indices), ``wall_s``; batched
@@ -56,7 +63,10 @@ One manifest is one JSONL file.  Line kinds, in file order:
     (``trials_requested``, ``n_stop``, ``stopped``, ``trials_saved``,
     ``margin_at_stop``, ``rounds``), the batching totals
     (``batch_groups``, ``batch_shared_instructions``, ``batch_lanes``,
-    ``batch_detached``), plus the merged recorder ``counters``.
+    ``batch_detached``), a ``compile`` block (the compile-record fields
+    plus runtime dispatch counts ``compiled_blocks`` /
+    ``fallback_blocks``, merged over workers), plus the merged recorder
+    ``counters``.
 
 The accounting identity that makes manifests auditable: for a fresh
 injector, ``setup.prep_instructions`` plus the sum of per-trial
@@ -92,7 +102,9 @@ from repro.errors import ReproError
 #: v3: batched suffix execution — ``batch`` record kind, header gained
 #: ``batch``, summary gained the batching totals; unknown record kinds
 #: are now preserved (``extras``) instead of rejected.
-MANIFEST_SCHEMA_VERSION = 3
+#: v4: block-compiled execution — ``compile`` record kind, summary gained
+#: the ``compile`` block.
+MANIFEST_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -107,6 +119,7 @@ class RunManifest:
     rounds: List[dict] = field(default_factory=list)
     buckets: List[dict] = field(default_factory=list)
     batches: List[dict] = field(default_factory=list)
+    compiles: List[dict] = field(default_factory=list)
     #: Records of kinds this build does not know (newer writers); kept
     #: verbatim, each as ``{"kind": ..., **fields}``, in file order.
     extras: List[dict] = field(default_factory=list)
@@ -118,8 +131,8 @@ class RunManifest:
     def lines(self) -> List[dict]:
         """The manifest as ordered JSONL records (deterministic order:
         header, setup, trials by index, rounds by round id, buckets by
-        (round, checkpoint), batches by (round, group), chunks by chunk
-        id, extras in file order, summary)."""
+        (round, checkpoint), batches by (round, group), compiles by tool,
+        chunks by chunk id, extras in file order, summary)."""
         out = [dict(self.header, kind="manifest"),
                dict(self.setup, kind="setup")]
         out += [dict(t, kind="trial")
@@ -132,6 +145,9 @@ class RunManifest:
         out += [dict(b, kind="batch")
                 for b in sorted(self.batches,
                                 key=lambda b: (b["round"], b["group"]))]
+        out += [dict(c, kind="compile")
+                for c in sorted(self.compiles,
+                                key=lambda c: c.get("tool", ""))]
         out += [dict(c, kind="chunk")
                 for c in sorted(self.chunks, key=lambda c: c["chunk"])]
         out += [dict(e) for e in self.extras]
@@ -194,6 +210,7 @@ def read_manifest(path: str) -> RunManifest:
     rounds: List[dict] = []
     buckets: List[dict] = []
     batches: List[dict] = []
+    compiles: List[dict] = []
     extras: List[dict] = []
     with open(path) as f:
         for lineno, raw in enumerate(f, 1):
@@ -223,6 +240,8 @@ def read_manifest(path: str) -> RunManifest:
                 buckets.append(record)
             elif kind == "batch":
                 batches.append(record)
+            elif kind == "compile":
+                compiles.append(record)
             elif kind == "chunk":
                 chunks.append(record)
             elif kind == "summary":
@@ -238,7 +257,8 @@ def read_manifest(path: str) -> RunManifest:
         raise ReproError(f"{path}: no manifest header record")
     return RunManifest(header=header, setup=setup, trials=trials,
                        chunks=chunks, summary=summary, rounds=rounds,
-                       buckets=buckets, batches=batches, extras=extras)
+                       buckets=buckets, batches=batches, compiles=compiles,
+                       extras=extras)
 
 
 def merge_counters(dicts: List[Dict[str, int]]) -> Dict[str, int]:

@@ -4,9 +4,9 @@
     python -m repro.obs.report manifest.jsonl --json
 
 Reads one or more JSONL manifests (see :mod:`repro.obs.manifest`) and
-prints five tables: per-cell timing, early stopping, checkpoint savings,
-batched execution, and worker balance.  ``--json`` emits the same numbers
-machine-readably.
+prints six tables: per-cell timing, early stopping, checkpoint savings,
+batched execution, compiled execution, and worker balance.  ``--json``
+emits the same numbers machine-readably.
 Exits non-zero if any manifest is missing or unparsable — or claims an
 early stop its own round records do not justify (a stop whose final
 margin is not below the configured target), so CI can gate on manifest
@@ -43,6 +43,7 @@ def summarize(manifest: RunManifest) -> dict:
     skipped = manifest.total_skipped()
     restores = sum(t["ckpt_restores"] for t in trials)
     counters = s.get("counters") or {}
+    comp = s.get("compile") or {}
     workers = {}
     for chunk in manifest.chunks:
         w = workers.setdefault(chunk["worker"], {"chunks": 0, "slots": 0,
@@ -96,6 +97,14 @@ def summarize(manifest: RunManifest) -> dict:
                                 for b in manifest.batches),
         "cow_pages_cow": sum(b.get("pages_cow", 0)
                              for b in manifest.batches),
+        # Compiled execution (schema v4; absent block = pre-compile
+        # writer, reported as disabled).
+        "compile_enabled": comp.get("enabled", False),
+        "blocks_compiled": comp.get("blocks_compiled", 0),
+        "superinstructions": comp.get("superinstructions", 0),
+        "compile_wall_s": comp.get("compile_wall_s", 0.0),
+        "compiled_blocks": comp.get("compiled_blocks", 0),
+        "fallback_blocks": comp.get("fallback_blocks", 0),
     }
 
 
@@ -186,6 +195,28 @@ def render(summaries: List[dict]) -> str:
          "Shared instr", "COW rate"],
         batch_rows,
         title="Batched execution (shared sweeps + COW forks)"))
+
+    compile_rows = []
+    for s in summaries:
+        if not s["compile_enabled"]:
+            compile_rows.append([s["cell"], "off", "-", "-", "-", "-", "-"])
+            continue
+        dispatched = s["compiled_blocks"] + s["fallback_blocks"]
+        fused = s["blocks_compiled"]
+        compile_rows.append([
+            s["cell"], s["blocks_compiled"], s["superinstructions"],
+            f"{s['superinstructions'] / fused:.0%}" if fused else "-",
+            (f"{s['fallback_blocks'] / dispatched:.1%}"
+             if dispatched else "-"),
+            f"{s['compile_wall_s'] * 1000:.1f}ms",
+            (f"{s['compile_wall_s'] / s['wall_s']:.2%}"
+             if s["wall_s"] else "-"),
+        ])
+    sections.append(format_table(
+        ["Cell", "Blocks", "Fused", "Fused share", "Fallback rate",
+         "Compile", "Overhead"],
+        compile_rows,
+        title="Compiled execution (threaded-code blocks)"))
 
     balance_rows = []
     for s in summaries:

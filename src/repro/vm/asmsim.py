@@ -32,6 +32,7 @@ from repro.backend.machine import (
 )
 from repro.ir.values import bits_to_double, double_to_bits
 from repro.obs import get_recorder
+from repro.vm.blockcache import UNCOMPILABLE, cache_for, compile_asm_segment
 from repro.vm.image import build_global_image
 from repro.vm.io import OutputBuffer
 from repro.vm.memory import BumpAllocator, STACK_TOP
@@ -53,8 +54,25 @@ _PARITY = tuple(1 if bin(i).count("1") % 2 == 0 else 0 for i in range(256))
 class AsmHook:
     """Base class for fault-injection hooks into the simulator."""
 
+    #: Set to True by hooks that will never act again this run (e.g. an
+    #: injection hook after it fired).  The block compiler uses this to
+    #: run the post-injection suffix on the compiled path.
+    finished = False
+
+    #: True for hooks whose ``on_executed`` mutates nothing but the hook
+    #: itself (pure observers, e.g. candidate counters): every compiled
+    #: span is safe for them regardless of its candidate count.
+    observer = False
+
     def on_executed(self, inst: MInst, sim: "AsmSimulator") -> None:
         """Called after each instruction retires; may corrupt state."""
+
+    def compiled_span_ok(self, ncand: int) -> bool:
+        """May a compiled block that will invoke this hook ``ncand``
+        times run without scalar fallback?  Override for hooks that can
+        bound when they next act (injection hooks: the block is safe
+        while its candidate count cannot reach the trigger index)."""
+        return self.observer
 
 
 @dataclass
@@ -120,7 +138,8 @@ class AsmSimulator:
                  checkpoint_sink: Optional[Callable[[MachineSnapshot], None]]
                  = None,
                  template: Optional["AsmSimulator"] = None,
-                 memory=None) -> None:
+                 memory=None,
+                 compile_blocks: bool = True) -> None:
         if program.ir_module is None:
             raise ReproError("program has no IR module attached")
         if (template is None) != (memory is None):
@@ -187,6 +206,29 @@ class AsmSimulator:
         self._ops: Dict[str, Callable[[MInst, _Loc], Optional[_Loc]]] = {
             op: getattr(self, meth) for op, meth in
             self._OPCODE_METHODS.items()}
+
+        #: Threaded-code execution (see repro.vm.blockcache).  An armed
+        #: boundary tap (checkpoint recording) always takes the scalar
+        #: path, so recording runs never compile.
+        self._recording = (checkpoint_sink is not None
+                           and checkpoint_stride > 0)
+        self._compiling = compile_blocks and not self._recording
+        self._block_cache = cache_for(program) if self._compiling else None
+        #: Runtime counters: straight-line runs executed compiled vs runs
+        #: that fell back to the scalar loop while compilation was on.
+        self.compiled_blocks = 0
+        self.fallback_blocks = 0
+        #: Memoised hook_filter-disjointness per compiled segment key.
+        self._hookfree: Dict[Tuple[int, int], bool] = {}
+        #: Memoised hooked-variant blocks per segment key (the filter is
+        #: fixed for an engine's lifetime; the shared cache keys hooked
+        #: variants by filter *value* so same-category runs share them).
+        self._hooked: Dict[Tuple[int, int], object] = {}
+        self._filter_key = (frozenset(hook_filter)
+                            if hook_filter is not None else None)
+        #: Throwaway location for compiled steps that delegate to scalar
+        #: handlers (the handler's _advance mutates it harmlessly).
+        self._scratch_loc = _Loc(None, 0, 0)  # type: ignore[arg-type]
 
     # -- register access ------------------------------------------------------
     def get_gpr(self, name: str) -> int:
@@ -289,6 +331,10 @@ class AsmSimulator:
         if rec.enabled:
             rec.incr("vm.asm.runs")
             rec.incr("vm.asm.instructions", outcome.instructions)
+            if self.compiled_blocks:
+                rec.incr("vm.asm.compiled_blocks", self.compiled_blocks)
+            if self.fallback_blocks:
+                rec.incr("vm.asm.fallback_blocks", self.fallback_blocks)
             if outcome.hung:
                 rec.incr("vm.asm.hang_budget_trips")
             elif outcome.crashed:
@@ -322,24 +368,92 @@ class AsmSimulator:
                     raise Trap(TrapKind.BAD_JUMP,
                                f"fell off function {loc.func.name}")
                 insts = loc.func.blocks[loc.block]
-            if recording and self.executed >= self._next_checkpoint:
-                self._take_checkpoint(loc)
-            inst = insts[loc.index]
-            self.executed += 1
-            if self.executed > self.max_instructions:
-                raise HangTimeout(self.executed)
-            if self.poison:
-                self._check_poison(inst)
-            handler = ops.get(inst.opcode)
-            if handler is None:
-                raise ReproError(f"cannot simulate {inst.opcode}")
-            next_loc = handler(inst, loc)
-            if hook is not None and (hook_filter is None
-                                     or id(inst) in hook_filter):
-                hook.on_executed(inst, self)
-            if next_loc is None:  # program exit
-                return wrap_signed32(self.get_gpr("rax"))
-            loc = next_loc
+            if self._compiling:
+                # Threaded-code fast path (repro.vm.blockcache): run the
+                # rest of this straight line as compiled closures when no
+                # observer could tell the difference.  An armed hook may
+                # still run compiled through the hooked variant (inline
+                # hook calls) when it declares the span safe — otherwise
+                # fall back to the scalar loop until the next transfer.
+                if not self.poison or self.fault_activated:
+                    cache = self._block_cache
+                    key = (id(insts), loc.index)
+                    cb = cache.asm.get(key)
+                    if cb is None:
+                        cb = compile_asm_segment(cache, insts, loc.index,
+                                                 self, loc.func)
+                        cache.asm[key] = (cb if cb is not None
+                                          else UNCOMPILABLE)
+                    if cb is not None and cb is not UNCOMPILABLE:
+                        if hook is None or hook.finished:
+                            pass  # plain variant is exact
+                        elif hook_filter is not None:
+                            ok = self._hookfree.get(key)
+                            if ok is None:
+                                ok = hook_filter.isdisjoint(cb.ids)
+                                self._hookfree[key] = ok
+                            if not ok:
+                                hcb = self._hooked.get(key)
+                                if hcb is None:
+                                    gkey = (key[0], key[1],
+                                            self._filter_key)
+                                    hcb = cache.asm.get(gkey)
+                                    if hcb is None:
+                                        hcb = compile_asm_segment(
+                                            cache, insts, loc.index,
+                                            self, loc.func, hook_filter)
+                                        if hcb is None:
+                                            hcb = UNCOMPILABLE
+                                        cache.asm[gkey] = hcb
+                                    self._hooked[key] = hcb
+                                if (hcb is not UNCOMPILABLE
+                                        and hook.compiled_span_ok(
+                                            hcb.ncand)):
+                                    cb = hcb
+                                else:
+                                    cb = None
+                        else:
+                            cb = None
+                        if cb is not None:
+                            self.compiled_blocks += 1
+                            for step in cb.steps:
+                                step(self)
+                            loc.index = cb.term_index
+                            next_loc = cb.term(self, loc)
+                            if next_loc is None:  # program exit
+                                return wrap_signed32(self.get_gpr("rax"))
+                            loc = next_loc
+                            continue
+                self.fallback_blocks += 1
+            # Scalar loop: execute until control leaves this straight
+            # line, then hand back to the outer loop (which may compile
+            # the next one).
+            while True:
+                if recording and self.executed >= self._next_checkpoint:
+                    self._take_checkpoint(loc)
+                inst = insts[loc.index]
+                self.executed += 1
+                if self.executed > self.max_instructions:
+                    raise HangTimeout(self.executed)
+                if self.poison:
+                    self._check_poison(inst)
+                handler = ops.get(inst.opcode)
+                if handler is None:
+                    raise ReproError(f"cannot simulate {inst.opcode}")
+                next_loc = handler(inst, loc)
+                if hook is not None and (hook_filter is None
+                                         or id(inst) in hook_filter):
+                    hook.on_executed(inst, self)
+                if next_loc is None:  # program exit
+                    return wrap_signed32(self.get_gpr("rax"))
+                if next_loc is not loc or next_loc.index == 0:
+                    # call/ret returned a fresh location, or a taken jump
+                    # reset this one: new straight line.
+                    loc = next_loc
+                    break
+                loc = next_loc
+                if loc.index >= len(insts):
+                    break  # fell off the block: outer loop normalizes
 
     # -- poison / activation -----------------------------------------------------
     def _check_poison(self, inst: MInst) -> None:

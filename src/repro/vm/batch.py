@@ -162,13 +162,15 @@ class _AsmSweep(AsmSimulator):
     fork/detach decision instead of recording a snapshot."""
 
     def __init__(self, program, requests, *, candidate_ids, budget,
-                 max_call_depth, template, memory, base_count) -> None:
+                 max_call_depth, template, memory, base_count,
+                 compile_blocks=True) -> None:
         hook = _AsmCountingHook()
         super().__init__(program, max_instructions=budget,
                          max_call_depth=max_call_depth,
                          hook=hook, hook_filter=candidate_ids,
                          checkpoint_stride=1, checkpoint_sink=_no_sink,
-                         template=template, memory=memory)
+                         template=template, memory=memory,
+                         compile_blocks=compile_blocks)
         hook.count = base_count
         # Fire the boundary check from the very first boundary (executed
         # may be 0 on a cold start); never advanced, so it fires at all.
@@ -206,13 +208,15 @@ class _IRSweep(IRInterpreter):
     boundaries, so a lane whose k lands on one detaches."""
 
     def __init__(self, module, requests, *, candidate_ids, budget,
-                 max_call_depth, template, memory, base_count) -> None:
+                 max_call_depth, template, memory, base_count,
+                 compile_blocks=True) -> None:
         hook = _IRCountingHook()
         super().__init__(module, max_instructions=budget,
                          max_call_depth=max_call_depth,
                          hook=hook, hook_filter=candidate_ids,
                          checkpoint_stride=1, checkpoint_sink=_no_sink,
-                         template=template, memory=memory)
+                         template=template, memory=memory,
+                         compile_blocks=compile_blocks)
         hook.count = base_count
         self._next_checkpoint = 0
         self._waiting = sorted(requests, key=lambda r: r.k)
@@ -289,7 +293,8 @@ def run_asm_batch(program, requests: Sequence[object], *,
                   pristine_images: Sequence[bytes],
                   checkpoint: Optional[Checkpoint] = None,
                   decoded_images: Optional[Sequence[bytes]] = None,
-                  base_count: int = 0):
+                  base_count: int = 0,
+                  compile_blocks: bool = True):
     """One bucket's worth of asm-tier trials: shared sweep + COW forks.
 
     Returns ``(lane_runs, detached_requests, stats)``; detached requests
@@ -301,7 +306,7 @@ def run_asm_batch(program, requests: Sequence[object], *,
     sweep = _AsmSweep(program, requests, candidate_ids=candidate_ids,
                       budget=budget, max_call_depth=max_call_depth,
                       template=template, memory=memory,
-                      base_count=base_count)
+                      base_count=base_count, compile_blocks=compile_blocks)
     start_executed = 0
     if checkpoint is not None:
         sweep.restore(checkpoint.snapshot, skip_memory=True)
@@ -318,7 +323,8 @@ def run_asm_batch(program, requests: Sequence[object], *,
         lane = AsmSimulator(program, max_instructions=budget,
                             max_call_depth=max_call_depth,
                             hook=hook, hook_filter=candidate_ids,
-                            template=template, memory=fork.memory)
+                            template=template, memory=fork.memory,
+                            compile_blocks=compile_blocks)
         lane.restore(fork.snapshot, skip_memory=True)
         return lane, hook
 
@@ -335,7 +341,8 @@ def run_ir_batch(module, requests: Sequence[object], *,
                  pristine_images: Sequence[bytes],
                  checkpoint: Optional[Checkpoint] = None,
                  decoded_images: Optional[Sequence[bytes]] = None,
-                 base_count: int = 0):
+                 base_count: int = 0,
+                 compile_blocks: bool = True):
     """IR-tier analog of :func:`run_asm_batch`."""
     cow_stats = CowStats()
     memory = _bucket_memory(checkpoint, decoded_images,
@@ -344,7 +351,7 @@ def run_ir_batch(module, requests: Sequence[object], *,
     sweep = _IRSweep(module, requests, candidate_ids=candidate_ids,
                      budget=budget, max_call_depth=max_call_depth,
                      template=template, memory=memory,
-                     base_count=base_count)
+                     base_count=base_count, compile_blocks=compile_blocks)
     start_executed = 0
     if checkpoint is not None:
         sweep.restore(checkpoint.snapshot, skip_memory=True)
@@ -361,7 +368,8 @@ def run_ir_batch(module, requests: Sequence[object], *,
         lane = IRInterpreter(module, max_instructions=budget,
                              max_call_depth=max_call_depth,
                              hook=hook, hook_filter=candidate_ids,
-                             template=template, memory=fork.memory)
+                             template=template, memory=fork.memory,
+                             compile_blocks=compile_blocks)
         lane.restore(fork.snapshot, skip_memory=True)
         return lane, hook
 

@@ -55,6 +55,7 @@ from repro.vm.snapshot import (
     FrameState, MachineSnapshot, capture_memory, restore_memory,
     restore_memory_decoded,
 )
+from repro.vm.blockcache import UNCOMPILABLE, cache_for, compile_ir_segment
 from repro.vm.traps import HangTimeout, Trap, TrapKind
 
 MASK64 = (1 << 64) - 1
@@ -63,10 +64,27 @@ MASK64 = (1 << 64) - 1
 class InterpHook:
     """Base class for fault-injection hooks into the interpreter."""
 
+    #: Set to True by hooks that will never act again this run (e.g. an
+    #: injection hook after it fired).  The block compiler uses this to
+    #: run the post-injection suffix on the compiled path.
+    finished = False
+
+    #: True for hooks whose ``on_result`` mutates nothing but the hook
+    #: itself (pure observers, e.g. candidate counters): every compiled
+    #: span is safe for them regardless of its candidate count.
+    observer = False
+
     def on_result(self, inst: Instruction, value, interp: "IRInterpreter"):
         """Called after each value-producing instruction; the return value
         replaces the instruction's result."""
         return value
+
+    def compiled_span_ok(self, ncand: int) -> bool:
+        """May a compiled block that will invoke this hook ``ncand``
+        times run without scalar fallback?  Override for hooks that can
+        bound when they next act (injection hooks: the block is safe
+        while its candidate count cannot reach the trigger index)."""
+        return self.observer
 
 
 @dataclass
@@ -94,7 +112,8 @@ class IRInterpreter:
                  checkpoint_sink: Optional[Callable[[MachineSnapshot], None]]
                  = None,
                  template: Optional["IRInterpreter"] = None,
-                 memory=None) -> None:
+                 memory=None,
+                 compile_blocks: bool = True) -> None:
         if (template is None) != (memory is None):
             raise ReproError("template and memory must be given together")
         self.module = module
@@ -139,6 +158,23 @@ class IRInterpreter:
             self._stack_sp = STACK_TOP
         else:
             self.memory, self.heap, self._stack_sp = self._load_globals()
+        #: Threaded-code execution (see repro.vm.blockcache).  An armed
+        #: boundary tap (checkpoint recording) always takes the scalar
+        #: path, so recording runs never compile.
+        self._compiling = compile_blocks and not self._recording
+        self._block_cache = cache_for(module) if self._compiling else None
+        #: Runtime counters: blocks executed compiled vs blocks that fell
+        #: back to the scalar loop while compilation was on.
+        self.compiled_blocks = 0
+        self.fallback_blocks = 0
+        #: Memoised hook_filter-disjointness per compiled segment key.
+        self._hookfree: Dict[tuple, bool] = {}
+        #: Memoised hooked-variant blocks per segment key (the filter is
+        #: fixed for an engine's lifetime; the shared cache keys hooked
+        #: variants by filter *value* so same-category runs share them).
+        self._hooked: Dict[tuple, object] = {}
+        self._filter_key = (frozenset(hook_filter)
+                            if hook_filter is not None else None)
         self._dispatch: Dict[type, Callable] = {
             BinaryOp: self._exec_binop,
             ICmp: self._exec_icmp,
@@ -240,6 +276,10 @@ class IRInterpreter:
         if rec.enabled:
             rec.incr("vm.ir.runs")
             rec.incr("vm.ir.instructions", outcome.instructions)
+            if self.compiled_blocks:
+                rec.incr("vm.ir.compiled_blocks", self.compiled_blocks)
+            if self.fallback_blocks:
+                rec.incr("vm.ir.fallback_blocks", self.fallback_blocks)
             if outcome.hung:
                 rec.incr("vm.ir.hang_budget_trips")
             elif outcome.crashed:
@@ -372,6 +412,64 @@ class IRInterpreter:
                         values[id(phi)] = value
                     if self.executed > self.max_instructions:
                         raise HangTimeout(self.executed)
+            if self._compiling:
+                # Threaded-code fast path (repro.vm.blockcache): run the
+                # rest of the block as compiled closures when no observer
+                # could tell the difference.  An armed hook may still run
+                # compiled through the hooked variant (inline hook calls)
+                # when it declares the span safe — otherwise fall back to
+                # the scalar loop below for this block.
+                if frame.poison_inst is None or self.fault_activated:
+                    cache = self._block_cache
+                    key = (id(insts), index)
+                    cb = cache.ir.get(key)
+                    if cb is None:
+                        cb = compile_ir_segment(cache, insts, index,
+                                                self._global_addr)
+                        cache.ir[key] = (cb if cb is not None
+                                         else UNCOMPILABLE)
+                    if cb is not None and cb is not UNCOMPILABLE:
+                        if hook is None or hook.finished:
+                            pass  # plain variant is exact
+                        elif hook_filter is not None:
+                            ok = self._hookfree.get(key)
+                            if ok is None:
+                                ok = hook_filter.isdisjoint(cb.ids)
+                                self._hookfree[key] = ok
+                            if not ok:
+                                hcb = self._hooked.get(key)
+                                if hcb is None:
+                                    gkey = (key[0], key[1],
+                                            self._filter_key)
+                                    hcb = cache.ir.get(gkey)
+                                    if hcb is None:
+                                        hcb = compile_ir_segment(
+                                            cache, insts, index,
+                                            self._global_addr,
+                                            hook_filter)
+                                        if hcb is None:
+                                            hcb = UNCOMPILABLE
+                                        cache.ir[gkey] = hcb
+                                    self._hooked[key] = hcb
+                                if (hcb is not UNCOMPILABLE
+                                        and hook.compiled_span_ok(
+                                            hcb.ncand)):
+                                    cb = hcb
+                                else:
+                                    cb = None
+                        else:
+                            cb = None
+                        if cb is not None:
+                            self.compiled_blocks += 1
+                            for step in cb.steps:
+                                step(self, frame, values)
+                            t = cb.term(self, frame, values)
+                            if type(t) is tuple:  # (_RET, value)
+                                return t[1]
+                            prev_block = block
+                            block = t
+                            continue
+                self.fallback_blocks += 1
             while index < len(insts):
                 if recording:
                     # Checkpoints land only at non-phi boundaries, so a

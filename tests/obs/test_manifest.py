@@ -109,6 +109,25 @@ class TestRoundTrip:
                          "round", "bucket", "bucket", "bucket", "chunk",
                          "chunk", "summary"]
 
+    def test_compile_records_round_trip(self, tmp_path):
+        """Schema v4: per-program compile stats and the summary compile
+        block survive a write/read cycle, ordered before the chunks."""
+        manifest = sample_manifest()
+        manifest.compiles = [
+            {"tool": "LLFI", "enabled": True, "blocks_compiled": 12,
+             "superinstructions": 5, "compile_wall_s": 0.002}]
+        manifest.summary["compile"] = {
+            "enabled": True, "blocks_compiled": 12, "superinstructions": 5,
+            "compile_wall_s": 0.002, "compiled_blocks": 900,
+            "fallback_blocks": 100}
+        path = write_manifest(str(tmp_path / "m.jsonl"), manifest)
+        loaded = read_manifest(path)
+        assert loaded.compiles == manifest.compiles
+        assert loaded.summary["compile"]["fallback_blocks"] == 100
+        kinds = [line["kind"] for line in manifest.lines()]
+        assert kinds == ["manifest", "setup", "trial", "trial", "compile",
+                         "chunk", "chunk", "summary"]
+
 
 class TestValidation:
     def test_rejects_bad_json(self, tmp_path):
