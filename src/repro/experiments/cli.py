@@ -3,6 +3,7 @@
     python -m repro.experiments run table5 --trials 150
     python -m repro.experiments run fig4 --benchmarks bzip2m --jobs 4
     python -m repro.experiments run all --trials 1000        # full report
+    python -m repro.experiments sweep --fault-model all      # model sweep
 
 One front door for every per-table/figure experiment: ``run <target>``
 forwards the remaining arguments to the target's own ``main`` (they all
@@ -29,6 +30,7 @@ _TARGET_MODULES = {
     "fig3": "repro.experiments.fig3",
     "fig4": "repro.experiments.fig4",
     "ablation": "repro.experiments.ablation",
+    "sweep": "repro.experiments.sweep",
     "all": "repro.experiments.runner",
 }
 
@@ -51,6 +53,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     # reaches the target's own parser instead of being eaten here.
     if len(argv) >= 2 and argv[0] == "run" and argv[1] in _TARGET_MODULES:
         _target_main(argv[1])(argv[2:])
+        return 0
+    if argv and argv[0] == "sweep":
+        # The fault-model sweep is promoted to a top-level command:
+        # ``python -m repro.experiments sweep --fault-model all``.
+        _target_main("sweep")(argv[1:])
         return 0
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__,

@@ -31,6 +31,11 @@ how many trial slots actually run, so it — and the resolved
 of the key whenever it is nonzero.  A stopped cell's cached entry is
 exactly the ``trials = n_stop`` campaign's (prefix identity), but a
 different margin may stop at a different prefix, hence the key.
+
+``--fault-model`` is a key component for the same reason: it decides what
+the firing injection does, so every registered spec gets its own cells.
+The default ``bitflip`` produces keys byte-identical to pre-registry
+ones, keeping existing cached results valid.
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ from repro.fi import (
     run_parallel_campaign,
 )
 from repro.fi.engine import injector_for_spec
-from repro.fi.fault import SingleBitFlip
+from repro.fi.fault import list_fault_models
 from repro.workloads import workload_names
 
 DEFAULT_RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
@@ -92,7 +97,7 @@ def _cache_path(results_dir: str, key: str) -> str:
 def cache_key(workload: str, tool: str, category: str,
               config: CampaignConfig, variant: str = "") -> str:
     """Disk-cache key: every config field that can change the result."""
-    model = config.model or SingleBitFlip()
+    model = config.resolved_model()
     key = (f"v{CACHE_FORMAT_VERSION}-{workload}-{tool}-{category}"
            f"-t{config.trials}-s{config.seed}-h{config.hang_factor}"
            f"-a{config.max_attempts_factor}-m{model.name}")
@@ -151,6 +156,13 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                              "CPU; results are identical for any value)")
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         help="subset of workloads (default: all six)")
+    parser.add_argument("--fault-model", default="bitflip",
+                        help="fault-model spec from the registry "
+                             f"({', '.join(list_fault_models())}; "
+                             "parameterized entries take a -<int> suffix, "
+                             "e.g. multibit-4). The sweep experiment also "
+                             "accepts 'all' or a comma-separated list. "
+                             "Part of the results cache key")
     parser.add_argument("--checkpoint-stride", type=int, default=-1,
                         help="golden-run checkpoint stride in instructions; "
                              "0 disables checkpoint resume, negative picks "
@@ -218,6 +230,7 @@ def trace_dir_from_args(args) -> Optional[str]:
 
 def config_from_args(args) -> CampaignConfig:
     return CampaignConfig(trials=args.trials, seed=args.seed,
+                          fault_model=getattr(args, "fault_model", "bitflip"),
                           jobs=getattr(args, "jobs", 1),
                           checkpoint_stride=getattr(args, "checkpoint_stride",
                                                     -1),

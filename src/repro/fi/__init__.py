@@ -25,8 +25,9 @@ from repro.fi.engine import (
     InjectorSpec, resolve_jobs, run_parallel_campaign, shutdown_pool,
 )
 from repro.fi.fault import (
-    FaultModel, FaultRecord, MultiBitFlip, SingleBitFlip, StuckAtOne,
-    StuckAtZero,
+    FaultModel, FaultRecord, IntermittentFlip, MemoryBitFlip, MultiBitFlip,
+    SingleBitFlip, StuckAtOne, StuckAtZero, get_fault_model,
+    list_fault_models, register_fault_model,
 )
 from repro.fi.llfi import LLFIInjector, LLFIOptions
 from repro.fi.outcome import Outcome, classify
@@ -63,6 +64,11 @@ __all__ = [
     "MultiBitFlip",
     "StuckAtZero",
     "StuckAtOne",
+    "IntermittentFlip",
+    "MemoryBitFlip",
+    "register_fault_model",
+    "get_fault_model",
+    "list_fault_models",
     "LLFIInjector",
     "LLFIOptions",
     "Outcome",

@@ -141,8 +141,13 @@ class BaseInjector(ABC):
                        model: Optional[FaultModel] = None,
                        max_instructions: Optional[int] = None,
                        ) -> Tuple[ExecutionResult, Optional[FaultRecord], bool]:
-        """One injection run at dynamic instance ``k``; returns
-        (result, fault record, activated?)."""
+        """One injection run at dynamic instance ``k`` under ``model``
+        (default: the paper's single bit flip; see the registry in
+        :mod:`repro.fi.fault` for the other models); returns
+        (result, fault record, activated?).  Models must be stateless —
+        one instance serves every trial slot — and their RNG consumption
+        per firing must depend only on (model, target width), never on
+        the value being corrupted, or jobs=1 ≡ jobs=N breaks."""
 
     # -- compiled execution --------------------------------------------------
     def _compile_subject(self):

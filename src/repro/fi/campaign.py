@@ -80,7 +80,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultInjectionError
 from repro.fi.base import BaseInjector, BatchRequest, FirstAttempt
-from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
+from repro.fi.fault import FaultModel, FaultRecord, get_fault_model
 from repro.fi.llfi import LLFIInjector
 from repro.fi.outcome import Outcome, classify
 from repro.fi.pinfi import PINFIInjector
@@ -212,6 +212,16 @@ class CampaignConfig:
     trials: int = 1000
     seed: int = 20140623  # DSN'14
     hang_factor: int = 20
+    #: Fault-model spec resolved through the registry
+    #: (:func:`repro.fi.fault.get_fault_model`): "bitflip" is the paper's
+    #: model, "multibit-k" / "stuck-at-0" / "stuck-at-1" /
+    #: "intermittent-n" / "memflip" are the sensitivity-study variants.
+    #: Like ``ci_margin`` this **does** change the result, so it is part
+    #: of the results cache key.
+    fault_model: str = "bitflip"
+    #: Explicit model instance; overrides ``fault_model`` when set (kept
+    #: for programmatic callers — the spec string is what pickles to
+    #: engine workers and lands in cache keys/manifests).
     model: Optional[FaultModel] = None
     #: Give up on a trial slot after this many redraws (guards against
     #: categories whose faults almost never activate).
@@ -291,6 +301,14 @@ class CampaignConfig:
             return 0
         return self.batch if self.batch > 0 else DEFAULT_BATCH_LANES
 
+    def resolved_model(self) -> FaultModel:
+        """The fault model campaigns actually inject with: the explicit
+        ``model`` object if given, else ``fault_model`` resolved through
+        the registry."""
+        if self.model is not None:
+            return self.model
+        return get_fault_model(self.fault_model)
+
 
 # -- deterministic per-trial RNG streams ---------------------------------------
 
@@ -346,7 +364,7 @@ def prepare_campaign(injector: BaseInjector, category: str,
         raise FaultInjectionError(
             f"no dynamic {category!r} candidates for {injector.name}")
     return CampaignSetup(golden=golden, budget=budget, candidates=n,
-                         model=config.model or SingleBitFlip())
+                         model=config.resolved_model())
 
 
 # -- trial slots ---------------------------------------------------------------
@@ -746,7 +764,7 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "jobs": config.jobs,
         "hang_factor": config.hang_factor,
         "max_attempts_factor": config.max_attempts_factor,
-        "model": (config.model or SingleBitFlip()).name,
+        "model": config.resolved_model().name,
         "checkpoint_stride": config.checkpoint_stride,
         "ci_margin": config.ci_margin,
         "round_size": config.resolved_round_size() if config.adaptive else 0,
@@ -816,7 +834,8 @@ def write_campaign_manifest(manifest: RunManifest, trace_dir: str) -> str:
     h = manifest.header
     path = os.path.join(trace_dir, manifest_filename(
         h["workload"], h["tool"], h["category"], h["trials"], h["seed"],
-        h["checkpoint_stride"], h.get("ci_margin", 0.0)))
+        h["checkpoint_stride"], h.get("ci_margin", 0.0),
+        h.get("model", "bitflip")))
     return write_manifest(path, manifest)
 
 

@@ -12,7 +12,10 @@ Workers never receive simulator state: injector candidate sets are keyed by
 ``id()`` and would not survive pickling.  Instead each worker rebuilds the
 injector from an :class:`InjectorSpec` (workload registry name + tool +
 options) and caches it per process — workloads compile deterministically
-from source, so rebuild-in-worker is correct.  On platforms with ``fork``
+from source, so rebuild-in-worker is correct.  The fault model travels the
+same way: ``CampaignConfig.fault_model`` is a registry spec string, and
+each worker's ``prepare_campaign`` resolves it locally, so model identity
+never depends on pickled object state.  On platforms with ``fork``
 the parent builds, goldens and profiles the injector *before* the pool is
 created, so workers inherit those caches and perform no redundant
 whole-program runs at all; the pool is re-forked when a spec it has not

@@ -1,24 +1,69 @@
-"""Fault models.
+"""Fault models and the fault-model registry.
 
 The paper's model is a single bit flip in the destination register of one
 dynamically chosen instruction (a transient fault in the processor's
-computation units showing up in the instruction's result). Multi-bit and
-stuck-at variants are provided as extensions for sensitivity studies.
+computation units showing up in the instruction's result). The registry
+generalizes that single point into a family for sensitivity studies
+(DAVOS's fault dictionary and InjectV's attack models enumerate the same
+space for RTL/RISC-V):
+
+================  =========================================================
+spec              behaviour
+================  =========================================================
+``bitflip``       the paper's model: one uniformly random bit flip
+``multibit-k``    burst fault: k distinct bits flip at once (default k=2)
+``stuck-at-0``    one random bit is forced to 0 (may be a no-op)
+``stuck-at-1``    one random bit is forced to 1 (may be a no-op)
+``intermittent-n``  a flip re-applied at the next n dynamic candidate
+                  instances (default n=3), fresh bit each time
+``memflip``       one bit of the memory cell the candidate instruction
+                  just read flips (paged memory model, both engines)
+================  =========================================================
+
+Models are strictly **stateless**: ``pick_bits``/``apply`` are pure apart
+from the caller's RNG, so one instance can serve every trial slot of a
+campaign without breaking jobs=1 ≡ jobs=N determinism. Multi-application
+state (``intermittent``) lives in the per-run injection hooks, keyed off
+:attr:`FaultModel.repeat`; memory-cell semantics are selected by
+:attr:`FaultModel.kind` (the hooks own the engine-specific plumbing).
+
+RNG discipline: for a given (model, width), ``pick_bits`` consumes a fixed
+draw sequence regardless of the value being corrupted — in particular the
+1-bit (i1) case returns ``[0]`` without touching the RNG, and stuck-at
+no-ops (bit already matched) are detected by the hooks *after* the draw.
+Anything else would make a trial's stream depend on execution state and
+silently break jobs=1 ≡ jobs=N bit-identity.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, Dict, List, Optional
 
+from repro.errors import FaultInjectionError
 from repro.ir.values import bits_to_double, double_to_bits, wrap_signed
+
+
+def _one_bit(width: int, rng: random.Random) -> List[int]:
+    """One uniformly random position; the 1-bit case draws nothing (an i1
+    has a single bit, and ``randrange(1)`` would still consume RNG state,
+    skewing streams between i1 and wider targets)."""
+    if width <= 1:
+        return [0]
+    return [rng.randrange(width)]
 
 
 class FaultModel:
     """Mutates a bit pattern of ``width`` bits."""
 
     name = "abstract"
+    #: "value" models corrupt the candidate's destination value; "memory"
+    #: models corrupt the memory cell the candidate just read.
+    kind = "value"
+    #: How many consecutive dynamic candidate instances the fault is
+    #: applied to (1 = transient; >1 = intermittent).
+    repeat = 1
 
     def pick_bits(self, width: int, rng: random.Random) -> List[int]:
         """Which bit positions this fault touches (for the record)."""
@@ -35,7 +80,7 @@ class SingleBitFlip(FaultModel):
     name = "bitflip"
 
     def pick_bits(self, width: int, rng: random.Random) -> List[int]:
-        return [rng.randrange(width)]
+        return _one_bit(width, rng)
 
     def apply(self, bits: int, positions: List[int], width: int) -> int:
         for p in positions:
@@ -44,15 +89,17 @@ class SingleBitFlip(FaultModel):
 
 
 class MultiBitFlip(FaultModel):
-    """Flip k distinct bits (burst faults; extension)."""
+    """Flip k distinct bits (burst faults)."""
 
     def __init__(self, k: int = 2) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
-        self.name = f"bitflip{k}"
+        self.name = f"multibit-{k}"
 
     def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        if width <= 1:
+            return [0]
         return rng.sample(range(width), min(self.k, width))
 
     def apply(self, bits: int, positions: List[int], width: int) -> int:
@@ -62,13 +109,14 @@ class MultiBitFlip(FaultModel):
 
 
 class StuckAtZero(FaultModel):
-    """Clear one random bit (stuck-at-0; extension). May be a no-op if the
-    bit was already 0, in which case the fault cannot be activated."""
+    """Clear one random bit (stuck-at-0). A no-op when the bit was already
+    0 — the hooks then record the attempt as not-activated (and, crucially,
+    the RNG has been consumed exactly as if the fault had taken effect)."""
 
-    name = "stuck0"
+    name = "stuck-at-0"
 
     def pick_bits(self, width: int, rng: random.Random) -> List[int]:
-        return [rng.randrange(width)]
+        return _one_bit(width, rng)
 
     def apply(self, bits: int, positions: List[int], width: int) -> int:
         for p in positions:
@@ -77,17 +125,119 @@ class StuckAtZero(FaultModel):
 
 
 class StuckAtOne(FaultModel):
-    """Set one random bit (stuck-at-1; extension)."""
+    """Set one random bit (stuck-at-1). Same no-op caveat as stuck-at-0."""
 
-    name = "stuck1"
+    name = "stuck-at-1"
 
     def pick_bits(self, width: int, rng: random.Random) -> List[int]:
-        return [rng.randrange(width)]
+        return _one_bit(width, rng)
 
     def apply(self, bits: int, positions: List[int], width: int) -> int:
         for p in positions:
             bits |= (1 << p)
         return bits & ((1 << width) - 1)
+
+
+class IntermittentFlip(FaultModel):
+    """A bit flip re-applied at the next ``n`` dynamic candidate instances
+    (a marginal circuit that glitches for a short burst of operations).
+    Each application draws a fresh bit for the instance's own width; the
+    injection hooks keep the firing window and the fault record describes
+    the first application."""
+
+    def __init__(self, n: int = 3) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.name = f"intermittent-{n}"
+        self.repeat = n
+
+    def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        return _one_bit(width, rng)
+
+    def apply(self, bits: int, positions: List[int], width: int) -> int:
+        for p in positions:
+            bits ^= (1 << p)
+        return bits & ((1 << width) - 1)
+
+
+class MemoryBitFlip(FaultModel):
+    """Flip one bit of the memory cell the candidate instruction just read
+    (a fault in the memory array rather than the datapath). The loaded
+    value itself stays pristine — the corruption is only visible if the
+    cell is read again — so activation is judged by outcome divergence:
+    a run that still matches the golden output counts as not-activated.
+    Candidates that read no memory make the attempt an automatic
+    not-activated redraw."""
+
+    name = "memflip"
+    kind = "memory"
+
+    def pick_bits(self, width: int, rng: random.Random) -> List[int]:
+        return _one_bit(width, rng)
+
+    def apply(self, bits: int, positions: List[int], width: int) -> int:
+        for p in positions:
+            bits ^= (1 << p)
+        return bits & ((1 << width) - 1)
+
+
+# -- the registry -----------------------------------------------------------------
+
+#: base name -> factory(param or None). Parameterized entries accept a
+#: ``-<int>`` suffix in the spec ("multibit-4", "intermittent-2").
+_REGISTRY: Dict[str, Callable[[Optional[int]], FaultModel]] = {}
+
+
+def register_fault_model(name: str,
+                         factory: Callable[[Optional[int]], FaultModel],
+                         ) -> None:
+    """Register a fault-model factory under a base name. The factory takes
+    the spec's optional integer parameter (None when the bare name is
+    used) and returns a *stateless* FaultModel."""
+    if name in _REGISTRY:
+        raise FaultInjectionError(f"duplicate fault model {name!r}")
+    _REGISTRY[name] = factory
+
+
+def get_fault_model(spec) -> FaultModel:
+    """Resolve a spec string ("bitflip", "multibit-4", "stuck-at-0", ...)
+    to a model instance. A FaultModel passes through unchanged."""
+    if isinstance(spec, FaultModel):
+        return spec
+    factory = _REGISTRY.get(spec)
+    if factory is not None:
+        return factory(None)
+    base, sep, suffix = spec.rpartition("-")
+    if sep and base in _REGISTRY and suffix.isdigit():
+        return _REGISTRY[base](int(suffix))
+    raise FaultInjectionError(
+        f"unknown fault model {spec!r}; registered: "
+        f"{', '.join(list_fault_models())}")
+
+
+def list_fault_models() -> List[str]:
+    """Canonical spec strings of every registered model (parameterized
+    entries appear with their default parameter, e.g. ``multibit-2``)."""
+    return sorted(factory(None).name for factory in _REGISTRY.values())
+
+
+def _fixed(cls) -> Callable[[Optional[int]], FaultModel]:
+    def factory(param: Optional[int]) -> FaultModel:
+        if param is not None:
+            raise FaultInjectionError(
+                f"{cls.name!r} takes no parameter")
+        return cls()
+    return factory
+
+
+register_fault_model("bitflip", _fixed(SingleBitFlip))
+register_fault_model("multibit",
+                     lambda k: MultiBitFlip(2 if k is None else k))
+register_fault_model("stuck-at-0", _fixed(StuckAtZero))
+register_fault_model("stuck-at-1", _fixed(StuckAtOne))
+register_fault_model("intermittent",
+                     lambda n: IntermittentFlip(3 if n is None else n))
+register_fault_model("memflip", _fixed(MemoryBitFlip))
 
 
 @dataclass

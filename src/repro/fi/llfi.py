@@ -27,14 +27,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import FaultInjectionError
-from repro.ir.instructions import Instruction
+from repro.ir.instructions import Instruction, Load
 from repro.ir.module import Module
+from repro.ir.values import bits_to_double, double_to_bits, wrap_signed
 from repro.fi.base import BaseInjector, BatchRequest, FirstAttempt
 from repro.fi.categories import CATEGORIES, llfi_is_candidate
-from repro.fi.fault import (
-    FaultModel, FaultRecord, SingleBitFlip, corrupt_double, corrupt_int,
-    corrupt_pointer,
-)
+from repro.fi.fault import FaultModel, FaultRecord, SingleBitFlip
 from repro.vm.batch import pristine_image_of, run_ir_batch
 from repro.vm.irinterp import InterpHook, IRInterpreter
 from repro.vm.result import ExecutionResult
@@ -88,7 +86,15 @@ class _MultiCountingHook(InterpHook):
 
 
 class _InjectionHook(InterpHook):
-    """Runtime fault injection at the k-th dynamic candidate instance."""
+    """Runtime fault injection at the k-th dynamic candidate instance.
+
+    Models with ``repeat > 1`` (intermittent) re-fire at the following
+    ``repeat - 1`` instances too; ``kind == "memory"`` models corrupt the
+    cell a Load just read instead of the destination value.  A firing
+    whose corruption is a bit-level no-op (stuck-at on an already-matching
+    bit) records the attempt but plants no poison, so the run equals the
+    golden run and is classified NOT_ACTIVATED — the RNG draw happened
+    regardless, keeping the trial stream independent of activation."""
 
     def __init__(self, candidate_ids: Set[int], k: int, model: FaultModel,
                  rng: random.Random) -> None:
@@ -97,45 +103,101 @@ class _InjectionHook(InterpHook):
         self.model = model
         self.rng = rng
         self.count = 0
+        self.fires_left = model.repeat
+        self.memory_fault = model.kind == "memory"
         self.record: Optional[FaultRecord] = None
 
     def compiled_span_ok(self, ncand: int) -> bool:
         # Safe while the block's candidates cannot reach the trigger
-        # index: the k-th instance (and the poison write that must be
-        # tracked scalar) can only land on a fallback block.
-        return self.count + ncand < self.k
+        # index: every firing (and the poison write that must be tracked
+        # scalar) can only land on a fallback block.  Mid-burst
+        # (intermittent) the window is open, so nothing is safe.
+        return (self.fires_left == self.model.repeat
+                and self.count + ncand < self.k)
 
     def on_result(self, inst, value, interp):
         if id(inst) not in self.candidate_ids:
             return value
         self.count += 1
-        if self.count != self.k:
+        if self.count < self.k or self.fires_left <= 0:
             return value
-        corrupted, positions, width = self._corrupt(inst, value)
+        self.fires_left -= 1
+        if self.fires_left == 0:
+            # Last (for transients: only) application — the suffix may
+            # run block-compiled.
+            self.finished = True
+        if self.memory_fault:
+            self._corrupt_memory(inst, interp)
+            return value
+        corrupted, positions, width, changed = self._corrupt(inst, value)
+        if self.record is None:
+            self.record = FaultRecord(
+                dynamic_index=self.k, bit_positions=positions,
+                target=f"{inst.opcode} %{inst.name}", width=width)
+        if not changed:
+            return value
         frame = interp.current_frame
         assert frame is not None
         frame.poison_inst = inst
-        self.record = FaultRecord(
-            dynamic_index=self.k, bit_positions=positions,
-            target=f"{inst.opcode} %{inst.name}", width=width)
-        # The fault has fired: the suffix may run block-compiled.
-        self.finished = True
         return corrupted
 
     def _corrupt(self, inst: Instruction, value):
+        """Returns (corrupted value, positions, width, changed?)."""
+        model, rng = self.model, self.rng
         t = inst.type
         if t.is_double():
-            positions = self.model.pick_bits(64, self.rng)
-            return corrupt_double(value, self.model, positions), positions, 64
+            positions = model.pick_bits(64, rng)
+            bits = double_to_bits(value)
+            new = model.apply(bits, positions, 64)
+            return bits_to_double(new), positions, 64, new != bits
         if t.is_pointer():
-            positions = self.model.pick_bits(64, self.rng)
-            return corrupt_pointer(value, self.model, positions), positions, 64
-        bits = t.bits  # type: ignore[attr-defined]
-        if bits == 1:
-            # i1 holds 0/1; any flip inverts it.
-            return (0 if value else 1), [0], 1
-        positions = self.model.pick_bits(bits, self.rng)
-        return corrupt_int(value, bits, self.model, positions), positions, bits
+            positions = model.pick_bits(64, rng)
+            bits = value & ((1 << 64) - 1)
+            new = model.apply(bits, positions, 64)
+            return new, positions, 64, new != bits
+        width = t.bits  # type: ignore[attr-defined]
+        if width == 1:
+            # i1 holds 0/1; pick_bits draws nothing at width 1.
+            positions = model.pick_bits(1, rng)
+            bits = 1 if value else 0
+            new = model.apply(bits, positions, 1) & 1
+            return new, positions, 1, new != bits
+        positions = model.pick_bits(width, rng)
+        bits = value & ((1 << width) - 1)
+        new = model.apply(bits, positions, width)
+        return wrap_signed(new, width), positions, width, new != bits
+
+    def _corrupt_memory(self, inst, interp) -> None:
+        """memflip: corrupt the cell the Load just read, in place. The
+        loaded value stays pristine and no poison is planted — activation
+        is judged by outcome divergence (see MemoryBitFlip)."""
+        if not isinstance(inst, Load):
+            # Candidate without a memory operand at the IR level: the
+            # attempt is an automatic not-activated redraw (no RNG draw,
+            # which is fine — consumption is a function of the golden
+            # instruction stream, identical across job counts).
+            if self.record is None:
+                self.record = FaultRecord(
+                    dynamic_index=self.k, bit_positions=[],
+                    target=f"{inst.opcode} %{inst.name} (no memory read)",
+                    width=0)
+            return
+        frame = interp.current_frame
+        assert frame is not None
+        addr = interp._value_of(inst.pointer, frame) & ((1 << 64) - 1)
+        t = inst.type
+        nbytes = 8 if (t.is_double() or t.is_pointer()) else t.size
+        width = nbytes * 8
+        positions = self.model.pick_bits(width, self.rng)
+        bits = interp.memory.read_int(addr, nbytes, signed=False)
+        new = self.model.apply(bits, positions, width)
+        if new != bits:
+            interp.memory.write_int(addr, nbytes, new)
+        if self.record is None:
+            self.record = FaultRecord(
+                dynamic_index=self.k, bit_positions=positions,
+                target=f"{inst.opcode} %{inst.name} @0x{addr:x}",
+                width=width)
 
 
 class LLFIInjector(BaseInjector):

@@ -107,6 +107,15 @@ class _MultiCountingHook(AsmHook):
 
 
 class _InjectionHook(AsmHook):
+    """Runtime fault injection at the k-th dynamic candidate instance.
+
+    Same model semantics as the LLFI hook: ``repeat > 1`` re-fires at the
+    following instances, ``kind == "memory"`` corrupts the cell the
+    instruction just read (via the simulator's ``last_read`` tag), and a
+    bit-level no-op firing (stuck-at on a matching bit) records the
+    attempt without poisoning — the RNG draw happens either way, so the
+    trial stream is independent of activation."""
+
     def __init__(self, candidate_ids: Set[int], targets: Dict[int, _Target],
                  k: int, model: FaultModel, rng: random.Random,
                  options: PINFIOptions) -> None:
@@ -117,51 +126,70 @@ class _InjectionHook(AsmHook):
         self.rng = rng
         self.options = options
         self.count = 0
+        self.fires_left = model.repeat
+        self.memory_fault = model.kind == "memory"
         self.record: Optional[FaultRecord] = None
 
     def compiled_span_ok(self, ncand: int) -> bool:
         # Safe while the block's candidates cannot reach the trigger
-        # index: the injection (and the poison it plants, which must be
-        # tracked scalar) can only land on a fallback block.
-        return self.count + ncand < self.k
+        # index: every firing (and the poison it plants, which must be
+        # tracked scalar) can only land on a fallback block.  Mid-burst
+        # (intermittent) the window is open, so nothing is safe.
+        return (self.fires_left == self.model.repeat
+                and self.count + ncand < self.k)
 
     def on_executed(self, inst, sim: AsmSimulator):
         if id(inst) not in self.candidate_ids:
             return
         self.count += 1
-        if self.count != self.k:
+        if self.count < self.k or self.fires_left <= 0:
+            return
+        self.fires_left -= 1
+        if self.fires_left == 0:
+            # Last (for transients: only) application — the suffix may
+            # run block-compiled.
+            self.finished = True
+        if self.memory_fault:
+            self._corrupt_memory(inst, sim)
             return
         target = self.targets[id(inst)]
         kind = target[0]
+        changed = True
         if kind == "gpr":
             _, name, width = target
             positions = self.model.pick_bits(width, self.rng)
-            value = self.model.apply(sim.get_gpr(name), positions, 64)
+            old = sim.get_gpr(name)
+            value = self.model.apply(old, positions, 64)
             # flips above the operation width never occur: pick_bits was
             # bounded by width, apply masks to 64 which keeps upper bits.
-            sim.set_gpr(name, value)
-            sim.poison_target(("gpr", name))
+            changed = value != old
+            if changed:
+                sim.set_gpr(name, value)
+                sim.poison_target(("gpr", name))
             desc = f"{inst.opcode} -> {name}"
         elif kind == "xmm":
             _, name, is_double = target
             width = 64 if (is_double and self.options.xmm_low64) else 128
             positions = self.model.pick_bits(width, self.rng)
-            sim.set_xmm(name, self.model.apply(sim.get_xmm(name), positions,
-                                               128))
-            if is_double and all(p >= 64 for p in positions):
-                # Double-precision ops only ever read the low 64 bits; a
-                # flip confined to the high half can never be activated.
-                # (This is exactly what the paper's XMM heuristic prunes.)
-                sim.poison_target(("xmm", f"{name}#hi"))
-            else:
-                sim.poison_target(("xmm", name))
+            old = sim.get_xmm(name)
+            value = self.model.apply(old, positions, 128)
+            changed = value != old
+            if changed:
+                sim.set_xmm(name, value)
+                if is_double and all(p >= 64 for p in positions):
+                    # Double-precision ops only ever read the low 64 bits;
+                    # a flip confined to the high half can never be
+                    # activated.  (This is exactly what the paper's XMM
+                    # heuristic prunes.)
+                    sim.poison_target(("xmm", f"{name}#hi"))
+                else:
+                    sim.poison_target(("xmm", name))
             desc = f"{inst.opcode} -> {name}"
         else:  # flags
             _, dependent = target
             if self.options.flag_dependent_bits:
                 flag = self.rng.choice(dependent)
-                sim.flags[flag] ^= 1
-                sim.poison_target(("flag", flag))
+                changed = self._corrupt_flag(sim, flag)
                 positions = [FLAG_BITS[flag]]
                 desc = f"{inst.opcode} -> {flag}"
             else:
@@ -172,18 +200,52 @@ class _InjectionHook(AsmHook):
                 positions = [pos]
                 flag = _FLAG_BY_POS.get(pos)
                 if flag is not None:
-                    sim.flags[flag] ^= 1
-                    sim.poison_target(("flag", flag))
+                    changed = self._corrupt_flag(sim, flag)
                     desc = f"{inst.opcode} -> {flag}"
                 else:
                     sim.poison_target(("flag", f"RAW{pos}"))
                     desc = f"{inst.opcode} -> FLAGS[{pos}]"
             width = _FLAGS_REGISTER_BITS
-        self.record = FaultRecord(dynamic_index=self.k,
-                                  bit_positions=positions,
-                                  target=desc, width=width)
-        # The fault has fired: the suffix may run block-compiled.
-        self.finished = True
+        if self.record is None:
+            self.record = FaultRecord(dynamic_index=self.k,
+                                      bit_positions=positions,
+                                      target=desc, width=width)
+
+    def _corrupt_flag(self, sim: AsmSimulator, flag: str) -> bool:
+        """Apply the model to one modeled EFLAGS bit; returns changed?"""
+        old = sim.flags[flag] & 1
+        new = self.model.apply(old, [0], 1) & 1
+        if new == old:
+            return False
+        sim.flags[flag] = new
+        sim.poison_target(("flag", flag))
+        return True
+
+    def _corrupt_memory(self, inst, sim: AsmSimulator) -> None:
+        """memflip: corrupt the cell this instruction just read, in
+        place.  No poison — activation is judged by outcome divergence
+        (see MemoryBitFlip).  The firing instruction always runs on a
+        scalar-fallback block (compiled_span_ok), so its memory reads
+        were tagged by the scalar operand helpers."""
+        tag = sim.last_read
+        if tag is None or tag[0] != sim.executed:
+            # Candidate read no memory: automatic not-activated redraw.
+            if self.record is None:
+                self.record = FaultRecord(
+                    dynamic_index=self.k, bit_positions=[],
+                    target=f"{inst.opcode} (no memory read)", width=0)
+            return
+        _, addr, nbytes = tag
+        width = nbytes * 8
+        positions = self.model.pick_bits(width, self.rng)
+        bits = sim.memory.read_int(addr, nbytes, signed=False)
+        new = self.model.apply(bits, positions, width)
+        if new != bits:
+            sim.memory.write_int(addr, nbytes, new)
+        if self.record is None:
+            self.record = FaultRecord(
+                dynamic_index=self.k, bit_positions=positions,
+                target=f"{inst.opcode} @0x{addr:x}", width=width)
 
 
 class PINFIInjector(BaseInjector):

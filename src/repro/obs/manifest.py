@@ -104,7 +104,11 @@ from repro.errors import ReproError
 #: are now preserved (``extras``) instead of rejected.
 #: v4: block-compiled execution — ``compile`` record kind, summary gained
 #: the ``compile`` block.
-MANIFEST_SCHEMA_VERSION = 4
+#: v5: fault-model registry — the header ``model`` field now carries the
+#: registry spec of any registered model (not just the paper's
+#: ``bitflip``), and non-default models are part of the canonical
+#: manifest filename so sweep cells never overwrite each other.
+MANIFEST_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -175,16 +179,20 @@ class RunManifest:
 
 def manifest_filename(workload: str, tool: str, category: str,
                       trials: int, seed: int, checkpoint_stride: int = 0,
-                      ci_margin: float = 0.0) -> str:
+                      ci_margin: float = 0.0,
+                      model: str = "bitflip") -> str:
     """Canonical manifest name for one campaign cell.  The checkpoint
     stride is part of the name so the same cell measured under different
     strides (e.g. by ``bench_checkpoint``) never overwrites itself; the
-    early-stopping margin likewise, appended only when nonzero so
-    non-adaptive names are unchanged."""
+    early-stopping margin and a non-default fault model likewise,
+    appended only when set so default names are unchanged (and sweep
+    cells that differ only in fault model never collide)."""
     name = (f"manifest-{workload}-{tool}-{category}"
             f"-t{trials}-s{seed}-c{checkpoint_stride}")
     if ci_margin:
         name += f"-ci{ci_margin:g}"
+    if model != "bitflip":
+        name += f"-m{model}"
     return name + ".jsonl"
 
 

@@ -28,7 +28,13 @@ from repro.obs.manifest import RunManifest, read_manifest
 
 def _cell(manifest: RunManifest) -> str:
     h = manifest.header
-    return f"{h.get('workload', '?')}/{h['tool']}/{h['category']}"
+    cell = f"{h.get('workload', '?')}/{h['tool']}/{h['category']}"
+    # Tag non-default fault models so sweep manifests stay tellable
+    # apart; bitflip cells keep their pre-registry cell names.
+    model = h.get("model", "bitflip")
+    if model != "bitflip":
+        cell += f"[{model}]"
+    return cell
 
 
 def summarize(manifest: RunManifest) -> dict:
@@ -54,6 +60,7 @@ def summarize(manifest: RunManifest) -> dict:
     busy = [w["busy_s"] for w in workers.values()]
     return {
         "cell": _cell(manifest),
+        "model": h.get("model", "bitflip"),
         "trials": h["trials"],
         "seed": h["seed"],
         "activated": s.get("activated", 0),

@@ -18,7 +18,9 @@ the list of :class:`Divergence` it found (empty = all layers agree):
 * **campaign determinism** (off by default: it runs real injection
   trials) — the generated program registered as a temporary workload,
   then ``jobs=1`` vs ``jobs=2`` and ``checkpoint_stride=-1`` vs ``0``
-  campaigns compared trial-by-trial.
+  campaigns compared trial-by-trial, under one registered fault model
+  drawn from the fuzz seed (so sampled seeds collectively sweep the
+  whole registry, not just the paper's bitflip).
 
 All checks run everything they can even after the first divergence, so
 one fuzz run reports every disagreeing layer at once.
@@ -62,6 +64,11 @@ class OracleConfig:
     #: Campaign agreement re-executes the program hundreds of times; the
     #: fuzz CLI samples it on a subset of seeds rather than every one.
     check_campaigns: bool = False
+    #: Fault model the campaign checks inject with. None draws a
+    #: registered model from the fuzz seed, so a long fuzz run covers the
+    #: whole registry (engine parity and checkpoint-restore identity must
+    #: hold per model, not just for the paper's bitflip).
+    campaign_fault_model: Optional[str] = None
     #: Strides are primes so checkpoints land at "awkward" points (mid
     #: loop, mid call stack) rather than aligning with loop trip counts.
     checkpoint_strides: Tuple[int, ...] = (97, 463)
@@ -242,6 +249,7 @@ class Oracle:
             InjectorSpec, forget_workload, run_parallel_campaign,
             shutdown_pool,
         )
+        from repro.fi.fault import list_fault_models
         from repro.workloads import Workload, temporary_workload
 
         name = "fuzz-oracle-tmp"
@@ -250,6 +258,13 @@ class Oracle:
             description="differential-fuzzer temporary workload",
             source=self.source, input_description="none")
         cfg = self.config
+        # The fault-model axis: each sampled seed exercises one registered
+        # model (drawn from the seed, so reruns are reproducible and a
+        # long fuzz run walks the whole registry).
+        model = cfg.campaign_fault_model
+        if model is None:
+            models = list_fault_models()
+            model = models[(self.seed or 0) % len(models)]
         try:
             with temporary_workload(workload):
                 for tool in ("LLFI", "PINFI"):
@@ -257,14 +272,17 @@ class Oracle:
                     base = run_parallel_campaign(
                         spec, "all",
                         CampaignConfig(trials=cfg.campaign_trials,
-                                       seed=cfg.campaign_seed), jobs=1)
+                                       seed=cfg.campaign_seed,
+                                       fault_model=model), jobs=1)
                     variants = [
                         ("jobs=2", CampaignConfig(
                             trials=cfg.campaign_trials,
-                            seed=cfg.campaign_seed), 2),
+                            seed=cfg.campaign_seed,
+                            fault_model=model), 2),
                         ("checkpointed", CampaignConfig(
                             trials=cfg.campaign_trials,
                             seed=cfg.campaign_seed,
+                            fault_model=model,
                             checkpoint_stride=-1), 1),
                     ]
                     for label, config, jobs in variants:
@@ -274,7 +292,8 @@ class Oracle:
                         if detail:
                             self._report(
                                 "campaign",
-                                f"{tool} all: {label} != jobs=1: {detail}")
+                                f"{tool} all [{model}]: {label} != jobs=1: "
+                                f"{detail}")
         finally:
             shutdown_pool()
             forget_workload(name)

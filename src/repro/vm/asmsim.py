@@ -158,6 +158,12 @@ class AsmSimulator:
         self.fault_activated = False
         #: Poisoned targets: ('gpr', name) / ('xmm', name) / ('flag', name).
         self.poison: Dict[Tuple[str, str], bool] = {}
+        #: Last scalar memory read: (instruction ordinal, addr, nbytes).
+        #: Memory-cell fault models (memflip) match the ordinal against
+        #: ``executed`` to corrupt the cell the firing instruction just
+        #: read; compiled blocks bypass the tag, which is safe because a
+        #: firing instruction always runs on a scalar-fallback block.
+        self.last_read: Optional[Tuple[int, int, int]] = None
 
         #: Checkpoint recording: every ``checkpoint_stride`` retired
         #: instructions (0 = off), pass a MachineSnapshot to the sink.
@@ -489,15 +495,19 @@ class AsmSimulator:
         if isinstance(op, GlobalAddr):
             return self.global_addr[op.name] & mask
         if isinstance(op, Mem):
-            return self.memory.read_int(self._mem_addr(op), width // 8,
-                                        signed=False)
+            addr = self._mem_addr(op)
+            nbytes = width // 8
+            self.last_read = (self.executed, addr, nbytes)
+            return self.memory.read_int(addr, nbytes, signed=False)
         raise ReproError(f"bad integer operand {op!r}")
 
     def _read_double_operand(self, op) -> float:
         if isinstance(op, Reg):
             return self.get_xmm_double(op.name)
         if isinstance(op, Mem):
-            return self.memory.read_double(self._mem_addr(op))
+            addr = self._mem_addr(op)
+            self.last_read = (self.executed, addr, 8)
+            return self.memory.read_double(addr)
         raise ReproError(f"bad double operand {op!r}")
 
     def _write_gpr_or_mem(self, op, value: int, width: int) -> None:
@@ -517,6 +527,7 @@ class AsmSimulator:
     def _pop(self) -> int:
         rsp = self.get_gpr("rsp")
         value = self.memory.read_int(rsp, 8, signed=False)
+        self.last_read = (self.executed, rsp, 8)
         self.set_gpr("rsp", (rsp + 8) & MASK64)
         return value
 
