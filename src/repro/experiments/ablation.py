@@ -17,23 +17,23 @@ activation heuristics (§IV), measured.
 from __future__ import annotations
 
 from repro.experiments.common import (
-    cached_campaign, config_from_args, experiment_argparser,
+    campaign_cell, config_from_args, experiment_argparser,
+    store_from_args,
 )
 from repro.experiments.report import format_table
 from repro.fi import CampaignConfig, LLFIOptions, PINFIOptions
 
 
 def generate_gep_ablation(benchmarks, config: CampaignConfig,
-                          results_dir: str = "results") -> str:
+                          store=None) -> str:
     rows = []
     for name in benchmarks:
-        base = cached_campaign(name, "LLFI", "arithmetic", config, results_dir)
-        fixed = cached_campaign(
-            name, "LLFI", "arithmetic", config, results_dir,
+        base = campaign_cell(name, "LLFI", "arithmetic", config, store)
+        fixed = campaign_cell(
+            name, "LLFI", "arithmetic", config, store,
             variant="gep_arith",
             llfi_options=LLFIOptions(gep_as_arithmetic=True))
-        pinfi = cached_campaign(name, "PINFI", "arithmetic", config,
-                                results_dir)
+        pinfi = campaign_cell(name, "PINFI", "arithmetic", config, store)
         rows.append([
             name,
             f"{100 * base.crash.value:.0f}%",
@@ -48,19 +48,19 @@ def generate_gep_ablation(benchmarks, config: CampaignConfig,
 
 
 def generate_cast_ablation(benchmarks, config: CampaignConfig,
-                           results_dir: str = "results") -> str:
+                           store=None) -> str:
     rows = []
     for name in benchmarks:
         inj_kwargs = dict(llfi_options=LLFIOptions(include_pointer_casts=True))
         try:
-            base = cached_campaign(name, "LLFI", "cast", config, results_dir)
+            base = campaign_cell(name, "LLFI", "cast", config, store)
             base_crash = f"{100 * base.crash.value:.0f}%"
         except Exception:
             base_crash = "n/a (no casts)"
         try:
-            withptr = cached_campaign(name, "LLFI", "cast", config,
-                                      results_dir, variant="ptrcasts",
-                                      **inj_kwargs)
+            withptr = campaign_cell(name, "LLFI", "cast", config,
+                                    store, variant="ptrcasts",
+                                    **inj_kwargs)
             with_crash = f"{100 * withptr.crash.value:.0f}%"
         except Exception:
             with_crash = "n/a"
@@ -74,7 +74,7 @@ def generate_cast_ablation(benchmarks, config: CampaignConfig,
 
 
 def generate_heuristic_ablation(flag_benchmarks, config: CampaignConfig,
-                                results_dir: str = "results",
+                                store=None,
                                 xmm_benchmarks=None) -> str:
     """Low-activation cells redraw up to 10x trials runs, so keep these
     benchmark lists short; the XMM ablation only means anything on
@@ -84,9 +84,9 @@ def generate_heuristic_ablation(flag_benchmarks, config: CampaignConfig,
                           if b in flag_benchmarks] or flag_benchmarks[:1]
     rows = []
     for name in flag_benchmarks:
-        flag_on = cached_campaign(name, "PINFI", "cmp", config, results_dir)
-        flag_off = cached_campaign(
-            name, "PINFI", "cmp", config, results_dir, variant="noflagheur",
+        flag_on = campaign_cell(name, "PINFI", "cmp", config, store)
+        flag_off = campaign_cell(
+            name, "PINFI", "cmp", config, store, variant="noflagheur",
             pinfi_options=PINFIOptions(flag_dependent_bits=False))
         rows.append([
             name, "cmp/flags",
@@ -94,10 +94,9 @@ def generate_heuristic_ablation(flag_benchmarks, config: CampaignConfig,
             flag_off.activation_rate.percent(),
         ])
     for name in xmm_benchmarks:
-        xmm_on = cached_campaign(name, "PINFI", "arithmetic", config,
-                                 results_dir)
-        xmm_off = cached_campaign(
-            name, "PINFI", "arithmetic", config, results_dir,
+        xmm_on = campaign_cell(name, "PINFI", "arithmetic", config, store)
+        xmm_off = campaign_cell(
+            name, "PINFI", "arithmetic", config, store,
             variant="noxmmheur",
             pinfi_options=PINFIOptions(xmm_low64=False))
         rows.append([
@@ -116,17 +115,17 @@ def main(argv=None) -> None:
     parser = experiment_argparser(__doc__ or "ablation")
     args = parser.parse_args(argv)
     config = config_from_args(args)
+    store = store_from_args(args)
     # Defaults chosen where the effects are most visible.
     gep_benchmarks = args.benchmarks or ["bzip2m", "mcfm", "hmmerm"]
     cast_benchmarks = args.benchmarks or ["bzip2m", "hmmerm", "raytracem"]
     flag_benchmarks = args.benchmarks or ["bzip2m", "mcfm"]
     xmm_benchmarks = args.benchmarks or ["oceanm", "raytracem"]
-    print(generate_gep_ablation(gep_benchmarks, config, args.results_dir))
+    print(generate_gep_ablation(gep_benchmarks, config, store))
     print()
-    print(generate_cast_ablation(cast_benchmarks, config, args.results_dir))
+    print(generate_cast_ablation(cast_benchmarks, config, store))
     print()
-    print(generate_heuristic_ablation(flag_benchmarks, config,
-                                      args.results_dir,
+    print(generate_heuristic_ablation(flag_benchmarks, config, store,
                                       xmm_benchmarks=xmm_benchmarks))
 
 

@@ -2,9 +2,14 @@
 caching, CLI plumbing.
 
 Campaigns are expensive (each trial re-executes a whole benchmark), so
-results are cached under ``results/`` keyed by (workload, tool, category,
-and every ``CampaignConfig`` field that affects the outcome). Delete the
-directory to force re-runs.
+every cell is cached in a **campaign store** (:mod:`repro.service.store`)
+keyed by its :class:`~repro.service.request.CampaignRequest` — the
+frozen identity object that owns the key derivation.  The default store
+is the classic ``results/`` file-per-key directory; ``--store
+sqlite:PATH`` switches every experiment onto one SQLite database that
+additionally dedups golden-run artifacts across campaigns and doubles as
+the job queue of the campaign service (``python -m repro.service``).
+Delete the directory/database to force re-runs.
 
 Campaigns dispatch through the parallel engine (``repro.fi.engine``);
 ``--jobs`` controls the worker count and does not affect results (per-trial
@@ -28,26 +33,31 @@ manifest.
 ``--ci-margin`` (Wilson-CI early stopping) is the exception: it decides
 how many trial slots actually run, so it — and the resolved
 ``--round-size``, which sets where stop decisions can fall — **is** part
-of the key whenever it is nonzero.  A stopped cell's cached entry is
-exactly the ``trials = n_stop`` campaign's (prefix identity), but a
-different margin may stop at a different prefix, hence the key.
+of the key whenever it is nonzero.  ``--fault-model`` is a key component
+for the same reason: it decides what the firing injection does.  The
+full identity/accelerator split lives on ``CampaignRequest`` itself.
 
-``--fault-model`` is a key component for the same reason: it decides what
-the firing injection does, so every registered spec gets its own cells.
-The default ``bitflip`` produces keys byte-identical to pre-registry
-ones, keeping existing cached results valid.
+Deprecated shims
+----------------
+
+``cache_key()`` and ``cached_campaign()`` — the pre-service API whose
+key was concatenated by hand here — keep working for one release as
+thin delegates to :class:`CampaignRequest` and the store layer (keys
+and cache files are byte-identical), emitting a ``DeprecationWarning``.
+New code should build a ``CampaignRequest`` and call
+:func:`campaign_cell` (or :func:`repro.service.runtime.run_request`
+directly).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
+import warnings
 from dataclasses import dataclass
 
-from typing import Optional
+from typing import Optional, Union
 
-from repro.errors import FaultInjectionError
 from repro.fi import (
     DEFAULT_ROUND_SIZE, CampaignConfig, CampaignResult, InjectorSpec,
     LLFIInjector, LLFIOptions, PINFIInjector, PINFIOptions,
@@ -55,17 +65,19 @@ from repro.fi import (
 )
 from repro.fi.engine import injector_for_spec
 from repro.fi.fault import list_fault_models
+from repro.service.request import CACHE_FORMAT_VERSION, CampaignRequest
+from repro.service.runtime import persist_prep, prime_injector, run_request
+from repro.service.store import CampaignStore, DirectoryStore, as_store
 from repro.workloads import workload_names
 
 DEFAULT_RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
 
-#: Bump when the cache key schema or the campaign procedure changes in a
-#: result-affecting way (v2: per-trial RNG streams; key gained hang/attempt
-#: factors and the fault model.  v3: entries hold the schema-versioned
-#: ``CampaignResult.to_json`` form.  v4: adaptive early stopping — the key
-#: gained the ci-margin/round-size component, and ``CampaignResult.trials``
-#: now records executed rather than requested trials).
-CACHE_FORMAT_VERSION = 4
+__all__ = [
+    "CACHE_FORMAT_VERSION", "DEFAULT_RESULTS_DIR", "Injectors",
+    "cache_key", "cached_campaign", "campaign_cell", "config_from_args",
+    "experiment_argparser", "injectors_for", "selected_benchmarks",
+    "store_from_args", "trace_dir_from_args",
+]
 
 
 @dataclass
@@ -88,38 +100,42 @@ def injectors_for(name: str, llfi_options: Optional[LLFIOptions] = None,
                                        pinfi_options=pinfi_options)))
 
 
-# -- result cache -------------------------------------------------------------
+# -- cached campaign cells (the store-backed canonical API) --------------------
 
-def _cache_path(results_dir: str, key: str) -> str:
-    return os.path.join(results_dir, f"{key}.json")
+def campaign_cell(workload: str, tool: str, category: str,
+                  config: CampaignConfig,
+                  store: Union[CampaignStore, str, None] = None,
+                  variant: str = "",
+                  llfi_options: Optional[LLFIOptions] = None,
+                  pinfi_options: Optional[PINFIOptions] = None,
+                  ) -> CampaignResult:
+    """Run (or load from the store) one campaign cell.
 
+    The identity comes from the :class:`CampaignRequest` built out of the
+    arguments; ``config`` additionally supplies the accelerator knobs
+    (jobs, checkpoint stride, batching, tracing) for a cache miss.
+    ``store`` accepts a :class:`CampaignStore`, a store spec / results
+    directory string, or None (the default results directory)."""
+    request = CampaignRequest.from_config(
+        workload, tool, category, config, variant=variant,
+        llfi_options=llfi_options, pinfi_options=pinfi_options)
+    return run_request(request, store=as_store(store, DEFAULT_RESULTS_DIR),
+                       config=config)
+
+
+# -- deprecated pre-service API ------------------------------------------------
 
 def cache_key(workload: str, tool: str, category: str,
               config: CampaignConfig, variant: str = "") -> str:
-    """Disk-cache key: every config field that can change the result."""
-    model = config.resolved_model()
-    key = (f"v{CACHE_FORMAT_VERSION}-{workload}-{tool}-{category}"
-           f"-t{config.trials}-s{config.seed}-h{config.hang_factor}"
-           f"-a{config.max_attempts_factor}-m{model.name}")
-    if config.adaptive:
-        # Early stopping changes how many slots run; the round size moves
-        # the boundaries a stop can land on. Off (the default), the key is
-        # byte-identical to a non-adaptive v4 key.
-        key += f"-ci{config.ci_margin:g}-r{config.resolved_round_size()}"
-    if variant:
-        key += f"-{variant}"
-    return key
+    """Deprecated: build a :class:`CampaignRequest` and call ``.key()``.
 
-
-def _load_cached_result(path: str) -> CampaignResult:
-    """Read one cache entry; unknown schemas are rejected with the path so
-    the user knows which stale file to delete."""
-    with open(path) as f:
-        data = json.load(f)
-    try:
-        return CampaignResult.from_json(data)
-    except FaultInjectionError as exc:
-        raise FaultInjectionError(f"{path}: {exc}") from None
+    Delegates to the request's derivation — byte-identical keys — and
+    will be removed one release after PR 9 (see CHANGES.md)."""
+    warnings.warn(
+        "cache_key() is deprecated; build a repro.service.CampaignRequest "
+        "and use its .key()", DeprecationWarning, stacklevel=2)
+    return CampaignRequest.from_config(workload, tool, category, config,
+                                       variant=variant).key()
 
 
 def cached_campaign(workload: str, tool: str, category: str,
@@ -129,17 +145,31 @@ def cached_campaign(workload: str, tool: str, category: str,
                     llfi_options: Optional[LLFIOptions] = None,
                     pinfi_options: Optional[PINFIOptions] = None,
                     ) -> CampaignResult:
-    """Run (or load from cache) one campaign cell."""
-    key = cache_key(workload, tool, category, config, variant)
-    path = _cache_path(results_dir, key)
-    if os.path.exists(path):
-        return _load_cached_result(path)
-    spec = InjectorSpec(workload, tool, llfi_options=llfi_options,
-                        pinfi_options=pinfi_options)
-    result = run_parallel_campaign(spec, category, config)
-    os.makedirs(results_dir, exist_ok=True)
-    with open(path, "w") as f:
-        json.dump(result.to_json(), f, indent=1)
+    """Deprecated: use :func:`campaign_cell` (same cells, same cache
+    files — writes are atomic now) or the service API directly.
+
+    Kept for one release after PR 9 (see CHANGES.md).  Unlike the new
+    API this honours a programmatic ``config.model`` override, which the
+    spec-string-only request identity deliberately does not carry."""
+    warnings.warn(
+        "cached_campaign() is deprecated; use campaign_cell() or "
+        "repro.service.runtime.run_request()",
+        DeprecationWarning, stacklevel=2)
+    request = CampaignRequest.from_config(
+        workload, tool, category, config, variant=variant,
+        llfi_options=llfi_options, pinfi_options=pinfi_options)
+    store = DirectoryStore(results_dir)
+    cached = store.get_result(request)
+    if cached is not None:
+        return cached
+    # Run with the *original* config (not request.to_config()) so a
+    # programmatic model override keeps working through the shim.
+    injector = injector_for_spec(request.injector_spec())
+    prime_injector(injector, store, request)
+    result = run_parallel_campaign(request.injector_spec(), category,
+                                   config)
+    persist_prep(injector, store, request)
+    store.put_result(request, result)
     return result
 
 
@@ -195,6 +225,15 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
                              "loop (escape hatch; results are identical "
                              "either way)")
     parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    parser.add_argument("--store", default=None,
+                        help="campaign store spec: 'sqlite:PATH' (or a "
+                             "bare *.db/*.sqlite path) for the SQLite "
+                             "backend with cross-campaign golden-run "
+                             "dedup, 'dir:PATH' or any other path for the "
+                             "classic file-per-key layout (default: "
+                             "--results-dir). The same SQLite store backs "
+                             "the campaign service (python -m "
+                             "repro.service)")
     parser.add_argument("--trace", action="store_true",
                         help="collect per-trial observability statistics "
                              "and write JSONL run manifests under "
@@ -214,6 +253,16 @@ def selected_benchmarks(args) -> list:
                 raise SystemExit(f"unknown benchmark {b!r}; have {names}")
         return args.benchmarks
     return names
+
+
+def store_from_args(args) -> CampaignStore:
+    """The campaign store an experiment invocation writes to: ``--store``
+    wins, otherwise the classic ``--results-dir`` directory layout."""
+    spec = getattr(args, "store", None)
+    if spec:
+        return as_store(spec, DEFAULT_RESULTS_DIR)
+    return DirectoryStore(getattr(args, "results_dir",
+                                  DEFAULT_RESULTS_DIR))
 
 
 def trace_dir_from_args(args) -> Optional[str]:

@@ -10,27 +10,26 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.common import (
-    cached_campaign, config_from_args, experiment_argparser,
-    selected_benchmarks,
+    campaign_cell, config_from_args, experiment_argparser,
+    selected_benchmarks, store_from_args,
 )
 from repro.experiments.report import format_table, stacked_bar
 from repro.fi import CampaignConfig, CampaignResult
 
 
-def collect(benchmarks, config: CampaignConfig, results_dir: str
+def collect(benchmarks, config: CampaignConfig, store=None
             ) -> Dict[str, Dict[str, CampaignResult]]:
     data = {}
     for name in benchmarks:
         data[name] = {
-            tool: cached_campaign(name, tool, "all", config, results_dir)
+            tool: campaign_cell(name, tool, "all", config, store)
             for tool in ("LLFI", "PINFI")
         }
     return data
 
 
-def generate(benchmarks, config: CampaignConfig,
-             results_dir: str = "results") -> str:
-    data = collect(benchmarks, config, results_dir)
+def generate(benchmarks, config: CampaignConfig, store=None) -> str:
+    data = collect(benchmarks, config, store)
     rows: List[List[object]] = []
     sums = {tool: [0.0, 0.0, 0.0, 0.0] for tool in ("LLFI", "PINFI")}
     for name, tools in data.items():
@@ -65,7 +64,7 @@ def generate(benchmarks, config: CampaignConfig,
 def main(argv=None) -> None:
     args = experiment_argparser(__doc__ or "fig3").parse_args(argv)
     print(generate(selected_benchmarks(args), config_from_args(args),
-                   args.results_dir))
+                   store_from_args(args)))
 
 
 if __name__ == "__main__":

@@ -11,31 +11,29 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.common import (
-    cached_campaign, config_from_args, experiment_argparser,
-    selected_benchmarks,
+    campaign_cell, config_from_args, experiment_argparser,
+    selected_benchmarks, store_from_args,
 )
 from repro.experiments.report import format_table
 from repro.fi import CampaignConfig, CampaignResult
 from repro.fi.categories import CATEGORIES
 
 
-def collect(benchmarks, config: CampaignConfig, results_dir: str,
+def collect(benchmarks, config: CampaignConfig, store=None,
             categories=CATEGORIES) -> Dict[str, Dict[str, Dict[str, CampaignResult]]]:
     data: Dict[str, Dict[str, Dict[str, CampaignResult]]] = {}
     for name in benchmarks:
         data[name] = {}
         for category in categories:
             data[name][category] = {
-                tool: cached_campaign(name, tool, category, config,
-                                      results_dir)
+                tool: campaign_cell(name, tool, category, config, store)
                 for tool in ("LLFI", "PINFI")
             }
     return data
 
 
-def generate(benchmarks, config: CampaignConfig,
-             results_dir: str = "results") -> str:
-    data = collect(benchmarks, config, results_dir)
+def generate(benchmarks, config: CampaignConfig, store=None) -> str:
+    data = collect(benchmarks, config, store)
     sections = []
     agree = 0
     total = 0
@@ -66,7 +64,7 @@ def generate(benchmarks, config: CampaignConfig,
 def main(argv=None) -> None:
     args = experiment_argparser(__doc__ or "fig4").parse_args(argv)
     print(generate(selected_benchmarks(args), config_from_args(args),
-                   args.results_dir))
+                   store_from_args(args)))
 
 
 if __name__ == "__main__":

@@ -18,11 +18,12 @@ import time
 from repro.experiments import ablation, fig3, fig4, table1, table2, table4, table5
 from repro.experiments.common import (
     config_from_args, experiment_argparser, selected_benchmarks,
+    store_from_args,
 )
 from repro.fi import resolve_jobs
 
 
-def run_all(benchmarks, config, results_dir: str) -> str:
+def run_all(benchmarks, config, store=None) -> str:
     sections = []
     t0 = time.time()
 
@@ -37,11 +38,11 @@ def run_all(benchmarks, config, results_dir: str) -> str:
     stamp("Table IV (dynamic instruction counts)")
     sections.append(table4.generate(benchmarks))
     stamp("Figure 3 (aggregate outcomes) — runs campaigns")
-    sections.append(fig3.generate(benchmarks, config, results_dir))
+    sections.append(fig3.generate(benchmarks, config, store))
     stamp("Figure 4 (SDC by category) — runs campaigns")
-    sections.append(fig4.generate(benchmarks, config, results_dir))
+    sections.append(fig4.generate(benchmarks, config, store))
     stamp("Table V (crash by category)")
-    sections.append(table5.generate(benchmarks, config, results_dir))
+    sections.append(table5.generate(benchmarks, config, store))
     stamp("Ablations (paper §IV heuristics, §VII fixes)")
     # Ablation cells with the heuristics disabled have low activation and
     # redraw heavily; run them on focused subsets (where the effect lives).
@@ -49,12 +50,10 @@ def run_all(benchmarks, config, results_dir: str) -> str:
         or benchmarks
     fp_subset = [b for b in ("oceanm", "raytracem") if b in benchmarks] \
         or benchmarks[:1]
-    sections.append(ablation.generate_gep_ablation(subset, config,
-                                                   results_dir))
-    sections.append(ablation.generate_cast_ablation(subset, config,
-                                                    results_dir))
+    sections.append(ablation.generate_gep_ablation(subset, config, store))
+    sections.append(ablation.generate_cast_ablation(subset, config, store))
     sections.append(ablation.generate_heuristic_ablation(
-        subset[:2], config, results_dir, xmm_benchmarks=fp_subset))
+        subset[:2], config, store, xmm_benchmarks=fp_subset))
     stamp("done")
     return "\n\n\n".join(sections) + "\n"
 
@@ -63,7 +62,7 @@ def main(argv=None) -> None:
     args = experiment_argparser(__doc__ or "runner").parse_args(argv)
     benchmarks = selected_benchmarks(args)
     config = config_from_args(args)
-    report = run_all(benchmarks, config, args.results_dir)
+    report = run_all(benchmarks, config, store_from_args(args))
     os.makedirs(args.results_dir, exist_ok=True)
     path = os.path.join(args.results_dir, "report.txt")
     with open(path, "w") as f:

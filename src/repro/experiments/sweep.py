@@ -29,8 +29,8 @@ import os
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import (
-    cached_campaign, config_from_args, experiment_argparser,
-    selected_benchmarks,
+    campaign_cell, config_from_args, experiment_argparser,
+    selected_benchmarks, store_from_args,
 )
 from repro.experiments.report import format_table
 from repro.fi import CampaignConfig, CampaignResult, Outcome
@@ -57,7 +57,7 @@ def expand_fault_models(spec: str) -> List[str]:
 
 
 def collect(benchmarks, categories, models, config: CampaignConfig,
-            results_dir: str
+            store=None
             ) -> Dict[Tuple[str, str, str, str], CampaignResult]:
     """One cached campaign per (model, benchmark, tool, category) cell.
     Each cell's key/config is exactly what ``run <target>`` with the same
@@ -69,8 +69,8 @@ def collect(benchmarks, categories, models, config: CampaignConfig,
         for name in benchmarks:
             for tool in TOOLS:
                 for category in categories:
-                    cells[(model, name, tool, category)] = cached_campaign(
-                        name, tool, category, cell_config, results_dir)
+                    cells[(model, name, tool, category)] = campaign_cell(
+                        name, tool, category, cell_config, store)
     return cells
 
 
@@ -98,8 +98,8 @@ def _verdict(a_counts, a_n, b_counts, b_n) -> str:
 
 
 def generate(benchmarks, categories, models, config: CampaignConfig,
-             results_dir: str = "results") -> str:
-    cells = collect(benchmarks, categories, models, config, results_dir)
+             store=None) -> str:
+    cells = collect(benchmarks, categories, models, config, store)
     rows: List[List[object]] = []
     for model in models:
         for category in categories:
@@ -149,7 +149,7 @@ def main(argv=None) -> None:
     benchmarks = (selected_benchmarks(args) if args.benchmarks
                   else list(SMOKE_BENCHMARKS))
     report = generate(benchmarks, args.categories, models,
-                      config_from_args(args), args.results_dir)
+                      config_from_args(args), store_from_args(args))
     print(report, end="")
     os.makedirs(args.results_dir, exist_ok=True)
     path = os.path.join(args.results_dir, "sweep_report.txt")

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     config_from_args, experiment_argparser, selected_benchmarks,
+    store_from_args,
 )
 from repro.experiments.fig4 import collect
 from repro.experiments.report import format_table
@@ -16,9 +17,8 @@ from repro.fi import CampaignConfig
 from repro.fi.categories import CATEGORIES
 
 
-def generate(benchmarks, config: CampaignConfig,
-             results_dir: str = "results") -> str:
-    data = collect(benchmarks, config, results_dir)
+def generate(benchmarks, config: CampaignConfig, store=None) -> str:
+    data = collect(benchmarks, config, store)
     headers = ["Program"]
     for cat in CATEGORIES:
         headers += [f"{cat} L", f"{cat} P"]
@@ -47,7 +47,7 @@ def generate(benchmarks, config: CampaignConfig,
 def main(argv=None) -> None:
     args = experiment_argparser(__doc__ or "table5").parse_args(argv)
     print(generate(selected_benchmarks(args), config_from_args(args),
-                   args.results_dir))
+                   store_from_args(args)))
 
 
 if __name__ == "__main__":

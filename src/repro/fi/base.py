@@ -283,6 +283,19 @@ class BaseInjector(ABC):
             self._golden_result = self.golden()
         return self._golden_result
 
+    def adopt_prep(self, golden: ExecutionResult,
+                   counts: Dict[str, int]) -> None:
+        """Prime the golden/profiling memos from a persisted preparation
+        artifact (see :mod:`repro.service.runtime`): a primed injector
+        performs zero whole-program preparation runs, which is how the
+        SQLite store dedups golden work across campaigns.  Existing memos
+        win — an injector that already ran its own golden is the ground
+        truth, the artifact is just its replica."""
+        if self._golden_result is None:
+            self._golden_result = golden
+        if self._dynamic_counts is None:
+            self._dynamic_counts = dict(counts)
+
     def dynamic_counts(self) -> Dict[str, int]:
         """Memoised per-category dynamic counts from one shared profiling
         pass (replaces a ``count_dynamic_candidates`` run per category)."""

@@ -76,7 +76,7 @@ import os
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import FaultInjectionError
 from repro.fi.base import BaseInjector, BatchRequest, FirstAttempt
@@ -550,17 +550,19 @@ def slot_checkpoint_bucket(injector: BaseInjector, category: str,
 
 
 def order_round(injector: BaseInjector, category: str, setup: CampaignSetup,
-                config: CampaignConfig, round_no: int, start: int, end: int,
-                ) -> Tuple[List[int], List[dict]]:
+                config: CampaignConfig, round_no: int,
+                indices: Iterable[int]) -> Tuple[List[int], List[dict]]:
     """Bucket one round's slot indices by shared checkpoint.
 
-    Returns the round's indices reordered bucket by bucket (cold starts
-    first, then ascending checkpoint index; ascending slot index within a
-    bucket — fully deterministic) plus one manifest ``bucket`` record per
+    ``indices`` is any subset of the campaign's slot indices — a whole
+    round for local runs, one shard of a round for service workers.
+    Returns them reordered bucket by bucket (cold starts first, then
+    ascending checkpoint index; ascending slot index within a bucket —
+    fully deterministic) plus one manifest ``bucket`` record per
     non-empty bucket.  Restores within a bucket then hit one shared
     decoded snapshot image instead of expanding it per trial."""
     buckets: Dict[int, List[int]] = {}
-    for index in range(start, end):
+    for index in indices:
         bucket = slot_checkpoint_bucket(injector, category, setup, config,
                                         index)
         buckets.setdefault(bucket, []).append(index)
@@ -576,7 +578,7 @@ def order_round(injector: BaseInjector, category: str, setup: CampaignSetup,
 
 def order_round_batches(injector: BaseInjector, category: str,
                         setup: CampaignSetup, config: CampaignConfig,
-                        round_no: int, start: int, end: int,
+                        round_no: int, indices: Iterable[int],
                         ) -> Tuple[List[Tuple[int, int, List[int]]],
                                    List[dict]]:
     """Split one round's slot indices into batch groups.
@@ -589,7 +591,7 @@ def order_round_batches(injector: BaseInjector, category: str,
     batching refines the schedule, it never changes it."""
     lanes = config.resolved_batch()
     buckets: Dict[int, List[int]] = {}
-    for index in range(start, end):
+    for index in indices:
         bucket = slot_checkpoint_bucket(injector, category, setup, config,
                                         index)
         buckets.setdefault(bucket, []).append(index)
@@ -649,7 +651,8 @@ def run_rounds(injector: BaseInjector, category: str, setup: CampaignSetup,
     for round_no, (start, end) in enumerate(plan_rounds(config)):
         if batching:
             groups, buckets = order_round_batches(
-                injector, category, setup, config, round_no, start, end)
+                injector, category, setup, config, round_no,
+                range(start, end))
             bucket_records.extend(buckets)
             for group_id, bucket, indices in groups:
                 group_slots, stats = run_batch_group(
@@ -660,7 +663,8 @@ def run_rounds(injector: BaseInjector, category: str, setup: CampaignSetup,
                         stats.to_record(round_no, group_id, bucket))
         else:
             ordered, buckets = order_round(injector, category, setup,
-                                           config, round_no, start, end)
+                                           config, round_no,
+                                           range(start, end))
             bucket_records.extend(buckets)
             slots.extend(run_trial_slot(injector, category, setup, config,
                                         index)
@@ -672,19 +676,22 @@ def run_rounds(injector: BaseInjector, category: str, setup: CampaignSetup,
     return slots, rounds, bucket_records, batch_records
 
 
-def aggregate_slots(tool: str, category: str, config: CampaignConfig,
-                    setup: CampaignSetup,
-                    slots: List[SlotResult]) -> CampaignResult:
-    """Fold slot results into a CampaignResult. Slots are sorted by index,
-    so the aggregate is identical however the slots were scheduled.
+def merged_result(tool: str, category: str, slots: List[SlotResult],
+                  candidates: int,
+                  golden_instructions: int) -> CampaignResult:
+    """Fold slot results into a CampaignResult.  Slots are sorted by
+    index, so the aggregate is identical however — and wherever — the
+    slots were scheduled: this is the merge invariant the sharded service
+    relies on (a coordinator with no live injector can aggregate shard
+    payloads given the setup scalars alone).
 
     ``trials`` is the number of slots actually executed — for an
     early-stopped campaign that is ``n_stop``, making the result equal in
     every field to the ``trials = n_stop`` campaign's."""
     result = CampaignResult(tool=tool, category=category,
                             trials=len(slots),
-                            dynamic_candidates=setup.candidates,
-                            golden_instructions=setup.golden.instructions)
+                            dynamic_candidates=candidates,
+                            golden_instructions=golden_instructions)
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome
                                   if o is not Outcome.NOT_ACTIVATED}
     for slot in sorted(slots, key=lambda s: s.index):
@@ -694,6 +701,104 @@ def aggregate_slots(tool: str, category: str, config: CampaignConfig,
             result.records.append(slot.trial)
     result.counts = counts
     return result
+
+
+def aggregate_slots(tool: str, category: str, config: CampaignConfig,
+                    setup: CampaignSetup,
+                    slots: List[SlotResult]) -> CampaignResult:
+    """:func:`merged_result` with the setup scalars read off a live
+    :class:`CampaignSetup` (the local, single-process entry point)."""
+    return merged_result(tool, category, slots, setup.candidates,
+                         setup.golden.instructions)
+
+
+# -- shard execution (the campaign service's unit of work) ---------------------
+
+def slot_to_json(slot: SlotResult) -> dict:
+    """Serializable form of one slot result — the wire format shard
+    workers return their work in.  Round-trips exactly: the trial's
+    FaultRecord and the optional tracing stats are carried in full, so a
+    merged shard run aggregates bit-identically to a local one."""
+    data: dict = {"index": slot.index, "not_activated": slot.not_activated,
+                  "trial": None}
+    if slot.trial is not None:
+        t = slot.trial
+        data["trial"] = {
+            "k": t.k, "outcome": t.outcome.value,
+            "dynamic_index": t.record.dynamic_index,
+            "bit_positions": list(t.record.bit_positions),
+            "target": t.record.target, "width": t.record.width}
+    if slot.stats is not None:
+        s = slot.stats
+        data["stats"] = {
+            "wall_s": s.wall_s, "runs": s.runs,
+            "instructions": s.instructions,
+            "ckpt_restores": s.ckpt_restores,
+            "ckpt_skipped": s.ckpt_skipped}
+    return data
+
+
+def slot_from_json(data: dict) -> SlotResult:
+    trial: Optional[Trial] = None
+    t = data.get("trial")
+    if t is not None:
+        trial = Trial(
+            k=t["k"], outcome=Outcome(t["outcome"]),
+            record=FaultRecord(dynamic_index=t["dynamic_index"],
+                               bit_positions=list(t["bit_positions"]),
+                               target=t["target"], width=t["width"]))
+    stats: Optional[TrialStats] = None
+    s = data.get("stats")
+    if s is not None:
+        stats = TrialStats(wall_s=s["wall_s"], runs=s["runs"],
+                           instructions=s["instructions"],
+                           ckpt_restores=s["ckpt_restores"],
+                           ckpt_skipped=s["ckpt_skipped"])
+    return SlotResult(data["index"], trial, data["not_activated"], stats)
+
+
+def merge_slot_shards(shards: Sequence[List[SlotResult]],
+                      ) -> List[SlotResult]:
+    """Merge shard slot lists into one index-ordered slot list, enforcing
+    the partition invariant: no slot index may appear in two shards.
+    (Per-slot RNG streams make each slot's result independent of which
+    shard ran it, so a valid partition merges bit-identically to a local
+    run by construction.)"""
+    merged: Dict[int, SlotResult] = {}
+    for shard in shards:
+        for slot in shard:
+            if slot.index in merged:
+                raise FaultInjectionError(
+                    f"slot {slot.index} was produced by two shards — "
+                    f"the shard partition overlaps")
+            merged[slot.index] = slot
+    return [merged[i] for i in sorted(merged)]
+
+
+def run_slot_subset(injector: BaseInjector, category: str,
+                    setup: CampaignSetup, config: CampaignConfig,
+                    indices: Sequence[int]) -> List[SlotResult]:
+    """Execute an arbitrary subset of slot indices — one shard of a
+    round.  The subset is checkpoint-bucket-ordered (and batch-grouped
+    when batching is on) exactly like a full round, and each slot runs
+    its own RNG stream, so the slots produced are bit-identical to the
+    same indices of an unsharded run."""
+    slots: List[SlotResult] = []
+    if config.resolved_batch() > 0:
+        groups, _ = order_round_batches(injector, category, setup, config,
+                                        0, indices)
+        for _group_id, _bucket, group_indices in groups:
+            group_slots, _stats = run_batch_group(injector, category,
+                                                  setup, config,
+                                                  group_indices)
+            slots.extend(group_slots)
+    else:
+        ordered, _ = order_round(injector, category, setup, config, 0,
+                                 indices)
+        slots.extend(run_trial_slot(injector, category, setup, config,
+                                    index)
+                     for index in ordered)
+    return slots
 
 
 # -- run manifests -------------------------------------------------------------
@@ -745,6 +850,8 @@ def build_run_manifest(injector: BaseInjector, category: str,
                        rounds: Optional[List[dict]] = None,
                        buckets: Optional[List[dict]] = None,
                        batches: Optional[List[dict]] = None,
+                       shards: Optional[List[dict]] = None,
+                       service: Optional[dict] = None,
                        ) -> RunManifest:
     """Assemble the JSONL run manifest of one campaign (see
     :mod:`repro.obs.manifest` for the schema and the accounting identity
@@ -770,6 +877,8 @@ def build_run_manifest(injector: BaseInjector, category: str,
         "round_size": config.resolved_round_size() if config.adaptive else 0,
         "batch": config.resolved_batch(),
     }
+    if service:
+        header["service"] = dict(service)
     setup_record = {
         "golden_instructions": setup.golden.instructions,
         "dynamic_candidates": setup.candidates,
@@ -825,7 +934,8 @@ def build_run_manifest(injector: BaseInjector, category: str,
     return RunManifest(header=header, setup=setup_record, trials=trials,
                        chunks=chunks or [], summary=summary,
                        rounds=rounds, buckets=buckets or [],
-                       batches=batches, compiles=compile_records)
+                       batches=batches, compiles=compile_records,
+                       shards=shards or [])
 
 
 def write_campaign_manifest(manifest: RunManifest, trace_dir: str) -> str:

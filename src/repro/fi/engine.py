@@ -311,7 +311,7 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
                 if batching:
                     groups, bucket_records = order_round_batches(
                         injector, category, setup, config, round_no,
-                        start, end)
+                        range(start, end))
                     buckets.extend(bucket_records)
                     tasks = [(spec, category, config, round_no, chunk)
                              for chunk in _chunk_groups(groups, jobs)]
@@ -327,7 +327,7 @@ def run_parallel_campaign(spec: InjectorSpec, category: str,
                 else:
                     ordered, bucket_records = order_round(
                         injector, category, setup, config, round_no,
-                        start, end)
+                        range(start, end))
                     buckets.extend(bucket_records)
                     tasks = [(spec, category, config, chunk)
                              for chunk in _chunk_list(ordered, jobs)]

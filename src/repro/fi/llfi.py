@@ -39,7 +39,7 @@ from repro.vm.result import ExecutionResult
 from repro.vm.snapshot import CheckpointStore
 
 
-@dataclass
+@dataclass(frozen=True)
 class LLFIOptions:
     """Configuration of the LLFI selector (paper §VII ablations)."""
 

@@ -46,7 +46,7 @@ _FLAG_BY_POS = {pos: name for name, pos in FLAG_BITS.items()}
 _FLAGS_REGISTER_BITS = 16
 
 
-@dataclass
+@dataclass(frozen=True)
 class PINFIOptions:
     """PINFI configuration; the two paper heuristics default to on."""
 

@@ -56,6 +56,18 @@ One manifest is one JSONL file.  Line kinds, in file order:
     One per engine work chunk (parallel campaigns), ordered by ``chunk``:
     ``worker`` (PID), ``slots`` (slot indices), ``wall_s``; batched
     chunks also list their ``batches`` (group ids).
+``shard``
+    One per service shard (campaigns run through
+    :mod:`repro.service`), ordered by ``(round, shard)``: ``round``,
+    ``shard`` (per-round ordinal), ``worker`` (the claiming worker's
+    ``host:pid`` name or PID), ``slots`` (slot indices the shard
+    executed), ``wall_s``, ``primed`` (golden run adopted from a store
+    artifact instead of executed) and ``prep_executions`` /
+    ``prep_instructions`` (preparation cost this shard actually paid —
+    0 on every shard that reused a memoised or primed injector).
+    Sharded campaigns additionally carry a ``service`` block in the
+    header: ``shards`` (requested split) and, when run through the job
+    queue, ``store`` and ``job``.
 ``summary``
     Totals: ``wall_s``, ``activated``, ``not_activated``, ``counts``
     (outcome histogram), ``instructions`` (sum of trial instructions),
@@ -108,7 +120,10 @@ from repro.errors import ReproError
 #: registry spec of any registered model (not just the paper's
 #: ``bitflip``), and non-default models are part of the canonical
 #: manifest filename so sweep cells never overwrite each other.
-MANIFEST_SCHEMA_VERSION = 5
+#: v6: campaign service — ``shard`` record kind (one per service shard,
+#: with worker attribution and per-shard preparation accounting) and an
+#: optional ``service`` header block on sharded campaigns.
+MANIFEST_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -124,6 +139,7 @@ class RunManifest:
     buckets: List[dict] = field(default_factory=list)
     batches: List[dict] = field(default_factory=list)
     compiles: List[dict] = field(default_factory=list)
+    shards: List[dict] = field(default_factory=list)
     #: Records of kinds this build does not know (newer writers); kept
     #: verbatim, each as ``{"kind": ..., **fields}``, in file order.
     extras: List[dict] = field(default_factory=list)
@@ -136,7 +152,8 @@ class RunManifest:
         """The manifest as ordered JSONL records (deterministic order:
         header, setup, trials by index, rounds by round id, buckets by
         (round, checkpoint), batches by (round, group), compiles by tool,
-        chunks by chunk id, extras in file order, summary)."""
+        chunks by chunk id, shards by (round, shard), extras in file
+        order, summary)."""
         out = [dict(self.header, kind="manifest"),
                dict(self.setup, kind="setup")]
         out += [dict(t, kind="trial")
@@ -154,6 +171,9 @@ class RunManifest:
                                 key=lambda c: c.get("tool", ""))]
         out += [dict(c, kind="chunk")
                 for c in sorted(self.chunks, key=lambda c: c["chunk"])]
+        out += [dict(s, kind="shard")
+                for s in sorted(self.shards,
+                                key=lambda s: (s["round"], s["shard"]))]
         out += [dict(e) for e in self.extras]
         out.append(dict(self.summary, kind="summary"))
         return out
@@ -219,6 +239,7 @@ def read_manifest(path: str) -> RunManifest:
     buckets: List[dict] = []
     batches: List[dict] = []
     compiles: List[dict] = []
+    shards: List[dict] = []
     extras: List[dict] = []
     with open(path) as f:
         for lineno, raw in enumerate(f, 1):
@@ -252,6 +273,8 @@ def read_manifest(path: str) -> RunManifest:
                 compiles.append(record)
             elif kind == "chunk":
                 chunks.append(record)
+            elif kind == "shard":
+                shards.append(record)
             elif kind == "summary":
                 summary = record
             elif kind is None:
@@ -266,7 +289,7 @@ def read_manifest(path: str) -> RunManifest:
     return RunManifest(header=header, setup=setup, trials=trials,
                        chunks=chunks, summary=summary, rounds=rounds,
                        buckets=buckets, batches=batches, compiles=compiles,
-                       extras=extras)
+                       shards=shards, extras=extras)
 
 
 def merge_counters(dicts: List[Dict[str, int]]) -> Dict[str, int]:

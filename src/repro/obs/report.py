@@ -4,9 +4,9 @@
     python -m repro.obs.report manifest.jsonl --json
 
 Reads one or more JSONL manifests (see :mod:`repro.obs.manifest`) and
-prints six tables: per-cell timing, early stopping, checkpoint savings,
-batched execution, compiled execution, and worker balance.  ``--json``
-emits the same numbers machine-readably.
+prints seven tables: per-cell timing, early stopping, checkpoint savings,
+batched execution, compiled execution, worker balance, and service
+sharding.  ``--json`` emits the same numbers machine-readably.
 Exits non-zero if any manifest is missing or unparsable — or claims an
 early stop its own round records do not justify (a stop whose final
 margin is not below the configured target), so CI can gate on manifest
@@ -50,6 +50,10 @@ def summarize(manifest: RunManifest) -> dict:
     restores = sum(t["ckpt_restores"] for t in trials)
     counters = s.get("counters") or {}
     comp = s.get("compile") or {}
+    shard_busy: dict = {}
+    for shard in manifest.shards:
+        w = shard_busy.setdefault(shard["worker"], 0.0)
+        shard_busy[shard["worker"]] = w + shard["wall_s"]
     workers = {}
     for chunk in manifest.chunks:
         w = workers.setdefault(chunk["worker"], {"chunks": 0, "slots": 0,
@@ -112,6 +116,19 @@ def summarize(manifest: RunManifest) -> dict:
         "compile_wall_s": comp.get("compile_wall_s", 0.0),
         "compiled_blocks": comp.get("compiled_blocks", 0),
         "fallback_blocks": comp.get("fallback_blocks", 0),
+        # Service sharding (schema v6; empty on local manifests).
+        "service_shards": (h.get("service") or {}).get("shards", 0),
+        "shard_records": len(manifest.shards),
+        "shard_workers": len(shard_busy),
+        "shard_slots": sum(len(s["slots"]) for s in manifest.shards),
+        "shards_primed": sum(1 for s in manifest.shards
+                             if s.get("primed")),
+        "shard_prep_executions": sum(s.get("prep_executions", 0)
+                                     for s in manifest.shards),
+        "shard_balance": (min(shard_busy.values())
+                          / max(shard_busy.values())
+                          if shard_busy and max(shard_busy.values()) > 0
+                          else 1.0),
     }
 
 
@@ -242,6 +259,24 @@ def render(summaries: List[dict]) -> str:
         ["Cell", "Workers", "Chunks", "Busiest", "Balance (min/max)"],
         balance_rows,
         title="Worker utilization"))
+
+    shard_rows = []
+    for s in summaries:
+        if not s["shard_records"]:
+            shard_rows.append([s["cell"], "local", "-", "-", "-", "-", "-"])
+            continue
+        shard_rows.append([
+            s["cell"], s["service_shards"], s["shard_records"],
+            s["shard_workers"],
+            f"{s['shards_primed']}/{s['shard_records']}",
+            s["shard_prep_executions"],
+            f"{s['shard_balance']:.2f}",
+        ])
+    sections.append(format_table(
+        ["Cell", "Shards", "Executed", "Workers", "Primed", "Prep runs",
+         "Balance"],
+        shard_rows,
+        title="Service sharding (round-barrier shard protocol)"))
     return "\n\n".join(sections)
 
 

@@ -1,0 +1,85 @@
+"""Thin stdlib client of the campaign service's HTTP JSON API."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.errors import FaultInjectionError
+from repro.fi.campaign import CampaignResult
+from repro.service.request import CampaignRequest
+
+#: Job states after which polling stops.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceError(FaultInjectionError):
+    """An HTTP error reply from the service, with its JSON message."""
+
+
+def _call(url: str, body: Optional[dict] = None,
+          timeout_s: float = 30.0) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.loads(exc.read()).get("error", str(exc))
+        except (ValueError, OSError):
+            message = str(exc)
+        raise ServiceError(f"{url}: HTTP {exc.code}: {message}") from None
+    except urllib.error.URLError as exc:
+        raise ServiceError(f"{url}: {exc.reason}") from None
+
+
+def health(base_url: str) -> dict:
+    return _call(f"{base_url}/health")
+
+
+def submit(base_url: str, request: CampaignRequest, shards: int = 1,
+           accel: Optional[dict] = None) -> dict:
+    """Submit one campaign request; returns ``{job, key, cached}``."""
+    return _call(f"{base_url}/submit",
+                 {"request": request.to_json(), "shards": shards,
+                  "accel": accel or {}})
+
+
+def poll(base_url: str, job_id: int) -> dict:
+    """One job's current state + shard progress."""
+    return _call(f"{base_url}/poll?job={job_id}")["job"]
+
+
+def cancel(base_url: str, job_id: int) -> dict:
+    return _call(f"{base_url}/cancel", {"job": job_id})
+
+
+def fetch(base_url: str, job_id: int) -> CampaignResult:
+    """The finished job's result (raises ServiceError until it is done)."""
+    return CampaignResult.from_json(
+        _call(f"{base_url}/fetch?job={job_id}")["result"])
+
+
+def jobs(base_url: str) -> list:
+    return _call(f"{base_url}/jobs")["jobs"]
+
+
+def wait(base_url: str, job_id: int, timeout_s: float = 600.0,
+         poll_s: float = 0.2) -> dict:
+    """Poll until the job reaches a terminal state; returns the final
+    job record.  Raises on timeout — the job keeps running server-side."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        job = poll(base_url, job_id)
+        if job["state"] in TERMINAL_STATES:
+            return job
+        if time.monotonic() >= deadline:
+            raise ServiceError(
+                f"job {job_id} still {job['state']} after {timeout_s}s")
+        time.sleep(poll_s)

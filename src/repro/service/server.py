@@ -1,0 +1,350 @@
+"""The campaign service: a localhost HTTP JSON API over a SQLite store.
+
+``python -m repro.service serve`` starts two things:
+
+* a **coordinator** thread that drains the store's job queue in FIFO
+  order.  For each job it drives the round-barrier shard protocol:
+  per round from :func:`~repro.fi.campaign.plan_rounds`, partition the
+  round's slot indices into the job's shard count, enqueue them as
+  store shards, wait for workers to finish the round, merge the payloads
+  (:func:`~repro.service.runtime.merge_shard_payloads`), evaluate the
+  Wilson-CI stop decision on the merged prefix — exactly the loop a
+  local run executes — then aggregate with
+  :func:`~repro.fi.campaign.merged_result` and persist the result.
+  Cache hits complete immediately without creating shards.
+
+* a :class:`ThreadingHTTPServer` exposing the JSON API (all bodies and
+  responses are ``application/json``):
+
+  ========================  =====================================
+  ``GET  /health``          liveness + store location
+  ``POST /submit``          ``{request, shards, accel?}`` -> job id
+  ``GET  /poll?job=ID``     job state + per-shard progress
+  ``POST /cancel``          ``{job: ID}``
+  ``GET  /fetch?job=ID``    the finished job's CampaignResult
+  ``GET  /jobs``            every job in the store
+  ========================  =====================================
+
+Workers are separate processes (``python -m repro.service worker``, or
+``serve --workers N`` to have the server spawn them) that claim shards
+from the same store — the queue, not the HTTP API, is the work channel,
+so remote workers only need the store file (e.g. on a shared
+filesystem).  The server binds localhost only: it is a local job queue,
+not an authenticated network service.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import FaultInjectionError
+from repro.fi.campaign import (
+    SlotResult, evaluate_stop, merged_result, plan_rounds,
+)
+from repro.service.request import CampaignRequest, split_shard_indices
+from repro.service.runtime import merge_shard_payloads
+from repro.service.store import SQLiteStore
+
+#: Accelerator knobs a submission may set on its workers.  Everything
+#: else in CampaignConfig is identity (comes from the request) or
+#: meaningless inside a shard (``jobs`` — a shard is one process's unit
+#: of work).  ``checkpoint_stride`` defaults to 0 in service runs:
+#: checkpoint snapshots are in-process accelerators that cannot be
+#: persisted (see repro/vm/snapshot.py), and a primed worker that
+#: records them would perform a whole-program run the dedup accounting
+#: should not show.
+ACCEL_KNOBS = ("checkpoint_stride", "batch", "decoded_cache", "no_compile")
+
+
+def _shard_summary(shards: List[dict]) -> dict:
+    states = [s["state"] for s in shards]
+    return {"total": len(states),
+            "pending": states.count("pending"),
+            "claimed": states.count("claimed"),
+            "done": states.count("done"),
+            "failed": states.count("failed")}
+
+
+class Coordinator(threading.Thread):
+    """Drains the job queue: one job at a time, FIFO — jobs share the
+    worker fleet, so interleaving them would only thrash prep caches."""
+
+    def __init__(self, store: SQLiteStore, poll_s: float = 0.05) -> None:
+        super().__init__(daemon=True, name="campaign-coordinator")
+        self.store = store
+        self.poll_s = poll_s
+        # Not named _stop: threading.Thread has a private _stop method
+        # that join() calls internally.
+        self._stopping = threading.Event()
+
+    def shutdown(self) -> None:
+        self._stopping.set()
+        self.join(timeout=10)
+
+    def run(self) -> None:
+        while not self._stopping.is_set():
+            queued = self.store.jobs(["queued"])
+            if not queued:
+                self._stopping.wait(self.poll_s)
+                continue
+            self._run_job(queued[0])
+
+    # -- one job ------------------------------------------------------------
+    def _run_job(self, job: dict) -> None:
+        job_id = job["id"]
+        try:
+            request = CampaignRequest.from_json(json.loads(job["request"]))
+        except (FaultInjectionError, KeyError, ValueError) as exc:
+            self.store.set_job_state(job_id, "failed", error=str(exc))
+            return
+        cached = self.store.get_result(request)
+        if cached is not None:
+            self.store.set_job_state(job_id, "done", cached=True)
+            return
+        self.store.set_job_state(job_id, "running")
+        config = request.to_config()
+        slots: List[SlotResult] = []
+        candidates = golden_instructions = None
+        try:
+            for round_no, (start, end) in enumerate(plan_rounds(config)):
+                partitions = split_shard_indices(range(start, end),
+                                                 job["shards"])
+                self.store.create_shards(job_id, round_no, partitions)
+                finished = self._await_round(job_id, round_no,
+                                             len(partitions))
+                if finished is None:  # cancelled
+                    return
+                round_slots, candidates, golden_instructions = \
+                    merge_shard_payloads([s["payload"] for s in finished])
+                slots.extend(round_slots)
+                if evaluate_stop(slots, config).stop:
+                    break
+            result = merged_result(request.tool, request.category, slots,
+                                   candidates, golden_instructions)
+            self.store.put_result(request, result)
+            self.store.set_job_state(job_id, "done")
+        except FaultInjectionError as exc:
+            self.store.set_job_state(job_id, "failed", error=str(exc))
+
+    def _await_round(self, job_id: int, round_no: int,
+                     expected: int) -> Optional[List[dict]]:
+        """Block until every shard of one round is done; None when the
+        job was cancelled meanwhile, FaultInjectionError when a shard
+        failed (its error is surfaced on the job)."""
+        while not self._stopping.is_set():
+            job = self.store.job(job_id)
+            if job is None or job["state"] == "cancelled":
+                return None
+            shards = self.store.shards_for(job_id, round_no)
+            failed = [s for s in shards if s["state"] == "failed"]
+            if failed:
+                raise FaultInjectionError(
+                    f"shard {failed[0]['shard']} of round {round_no} "
+                    f"failed: {failed[0]['error']}")
+            done = [s for s in shards if s["state"] == "done"]
+            if len(done) == expected:
+                return done
+            time.sleep(self.poll_s)
+        return None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-campaign-service/1"
+
+    # The ThreadingHTTPServer instance carries .store (set by serve()).
+    @property
+    def store(self) -> SQLiteStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write("service: " + fmt % args + "\n")
+
+    # -- plumbing -----------------------------------------------------------
+    def _reply(self, code: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, code: int, message: str) -> None:
+        self._reply(code, {"error": message})
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length == 0:
+            return {}
+        return json.loads(self.rfile.read(length))
+
+    def _job_or_error(self, query: dict) -> Optional[dict]:
+        raw = (query.get("job") or [None])[0]
+        if raw is None:
+            self._error(400, "missing ?job=ID")
+            return None
+        job = self.store.job(int(raw))
+        if job is None:
+            self._error(404, f"no such job: {raw}")
+            return None
+        return job
+
+    # -- routes -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        try:
+            if url.path == "/health":
+                self._reply(200, {"ok": True,
+                                  "store": self.store.location})
+            elif url.path == "/jobs":
+                self._reply(200, {"jobs": self.store.jobs()})
+            elif url.path == "/poll":
+                job = self._job_or_error(query)
+                if job is not None:
+                    job["shard_progress"] = _shard_summary(
+                        [{"state": s["state"]}
+                         for s in self.store.shards_for(job["id"])])
+                    self._reply(200, {"job": job})
+            elif url.path == "/fetch":
+                self._fetch(query)
+            else:
+                self._error(404, f"unknown endpoint {url.path}")
+        except Exception as exc:  # surface, don't kill the thread
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        try:
+            if url.path == "/submit":
+                self._submit(self._body())
+            elif url.path == "/cancel":
+                body = self._body()
+                if "job" not in body:
+                    self._error(400, "missing 'job'")
+                else:
+                    ok = self.store.request_cancel(int(body["job"]))
+                    if ok:
+                        self._reply(200, {"cancelled": True})
+                    else:
+                        self._error(404, f"no such job: {body['job']}")
+            else:
+                self._error(404, f"unknown endpoint {url.path}")
+        except FaultInjectionError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _submit(self, body: dict) -> None:
+        if "request" not in body:
+            self._error(400, "missing 'request'")
+            return
+        request = CampaignRequest.from_json(body["request"])
+        shards = int(body.get("shards", 1))
+        if shards <= 0:
+            self._error(400, f"shard count must be positive: {shards}")
+            return
+        accel = body.get("accel", {})
+        unknown = sorted(set(accel) - set(ACCEL_KNOBS))
+        if unknown:
+            self._error(400, f"unknown accel knobs {unknown}; "
+                             f"allowed: {list(ACCEL_KNOBS)}")
+            return
+        job_id = self.store.create_job(request, shards, accel)
+        self._reply(200, {"job": job_id, "key": request.key(),
+                          "cached": self.store.get_result(request)
+                          is not None})
+
+    def _fetch(self, query: dict) -> None:
+        job = self._job_or_error(query)
+        if job is None:
+            return
+        if job["state"] != "done":
+            self._error(409, f"job {job['id']} is {job['state']}, "
+                             f"not done")
+            return
+        request = CampaignRequest.from_json(json.loads(job["request"]))
+        result = self.store.get_result(request)
+        if result is None:
+            self._error(500, f"job {job['id']} is done but its result "
+                             f"is missing from the store")
+            return
+        self._reply(200, {"job": job["id"], "key": request.key(),
+                          "result": result.to_json()})
+
+
+class CampaignServer:
+    """The assembled service: HTTP frontend + coordinator + optional
+    spawned worker processes, all over one SQLite store."""
+
+    def __init__(self, store_path: str, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 0,
+                 poll_s: float = 0.05, verbose: bool = False) -> None:
+        self.store = SQLiteStore(store_path)
+        self.store_path = store_path
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.store = self.store  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.coordinator = Coordinator(self.store, poll_s=poll_s)
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True,
+            name="campaign-http")
+        self._workers: List[subprocess.Popen] = []
+        self._worker_count = workers
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CampaignServer":
+        self.coordinator.start()
+        self._http_thread.start()
+        for _ in range(self._worker_count):
+            self._workers.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.service", "worker",
+                 "--store", f"sqlite:{self.store_path}"],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
+        return self
+
+    def stop(self) -> None:
+        for proc in self._workers:
+            proc.terminate()
+        for proc in self._workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        self.httpd.shutdown()
+        self._http_thread.join(timeout=10)
+        self.coordinator.shutdown()
+        self.store.close()
+
+    def __enter__(self) -> "CampaignServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve(store_path: str, host: str = "127.0.0.1", port: int = 0,
+          workers: int = 0, verbose: bool = True) -> None:
+    """Blocking entry point of ``python -m repro.service serve``."""
+    server = CampaignServer(store_path, host=host, port=port,
+                            workers=workers, verbose=verbose).start()
+    print(f"campaign service listening on {server.address} "
+          f"(store {store_path}, {workers} spawned workers)", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()

@@ -80,15 +80,15 @@ class TestTable4Generation:
         assert llfi_share < pinfi_share
 
 
-class TestCachedCampaign(object):
+class TestCampaignCell:
     def test_cache_roundtrip(self, tmp_path, built_workloads):
-        from repro.experiments.common import cached_campaign
+        from repro.experiments.common import campaign_cell
+        from repro.service import DirectoryStore
 
+        store = DirectoryStore(str(tmp_path))
         config = CampaignConfig(trials=5, seed=123)
-        r1 = cached_campaign("libquantumm", "LLFI", "cmp", config,
-                             results_dir=str(tmp_path))
-        r2 = cached_campaign("libquantumm", "LLFI", "cmp", config,
-                             results_dir=str(tmp_path))
+        r1 = campaign_cell("libquantumm", "LLFI", "cmp", config, store)
+        r2 = campaign_cell("libquantumm", "LLFI", "cmp", config, store)
         assert r2.counts == r1.counts
         assert (tmp_path /
                 "v4-libquantumm-LLFI-cmp-t5-s123-h20-a10-mbitflip.json"
@@ -97,12 +97,15 @@ class TestCachedCampaign(object):
     def test_cache_key_covers_all_result_affecting_fields(self):
         """Regression: hang_factor, max_attempts_factor and the fault model
         used to be missing from the key, silently returning stale results."""
-        from repro.experiments.common import cache_key
         from repro.fi import MultiBitFlip
+        from repro.service import CampaignRequest
+
+        def key(config):
+            return CampaignRequest.from_config(
+                "libquantumm", "LLFI", "cmp", config).key()
 
         base = CampaignConfig(trials=5, seed=123)
-        key = cache_key("libquantumm", "LLFI", "cmp", base)
-        assert key.startswith("v4-")
+        assert key(base).startswith("v4-")
         variants = [
             CampaignConfig(trials=5, seed=123, hang_factor=7),
             CampaignConfig(trials=5, seed=123, max_attempts_factor=3),
@@ -117,30 +120,34 @@ class TestCachedCampaign(object):
             CampaignConfig(trials=5, seed=123, ci_margin=0.05,
                            round_size=25),
         ]
-        keys = [cache_key("libquantumm", "LLFI", "cmp", c) for c in variants]
-        assert len(set(keys + [key])) == len(variants) + 1
+        keys = [key(c) for c in variants]
+        assert len(set(keys + [key(base)])) == len(variants) + 1
 
     def test_cache_key_ignores_jobs(self):
         """jobs=1 and jobs=N are bit-identical by construction, so they
         must share one cache entry."""
-        from repro.experiments.common import cache_key
+        from repro.service import CampaignRequest
 
-        a = cache_key("libquantumm", "LLFI", "cmp",
-                      CampaignConfig(trials=5, seed=123, jobs=1))
-        b = cache_key("libquantumm", "LLFI", "cmp",
-                      CampaignConfig(trials=5, seed=123, jobs=4))
+        a = CampaignRequest.from_config(
+            "libquantumm", "LLFI", "cmp",
+            CampaignConfig(trials=5, seed=123, jobs=1)).key()
+        b = CampaignRequest.from_config(
+            "libquantumm", "LLFI", "cmp",
+            CampaignConfig(trials=5, seed=123, jobs=4)).key()
         assert a == b
 
     def test_cache_key_ignores_tracing(self):
         """Tracing is inert, so traced and untraced runs must share one
         cache entry."""
-        from repro.experiments.common import cache_key
+        from repro.service import CampaignRequest
 
-        a = cache_key("libquantumm", "LLFI", "cmp",
-                      CampaignConfig(trials=5, seed=123))
-        b = cache_key("libquantumm", "LLFI", "cmp",
-                      CampaignConfig(trials=5, seed=123, trace=True,
-                                     trace_dir="/tmp/obs"))
+        a = CampaignRequest.from_config(
+            "libquantumm", "LLFI", "cmp",
+            CampaignConfig(trials=5, seed=123)).key()
+        b = CampaignRequest.from_config(
+            "libquantumm", "LLFI", "cmp",
+            CampaignConfig(trials=5, seed=123, trace=True,
+                           trace_dir="/tmp/obs")).key()
         assert a == b
 
     def test_unknown_schema_rejected(self, tmp_path):
@@ -151,13 +158,15 @@ class TestCachedCampaign(object):
         import pytest
 
         from repro.errors import FaultInjectionError
-        from repro.experiments.common import cache_key, cached_campaign
+        from repro.experiments.common import campaign_cell
+        from repro.service import CampaignRequest, DirectoryStore
 
         config = CampaignConfig(trials=5, seed=123)
-        key = cache_key("libquantumm", "LLFI", "cmp", config)
+        key = CampaignRequest.from_config(
+            "libquantumm", "LLFI", "cmp", config).key()
         path = tmp_path / f"{key}.json"
         path.write_text(json.dumps({"tool": "LLFI", "schema": 99}))
         with pytest.raises(FaultInjectionError) as err:
-            cached_campaign("libquantumm", "LLFI", "cmp", config,
-                            results_dir=str(tmp_path))
+            campaign_cell("libquantumm", "LLFI", "cmp", config,
+                          DirectoryStore(str(tmp_path)))
         assert "schema" in str(err.value) and str(path) in str(err.value)

@@ -181,10 +181,11 @@ class TestCacheKeyExcludesBatching:
         differential tests above prove bit-identity), so — like ``jobs``
         and ``checkpoint_stride`` — they must never enter the disk-cache
         key."""
-        from repro.experiments.common import cache_key
-        keys = {cache_key("w", "LLFI", "all",
-                          CampaignConfig(trials=5, seed=1, batch=b,
-                                         decoded_cache=d))
+        from repro.service import CampaignRequest
+        keys = {CampaignRequest.from_config(
+                    "w", "LLFI", "all",
+                    CampaignConfig(trials=5, seed=1, batch=b,
+                                   decoded_cache=d)).key()
                 for b in (0, -1, 4, 32) for d in (0, 2)}
         assert len(keys) == 1
 

@@ -189,9 +189,10 @@ class TestCacheKeyExcludesAccelerators:
         results are bit-identical for any value, so it must never become
         part of the disk-cache key — cached results stay valid whatever
         stride produced them."""
-        from repro.experiments.common import cache_key
-        keys = {cache_key("w", "LLFI", "all",
-                          CampaignConfig(trials=5, seed=1, jobs=j,
-                                         checkpoint_stride=s))
+        from repro.service import CampaignRequest
+        keys = {CampaignRequest.from_config(
+                    "w", "LLFI", "all",
+                    CampaignConfig(trials=5, seed=1, jobs=j,
+                                   checkpoint_stride=s)).key()
                 for j in (1, 8) for s in (0, -1, 1000)}
         assert len(keys) == 1

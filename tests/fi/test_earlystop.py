@@ -186,20 +186,22 @@ class TestBucketScheduler:
         inj = _fresh("LLFI", built)
         config = CampaignConfig(trials=12, seed=99, checkpoint_stride=25)
         setup = prepare_campaign(inj, "all", config)
-        ordered, records = order_round(inj, "all", setup, config, 0, 0, 12)
+        ordered, records = order_round(inj, "all", setup, config, 0,
+                                       range(12))
         assert sorted(ordered) == list(range(12))
         assert sum(r["slots"] for r in records) == 12
         assert [r["checkpoint"] for r in records] == \
             sorted(r["checkpoint"] for r in records)
         # Deterministic: same inputs, same ordering.
-        again, _ = order_round(inj, "all", setup, config, 0, 0, 12)
+        again, _ = order_round(inj, "all", setup, config, 0, range(12))
         assert again == ordered
 
     def test_no_checkpoints_is_identity_order(self, built):
         inj = _fresh("LLFI", built)
         config = CampaignConfig(trials=8, seed=99)  # stride 0: no store
         setup = prepare_campaign(inj, "all", config)
-        ordered, records = order_round(inj, "all", setup, config, 0, 2, 8)
+        ordered, records = order_round(inj, "all", setup, config, 0,
+                                       range(2, 8))
         assert ordered == list(range(2, 8))
         assert records == [{"round": 0, "checkpoint": -1, "slots": 6}]
 

@@ -15,7 +15,7 @@ entries, canonical names), the model algebra (Hypothesis), the
 RNG-stream discipline (a stuck-at no-op must consume the trial stream
 exactly like an activated fault — anything else silently breaks
 jobs=1 ≡ jobs=N), the no-change → NOT_ACTIVATED campaign accounting,
-the sweep-cell ≡ standalone-run cache identity, and the schema-5
+the sweep-cell ≡ standalone-run cache identity, and the schema-6
 manifest/model plumbing.
 """
 
@@ -380,33 +380,35 @@ class TestCacheKeyAndConfig:
     def test_default_key_is_byte_identical_to_pre_registry(self):
         """Existing cached bitflip results must stay valid: the default
         key spells the model exactly as every pre-registry key did."""
-        from repro.experiments.common import cache_key
-        assert cache_key("w", "LLFI", "all",
-                         CampaignConfig(trials=5, seed=1)) == \
+        from repro.service import CampaignRequest
+        assert CampaignRequest.from_config(
+            "w", "LLFI", "all", CampaignConfig(trials=5, seed=1)).key() == \
             "v4-w-LLFI-all-t5-s1-h20-a10-mbitflip"
 
     def test_fault_model_is_a_key_component(self):
-        from repro.experiments.common import cache_key
-        keys = {cache_key("w", "LLFI", "all",
-                          CampaignConfig(trials=5, seed=1, fault_model=m))
+        from repro.service import CampaignRequest
+        keys = {CampaignRequest.from_config(
+                    "w", "LLFI", "all",
+                    CampaignConfig(trials=5, seed=1, fault_model=m)).key()
                 for m in MODELS}
         assert len(keys) == len(MODELS)
 
     def test_model_object_and_spec_share_a_key(self):
-        from repro.experiments.common import cache_key
-        by_spec = cache_key("w", "LLFI", "all",
-                            CampaignConfig(trials=5, seed=1,
-                                           fault_model="multibit-2"))
-        by_object = cache_key("w", "LLFI", "all",
-                              CampaignConfig(trials=5, seed=1,
-                                             model=MultiBitFlip(2)))
+        from repro.service import CampaignRequest
+        by_spec = CampaignRequest.from_config(
+            "w", "LLFI", "all",
+            CampaignConfig(trials=5, seed=1, fault_model="multibit-2")).key()
+        by_object = CampaignRequest.from_config(
+            "w", "LLFI", "all",
+            CampaignConfig(trials=5, seed=1, model=MultiBitFlip(2))).key()
         assert by_spec == by_object
 
     def test_accelerators_stay_out_of_the_key(self):
-        from repro.experiments.common import cache_key
-        keys = {cache_key("w", "PINFI", "load",
-                          CampaignConfig(trials=5, seed=1,
-                                         fault_model="memflip", **fields))
+        from repro.service import CampaignRequest
+        keys = {CampaignRequest.from_config(
+                    "w", "PINFI", "load",
+                    CampaignConfig(trials=5, seed=1, fault_model="memflip",
+                                   **fields)).key()
                 for fields in (dict(), dict(no_compile=True), dict(jobs=4),
                                dict(checkpoint_stride=-1), dict(batch=4))}
         assert len(keys) == 1
@@ -448,10 +450,11 @@ class TestSweep:
         cells = collect(["libquantumm"], ["arithmetic"], ["stuck-at-1"],
                         config, str(tmp_path))
         entries = os.listdir(tmp_path)
-        standalone = cached_campaign(
-            "libquantumm", "LLFI", "arithmetic",
-            dataclasses.replace(config, fault_model="stuck-at-1"),
-            str(tmp_path))
+        with pytest.warns(DeprecationWarning):
+            standalone = cached_campaign(
+                "libquantumm", "LLFI", "arithmetic",
+                dataclasses.replace(config, fault_model="stuck-at-1"),
+                str(tmp_path))
         # Cache entries hold the record-free ``to_json`` form; the reload
         # must match the live cell in every serialized field.
         assert standalone.to_json() == \
@@ -478,7 +481,7 @@ class TestManifest:
         path = glob.glob(os.path.join(str(tmp_path), "*.jsonl"))[0]
         assert "-mmultibit-3" in os.path.basename(path)
         manifest = read_manifest(path)
-        assert manifest.header["schema"] == MANIFEST_SCHEMA_VERSION == 5
+        assert manifest.header["schema"] == MANIFEST_SCHEMA_VERSION == 6
         assert manifest.header["model"] == "multibit-3"
         # The three-term accounting identity holds under every model.
         assert manifest.total_instructions() == inj.instructions_simulated

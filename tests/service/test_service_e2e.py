@@ -1,0 +1,103 @@
+"""End-to-end service tests: a real :class:`CampaignServer` (HTTP
+frontend + coordinator thread + two spawned worker processes) over one
+SQLite store.  The headline assertion is the acceptance criterion of the
+service: a sharded job's fetched result is byte-identical to a direct
+local run, for both tools, with resubmissions served from cache."""
+
+import pytest
+
+from repro.fi.engine import run_parallel_campaign
+from repro.service import CampaignRequest
+from repro.service.client import (
+    ServiceError, cancel, fetch, health, jobs, poll, submit, wait,
+)
+from repro.service.server import CampaignServer
+
+WORKLOAD = "libquantumm"
+TRIALS = 6
+SEED = 47
+
+
+def _req(tool, category="all", **kw):
+    return CampaignRequest(workload=WORKLOAD, tool=tool, category=category,
+                           trials=TRIALS, seed=SEED, **kw)
+
+
+def _local(request):
+    return run_parallel_campaign(request.injector_spec(), request.category,
+                                 request.to_config()).to_json()
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store_path = str(tmp_path_factory.mktemp("service") / "campaigns.db")
+    with CampaignServer(store_path, workers=2) as srv:
+        yield srv
+
+
+class TestServiceEndToEnd:
+    def test_health(self, server):
+        reply = health(server.address)
+        assert reply["ok"] and reply["store"] == server.store_path
+
+    def test_sharded_job_matches_local_llfi(self, server, built_workloads):
+        request = _req("LLFI")
+        reply = submit(server.address, request, shards=2)
+        assert reply["key"] == request.key()
+        job = wait(server.address, reply["job"], timeout_s=300)
+        assert job["state"] == "done", job.get("error")
+        assert fetch(server.address, reply["job"]).to_json() == \
+            _local(request)
+
+    def test_sharded_job_matches_local_pinfi(self, server, built_workloads):
+        request = _req("PINFI")
+        reply = submit(server.address, request, shards=2)
+        job = wait(server.address, reply["job"], timeout_s=300)
+        assert job["state"] == "done", job.get("error")
+        assert fetch(server.address, reply["job"]).to_json() == \
+            _local(request)
+
+    def test_resubmission_is_served_from_cache(self, server,
+                                               built_workloads):
+        request = _req("LLFI")
+        first = submit(server.address, request, shards=2)
+        wait(server.address, first["job"], timeout_s=300)
+        again = submit(server.address, request, shards=2)
+        assert again["cached"]
+        job = wait(server.address, again["job"], timeout_s=60)
+        assert job["state"] == "done" and job["cached"]
+        # No shards were created for the cache hit.
+        assert job["shard_progress"]["total"] == 0
+        assert fetch(server.address, again["job"]).to_json() == \
+            fetch(server.address, first["job"]).to_json()
+
+    def test_failing_request_fails_the_job(self, server):
+        request = CampaignRequest(workload="no-such-workload", tool="LLFI",
+                                  category="all", trials=2, seed=1)
+        reply = submit(server.address, request, shards=1)
+        job = wait(server.address, reply["job"], timeout_s=120)
+        assert job["state"] == "failed"
+        assert job["error"]
+        with pytest.raises(ServiceError) as err:
+            fetch(server.address, reply["job"])
+        assert "failed" in str(err.value)
+
+    def test_unknown_accel_knob_rejected(self, server):
+        with pytest.raises(ServiceError) as err:
+            submit(server.address, _req("LLFI"), shards=1,
+                   accel={"jobs": 4})
+        assert "accel" in str(err.value)
+
+    def test_cancel_unknown_job_is_404(self, server):
+        with pytest.raises(ServiceError) as err:
+            cancel(server.address, 999999)
+        assert "404" in str(err.value)
+
+    def test_poll_unknown_job_is_404(self, server):
+        with pytest.raises(ServiceError):
+            poll(server.address, 999999)
+
+    def test_jobs_listing(self, server):
+        listing = jobs(server.address)
+        assert isinstance(listing, list)
+        assert all("state" in j for j in listing)

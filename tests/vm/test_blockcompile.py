@@ -236,9 +236,10 @@ class TestCacheKeyAndCLI:
         """``no_compile`` is a pure accelerator toggle (the differential
         tests above prove bit-identity), so — like ``jobs`` and
         ``checkpoint_stride`` — it must never enter the disk-cache key."""
-        from repro.experiments.common import cache_key
-        keys = {cache_key("w", "LLFI", "all",
-                          CampaignConfig(trials=5, seed=1, no_compile=nc))
+        from repro.service import CampaignRequest
+        keys = {CampaignRequest.from_config(
+                    "w", "LLFI", "all",
+                    CampaignConfig(trials=5, seed=1, no_compile=nc)).key()
                 for nc in (False, True)}
         assert len(keys) == 1
 
